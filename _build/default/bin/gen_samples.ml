@@ -1,0 +1,68 @@
+(* Regenerates the sampleResult/ directory: the artifact the original
+   project shipped with its release (per-tool timing files, the
+   validation matrix, stored benchmark graphs, a recorded trace).
+
+     dune exec bin/gen_samples.exe [-- --out DIR]
+
+   Everything is deterministic (fixed seeds), so the files are stable
+   across regenerations. *)
+
+let out_dir = ref "sampleResult"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then (
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+let write name text =
+  let path = Filename.concat !out_dir name in
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let () =
+  (match Sys.argv with
+  | [| _; "--out"; dir |] -> out_dir := dir
+  | _ -> ());
+  mkdir_p !out_dir;
+  (* Full validation run per tool: timing CSVs (the original's
+     spade.time / opus.time / camflow.time) and the matrix. *)
+  let matrix =
+    List.map
+      (fun tool ->
+        let config = Provmark.Config.default tool in
+        (tool, List.map (Provmark.Runner.run config) Provmark.Bench_registry.all))
+      Recorders.Recorder.all_tools
+  in
+  List.iter
+    (fun (tool, results) ->
+      let name =
+        Printf.sprintf "%s.time" (String.lowercase_ascii (Recorders.Recorder.tool_name tool))
+      in
+      write name (Provmark.Report.timing_csv results))
+    matrix;
+  write "validation_matrix.txt" (Provmark.Report.validation_matrix matrix);
+  (* Stored benchmark graphs, in the Datalog format the regression use
+     case keeps (one per tool for the rename benchmark). *)
+  List.iter
+    (fun (tool, results) ->
+      match
+        List.find_opt (fun (r : Provmark.Result.t) -> r.Provmark.Result.syscall = "rename") results
+      with
+      | Some { Provmark.Result.status = Provmark.Result.Target g; _ } ->
+          write
+            (Printf.sprintf "benchmark_%s_rename.dl"
+               (String.lowercase_ascii (Recorders.Recorder.tool_name tool)))
+            (Provmark.Transform.to_datalog ~gid:"1" g)
+      | _ -> ())
+    matrix;
+  (* One recorded trace, replayable without the kernel simulator. *)
+  write "trace_open_fg.json"
+    (Oskernel.Trace_io.to_string
+       (Oskernel.Kernel.run ~run_id:1 (Provmark.Bench_registry.find_exn "open")
+          Oskernel.Program.Foreground));
+  (* The coverage summary. *)
+  write "coverage.txt" (Provmark.Coverage.render (Provmark.Coverage.of_matrix matrix));
+  print_endline "sample results regenerated"

@@ -1,0 +1,118 @@
+(* Standalone driver for the mini answer-set / Datalog engine: the role
+   clingo plays in the original ProvMark, usable on its own.
+
+     miniclingo solve program.lp facts.dl     # ground + search (+ optimize)
+     miniclingo eval  program.dl facts.dl -q reach   # deductive fixpoint
+     miniclingo ground program.lp facts.dl    # show the ground program *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_program path = Asp.Parser.parse_program (read_file path)
+let load_facts path = Datalog.Parser.parse_base (read_file path)
+
+let program_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"ASP/Datalog program file.")
+
+let facts_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"FACTS" ~doc:"Ground fact file.")
+
+let handle_errors f =
+  match f () with
+  | () -> 0
+  | exception Asp.Parser.Parse_error m ->
+      Printf.eprintf "parse error: %s\n" m;
+      1
+  | exception Datalog.Parser.Parse_error m ->
+      Printf.eprintf "fact parse error: %s\n" m;
+      1
+  | exception Asp.Ground.Ground_error m ->
+      Printf.eprintf "ground error: %s\n" m;
+      1
+  | exception Asp.Eval.Eval_error m ->
+      Printf.eprintf "eval error: %s\n" m;
+      1
+  | exception Sys_error m ->
+      Printf.eprintf "%s\n" m;
+      1
+
+let solve_cmd =
+  let max_steps =
+    Arg.(value & opt int 10_000_000 & info [ "max-steps" ] ~docv:"N" ~doc:"Decision budget.")
+  in
+  let first_model =
+    Arg.(value & flag & info [ "first-model" ] ~doc:"Stop at the first model (skip optimization).")
+  in
+  let run program facts max_steps first_model =
+    exit
+      (handle_errors (fun () ->
+           let rules = load_program program in
+           let base = load_facts facts in
+           let ground = Asp.Ground.ground rules base in
+           match Asp.Solver.solve ~max_steps ~find_optimal:(not first_model) ground with
+           | Asp.Solver.Unsat -> print_endline "UNSATISFIABLE"
+           | Asp.Solver.Unknown -> print_endline "UNKNOWN (step budget exhausted)"
+           | Asp.Solver.Model { cost; atoms; optimal } ->
+               Printf.printf "%s (cost %d)\n"
+                 (if optimal then "OPTIMUM FOUND" else "SATISFIABLE (budget exhausted)")
+                 cost;
+               List.iter (fun f -> print_endline (Datalog.Fact.to_string f)) atoms))
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Ground the program and search for an (optimal) answer set.")
+    Term.(const run $ program_arg $ facts_arg $ max_steps $ first_model)
+
+let eval_cmd =
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query"; "q" ] ~docv:"PRED" ~doc:"Only print facts of this predicate.")
+  in
+  let run program facts query =
+    exit
+      (handle_errors (fun () ->
+           let derived = Asp.Eval.evaluate (load_program program) (load_facts facts) in
+           let facts =
+             match query with
+             | Some pred -> Datalog.Base.facts_with_pred derived pred
+             | None -> Datalog.Base.to_list derived
+           in
+           List.iter (fun f -> print_endline (Datalog.Fact.to_string f)) facts))
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a positive Datalog program to fixpoint.")
+    Term.(const run $ program_arg $ facts_arg $ query)
+
+let ground_cmd =
+  let run program facts =
+    exit
+      (handle_errors (fun () ->
+           let g = Asp.Ground.ground (load_program program) (load_facts facts) in
+           Printf.printf "%% %d atoms, %d cardinality groups, %d clauses, %d cost groups%s\n"
+             g.Asp.Ground.atom_count
+             (List.length g.Asp.Ground.groups)
+             (List.length g.Asp.Ground.clauses)
+             (List.length g.Asp.Ground.costs)
+             (if g.Asp.Ground.statically_unsat then " (statically UNSAT)" else "");
+           Array.iteri
+             (fun i f -> Printf.printf "%% atom %d = %s\n" i (Datalog.Fact.to_string f))
+             g.Asp.Ground.atom_names))
+  in
+  Cmd.v
+    (Cmd.info "ground" ~doc:"Ground the program and print the propositional form.")
+    Term.(const run $ program_arg $ facts_arg)
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "miniclingo" ~version:"1.0.0"
+             ~doc:"mini answer-set solver (the ProvMark reproduction's clingo substitute)")
+          [ solve_cmd; eval_cmd; ground_cmd ]))

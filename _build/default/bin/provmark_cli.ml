@@ -1,0 +1,322 @@
+(* ProvMark command-line driver, mirroring the original project's
+   fullAutomation.py (single benchmark) and runTests.sh (batch run). *)
+
+open Cmdliner
+
+let tool_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Recorders.Recorder.tool_of_string s) in
+  let print ppf t = Format.pp_print_string ppf (Recorders.Recorder.tool_name t) in
+  Arg.conv (parse, print)
+
+let backend_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Gmatch.Engine.backend_of_string s) in
+  let print ppf b = Format.pp_print_string ppf (Gmatch.Engine.backend_to_string b) in
+  Arg.conv (parse, print)
+
+let tool_arg =
+  let doc = "Capture tool: spg (SPADE+Graphviz), opu (OPUS) or cam (CamFlow)." in
+  Arg.(required & pos 0 (some tool_conv) None & info [] ~docv:"TOOL" ~doc)
+
+let trials_arg =
+  let doc = "Number of trials per variant (default: per-tool)." in
+  Arg.(value & opt (some int) None & info [ "trials"; "t" ] ~docv:"N" ~doc)
+
+let backend_arg =
+  let doc = "Graph matching backend: asp (the paper's Listing 3/4 specifications \
+             through the mini answer-set solver), direct (native matcher) or \
+             incremental (creation-order fast path with exact fallback)." in
+  Arg.(value & opt backend_conv Gmatch.Engine.default_backend & info [ "backend" ] ~docv:"B" ~doc)
+
+let seed_arg =
+  let doc = "Base seed for transient-value derivation." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let result_type_arg =
+  let doc = "Result type: rb (benchmark only), rg (benchmark plus generalized \
+             foreground/background graphs), rh (HTML page with rendered graphs, \
+             written to finalResult/)." in
+  Arg.(value & opt string "rb" & info [ "result-type"; "r" ] ~docv:"TYPE" ~doc)
+
+let config_of tool trials backend seed =
+  let base = Provmark.Config.default tool in
+  {
+    base with
+    Provmark.Config.trials = Option.value trials ~default:base.Provmark.Config.trials;
+    backend;
+    seed;
+  }
+
+(* The original ProvMark appends a line of timing to /tmp/time.log for
+   each system-call execution (appendix A.6.4); keep the behaviour. *)
+let append_time_log (r : Provmark.Result.t) =
+  try
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "/tmp/time.log" in
+    output_string oc (Provmark.Report.timing_csv [ r ]);
+    close_out oc
+  with Sys_error _ -> ()
+
+let print_result ~result_type (r : Provmark.Result.t) =
+  append_time_log r;
+  Printf.printf "%-12s %-10s %s\n" r.Provmark.Result.syscall
+    (Recorders.Recorder.tool_name r.Provmark.Result.tool)
+    (Provmark.Result.summary r);
+  (match r.Provmark.Result.status with
+  | Provmark.Result.Target g ->
+      print_newline ();
+      print_string (Provmark.Transform.to_datalog ~gid:"t" g)
+  | Provmark.Result.Empty | Provmark.Result.Failed _ -> ());
+  if String.equal result_type "rg" then (
+    (match r.Provmark.Result.bg_general with
+    | Some g ->
+        Printf.printf "\n%% generalized background graph\n";
+        print_string (Provmark.Transform.to_datalog ~gid:"bg" g)
+    | None -> ());
+    match r.Provmark.Result.fg_general with
+    | Some g ->
+        Printf.printf "\n%% generalized foreground graph\n";
+        print_string (Provmark.Transform.to_datalog ~gid:"fg" g)
+    | None -> ());
+  if String.equal result_type "rh" then (
+    let path =
+      Printf.sprintf "finalResult/%s_%s.html"
+        (String.lowercase_ascii (Recorders.Recorder.tool_name r.Provmark.Result.tool))
+        r.Provmark.Result.syscall
+    in
+    Provmark.Html_report.write_file path (Provmark.Html_report.render_single r);
+    Printf.printf "HTML result written to %s\n" path)
+
+(* ------------------------------------------------------------------ *)
+(* run: one benchmark                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let syscall_arg =
+    let doc = "Syscall benchmark to run (e.g. open, rename, vfork)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SYSCALL" ~doc)
+  in
+  let run tool syscall trials backend seed result_type =
+    match Provmark.Bench_registry.find_exn syscall with
+    | exception Not_found ->
+        Printf.eprintf "unknown syscall benchmark %S\n" syscall;
+        exit 1
+    | prog ->
+        let config = config_of tool trials backend seed in
+        print_result ~result_type (Provmark.Runner.run config prog)
+  in
+  let term =
+    Term.(const run $ tool_arg $ syscall_arg $ trials_arg $ backend_arg $ seed_arg $ result_type_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Benchmark a single syscall (like fullAutomation.py).") term
+
+(* ------------------------------------------------------------------ *)
+(* batch: all benchmarks, validation matrix                            *)
+(* ------------------------------------------------------------------ *)
+
+let batch_cmd =
+  let tools_arg =
+    let doc = "Tools to benchmark (default: all three)." in
+    Arg.(value & opt_all tool_conv Recorders.Recorder.all_tools & info [ "tool" ] ~docv:"TOOL" ~doc)
+  in
+  let csv_arg =
+    let doc = "Also write per-stage timing CSV to this file (sampleResult format)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let run tools trials backend seed csv =
+    let matrix =
+      List.map
+        (fun tool ->
+          let config = config_of tool trials backend seed in
+          ( tool,
+            List.map
+              (fun prog ->
+                let r = Provmark.Runner.run config prog in
+                append_time_log r;
+                Printf.eprintf "%s %s: %s\n%!" (Recorders.Recorder.tool_name tool)
+                  r.Provmark.Result.syscall (Provmark.Result.status_word r);
+                r)
+              Provmark.Bench_registry.all ))
+        tools
+    in
+    print_string (Provmark.Report.validation_matrix matrix);
+    let ok, total = Provmark.Report.agreement matrix in
+    Printf.printf "\nAgreement with paper Table 2: %d/%d\n" ok total;
+    match csv with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        List.iter (fun (_, results) -> output_string oc (Provmark.Report.timing_csv results)) matrix;
+        close_out oc;
+        Printf.printf "Timing CSV written to %s\n" file
+  in
+  let term = Term.(const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ csv_arg) in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Benchmark every syscall and print the validation matrix (like runTests.sh).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* report: full HTML results page (finalResult/index.html)             *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let tools_arg =
+    let doc = "Tools to include (default: all three)." in
+    Arg.(value & opt_all tool_conv Recorders.Recorder.all_tools & info [ "tool" ] ~docv:"TOOL" ~doc)
+  in
+  let out_arg =
+    let doc = "Output HTML file." in
+    Arg.(value & opt string "finalResult/index.html" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run tools trials backend seed out =
+    let matrix =
+      List.map
+        (fun tool ->
+          let config = config_of tool trials backend seed in
+          ( tool,
+            List.map
+              (fun prog ->
+                let r = Provmark.Runner.run config prog in
+                append_time_log r;
+                Printf.eprintf "%s %s: %s\n%!" (Recorders.Recorder.tool_name tool)
+                  r.Provmark.Result.syscall (Provmark.Result.status_word r);
+                r)
+              Provmark.Bench_registry.all ))
+        tools
+    in
+    Provmark.Html_report.write_file out (Provmark.Html_report.render matrix);
+    Printf.printf "HTML report written to %s\n" out
+  in
+  let term = Term.(const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ out_arg) in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Benchmark every syscall and write the HTML results page (the rh result type).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* failures: auto-derived failure-case coverage matrix                 *)
+(* ------------------------------------------------------------------ *)
+
+let failures_cmd =
+  let tools_arg =
+    let doc = "Tools to check (default: all three)." in
+    Arg.(value & opt_all tool_conv Recorders.Recorder.all_tools & info [ "tool" ] ~docv:"TOOL" ~doc)
+  in
+  let run tools trials backend seed =
+    let variants = Provmark.Bench_gen.failure_variants () in
+    Printf.printf "%-12s" "syscall";
+    List.iter (fun t -> Printf.printf " %-12s" (Recorders.Recorder.tool_name t)) tools;
+    print_newline ();
+    List.iter
+      (fun (prog : Oskernel.Program.t) ->
+        Printf.printf "%-12s" prog.Oskernel.Program.syscall;
+        List.iter
+          (fun tool ->
+            let config = config_of tool trials backend seed in
+            let r = Provmark.Runner.run config prog in
+            let word =
+              match r.Provmark.Result.status with
+              | Provmark.Result.Target _ -> "recorded"
+              | Provmark.Result.Empty -> "-"
+              | Provmark.Result.Failed _ -> "failed"
+            in
+            Printf.printf " %-12s" word)
+          tools;
+        print_newline ())
+      variants
+  in
+  let term = Term.(const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "failures"
+       ~doc:"Derive an access-control failure variant of every eligible benchmark and \
+             report which tools record the failed attempt (automating the Section 3.1 \
+             use case).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* trace: dump the kernel observation streams for a benchmark          *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let syscall_arg =
+    let doc = "Syscall benchmark whose streams to dump." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSCALL" ~doc)
+  in
+  let variant_arg =
+    let doc = "Program variant: fg (foreground, default) or bg (background)." in
+    Arg.(value & opt string "fg" & info [ "variant" ] ~docv:"V" ~doc)
+  in
+  let stream_arg =
+    let doc = "Stream to print: all (default), audit, libc or lsm." in
+    Arg.(value & opt string "all" & info [ "stream" ] ~docv:"S" ~doc)
+  in
+  let run syscall seed variant stream =
+    match Provmark.Bench_registry.find_exn syscall with
+    | exception Not_found ->
+        Printf.eprintf "unknown syscall benchmark %S\n" syscall;
+        exit 1
+    | prog ->
+        let variant =
+          if String.equal variant "bg" then Oskernel.Program.Background
+          else Oskernel.Program.Foreground
+        in
+        let trace = Oskernel.Kernel.run ~run_id:seed prog variant in
+        Printf.printf "run %d: monitored pid %d, shell pid %d, boot %s\n\n"
+          trace.Oskernel.Trace.run_id trace.Oskernel.Trace.monitored_pid
+          trace.Oskernel.Trace.shell_pid trace.Oskernel.Trace.boot_id;
+        let keep (e : Oskernel.Event.t) =
+          match (stream, e) with
+          | "all", _ -> true
+          | "audit", Oskernel.Event.Audit _ -> true
+          | "libc", Oskernel.Event.Libc _ -> true
+          | "lsm", Oskernel.Event.Lsm _ -> true
+          | _ -> false
+        in
+        List.iter
+          (fun e -> if keep e then Format.printf "%a@." Oskernel.Event.pp e)
+          (Oskernel.Trace.merged trace)
+  in
+  let term = Term.(const run $ syscall_arg $ seed_arg $ variant_arg $ stream_arg) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a benchmark in the kernel simulator and dump the audit/libc/LSM \
+             observation streams.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* export: generate the benchmarkProgram/ C sources                    *)
+(* ------------------------------------------------------------------ *)
+
+let export_cmd =
+  let dir_arg =
+    let doc = "Output directory." in
+    Arg.(value & opt string "benchmarkProgram" & info [ "dir"; "d" ] ~docv:"DIR" ~doc)
+  in
+  let run dir =
+    let n = Provmark.C_export.export_all ~dir () in
+    Printf.printf "wrote %d benchmark programs under %s/\n" n dir
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Generate the per-syscall C benchmark programs (#ifdef TARGET layout) for use              with a real ProvMark deployment.")
+    Term.(const run $ dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* list: available benchmarks                                          *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (p : Oskernel.Program.t) ->
+        Printf.printf "%d  %-12s %s\n"
+          (Provmark.Bench_registry.group_of p.Oskernel.Program.syscall)
+          p.Oskernel.Program.syscall p.Oskernel.Program.name)
+      Provmark.Bench_registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark programs (Table 1).") Term.(const run $ const ())
+
+let main_cmd =
+  let doc = "provenance expressiveness benchmarking (ProvMark reproduction)" in
+  Cmd.group (Cmd.info "provmark" ~version:"1.0.0" ~doc) [ run_cmd; batch_cmd; report_cmd; failures_cmd; trace_cmd; export_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/concurrent_workers.ml: Format List Oskernel Pgraph Printf Provmark Recorders

@@ -1,0 +1,1 @@
+examples/config_validation.ml: List Oskernel Pgraph Printf Provmark Recorders

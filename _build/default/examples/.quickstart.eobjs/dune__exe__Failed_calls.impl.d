@@ -1,0 +1,1 @@
+examples/failed_calls.ml: Format List Oskernel Pgraph Printf Provmark Recorders

@@ -1,0 +1,1 @@
+examples/failed_calls.mli:

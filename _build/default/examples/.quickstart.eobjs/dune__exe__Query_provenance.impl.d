@@ -1,0 +1,1 @@
+examples/query_provenance.ml: Datalog List Oskernel Pgraph Printf Provmark Recorders

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Pgraph Printf Provmark Recorders

@@ -1,0 +1,1 @@
+examples/regression_testing.ml: Filename List Pgraph Printf Provmark Recorders String

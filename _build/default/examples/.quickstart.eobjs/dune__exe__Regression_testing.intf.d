@@ -1,0 +1,1 @@
+examples/regression_testing.mli:

@@ -1,0 +1,1 @@
+examples/suspicious_activity.ml: Format List Oskernel Pgraph Printf Provmark Recorders

@@ -1,0 +1,1 @@
+examples/suspicious_activity.mli:

@@ -1,0 +1,95 @@
+(* "Configuration validation" (paper Section 3.1, Bob's use case).
+
+   A system administrator benchmarks alternative SPADE configurations:
+
+   1. disabling `simplify` makes SPADE monitor setresgid/setresuid
+      explicitly — and exposes a tc-e3 bug where the new process vertex
+      shows up as a *disconnected subgraph* whose edge carries a
+      property initialized to a random value;
+   2. enabling the `IORuns` filter should coalesce runs of read/write
+      operations, but has *no effect* because the filter looks up a
+      property key the reporter does not emit; the fixed key works.
+
+     dune exec examples/config_validation.exe *)
+
+module Syscall = Oskernel.Syscall
+
+let spade_config_with spade =
+  { (Provmark.Config.default Recorders.Recorder.Spade) with Provmark.Config.spade }
+
+(* --- Part 1: the simplify flag and the setres* bug ----------------- *)
+
+let part1 () =
+  print_endline "=== simplify flag ===";
+  let bench = Provmark.Bench_registry.find_exn "setresgid" in
+  let with_simplify = Provmark.Runner.run (spade_config_with Recorders.Spade.default_config) bench in
+  Printf.printf "setresgid, simplify on (default): %s\n" (Provmark.Result.summary with_simplify);
+  let no_simplify_cfg =
+    spade_config_with { Recorders.Spade.default_config with Recorders.Spade.simplify = false }
+  in
+  let without_simplify = Provmark.Runner.run no_simplify_cfg bench in
+  Printf.printf "setresgid, simplify off:          %s\n" (Provmark.Result.summary without_simplify);
+  (match without_simplify.Provmark.Result.status with
+  | Provmark.Result.Target g when Provmark.Result.has_disconnected_node g ->
+      print_endline "  -> the call is now monitored, BUT the result contains a disconnected"
+  | Provmark.Result.Target _ -> print_endline "  -> monitored, connected (bug not visible?)"
+  | _ -> print_endline "  -> unexpected empty/failed");
+  (* Inspect two raw recordings to find the culprit: a background edge
+     property initialized to a random value. *)
+  let raw run_id =
+    Recorders.Spade.build
+      ~config:{ Recorders.Spade.default_config with Recorders.Spade.simplify = false }
+      (Oskernel.Kernel.run ~run_id bench Oskernel.Program.Foreground)
+  in
+  let flags_of g =
+    List.filter_map
+      (fun (e : Pgraph.Graph.edge) -> Pgraph.Props.find "flags" e.Pgraph.Graph.edge_props)
+      (Pgraph.Graph.edges g)
+  in
+  (match (flags_of (raw 1), flags_of (raw 2)) with
+  | [ f1 ], [ f2 ] ->
+      Printf.printf
+        "     subgraph; its edge property `flags` is random per run (%s vs %s) —\n\
+        \     the bug Bob reported to the SPADE developers.\n"
+        f1 f2
+  | _ -> print_endline "     (could not locate the random-valued property)");
+  print_newline ()
+
+(* --- Part 2: the IORuns filter bug --------------------------------- *)
+
+let part2 () =
+  print_endline "=== IORuns filter ===";
+  (* A benchmark with a run of three writes. *)
+  let triple_write =
+    Oskernel.Program.make ~name:"cmdTripleWrite" ~syscall:"write"
+      ~staging:[ Oskernel.Program.staged_file "/staging/test.txt" ]
+      ~setup:[ Syscall.Open { path = "/staging/test.txt"; flags = [ Syscall.O_RDWR ]; ret = "id" } ]
+      ~target:
+        [
+          Syscall.Write { fd = "id"; count = 32 };
+          Syscall.Write { fd = "id"; count = 32 };
+          Syscall.Write { fd = "id"; count = 32 };
+        ]
+      ()
+  in
+  let edges_with cfg =
+    match (Provmark.Runner.run (spade_config_with cfg) triple_write).Provmark.Result.status with
+    | Provmark.Result.Target g -> Pgraph.Graph.edge_count g
+    | _ -> -1
+  in
+  let base = Recorders.Spade.default_config in
+  let off = edges_with base in
+  let buggy = edges_with { base with Recorders.Spade.io_runs = true } in
+  let fixed = edges_with { base with Recorders.Spade.io_runs = true; io_runs_fixed = true } in
+  Printf.printf "three writes, IORuns off:            %d edges in the target graph\n" off;
+  Printf.printf "three writes, IORuns on (benchmarked version): %d edges\n" buggy;
+  Printf.printf "three writes, IORuns on (fixed property key):  %d edges\n" fixed;
+  if off = buggy && fixed < buggy then
+    print_endline
+      "  -> enabling the filter has NO effect (property-name mismatch between the\n\
+      \     filter and the reporter); with the fix the run is coalesced — both\n\
+      \     findings were reported upstream and fixed, per the paper."
+
+let () =
+  part1 ();
+  part2 ()

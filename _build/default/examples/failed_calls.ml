@@ -1,0 +1,45 @@
+(* "Tracking failed calls" (paper Section 3.1, Alice's use case).
+
+   A security analyst wants to know which provenance recorders track
+   syscalls that fail due to access-control violations — e.g. a
+   non-privileged user attempting to overwrite /etc/passwd by renaming
+   another file onto it.
+
+     dune exec examples/failed_calls.exe
+
+   Expected outcome, as in the paper: SPADE's default audit rules only
+   report successful calls, so it records nothing; OPUS intercepts the
+   C-library call and records the *attempt* with a -1 return value (the
+   same graph structure as a successful rename); CamFlow could in
+   principle observe the denied permission check but does not record it
+   in this configuration. *)
+
+let describe tool (prog : Oskernel.Program.t) =
+  let config = Provmark.Config.default tool in
+  let result = Provmark.Runner.run config prog in
+  let verdict =
+    match result.Provmark.Result.status with
+    | Provmark.Result.Target g ->
+        Printf.sprintf "recorded: %s" (Pgraph.Stats.shape_line (Pgraph.Stats.of_graph g))
+    | Provmark.Result.Empty -> "not recorded"
+    | Provmark.Result.Failed m -> "benchmarking failed: " ^ m
+  in
+  Printf.printf "  %-8s %s\n%!" (Recorders.Recorder.tool_name tool) verdict;
+  result
+
+let () =
+  List.iter
+    (fun (prog : Oskernel.Program.t) ->
+      Printf.printf "%s (failing %s):\n" prog.Oskernel.Program.name prog.Oskernel.Program.syscall;
+      List.iter (fun tool -> ignore (describe tool prog)) Recorders.Recorder.all_tools;
+      print_newline ())
+    Provmark.Bench_registry.failure_cases;
+
+  (* Drill into the paper's example: the failed rename under OPUS has
+     the same structure as a successful one, distinguished only by the
+     return-value property. *)
+  print_endline "OPUS target graph for the failed rename (note ret=-1, errno=EACCES):";
+  let config = Provmark.Config.default Recorders.Recorder.Opus in
+  match (Provmark.Runner.run config Provmark.Bench_registry.failed_rename).Provmark.Result.status with
+  | Provmark.Result.Target g -> Format.printf "%a@." Pgraph.Graph.pp g
+  | _ -> print_endline "unexpected: OPUS did not record the failed rename"

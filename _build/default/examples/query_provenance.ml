@@ -1,0 +1,70 @@
+(* Querying provenance graphs with Datalog.
+
+   ProvMark's common representation is Datalog (paper Listing 1), which
+   makes captured graphs directly queryable by recursive rules — the
+   analysis a detector performs once it has the escalation signature of
+   the suspicious-activity use case.
+
+     dune exec examples/query_provenance.exe
+
+   We capture the privilege-escalation program with CamFlow, then ask:
+   which entities can the escalated task (transitively) influence, and
+   does information flow from the protected file back into the task? *)
+
+module Graph = Pgraph.Graph
+
+let () =
+  (* Capture one foreground run of the escalation program. *)
+  let trace =
+    Oskernel.Kernel.run ~run_id:1 Provmark.Bench_registry.privilege_escalation
+      Oskernel.Program.Foreground
+  in
+  let g = Recorders.Camflow.build trace in
+  Printf.printf "captured CamFlow graph: %s\n\n" (Graph.summary g);
+
+  (* Transitive reachability via the built-in rules. *)
+  let pairs = Provmark.Analysis.reachable g in
+  Printf.printf "reach/2 has %d derived pairs\n\n" (List.length pairs);
+
+  (* Which nodes read /etc/shadow?  Custom rules over the encoded graph:
+     a task that an entity named "/etc/shadow" flows into. *)
+  let rules =
+    Provmark.Analysis.reachability_rules
+    ^ {|
+shadow(F) :- pq(P,"cf:pathname","/etc/shadow"), eq(E,P,F,"named").
+tainted(T) :- shadow(F), nq(T,"task"), reach(T,F).
+|}
+  in
+  let tainted = Provmark.Analysis.run ~rules g ~pred:"tainted" in
+  Printf.printf "tasks with a path to the protected file (query `tainted`):\n";
+  List.iter (fun f -> Printf.printf "  %s\n" (Datalog.Fact.to_string f)) tainted;
+
+  (* Cross-check with the direct graph API. *)
+  let shadow_file =
+    List.find_map
+      (fun (e : Graph.edge) ->
+        if e.Graph.edge_label = "named" then
+          match Graph.find_node g e.Graph.edge_src with
+          | Some n when Pgraph.Props.find "cf:pathname" n.Graph.node_props = Some "/etc/shadow" ->
+              Some e.Graph.edge_tgt
+          | _ -> None
+        else None)
+      (Graph.edges g)
+  in
+  (match shadow_file with
+  | Some file ->
+      let readers =
+        List.filter
+          (fun (n : Graph.node) ->
+            n.Graph.node_label = "task"
+            && Provmark.Analysis.reaches g ~src:n.Graph.node_id ~tgt:file)
+          (Graph.nodes g)
+      in
+      Printf.printf "\ncross-check via Analysis.reaches: %d task version(s) reach the file\n"
+        (List.length readers)
+  | None -> print_endline "\n(unexpected: no named edge for /etc/shadow)");
+
+  print_endline
+    "\nInterpretation: the Datalog layer turns any captured or benchmarked graph\n\
+     into a deductive database — the same representation ProvMark stores, now\n\
+     queryable for detection patterns."

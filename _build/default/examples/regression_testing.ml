@@ -1,0 +1,91 @@
+(* "Regression testing" (paper Section 3.1, Charlie's use case).
+
+   A recorder developer stores the benchmark graphs of a known-good
+   version as Datalog fact files and compares each new version's graphs
+   against them using the same isomorphism machinery ProvMark uses
+   during benchmarking.  An intentional configuration change (enabling
+   SPADE's versioning) is detected; re-accepting it updates the
+   baseline.
+
+     dune exec examples/regression_testing.exe *)
+
+let tool = Recorders.Recorder.Spade
+
+(* Charlie's CI setup uses the paper's own stability mitigations: extra
+   trials and pre-filtering of obviously incomplete graphs, so a flaky
+   recorder run cannot masquerade as a regression. *)
+let benchmark_graph ?(spade = Recorders.Spade.default_config) ?(seed = 1) syscall =
+  let config =
+    {
+      (Provmark.Config.default tool) with
+      Provmark.Config.spade;
+      seed;
+      trials = 5;
+      filter_graphs = true;
+    }
+  in
+  match (Provmark.Runner.run config (Provmark.Bench_registry.find_exn syscall)).Provmark.Result.status with
+  | Provmark.Result.Target g -> g
+  | Provmark.Result.Empty -> Pgraph.Graph.empty
+  | Provmark.Result.Failed m -> failwith ("benchmarking failed: " ^ m)
+
+let () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "provmark_regression_demo" in
+  let store = Provmark.Regression.open_store dir in
+  let syscalls = [ "open"; "rename"; "write"; "fork" ] in
+
+  (* Baseline run: store every benchmark graph. *)
+  List.iter
+    (fun syscall ->
+      let key = Provmark.Regression.key ~tool ~benchmark:syscall in
+      Provmark.Regression.save store ~key (benchmark_graph syscall))
+    syscalls;
+  Printf.printf "baseline stored under %s: %s\n\n" dir
+    (String.concat ", " (Provmark.Regression.keys store));
+
+  (* A fresh benchmarking run of the same system version: transient
+     values differ (different seed), shapes must not. *)
+  print_endline "re-running the same recorder version (different transients):";
+  List.iter
+    (fun syscall ->
+      let key = Provmark.Regression.key ~tool ~benchmark:syscall in
+      let verdict =
+        match Provmark.Regression.check store ~key (benchmark_graph ~seed:42 syscall) with
+        | Provmark.Regression.Unchanged -> "unchanged"
+        | Provmark.Regression.Changed _ -> "CHANGED"
+        | Provmark.Regression.New -> "new"
+      in
+      Printf.printf "  %-8s %s\n" syscall verdict)
+    syscalls;
+
+  (* Now "upgrade" the recorder: enable versioning.  Writes now create
+     explicit file versions, so the write benchmark's shape changes. *)
+  print_endline "\nafter enabling SPADE versioning:";
+  let versioned = { Recorders.Spade.default_config with Recorders.Spade.versioning = true } in
+  List.iter
+    (fun syscall ->
+      let key = Provmark.Regression.key ~tool ~benchmark:syscall in
+      let g = benchmark_graph ~spade:versioned syscall in
+      match Provmark.Regression.check store ~key g with
+      | Provmark.Regression.Unchanged -> Printf.printf "  %-8s unchanged\n" syscall
+      | Provmark.Regression.Changed { baseline } ->
+          Printf.printf "  %-8s CHANGED: %s -> %s (expected: accepting new baseline)\n" syscall
+            (Pgraph.Stats.shape_line (Pgraph.Stats.of_graph baseline))
+            (Pgraph.Stats.shape_line (Pgraph.Stats.of_graph g));
+          Provmark.Regression.accept store ~key g
+      | Provmark.Regression.New -> Printf.printf "  %-8s new\n" syscall)
+    syscalls;
+
+  (* The accepted baseline makes the next versioned run clean. *)
+  print_endline "\nre-checking against the accepted baseline:";
+  List.iter
+    (fun syscall ->
+      let key = Provmark.Regression.key ~tool ~benchmark:syscall in
+      let verdict =
+        match Provmark.Regression.check store ~key (benchmark_graph ~spade:versioned ~seed:7 syscall) with
+        | Provmark.Regression.Unchanged -> "unchanged"
+        | Provmark.Regression.Changed _ -> "CHANGED (unexpected!)"
+        | Provmark.Regression.New -> "new"
+      in
+      Printf.printf "  %-8s %s\n" syscall verdict)
+    syscalls

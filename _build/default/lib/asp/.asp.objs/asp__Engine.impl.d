@@ -1,0 +1,1 @@
+lib/asp/engine.ml: Datalog Ground List Listings Parser Rule Solver String

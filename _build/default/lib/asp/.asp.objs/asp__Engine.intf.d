@@ -1,0 +1,1 @@
+lib/asp/engine.mli: Datalog Solver

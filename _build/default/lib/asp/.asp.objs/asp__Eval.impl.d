@@ -1,0 +1,1 @@
+lib/asp/eval.ml: Datalog Hashtbl List Option Printf Rule String Term

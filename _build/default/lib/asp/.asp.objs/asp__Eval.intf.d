@@ -1,0 +1,1 @@
+lib/asp/eval.mli: Datalog Rule

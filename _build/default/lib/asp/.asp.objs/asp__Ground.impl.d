@@ -1,0 +1,1 @@
+lib/asp/ground.ml: Array Datalog Hashtbl Int List Map Option Printf Rule String Term

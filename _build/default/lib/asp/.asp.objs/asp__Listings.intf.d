@@ -1,0 +1,1 @@
+lib/asp/listings.mli:

@@ -1,0 +1,1 @@
+lib/asp/parser.ml: Buffer Datalog List Printf Rule String Term

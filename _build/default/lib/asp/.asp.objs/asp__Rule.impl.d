@@ -1,0 +1,1 @@
+lib/asp/rule.ml: Format List Printf String Term

@@ -1,0 +1,1 @@
+lib/asp/rule.mli: Format Term

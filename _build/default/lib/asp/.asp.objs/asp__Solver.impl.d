@@ -1,0 +1,1 @@
+lib/asp/solver.ml: Array Datalog Ground Hashtbl Int List Queue

@@ -1,0 +1,1 @@
+lib/asp/solver.mli: Datalog Ground

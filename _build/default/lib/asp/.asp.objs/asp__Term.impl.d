@@ -1,0 +1,1 @@
+lib/asp/term.ml: Datalog Format Int Map String

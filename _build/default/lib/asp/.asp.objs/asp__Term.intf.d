@@ -1,0 +1,1 @@
+lib/asp/term.mli: Datalog Format

@@ -1,0 +1,32 @@
+module Fact = Datalog.Fact
+
+type outcome = Solver.outcome =
+  | Unsat
+  | Model of { cost : int; atoms : Fact.t list; optimal : bool }
+  | Unknown
+
+let run ?max_steps ?find_optimal ~program ~facts () =
+  let rules = Parser.parse_program program in
+  let ground = Ground.ground rules facts in
+  let shows =
+    List.filter_map (function Rule.Show (p, n) -> Some (p, n) | _ -> None) rules
+  in
+  match Solver.solve ?max_steps ?find_optimal ground with
+  | Model { cost; atoms; optimal } when shows <> [] ->
+      let atoms =
+        List.filter
+          (fun (f : Fact.t) -> List.mem (f.Fact.pred, List.length f.Fact.args) shows)
+          atoms
+      in
+      Model { cost; atoms; optimal }
+  | outcome -> outcome
+
+let matching_of_atoms atoms =
+  List.filter_map
+    (fun (f : Fact.t) ->
+      if String.equal f.Fact.pred Listings.matching_predicate then
+        match f.Fact.args with
+        | [ x; y ] -> Some (Fact.string_of_term x, Fact.string_of_term y)
+        | _ -> None
+      else None)
+    atoms

@@ -1,0 +1,17 @@
+(** Convenience façade: parse, ground and solve in one call, and read
+    graph matchings out of the resulting model. *)
+
+type outcome = Solver.outcome =
+  | Unsat
+  | Model of { cost : int; atoms : Datalog.Fact.t list; optimal : bool }
+  | Unknown
+
+(** [run ~program ~facts ()] parses [program], grounds it against
+    [facts] and solves.  Parse and grounding errors propagate as
+    {!Parser.Parse_error} / {!Ground.Ground_error}. *)
+val run :
+  ?max_steps:int -> ?find_optimal:bool -> program:string -> facts:Datalog.Base.t -> unit -> outcome
+
+(** [matching_of_atoms atoms] extracts the [h/2] matching pairs from the
+    true atoms of a model, as [(left, right)] identifier pairs. *)
+val matching_of_atoms : Datalog.Fact.t list -> (string * string) list

@@ -1,0 +1,169 @@
+module Fact = Datalog.Fact
+module Base = Datalog.Base
+
+exception Eval_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+let check_rules program =
+  List.filter_map
+    (function
+      | Rule.Show _ -> None
+      | Rule.Define (head, body) ->
+          List.iter
+            (function
+              | Rule.Pos _ | Rule.Builtin _ | Rule.Neg _ -> ())
+            body;
+          Some (head, body)
+      | r -> fail "Eval supports definite rules only, got: %s" (Rule.to_string r))
+    program
+
+let match_atom subst (a : Rule.atom) (f : Fact.t) =
+  if not (String.equal a.Rule.pred f.Fact.pred) then None
+  else if List.length a.Rule.args <> List.length f.Fact.args then None
+  else
+    List.fold_left2
+      (fun acc pat value ->
+        match acc with None -> None | Some s -> Term.Subst.match_term s pat value)
+      (Some subst) a.Rule.args f.Fact.args
+
+let term_ground subst t =
+  match Term.Subst.apply subst t with Term.Con c -> Some c | Term.Var _ | Term.Any -> None
+
+let builtin_holds subst b =
+  match b with
+  | Rule.Neq (x, y) -> (
+      match (term_ground subst x, term_ground subst y) with
+      | Some cx, Some cy -> Some (not (Fact.equal_term cx cy))
+      | _ -> None)
+  | Rule.Eq (x, y) -> (
+      match (term_ground subst x, term_ground subst y) with
+      | Some cx, Some cy -> Some (Fact.equal_term cx cy)
+      | _ -> None)
+
+let atom_vars_bound subst (a : Rule.atom) =
+  List.for_all
+    (fun t ->
+      match t with
+      | Term.Var v -> Option.is_some (Term.Subst.find v subst)
+      | Term.Any | Term.Con _ -> true)
+    a.Rule.args
+
+let instantiate_head subst (head : Rule.atom) =
+  Fact.make head.Rule.pred
+    (List.map
+       (fun t ->
+         match Term.Subst.apply subst t with
+         | Term.Con c -> c
+         | Term.Var v -> fail "unsafe head variable %s in %s" v (Rule.atom_to_string head)
+         | Term.Any -> fail "anonymous variable in head of %s" (Rule.atom_to_string head))
+       head.Rule.args)
+
+(* Enumerate the solutions of [body].  Positive literals are matched
+   against [lookup]; the literal at index [delta_at] (if any) is matched
+   against [delta_lookup] instead — the semi-naive restriction.  Negated
+   literals and builtins are checked once their variables are bound;
+   the body is processed left-to-right, deferring undecidable checks. *)
+let solve_body ~lookup ~delta_lookup ~delta_at body ~on_solution =
+  let rec go i subst deferred body =
+    match body with
+    | [] ->
+        let ok =
+          List.for_all
+            (fun lit ->
+              match lit with
+              | Rule.Builtin b -> (
+                  match builtin_holds subst b with
+                  | Some v -> v
+                  | None -> fail "unbound builtin %s" (Rule.literal_to_string lit))
+              | Rule.Neg a ->
+                  if atom_vars_bound subst a then
+                    not (List.exists (fun f -> Option.is_some (match_atom subst a f)) (lookup a.Rule.pred))
+                  else fail "unbound negation %s" (Rule.literal_to_string lit)
+              | Rule.Pos _ -> true)
+            deferred
+        in
+        if ok then on_solution subst
+    | Rule.Pos a :: rest ->
+        let facts = if Some i = delta_at then delta_lookup a.Rule.pred else lookup a.Rule.pred in
+        List.iter
+          (fun f ->
+            match match_atom subst a f with
+            | Some subst' -> go (i + 1) subst' deferred rest
+            | None -> ())
+          facts
+    | (Rule.Builtin b as lit) :: rest -> (
+        match builtin_holds subst b with
+        | Some true -> go (i + 1) subst deferred rest
+        | Some false -> ()
+        | None -> go (i + 1) subst (lit :: deferred) rest)
+    | (Rule.Neg a as lit) :: rest ->
+        if atom_vars_bound subst a then (
+          if not (List.exists (fun f -> Option.is_some (match_atom subst a f)) (lookup a.Rule.pred))
+          then go (i + 1) subst deferred rest)
+        else go (i + 1) subst (lit :: deferred) rest
+  in
+  go 0 Term.Subst.empty [] body
+
+let evaluate ?(max_iterations = 10_000) program base =
+  let rules = check_rules program in
+  (* Working store: predicate -> fact list, plus a membership set. *)
+  let store : (string, Fact.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  let seen : (Fact.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  let add f =
+    if Hashtbl.mem seen f then false
+    else begin
+      Hashtbl.replace seen f ();
+      (match Hashtbl.find_opt store f.Fact.pred with
+      | Some r -> r := f :: !r
+      | None -> Hashtbl.replace store f.Fact.pred (ref [ f ]));
+      true
+    end
+  in
+  List.iter (fun f -> ignore (add f)) (Base.to_list base);
+  let lookup pred = match Hashtbl.find_opt store pred with Some r -> !r | None -> [] in
+  (* Semi-naive: each round only considers derivations using at least one
+     fact from the previous round's delta. *)
+  let delta = ref (Base.to_list base) in
+  let rounds = ref 0 in
+  while !delta <> [] do
+    incr rounds;
+    if !rounds > max_iterations then fail "fixpoint did not converge in %d rounds" max_iterations;
+    let delta_by_pred : (string, Fact.t list ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (f : Fact.t) ->
+        match Hashtbl.find_opt delta_by_pred f.Fact.pred with
+        | Some r -> r := f :: !r
+        | None -> Hashtbl.replace delta_by_pred f.Fact.pred (ref [ f ]))
+      !delta;
+    let delta_lookup pred =
+      match Hashtbl.find_opt delta_by_pred pred with Some r -> !r | None -> []
+    in
+    let next = ref [] in
+    List.iter
+      (fun (head, body) ->
+        let positives = List.length (List.filter (function Rule.Pos _ -> true | _ -> false) body) in
+        let pos_indices =
+          (* Indices (counting all literals) of positive literals. *)
+          List.filteri (fun _ _ -> true) (List.mapi (fun i l -> (i, l)) body)
+          |> List.filter_map (fun (i, l) -> match l with Rule.Pos _ -> Some i | _ -> None)
+        in
+        let emit subst =
+          let f = instantiate_head subst head in
+          if add f then next := f :: !next
+        in
+        if positives = 0 then (
+          (* Facts written as rules: derive once, in the first round. *)
+          if !rounds = 1 then
+            solve_body ~lookup ~delta_lookup ~delta_at:None body ~on_solution:emit)
+        else
+          List.iter
+            (fun di -> solve_body ~lookup ~delta_lookup ~delta_at:(Some di) body ~on_solution:emit)
+            pos_indices)
+      rules;
+    delta := !next
+  done;
+  Hashtbl.fold (fun _ r acc -> List.fold_left (fun acc f -> Base.add f acc) acc !r) store Base.empty
+
+let query ?max_iterations program base pred =
+  Base.facts_with_pred (evaluate ?max_iterations program base) pred

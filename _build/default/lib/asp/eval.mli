@@ -1,0 +1,28 @@
+(** Bottom-up evaluation of positive Datalog programs — the deductive
+    half of the mini-clingo: {!Rule.Define} rules with positive bodies
+    (and bound builtins) evaluated to a fixpoint over a fact base by
+    semi-naive iteration.
+
+    This complements the model search of {!Solver}: ProvMark represents
+    every graph as Datalog facts (paper Listing 1), so recursive rules
+    make benchmark graphs queryable — e.g. reachability between a
+    process and the files it can influence, the kind of question the
+    suspicious-activity use case (Section 3.1) ultimately asks. *)
+
+exception Eval_error of string
+
+(** [evaluate program base] returns [base] extended with every derivable
+    fact.  Only {!Rule.Define} rules are accepted; choice rules,
+    constraints and [#minimize] raise {!Eval_error}, as do rules whose
+    head contains a variable not bound by a positive body literal.
+    Negated body literals are checked against the facts known at the
+    time of the check (stratified use is the caller's responsibility).
+
+    [max_iterations] bounds the fixpoint loop (default 10_000) as a
+    runaway guard; exceeding it raises {!Eval_error}. *)
+val evaluate : ?max_iterations:int -> Rule.program -> Datalog.Base.t -> Datalog.Base.t
+
+(** [query program base pred] evaluates and returns the facts of
+    predicate [pred]. *)
+val query :
+  ?max_iterations:int -> Rule.program -> Datalog.Base.t -> string -> Datalog.Fact.t list

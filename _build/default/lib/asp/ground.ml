@@ -1,0 +1,487 @@
+module Fact = Datalog.Fact
+module Base = Datalog.Base
+
+exception Ground_error of string
+
+type lit = int * bool
+type clause = lit list
+type group = { atoms : int list; bound : int }
+type cost_group = { weight : int; level : int; disj : int list }
+
+type t = {
+  atom_count : int;
+  atom_names : Fact.t array;
+  clauses : clause list;
+  groups : group list;
+  costs : cost_group list;
+  base_costs : (int * int) list;
+  statically_unsat : bool;
+}
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Ground_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Mutable grounding state                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Fact_key = struct
+  type t = Fact.t
+
+  let equal = Fact.equal
+  let hash (f : Fact.t) = Hashtbl.hash (f.Fact.pred, f.Fact.args)
+end
+
+module Fact_tbl = Hashtbl.Make (Fact_key)
+
+type state = {
+  base : Base.t;
+  open_preds : string list;
+  mutable atoms : Fact.t list;  (* reversed *)
+  mutable next_id : int;
+  ids : int Fact_tbl.t;
+  by_pred : (string, (int * Fact.t) list ref) Hashtbl.t;  (* open atoms by predicate *)
+  (* first-argument index over closed facts, built lazily per predicate *)
+  closed_index : (string, (Fact.term, Fact.t list ref) Hashtbl.t) Hashtbl.t;
+}
+
+let is_open st p = List.mem p st.open_preds
+
+let register_atom st fact =
+  match Fact_tbl.find_opt st.ids fact with
+  | Some id -> id
+  | None ->
+      let id = st.next_id in
+      st.next_id <- id + 1;
+      st.atoms <- fact :: st.atoms;
+      Fact_tbl.add st.ids fact id;
+      let bucket =
+        match Hashtbl.find_opt st.by_pred fact.Fact.pred with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Hashtbl.add st.by_pred fact.Fact.pred r;
+            r
+      in
+      bucket := (id, fact) :: !bucket;
+      id
+
+let find_atom st fact = Fact_tbl.find_opt st.ids fact
+
+let open_atoms_with_pred st p =
+  match Hashtbl.find_opt st.by_pred p with Some r -> !r | None -> []
+
+let closed_first_arg_index st pred =
+  match Hashtbl.find_opt st.closed_index pred with
+  | Some idx -> idx
+  | None ->
+      let idx = Hashtbl.create 64 in
+      List.iter
+        (fun (f : Fact.t) ->
+          match f.Fact.args with
+          | first :: _ ->
+              let bucket =
+                match Hashtbl.find_opt idx first with
+                | Some r -> r
+                | None ->
+                    let r = ref [] in
+                    Hashtbl.add idx first r;
+                    r
+              in
+              bucket := f :: !bucket
+          | [] -> ())
+        (Base.facts_with_pred st.base pred);
+      Hashtbl.add st.closed_index pred idx;
+      idx
+
+(* Candidate closed facts for an atom pattern under a substitution; uses
+   the first-argument index when the first argument is already ground. *)
+let closed_candidates st subst (a : Rule.atom) =
+  match a.Rule.args with
+  | first :: _ -> (
+      match Term.Subst.apply subst first with
+      | Term.Con c -> (
+          let idx = closed_first_arg_index st a.Rule.pred in
+          match Hashtbl.find_opt idx c with Some r -> !r | None -> [])
+      | Term.Var _ | Term.Any -> Base.facts_with_pred st.base a.Rule.pred)
+  | [] -> Base.facts_with_pred st.base a.Rule.pred
+
+(* ------------------------------------------------------------------ *)
+(* Matching atoms against ground facts                                 *)
+(* ------------------------------------------------------------------ *)
+
+let match_atom subst (a : Rule.atom) (f : Fact.t) =
+  if not (String.equal a.Rule.pred f.Fact.pred) then None
+  else if List.length a.Rule.args <> List.length f.Fact.args then None
+  else
+    List.fold_left2
+      (fun acc pat value ->
+        match acc with None -> None | Some s -> Term.Subst.match_term s pat value)
+      (Some subst) a.Rule.args f.Fact.args
+
+let atom_ground_fact subst (a : Rule.atom) =
+  let args =
+    List.map
+      (fun t ->
+        match Term.Subst.apply subst t with
+        | Term.Con c -> c
+        | Term.Var v -> fail "unsafe variable %s in atom %s" v (Rule.atom_to_string a)
+        | Term.Any -> fail "anonymous variable in head position of %s" (Rule.atom_to_string a))
+      a.Rule.args
+  in
+  Fact.make a.Rule.pred args
+
+let atom_is_ground subst (a : Rule.atom) =
+  List.for_all
+    (fun t -> match Term.Subst.apply subst t with Term.Con _ -> true | _ -> false)
+    a.Rule.args
+
+(* An atom is decidable for negation as failure when every named variable
+   is bound; anonymous variables act as wildcards matched against the
+   fact/atom registry. *)
+let atom_vars_bound subst (a : Rule.atom) =
+  List.for_all
+    (fun t ->
+      match t with
+      | Term.Var v -> Option.is_some (Term.Subst.find v subst)
+      | Term.Any | Term.Con _ -> true)
+    a.Rule.args
+
+let apply_atom subst (a : Rule.atom) =
+  { a with Rule.args = List.map (Term.Subst.apply subst) a.Rule.args }
+
+let apply_literal subst = function
+  | Rule.Pos a -> Rule.Pos (apply_atom subst a)
+  | Rule.Neg a -> Rule.Neg (apply_atom subst a)
+  | Rule.Builtin (Rule.Neq (x, y)) ->
+      Rule.Builtin (Rule.Neq (Term.Subst.apply subst x, Term.Subst.apply subst y))
+  | Rule.Builtin (Rule.Eq (x, y)) ->
+      Rule.Builtin (Rule.Eq (Term.Subst.apply subst x, Term.Subst.apply subst y))
+
+let term_ground subst t =
+  match Term.Subst.apply subst t with Term.Con c -> Some c | Term.Var _ | Term.Any -> None
+
+(* ------------------------------------------------------------------ *)
+(* Body enumeration                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Enumerate every solution of [body] under the closed fact base plus the
+   registered open atoms.  [on_solution subst conds] is invoked with the
+   final substitution and the conditions on open atoms ([(id, true)] for a
+   positive occurrence, [(id, false)] for a negated one) that make the body
+   true.  Branches requiring an unregistered open atom to be true are
+   pruned (such atoms are false in every model). *)
+let enumerate_body st body ~on_solution =
+  let builtin_eval subst b =
+    match b with
+    | Rule.Neq (x, y) -> (
+        match (term_ground subst x, term_ground subst y) with
+        | Some cx, Some cy -> Some (not (Fact.equal_term cx cy))
+        | _ -> None)
+    | Rule.Eq (x, y) -> (
+        match (term_ground subst x, term_ground subst y) with
+        | Some cx, Some cy -> Some (Fact.equal_term cx cy)
+        | _ -> None)
+  in
+  let rec solve subst conds pending =
+    (* First, simplify every literal that is decidable right now. *)
+    let progress = ref false in
+    let keep = ref [] in
+    let pruned = ref false in
+    let conds = ref conds in
+    List.iter
+      (fun lit ->
+        if !pruned then ()
+        else
+          match lit with
+          | Rule.Builtin b -> (
+              match builtin_eval subst b with
+              | Some true -> progress := true
+              | Some false -> pruned := true
+              | None -> keep := lit :: !keep)
+          | Rule.Neg a when atom_vars_bound subst a ->
+              progress := true;
+              let pat = apply_atom subst a in
+              if is_open st a.Rule.pred then
+                (* [not h(...)]: every registered candidate matching the
+                   pattern must be false; unregistered atoms already are. *)
+                List.iter
+                  (fun (id, f) ->
+                    match match_atom subst pat f with
+                    | Some _ -> conds := (id, false) :: !conds
+                    | None -> ())
+                  (open_atoms_with_pred st a.Rule.pred)
+              else
+                let exists_match =
+                  List.exists
+                    (fun f -> Option.is_some (match_atom subst pat f))
+                    (closed_candidates st subst pat)
+                in
+                if exists_match then pruned := true
+          | Rule.Pos a when atom_is_ground subst a ->
+              progress := true;
+              let f = atom_ground_fact subst a in
+              if is_open st a.Rule.pred then (
+                match find_atom st f with
+                | None -> pruned := true
+                | Some id -> conds := (id, true) :: !conds)
+              else if not (Base.mem f st.base) then pruned := true
+          | Rule.Pos _ | Rule.Neg _ -> keep := lit :: !keep)
+      pending;
+    if !pruned then ()
+    else
+      let pending = List.rev !keep in
+      let conds = !conds in
+      if !progress then solve subst conds pending
+      else
+        (* No literal is decidable: bind variables through some positive
+           literal.  Choose the positive literal with the fewest candidate
+           facts to keep the join narrow. *)
+        match pending with
+        | [] -> on_solution subst conds
+        | _ ->
+            let candidates_for a =
+              if is_open st a.Rule.pred then
+                List.filter_map
+                  (fun (_, f) -> match match_atom subst a f with Some _ -> Some f | None -> None)
+                  (open_atoms_with_pred st a.Rule.pred)
+              else
+                List.filter_map
+                  (fun f -> match match_atom subst a f with Some _ -> Some f | None -> None)
+                  (closed_candidates st subst a)
+            in
+            let pos =
+              List.filter_map (fun l -> match l with Rule.Pos a -> Some a | _ -> None) pending
+            in
+            (match pos with
+            | [] ->
+                fail "unsafe rule body: cannot instantiate %s"
+                  (String.concat ", " (List.map Rule.literal_to_string pending))
+            | _ ->
+                let scored = List.map (fun a -> (a, candidates_for a)) pos in
+                let best, facts =
+                  List.fold_left
+                    (fun (ba, bf) (a, f) -> if List.length f < List.length bf then (a, f) else (ba, bf))
+                    (List.hd scored |> fun (a, f) -> (a, f))
+                    (List.tl scored)
+                in
+                let rest = List.filter (fun l -> l <> Rule.Pos best) pending in
+                List.iter
+                  (fun f ->
+                    match match_atom subst best f with
+                    | None -> ()
+                    | Some subst' ->
+                        let conds' =
+                          if is_open st best.Rule.pred then
+                            match find_atom st f with
+                            | Some id -> (id, true) :: conds
+                            | None -> conds  (* unreachable: facts come from the registry *)
+                          else conds
+                        in
+                        solve subst' conds' rest)
+                  facts)
+  in
+  solve Term.Subst.empty [] body
+
+(* ------------------------------------------------------------------ *)
+(* Rule grounding                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ground program base =
+  let open_preds = Rule.open_predicates program in
+  let st =
+    {
+      base;
+      open_preds;
+      atoms = [];
+      next_id = 0;
+      ids = Fact_tbl.create 256;
+      by_pred = Hashtbl.create 8;
+      closed_index = Hashtbl.create 8;
+    }
+  in
+  let groups = ref [] in
+  let clauses = ref [] in
+  let defines = ref [] in  (* (head fact, conds) list, reversed *)
+  let base_costs = ref [] in
+  let add_base level weight =
+    base_costs :=
+      (match List.assoc_opt level !base_costs with
+      | Some w -> (level, w + weight) :: List.remove_assoc level !base_costs
+      | None -> (level, weight) :: !base_costs)
+  in
+  let costs = ref [] in
+  let statically_unsat = ref false in
+
+  (* Pass 1: choice rules register open atoms and cardinality groups. *)
+  List.iter
+    (function
+      | Rule.Choice c ->
+          enumerate_body st c.Rule.body ~on_solution:(fun subst body_conds ->
+              if body_conds <> [] then
+                fail "choice rule body may not mention open predicates: %s"
+                  (Rule.to_string (Rule.Choice c));
+              (* The generator runs under the bindings from the body:
+                 substitute body variables into element and generator. *)
+              let elem = apply_atom subst c.Rule.elem in
+              let members = ref [] in
+              let add gen_subst =
+                let f = atom_ground_fact gen_subst elem in
+                let id = register_atom st f in
+                if not (List.mem id !members) then members := id :: !members
+              in
+              (match List.map (apply_literal subst) c.Rule.gen with
+              | [] -> add Term.Subst.empty
+              | gen ->
+                  enumerate_body st gen ~on_solution:(fun gen_subst gen_conds ->
+                      if gen_conds <> [] then
+                        fail "choice generator may not mention open predicates: %s"
+                          (Rule.to_string (Rule.Choice c));
+                      add gen_subst));
+              let atoms = List.rev !members in
+              if List.length atoms < c.Rule.bound then statically_unsat := true;
+              groups := { atoms; bound = c.Rule.bound } :: !groups)
+      | Rule.Constraint _ | Rule.Define _ | Rule.Minimize _ | Rule.Show _ -> ())
+    program;
+
+  (* Pass 2: integrity constraints become clauses over open atoms. *)
+  List.iter
+    (function
+      | Rule.Constraint body ->
+          enumerate_body st body ~on_solution:(fun _subst conds ->
+              match conds with
+              | [] -> statically_unsat := true
+              | conds -> clauses := List.map (fun (id, v) -> (id, not v)) conds :: !clauses)
+      | Rule.Choice _ | Rule.Define _ | Rule.Minimize _ | Rule.Show _ -> ())
+    program;
+
+  (* Pass 3: definite rules derive head tuples conditional on open atoms. *)
+  List.iter
+    (function
+      | Rule.Define (head, body) ->
+          enumerate_body st body ~on_solution:(fun subst conds ->
+              let f = atom_ground_fact subst head in
+              defines := (f, conds) :: !defines)
+      | Rule.Choice _ | Rule.Constraint _ | Rule.Minimize _ | Rule.Show _ -> ())
+    program;
+  let defines = List.rev !defines in
+
+  (* Pass 4: #minimize statements aggregate weights over distinct tuples. *)
+  let module Tmap = Map.Make (struct
+    type t = Fact.term list
+
+    let compare a b =
+      let rec cmp xs ys =
+        match (xs, ys) with
+        | [], [] -> 0
+        | [], _ -> -1
+        | _, [] -> 1
+        | x :: xs, y :: ys ->
+            let c = Fact.compare_term x y in
+            if c <> 0 then c else cmp xs ys
+      in
+      cmp a b
+  end) in
+  List.iter
+    (function
+      | Rule.Minimize m ->
+          (* The condition is matched against derived heads (for defined
+             predicates) and open atoms; closed atoms are checked against
+             the base. *)
+          let tuples = ref Tmap.empty in
+          let add_tuple subst conds =
+            let weight =
+              match term_ground subst m.Rule.weight with
+              | Some (Fact.Int w) -> w
+              | Some t -> fail "#minimize weight %s is not an integer" (Fact.term_to_string t)
+              | None -> fail "#minimize weight is unbound"
+            in
+            if weight < 0 then fail "#minimize supports non-negative weights only";
+            if weight > 0 then
+              let key =
+                Fact.Int weight
+                :: Fact.Int m.Rule.priority
+                :: List.map
+                     (fun t ->
+                       match term_ground subst t with
+                       | Some c -> c
+                       | None -> fail "#minimize tuple term is unbound")
+                     m.Rule.tuple
+              in
+              tuples :=
+                Tmap.update key
+                  (fun prev ->
+                    let prev = Option.value prev ~default:[] in
+                    Some (conds :: prev))
+                  !tuples
+          in
+          (* The condition must be a single positive literal over a
+             defined, open or closed predicate.  This covers the ProvMark
+             listings and keeps the distinct-tuple semantics exact. *)
+          let defined_preds =
+            List.filter_map (function Rule.Define (h, _) -> Some h.Rule.pred | _ -> None) program
+          in
+          (match m.Rule.cond with
+          | [ Rule.Pos a ] when List.mem a.Rule.pred defined_preds ->
+              List.iter
+                (fun (head_fact, head_conds) ->
+                  match match_atom Term.Subst.empty a head_fact with
+                  | None -> ()
+                  | Some subst -> add_tuple subst head_conds)
+                defines
+          | [ Rule.Pos a ] when is_open st a.Rule.pred ->
+              List.iter
+                (fun (id, f) ->
+                  match match_atom Term.Subst.empty a f with
+                  | None -> ()
+                  | Some subst -> add_tuple subst [ (id, true) ])
+                (open_atoms_with_pred st a.Rule.pred)
+          | [ Rule.Pos a ] ->
+              List.iter
+                (fun f ->
+                  match match_atom Term.Subst.empty a f with
+                  | None -> ()
+                  | Some subst -> add_tuple subst [])
+                (Base.facts_with_pred st.base a.Rule.pred)
+          | _ ->
+              fail "#minimize condition must be a single positive literal, got: %s"
+                (Rule.to_string (Rule.Minimize m)));
+          Tmap.iter
+            (fun key derivations ->
+              let weight = match key with Fact.Int w :: _ -> w | _ -> assert false in
+              (* The tuple is counted when any derivation holds.  Each
+                 derivation must be a conjunction; singleton conjunctions
+                 flatten into a plain disjunction of atoms, the only case
+                 needed by the listings. *)
+              let rec flatten acc = function
+                | [] -> Some (List.sort_uniq Int.compare acc)
+                | [ (id, true) ] :: rest -> flatten (id :: acc) rest
+                | [] :: _ ->
+                    (* A derivation with no open conditions is always true. *)
+                    None
+                | _ ->
+                    fail "#minimize derivation requires a single positive open literal"
+              in
+              match flatten [] derivations with
+              | None -> add_base m.Rule.priority weight
+              | Some disj -> costs := { weight; level = m.Rule.priority; disj } :: !costs)
+            !tuples
+      | Rule.Choice _ | Rule.Constraint _ | Rule.Define _ | Rule.Show _ -> ())
+    program;
+
+  let atom_names = Array.of_list (List.rev st.atoms) in
+  {
+    atom_count = Array.length atom_names;
+    atom_names;
+    clauses = List.rev !clauses;
+    groups = List.rev !groups;
+    costs = List.rev !costs;
+    base_costs = List.sort compare !base_costs;
+    statically_unsat = !statically_unsat;
+  }
+
+let atoms_with_pred g p =
+  let out = ref [] in
+  Array.iteri
+    (fun id (f : Fact.t) -> if String.equal f.Fact.pred p then out := (id, f) :: !out)
+    g.atom_names;
+  List.rev !out

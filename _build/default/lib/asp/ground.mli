@@ -1,0 +1,45 @@
+(** Grounding of {!Rule} programs against a Datalog fact base.
+
+    Choice-rule heads and definite-rule heads are {e open} predicates:
+    the solver decides their ground atoms.  All other predicates are
+    {e closed}: true exactly when present in the fact base.
+
+    The result is a ground program over integer atom identifiers:
+    - cardinality groups ("exactly [bound] of these atoms are true"),
+    - clauses (disjunctions of literals, from integrity constraints),
+    - cost groups ("pay [weight] if any of these atoms is true", from
+      definite rules feeding [#minimize]). *)
+
+exception Ground_error of string
+
+(** A literal: atom identifier and required polarity. *)
+type lit = int * bool
+
+type clause = lit list  (** disjunction *)
+
+type group = { atoms : int list; bound : int }
+
+type cost_group = {
+  weight : int;
+  level : int;  (** [#minimize] priority; higher levels dominate *)
+  disj : int list;
+}
+
+type t = {
+  atom_count : int;
+  atom_names : Datalog.Fact.t array;  (** ground fact for each atom id *)
+  clauses : clause list;
+  groups : group list;
+  costs : cost_group list;
+  base_costs : (int * int) list;
+      (** per-level [(level, weight)] cost incurred regardless of the model *)
+  statically_unsat : bool;
+      (** a constraint was violated by closed facts alone, or a
+          cardinality group cannot be met *)
+}
+
+val ground : Rule.program -> Datalog.Base.t -> t
+
+(** [atoms_with_pred g p] lists [(id, fact)] for ground open atoms whose
+    predicate is [p] — used to read matchings out of a model. *)
+val atoms_with_pred : t -> string -> (int * Datalog.Fact.t) list

@@ -1,0 +1,45 @@
+(* Listing 3 of the paper: graph similarity. *)
+let similarity =
+  {|
+{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).
+{h(X,Y) : n1(X,_)} = 1 :- n2(Y,_).
+{h(X,Y) : e2(Y,_,_,_)} = 1 :- e1(X,_,_,_).
+{h(X,Y) : e1(X,_,_,_)} = 1 :- e2(Y,_,_,_).
+:- X <> Y, h(X,Z), h(Y,Z).
+:- X <> Y, h(Z,Y), h(Z,X).
+:- n1(X,L), h(X,Y), not n2(Y,L).
+:- n2(Y,L), h(X,Y), not n1(X,L).
+:- e1(E1,_,_,L), h(E1,E2), not e2(E2,_,_,L).
+:- e2(E2,_,_,L), h(E1,E2), not e1(E1,_,_,L).
+:- e1(E1,X,_,_), h(E1,E2), e2(E2,Y,_,_), not h(X,Y).
+:- e1(E1,_,X,_), h(E1,E2), e2(E2,_,Y,_), not h(X,Y).
+|}
+
+(* Listing 4 of the paper: approximate subgraph isomorphism. *)
+let subgraph =
+  {|
+{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).
+{h(X,Y) : e2(Y,_,_,_)} = 1 :- e1(X,_,_,_).
+:- X <> Y, h(X,Z), h(Y,Z).
+:- X <> Y, h(Z,Y), h(Z,X).
+:- n1(X,L), h(X,Y), not n2(Y,L).
+:- e1(E1,_,_,L), h(E1,E2), not e2(E2,_,_,L).
+:- e1(E1,X,_,_), h(E1,E2), e2(E2,Y,_,_), not h(X,Y).
+:- e1(E1,_,X,_), h(E1,E2), e2(E2,_,Y,_), not h(X,Y).
+cost(X,K,0) :- p1(X,K,V), h(X,Y), p2(Y,K,V).
+cost(X,K,1) :- p1(X,K,V), h(X,Y), p2(Y,K,W), V <> W.
+cost(X,K,1) :- p1(X,K,V), h(X,Y), not p2(Y,K,_).
+#minimize { PC,X,K : cost(X,K,PC) }.
+|}
+
+(* Bijective matching with the Listing 4 cost model, for generalization:
+   the paper's Section 3.4 asks for a matching "that minimizes the number
+   of different properties" between two similar graphs. *)
+let similarity_min_cost = similarity ^ {|
+cost(X,K,0) :- p1(X,K,V), h(X,Y), p2(Y,K,V).
+cost(X,K,1) :- p1(X,K,V), h(X,Y), p2(Y,K,W), V <> W.
+cost(X,K,1) :- p1(X,K,V), h(X,Y), not p2(Y,K,_).
+#minimize { PC,X,K : cost(X,K,PC) }.
+|}
+
+let matching_predicate = "h"

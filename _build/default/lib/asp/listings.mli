@@ -1,0 +1,25 @@
+(** The ASP problem specifications of the paper, verbatim.
+
+    Both programs expect the two graphs as Datalog facts under graph
+    identifiers [1] and [2]: predicates [n1/2], [e1/4], [p1/3] and
+    [n2/2], [e2/4], [p2/3] (see {!Datalog.Encode}).  The matching is the
+    open predicate [h/2]. *)
+
+(** Listing 3: graph similarity — [h] is a bijection between the two
+    graphs preserving labels and edge incidences.  Properties are not
+    constrained. *)
+val similarity : string
+
+(** Listing 4: approximate subgraph isomorphism — [h] injects graph 1
+    into graph 2 preserving labels and incidences, minimizing the number
+    of graph-1 properties without an equal counterpart. *)
+val subgraph : string
+
+(** Listing 3 extended with the Listing 4 cost model: an exact bijection
+    that minimizes property mismatches, used by the generalization stage
+    to align two similar trial graphs before intersecting their
+    properties. *)
+val similarity_min_cost : string
+
+(** Name of the matching predicate, ["h"]. *)
+val matching_predicate : string

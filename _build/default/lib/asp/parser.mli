@@ -1,0 +1,8 @@
+(** Parser for the ASP fragment of {!Rule}.  Accepts the concrete syntax
+    of the paper's Listings 3 and 4 (clingo-style): choice rules with
+    cardinality bounds, integrity constraints, definite rules, and
+    [#minimize] statements.  ['%'] starts a line comment. *)
+
+exception Parse_error of string
+
+val parse_program : string -> Rule.program

@@ -1,0 +1,84 @@
+type atom = { pred : string; args : Term.t list }
+
+type builtin =
+  | Neq of Term.t * Term.t
+  | Eq of Term.t * Term.t
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Builtin of builtin
+
+type choice = {
+  elem : atom;
+  gen : literal list;
+  bound : int;
+  body : literal list;
+}
+
+type minimize = {
+  weight : Term.t;
+  priority : int;
+  tuple : Term.t list;
+  cond : literal list;
+}
+
+type t =
+  | Choice of choice
+  | Constraint of literal list
+  | Define of atom * literal list
+  | Minimize of minimize
+  | Show of string * int
+
+type program = t list
+
+let atom_to_string a =
+  if a.args = [] then a.pred
+  else Printf.sprintf "%s(%s)" a.pred (String.concat "," (List.map Term.to_string a.args))
+
+let literal_to_string = function
+  | Pos a -> atom_to_string a
+  | Neg a -> "not " ^ atom_to_string a
+  | Builtin (Neq (x, y)) -> Printf.sprintf "%s <> %s" (Term.to_string x) (Term.to_string y)
+  | Builtin (Eq (x, y)) -> Printf.sprintf "%s = %s" (Term.to_string x) (Term.to_string y)
+
+let body_to_string body = String.concat ", " (List.map literal_to_string body)
+
+let to_string = function
+  | Choice c ->
+      let gen = if c.gen = [] then "" else " : " ^ body_to_string c.gen in
+      let body = if c.body = [] then "" else " :- " ^ body_to_string c.body in
+      Printf.sprintf "{%s%s} = %d%s." (atom_to_string c.elem) gen c.bound body
+  | Constraint body -> Printf.sprintf ":- %s." (body_to_string body)
+  | Define (head, body) -> Printf.sprintf "%s :- %s." (atom_to_string head) (body_to_string body)
+  | Minimize m ->
+      let weight =
+        if m.priority = 0 then Term.to_string m.weight
+        else Printf.sprintf "%s@%d" (Term.to_string m.weight) m.priority
+      in
+      Printf.sprintf "#minimize { %s : %s }."
+        (String.concat "," (weight :: List.map Term.to_string m.tuple))
+        (body_to_string m.cond)
+  | Show (p, n) -> Printf.sprintf "#show %s/%d." p n
+
+let program_to_string p = String.concat "\n" (List.map to_string p) ^ "\n"
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+
+let open_predicates program =
+  let add acc p = if List.mem p acc then acc else p :: acc in
+  List.rev
+    (List.fold_left
+       (fun acc rule ->
+         match rule with
+         | Choice c -> add acc c.elem.pred
+         | Define (head, _) -> add acc head.pred
+         | Constraint _ | Minimize _ | Show _ -> acc)
+       [] program)
+
+let atom_vars a =
+  let add acc v = if List.mem v acc then acc else v :: acc in
+  List.rev
+    (List.fold_left
+       (fun acc t -> match t with Term.Var v -> add acc v | Term.Any | Term.Con _ -> acc)
+       [] a.args)

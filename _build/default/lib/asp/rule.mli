@@ -1,0 +1,62 @@
+(** Abstract syntax of the ASP fragment used by ProvMark's graph-matching
+    specifications (paper Listings 3 and 4).
+
+    The fragment comprises:
+    - cardinality choice rules [{h(X,Y) : gen} = k :- body.]
+    - integrity constraints [:- body.]
+    - definite rules [head :- body.] (used for [cost/3])
+    - [#minimize { W,T1,...,Tn : cond }.] statements
+
+    Bodies mix positive literals, negation-as-failure literals and the
+    built-in comparisons [<>] and [=]. *)
+
+type atom = { pred : string; args : Term.t list }
+
+type builtin =
+  | Neq of Term.t * Term.t
+  | Eq of Term.t * Term.t
+
+type literal =
+  | Pos of atom
+  | Neg of atom  (** negation as failure, [not a] *)
+  | Builtin of builtin
+
+type choice = {
+  elem : atom;  (** the choice atom schema, e.g. [h(X,Y)] *)
+  gen : literal list;  (** generator condition after [:], e.g. [n2(Y,_)] *)
+  bound : int;  (** exact cardinality, e.g. [= 1] *)
+  body : literal list;  (** rule body after [:-] *)
+}
+
+type minimize = {
+  weight : Term.t;  (** first tuple component, the summed weight *)
+  priority : int;  (** clingo's [W@P] level; higher levels are optimized
+                       first (default 0) *)
+  tuple : Term.t list;  (** remaining tuple components (for distinctness) *)
+  cond : literal list;  (** condition after [:] *)
+}
+
+type t =
+  | Choice of choice
+  | Constraint of literal list
+  | Define of atom * literal list
+  | Minimize of minimize
+  | Show of string * int
+      (** [#show p/n.] — restrict reported models to predicate [p] of
+          arity [n]; several directives accumulate *)
+
+type program = t list
+
+val atom_to_string : atom -> string
+val literal_to_string : literal -> string
+val to_string : t -> string
+val program_to_string : program -> string
+val pp : Format.formatter -> t -> unit
+
+(** Predicates that the program itself defines: heads of choice rules and
+    of definite rules.  Every other predicate is closed (defined by the input
+    fact base). *)
+val open_predicates : program -> string list
+
+(** Variables occurring in an atom, in order of first occurrence. *)
+val atom_vars : atom -> string list

@@ -1,0 +1,264 @@
+module Fact = Datalog.Fact
+
+type outcome =
+  | Unsat
+  | Model of { cost : int; atoms : Fact.t list; optimal : bool }
+  | Unknown
+
+exception Step_limit
+exception Done
+
+let solve ?(max_steps = 10_000_000) ?(find_optimal = true) (g : Ground.t) =
+  if g.Ground.statically_unsat then Unsat
+  else
+    let n = g.Ground.atom_count in
+    let groups = Array.of_list g.Ground.groups in
+    let clauses = Array.of_list (List.map Array.of_list g.Ground.clauses) in
+    let costs = Array.of_list g.Ground.costs in
+    let ngroups = Array.length groups in
+
+    (* Occurrence lists. *)
+    let atom_groups = Array.make n [] in
+    Array.iteri
+      (fun gi (grp : Ground.group) ->
+        List.iter (fun a -> atom_groups.(a) <- gi :: atom_groups.(a)) grp.Ground.atoms)
+      groups;
+    let atom_clauses = Array.make n [] in
+    Array.iteri
+      (fun ci lits ->
+        Array.iter (fun (a, _) -> atom_clauses.(a) <- ci :: atom_clauses.(a)) lits)
+      clauses;
+    let atom_costs = Array.make n [] in
+    Array.iteri
+      (fun ki (c : Ground.cost_group) ->
+        List.iter (fun a -> atom_costs.(a) <- ki :: atom_costs.(a)) c.Ground.disj)
+      costs;
+
+    (* Assignment state: -1 unassigned, 0 false, 1 true. *)
+    let value = Array.make n (-1) in
+    let group_true = Array.make ngroups 0 in
+    let group_unassigned = Array.map (fun (grp : Ground.group) -> List.length grp.Ground.atoms) groups in
+    (* #minimize levels, highest priority first; costs are compared
+       lexicographically across levels (clingo's W@P semantics). *)
+    let levels =
+      List.sort_uniq
+        (fun a b -> Int.compare b a)
+        (List.map (fun (c : Ground.cost_group) -> c.Ground.level) g.Ground.costs
+        @ List.map fst g.Ground.base_costs)
+    in
+    let levels = Array.of_list levels in
+    let nlevels = Array.length levels in
+    let level_index = Hashtbl.create 4 in
+    Array.iteri (fun i l -> Hashtbl.replace level_index l i) levels;
+    let base_vector () =
+      let v = Array.make nlevels 0 in
+      List.iter
+        (fun (l, w) -> v.(Hashtbl.find level_index l) <- v.(Hashtbl.find level_index l) + w)
+        g.Ground.base_costs;
+      v
+    in
+    (* Number of true atoms per cost group, for incremental lower bounds. *)
+    let cost_true = Array.make (Array.length costs) 0 in
+    let lower_bound = base_vector () in
+    let level_of ki = Hashtbl.find level_index costs.(ki).Ground.level in
+    (* Lexicographic comparison over the descending-priority vector. *)
+    let lex_compare a b =
+      let rec go i =
+        if i >= nlevels then 0
+        else
+          let c = Int.compare a.(i) b.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+    in
+
+    let trail = ref [] in
+    let pending = Queue.create () in
+
+    let assign a v =
+      if value.(a) >= 0 then value.(a) = v
+      else (
+        value.(a) <- v;
+        trail := a :: !trail;
+        List.iter
+          (fun gi ->
+            group_unassigned.(gi) <- group_unassigned.(gi) - 1;
+            if v = 1 then group_true.(gi) <- group_true.(gi) + 1)
+          atom_groups.(a);
+        if v = 1 then
+          List.iter
+            (fun ki ->
+              if cost_true.(ki) = 0 then
+                lower_bound.(level_of ki) <- lower_bound.(level_of ki) + costs.(ki).Ground.weight;
+              cost_true.(ki) <- cost_true.(ki) + 1)
+            atom_costs.(a);
+        Queue.push a pending;
+        true)
+    in
+
+    let unassign a =
+      let v = value.(a) in
+      value.(a) <- -1;
+      List.iter
+        (fun gi ->
+          group_unassigned.(gi) <- group_unassigned.(gi) + 1;
+          if v = 1 then group_true.(gi) <- group_true.(gi) - 1)
+        atom_groups.(a);
+      if v = 1 then
+        List.iter
+          (fun ki ->
+            cost_true.(ki) <- cost_true.(ki) - 1;
+            if cost_true.(ki) = 0 then
+              lower_bound.(level_of ki) <- lower_bound.(level_of ki) - costs.(ki).Ground.weight)
+          atom_costs.(a)
+    in
+
+    let undo_to mark =
+      Queue.clear pending;
+      let rec pop () =
+        match !trail with
+        | [] -> ()
+        | _ when !trail == mark -> ()
+        | a :: rest ->
+            unassign a;
+            trail := rest;
+            pop ()
+      in
+      pop ()
+    in
+
+    let check_group gi =
+      let grp = groups.(gi) in
+      let t = group_true.(gi) and u = group_unassigned.(gi) in
+      if t > grp.Ground.bound then false
+      else if t + u < grp.Ground.bound then false
+      else if t = grp.Ground.bound && u > 0 then
+        List.for_all
+          (fun a -> if value.(a) = -1 then assign a 0 else true)
+          grp.Ground.atoms
+      else if t + u = grp.Ground.bound && u > 0 then
+        List.for_all
+          (fun a -> if value.(a) = -1 then assign a 1 else true)
+          grp.Ground.atoms
+      else true
+    in
+
+    let check_clause ci =
+      let lits = clauses.(ci) in
+      let satisfied = ref false in
+      let unassigned = ref [] in
+      Array.iter
+        (fun (a, want) ->
+          match value.(a) with
+          | -1 -> unassigned := (a, want) :: !unassigned
+          | v -> if (v = 1) = want then satisfied := true)
+        lits;
+      if !satisfied then true
+      else
+        match !unassigned with
+        | [] -> false
+        | [ (a, want) ] -> assign a (if want then 1 else 0)
+        | _ :: _ -> true
+    in
+
+    let propagate () =
+      let ok = ref true in
+      while !ok && not (Queue.is_empty pending) do
+        let a = Queue.pop pending in
+        ok := List.for_all check_group atom_groups.(a);
+        if !ok then ok := List.for_all check_clause atom_clauses.(a)
+      done;
+      if not !ok then Queue.clear pending;
+      !ok
+    in
+
+    (* Initial propagation: groups that are already forced (e.g. a single
+       candidate) and unit clauses. *)
+    let initial_ok =
+      (let ok = ref true in
+       Array.iteri (fun gi _ -> if !ok then ok := check_group gi) groups;
+       Array.iteri (fun ci _ -> if !ok then ok := check_clause ci) clauses;
+       !ok)
+      && propagate ()
+    in
+
+    let best_cost = ref None in
+    let best_model = ref None in
+    let steps = ref 0 in
+
+    let record_model () =
+      let better =
+        match !best_cost with None -> true | Some b -> lex_compare lower_bound b < 0
+      in
+      if better then (
+        best_cost := Some (Array.copy lower_bound);
+        let atoms = ref [] in
+        Array.iteri (fun a v -> if v = 1 then atoms := g.Ground.atom_names.(a) :: !atoms) value;
+        best_model := Some (Array.fold_left ( + ) 0 lower_bound, List.rev !atoms))
+    in
+
+    let pick_group () =
+      (* Most-constrained-first: the unfinished group with the fewest
+         unassigned candidates. *)
+      let best = ref (-1) in
+      let best_u = ref max_int in
+      Array.iteri
+        (fun gi (grp : Ground.group) ->
+          if group_true.(gi) < grp.Ground.bound && group_unassigned.(gi) < !best_u then (
+            best := gi;
+            best_u := group_unassigned.(gi)))
+        groups;
+      !best
+    in
+
+    let marginal_cost a =
+      List.fold_left
+        (fun acc ki -> if cost_true.(ki) = 0 then acc + costs.(ki).Ground.weight else acc)
+        0 atom_costs.(a)
+    in
+
+    let rec search () =
+      let pruned =
+        find_optimal
+        && match !best_cost with Some b -> lex_compare lower_bound b >= 0 | None -> false
+      in
+      if pruned then ()
+      else
+        let gi = pick_group () in
+        if gi < 0 then (
+          record_model ();
+          if not find_optimal then raise Done;
+          match !best_cost with
+          | Some b when lex_compare b (base_vector ()) <= 0 -> raise Done (* cannot improve *)
+          | _ -> ())
+        else (
+          incr steps;
+          if !steps > max_steps then raise Step_limit;
+          let candidates =
+            List.filter (fun a -> value.(a) = -1) groups.(gi).Ground.atoms
+          in
+          (* Binary branching on one candidate: include it or exclude it.
+             The exclusion branch recurses, so propagation-forced choices
+             of sibling candidates are explored too. *)
+          let a =
+            if find_optimal then
+              List.fold_left
+                (fun best c -> if marginal_cost c < marginal_cost best then c else best)
+                (List.hd candidates) (List.tl candidates)
+            else List.hd candidates
+          in
+          let mark = !trail in
+          if assign a 1 && propagate () then search ();
+          undo_to mark;
+          if assign a 0 && propagate () then search ();
+          undo_to mark)
+    in
+
+    let limited = ref false in
+    (if initial_ok then
+       try search () with
+       | Done -> ()
+       | Step_limit -> limited := true);
+    match !best_model with
+    | Some (cost, atoms) -> Model { cost; atoms; optimal = not !limited }
+    | None -> if !limited then Unknown else Unsat

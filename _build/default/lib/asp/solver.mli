@@ -1,0 +1,26 @@
+(** Solver for ground programs produced by {!Ground}.
+
+    The solver performs DPLL-style search: unit propagation over clauses,
+    counting propagation over cardinality groups, and branch-and-bound
+    minimization of the cost function.  This plays the role clingo plays
+    in the original ProvMark (Section 3.4): the graphs are small enough
+    that the NP-complete matching subproblems solve in milliseconds to
+    seconds. *)
+
+type outcome =
+  | Unsat  (** no model exists *)
+  | Model of { cost : int; atoms : Datalog.Fact.t list; optimal : bool }
+      (** [atoms] are the true open atoms; [optimal] is false when the
+          step limit was reached before optimality was proved.  With
+          prioritized [#minimize] statements, optimization is
+          lexicographic (higher [@P] levels first) and [cost] reports
+          the sum across levels. *)
+  | Unknown  (** step limit reached before any model was found *)
+
+(** [solve ?max_steps ?find_optimal g] searches for a model of [g].
+
+    [max_steps] bounds the number of branching decisions (default
+    [10_000_000]).  With [find_optimal:false] the search stops at the
+    first model regardless of cost — used for plain similarity checking
+    where any isomorphism will do. *)
+val solve : ?max_steps:int -> ?find_optimal:bool -> Ground.t -> outcome

@@ -1,0 +1,54 @@
+module Fact = Datalog.Fact
+
+type t =
+  | Var of string
+  | Any
+  | Con of Fact.term
+
+let equal a b =
+  match (a, b) with
+  | Var x, Var y -> String.equal x y
+  | Any, Any -> true
+  | Con x, Con y -> Fact.equal_term x y
+  | (Var _ | Any | Con _), _ -> false
+
+let compare a b =
+  let rank = function Var _ -> 0 | Any -> 1 | Con _ -> 2 in
+  match (a, b) with
+  | Var x, Var y -> String.compare x y
+  | Any, Any -> 0
+  | Con x, Con y -> Fact.compare_term x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let is_ground = function Con _ -> true | Var _ | Any -> false
+
+let to_string = function
+  | Var x -> x
+  | Any -> "_"
+  | Con c -> Fact.term_to_string c
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Subst = struct
+  module Smap = Map.Make (String)
+
+  type nonrec t = Fact.term Smap.t
+
+  let empty = Smap.empty
+  let find = Smap.find_opt
+  let bind = Smap.add
+
+  let apply s t =
+    match t with
+    | Con _ | Any -> t
+    | Var x -> ( match Smap.find_opt x s with Some c -> Con c | None -> t)
+
+  let match_term s pattern value =
+    match pattern with
+    | Any -> Some s
+    | Con c -> if Fact.equal_term c value then Some s else None
+    | Var x -> (
+        match Smap.find_opt x s with
+        | Some c -> if Fact.equal_term c value then Some s else None
+        | None -> Some (Smap.add x value s))
+end

@@ -1,0 +1,39 @@
+(** Terms of the non-ground ASP language: variables (capitalized, as in
+    clingo), the anonymous variable [_], and constants (which reuse the
+    ground Datalog term type). *)
+
+type t =
+  | Var of string  (** named variable, e.g. [X] *)
+  | Any  (** anonymous variable [_]; each occurrence is independent *)
+  | Con of Datalog.Fact.term
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val is_ground : t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Substitutions} *)
+
+module Subst : sig
+  type term := t
+
+  (** Finite maps from variable names to ground constants. *)
+  type t
+
+  val empty : t
+  val find : string -> t -> Datalog.Fact.term option
+  val bind : string -> Datalog.Fact.term -> t -> t
+
+  (** [apply s t] replaces bound variables by their constants.  Unbound
+      variables and [_] are left untouched. *)
+  val apply : t -> term -> term
+
+  (** [match_term s pattern value] refines [s] so that [pattern]
+      instantiates to [value], or returns [None] if impossible.  [Any]
+      matches anything without binding. *)
+  val match_term : t -> term -> Datalog.Fact.term -> t option
+end

@@ -1,0 +1,1 @@
+lib/core/bench_gen.ml: Bench_registry List Option Oskernel Printf String

@@ -1,0 +1,1 @@
+lib/core/bench_gen.mli: Oskernel

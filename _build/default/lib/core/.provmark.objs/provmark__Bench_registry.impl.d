@@ -1,0 +1,1 @@
+lib/core/bench_registry.ml: List Oskernel Recorders Result String

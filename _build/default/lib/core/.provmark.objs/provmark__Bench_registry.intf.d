@@ -1,0 +1,1 @@
+lib/core/bench_registry.mli: Oskernel Recorders Result

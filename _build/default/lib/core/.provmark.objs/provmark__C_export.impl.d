@@ -1,0 +1,1 @@
+lib/core/c_export.ml: Bench_registry Buffer Filename List Oskernel Printf String Sys Unix

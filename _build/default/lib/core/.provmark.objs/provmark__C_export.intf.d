@@ -1,0 +1,1 @@
+lib/core/c_export.mli: Oskernel

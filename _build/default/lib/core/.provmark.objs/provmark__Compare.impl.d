@@ -1,0 +1,1 @@
+lib/core/compare.ml: Gmatch List Pgraph

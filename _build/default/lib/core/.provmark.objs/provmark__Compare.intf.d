@@ -1,0 +1,1 @@
+lib/core/compare.mli: Gmatch Pgraph

@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Bench_registry Buffer List Printf Recorders Result

@@ -1,0 +1,1 @@
+lib/core/generalize.ml: Config Fingerprint Gmatch Graph List Map Pgraph Props

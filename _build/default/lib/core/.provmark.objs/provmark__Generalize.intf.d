@@ -1,0 +1,1 @@
+lib/core/generalize.mli: Config Gmatch Pgraph

@@ -1,0 +1,1 @@
+lib/core/html_report.ml: Bench_registry Buffer Filename List Oskernel Pgraph Printf Recorders Report Result String Sys Unix Vis

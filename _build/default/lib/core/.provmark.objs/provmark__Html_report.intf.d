@@ -1,0 +1,1 @@
+lib/core/html_report.mli: Report Result

@@ -1,0 +1,1 @@
+lib/core/nondet.ml: Array Compare Config Generalize Gmatch Int Int64 List Oskernel Pgraph Recording Transform

@@ -1,0 +1,1 @@
+lib/core/nondet.mli: Config Oskernel Pgraph

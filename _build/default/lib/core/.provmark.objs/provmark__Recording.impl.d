@@ -1,0 +1,1 @@
+lib/core/recording.ml: Char Config Graphstore Int64 List Oskernel Recorders String

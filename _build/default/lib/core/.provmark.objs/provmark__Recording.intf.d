@@ -1,0 +1,1 @@
+lib/core/recording.mli: Config Oskernel Recorders

@@ -1,0 +1,1 @@
+lib/core/regression.ml: Array Datalog Filename Gmatch List Pgraph Printf Recorders String Sys Unix

@@ -1,0 +1,1 @@
+lib/core/regression.mli: Pgraph Recorders

@@ -1,0 +1,1 @@
+lib/core/report.ml: Bench_registry Buffer List Oskernel Pgraph Printf Recorders Result String

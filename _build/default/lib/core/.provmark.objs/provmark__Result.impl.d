@@ -1,0 +1,1 @@
+lib/core/result.ml: Hashtbl List Map Pgraph Printf Recorders String

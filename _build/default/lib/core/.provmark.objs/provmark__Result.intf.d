@@ -1,0 +1,1 @@
+lib/core/result.mli: Pgraph Recorders

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Bench_registry Compare Config Generalize Gmatch Oskernel Pgraph Recording Result Transform Unix

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Config Oskernel Result

@@ -1,0 +1,1 @@
+lib/core/scalability.mli: Oskernel

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Datalog Graphstore List Recorders Recording

@@ -1,0 +1,1 @@
+lib/core/transform.mli: Pgraph Recorders Recording

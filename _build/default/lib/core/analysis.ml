@@ -1,0 +1,28 @@
+let gid = "q"
+
+let reachability_rules =
+  {|
+reach(X,Y) :- eq(E,X,Y,L).
+reach(X,Z) :- reach(X,Y), eq(E,Y,Z,L).
+|}
+
+let encode g = Datalog.Encode.graph_to_base ~gid g
+
+let run ~rules g ~pred =
+  let program = Asp.Parser.parse_program rules in
+  Asp.Eval.query program (encode g) pred
+
+let reachable g =
+  List.filter_map
+    (fun (f : Datalog.Fact.t) ->
+      match f.Datalog.Fact.args with
+      | [ x; y ] -> Some (Datalog.Fact.string_of_term x, Datalog.Fact.string_of_term y)
+      | _ -> None)
+    (run ~rules:reachability_rules g ~pred:"reach")
+
+let reaches g ~src ~tgt =
+  List.exists (fun (x, y) -> String.equal x src && String.equal y tgt) (reachable g)
+
+let influence_of g id =
+  List.sort String.compare
+    (List.filter_map (fun (x, y) -> if String.equal x id then Some y else None) (reachable g))

@@ -1,0 +1,30 @@
+(** Datalog queries over provenance graphs.
+
+    Benchmark and capture graphs are already Datalog fact bases (paper
+    Listing 1); this module runs recursive queries over them with the
+    deductive engine ({!Asp.Eval}).  It answers the kind of question the
+    suspicious-activity use case poses: given a signature or a captured
+    graph, what can reach what? *)
+
+(** Facts are encoded under graph id ["q"]: predicates [nq/2], [eq/4],
+    [pq/3]. *)
+val gid : string
+
+(** The transitive-closure program over [eq/4], defining [reach/2]. *)
+val reachability_rules : string
+
+(** [reachable g] returns every ordered pair [(x, y)] with a directed
+    path from [x] to [y] (1 or more edges). *)
+val reachable : Pgraph.Graph.t -> (string * string) list
+
+(** [reaches g ~src ~tgt] — is there a directed path? *)
+val reaches : Pgraph.Graph.t -> src:string -> tgt:string -> bool
+
+(** Nodes reachable from [id], sorted. *)
+val influence_of : Pgraph.Graph.t -> string -> string list
+
+(** [run ~rules g ~pred] encodes [g], appends the paper's-style rule
+    text, evaluates, and returns the derived facts of [pred].  Rules use
+    the graph predicates [nq]/[eq]/[pq] directly.  Raises
+    {!Asp.Parser.Parse_error} / {!Asp.Eval.Eval_error} on bad programs. *)
+val run : rules:string -> Pgraph.Graph.t -> pred:string -> Datalog.Fact.t list

@@ -1,0 +1,134 @@
+module Program = Oskernel.Program
+module Syscall = Oskernel.Syscall
+
+(* ------------------------------------------------------------------ *)
+(* Failure variants                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Retarget a call at a protected location (or privileged id) so it
+   fails for the unprivileged benchmark user.  [None]: the call has no
+   meaningful access-control failure mode. *)
+let failing_call (c : Syscall.t) : Syscall.t option =
+  match c with
+  | Syscall.Open { flags = _; ret; _ } ->
+      Some (Syscall.Open { path = "/etc/shadow"; flags = [ Syscall.O_RDWR ]; ret })
+  | Syscall.Openat { flags = _; ret; _ } ->
+      Some (Syscall.Openat { path = "/etc/shadow"; flags = [ Syscall.O_RDWR ]; ret })
+  | Syscall.Creat { ret; _ } -> Some (Syscall.Creat { path = "/etc/intruder"; ret })
+  | Syscall.Link { old_path; _ } ->
+      Some (Syscall.Link { old_path; new_path = "/etc/intruder" })
+  | Syscall.Linkat { old_path; _ } ->
+      Some (Syscall.Linkat { old_path; new_path = "/etc/intruder" })
+  | Syscall.Symlink { target; _ } ->
+      Some (Syscall.Symlink { target; link_path = "/etc/intruder" })
+  | Syscall.Symlinkat { target; _ } ->
+      Some (Syscall.Symlinkat { target; link_path = "/etc/intruder" })
+  | Syscall.Mknod _ -> Some (Syscall.Mknod { path = "/etc/intruder" })
+  | Syscall.Mknodat _ -> Some (Syscall.Mknodat { path = "/etc/intruder" })
+  | Syscall.Rename { old_path; _ } ->
+      Some (Syscall.Rename { old_path; new_path = "/etc/passwd" })
+  | Syscall.Renameat { old_path; _ } ->
+      Some (Syscall.Renameat { old_path; new_path = "/etc/passwd" })
+  | Syscall.Truncate { length; _ } -> Some (Syscall.Truncate { path = "/etc/passwd"; length })
+  | Syscall.Unlink _ -> Some (Syscall.Unlink { path = "/etc/passwd" })
+  | Syscall.Unlinkat _ -> Some (Syscall.Unlinkat { path = "/etc/passwd" })
+  | Syscall.Chmod { mode; _ } -> Some (Syscall.Chmod { path = "/etc/passwd"; mode })
+  | Syscall.Fchmodat { mode; _ } -> Some (Syscall.Fchmodat { path = "/etc/passwd"; mode })
+  | Syscall.Chown _ -> Some (Syscall.Chown { path = "/etc/passwd"; uid = 1000; gid = 1000 })
+  | Syscall.Fchownat _ ->
+      Some (Syscall.Fchownat { path = "/etc/passwd"; uid = 1000; gid = 1000 })
+  | Syscall.Setuid _ -> Some (Syscall.Setuid { uid = 0 })
+  | Syscall.Setgid _ -> Some (Syscall.Setgid { gid = 0 })
+  | Syscall.Setreuid _ -> Some (Syscall.Setreuid { ruid = 0; euid = 0 })
+  | Syscall.Setregid _ -> Some (Syscall.Setregid { rgid = 0; egid = 0 })
+  | Syscall.Setresuid _ -> Some (Syscall.Setresuid { ruid = 0; euid = 0; suid = 0 })
+  | Syscall.Setresgid _ -> Some (Syscall.Setresgid { rgid = 0; egid = 0; sgid = 0 })
+  | Syscall.Execve _ -> Some (Syscall.Execve { path = "/etc/shadow" })
+  (* fd-based and process-lifecycle calls have no access-control
+     failure to derive here. *)
+  | Syscall.Close _ | Syscall.Dup _ | Syscall.Dup2 _ | Syscall.Dup3 _ | Syscall.Read _
+  | Syscall.Pread _ | Syscall.Write _ | Syscall.Pwrite _ | Syscall.Ftruncate _
+  | Syscall.Fchmod _ | Syscall.Fchown _ | Syscall.Clone | Syscall.Exit _ | Syscall.Fork
+  | Syscall.Vfork | Syscall.Kill _ | Syscall.Pipe _ | Syscall.Pipe2 _ | Syscall.Tee _ -> None
+
+let failure_variants () =
+  List.filter_map
+    (fun (p : Program.t) ->
+      let targets = List.map failing_call p.Program.target in
+      if List.exists Option.is_none targets || targets = [] then None
+      else
+        Some
+          (Program.make
+             ~name:("cmdFailed" ^ String.capitalize_ascii p.Program.syscall)
+             ~syscall:p.Program.syscall ~staging:p.Program.staging ~setup:p.Program.setup
+             ?cred:p.Program.cred
+             ~target:(List.map Option.get targets)
+             ()))
+    Bench_registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Sequence composition                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Rename every fd register through [f] so composed programs cannot
+   observe each other's descriptors. *)
+let map_regs f (c : Syscall.t) : Syscall.t =
+  match c with
+  | Syscall.Open r -> Syscall.Open { r with ret = f r.ret }
+  | Syscall.Openat r -> Syscall.Openat { r with ret = f r.ret }
+  | Syscall.Creat r -> Syscall.Creat { r with ret = f r.ret }
+  | Syscall.Close r -> Syscall.Close (f r)
+  | Syscall.Dup r -> Syscall.Dup { fd = f r.fd; ret = f r.ret }
+  | Syscall.Dup2 r -> Syscall.Dup2 { r with fd = f r.fd; ret = f r.ret }
+  | Syscall.Dup3 r -> Syscall.Dup3 { r with fd = f r.fd; ret = f r.ret }
+  | Syscall.Read r -> Syscall.Read { r with fd = f r.fd }
+  | Syscall.Pread r -> Syscall.Pread { r with fd = f r.fd }
+  | Syscall.Write r -> Syscall.Write { r with fd = f r.fd }
+  | Syscall.Pwrite r -> Syscall.Pwrite { r with fd = f r.fd }
+  | Syscall.Ftruncate r -> Syscall.Ftruncate { r with fd = f r.fd }
+  | Syscall.Fchmod r -> Syscall.Fchmod { r with fd = f r.fd }
+  | Syscall.Fchown r -> Syscall.Fchown { r with fd = f r.fd }
+  | Syscall.Pipe r -> Syscall.Pipe { ret_read = f r.ret_read; ret_write = f r.ret_write }
+  | Syscall.Pipe2 r -> Syscall.Pipe2 { ret_read = f r.ret_read; ret_write = f r.ret_write }
+  | Syscall.Tee r -> Syscall.Tee { fd_in = f r.fd_in; fd_out = f r.fd_out }
+  | Syscall.Link _ | Syscall.Linkat _ | Syscall.Symlink _ | Syscall.Symlinkat _
+  | Syscall.Mknod _ | Syscall.Mknodat _ | Syscall.Rename _ | Syscall.Renameat _
+  | Syscall.Truncate _ | Syscall.Unlink _ | Syscall.Unlinkat _ | Syscall.Clone
+  | Syscall.Execve _ | Syscall.Exit _ | Syscall.Fork | Syscall.Vfork | Syscall.Kill _
+  | Syscall.Chmod _ | Syscall.Fchmodat _ | Syscall.Chown _ | Syscall.Fchownat _
+  | Syscall.Setgid _ | Syscall.Setregid _ | Syscall.Setresgid _ | Syscall.Setuid _
+  | Syscall.Setreuid _ | Syscall.Setresuid _ -> c
+
+let sequence_benchmark names =
+  let parts = List.map Bench_registry.find_exn names in
+  let staging =
+    List.fold_left
+      (fun acc (p : Program.t) ->
+        List.fold_left
+          (fun acc (f : Program.staged_file) ->
+            if List.exists (fun (g : Program.staged_file) -> g.Program.sf_path = f.Program.sf_path) acc
+            then acc
+            else f :: acc)
+          acc p.Program.staging)
+      [] parts
+  in
+  let rename i reg = Printf.sprintf "s%d_%s" i reg in
+  let setup =
+    List.concat (List.mapi (fun i (p : Program.t) -> List.map (map_regs (rename i)) p.Program.setup) parts)
+  in
+  let target =
+    List.concat
+      (List.mapi (fun i (p : Program.t) -> List.map (map_regs (rename i)) p.Program.target) parts)
+  in
+  let cred = List.find_map (fun (p : Program.t) -> p.Program.cred) parts in
+  Program.make
+    ~name:("cmdSeq_" ^ String.concat "_" names)
+    ~syscall:(String.concat "+" names)
+    ~staging:(List.rev staging) ~setup ?cred ~target ()
+
+let pair_sequences names =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> sequence_benchmark [ a; b ] :: pairs rest
+    | _ -> []
+  in
+  pairs names

@@ -1,0 +1,26 @@
+(** Automatic benchmark derivation — the paper's first future-work item
+    (Section 6: "additional support for automating the process of
+    creating new benchmarks").  Two generators:
+
+    - {!failure_variants} derives an access-control failure benchmark
+      from every success benchmark that names a path, by retargeting the
+      call at a root-owned location (the transformation Alice performs
+      by hand in Section 3.1);
+    - {!sequence_benchmarks} composes registry benchmarks into multi-call
+      target sequences (the scalability dimension of Section 5.2),
+      merging their staging requirements. *)
+
+(** [failure_variants ()] returns one failing variant per eligible
+    registry benchmark, named [cmdFailed<Syscall>].  Benchmarks whose
+    target takes no path (e.g. [fork]) have no failure variant. *)
+val failure_variants : unit -> Oskernel.Program.t list
+
+(** [sequence_benchmark names] builds one program whose target performs
+    the targets of the named registry benchmarks in order.  Raises
+    [Not_found] for unknown names; fd registers are renamed apart so
+    composed benchmarks cannot interfere. *)
+val sequence_benchmark : string list -> Oskernel.Program.t
+
+(** All adjacent pairs of a syscall-name list, e.g. for smoke-testing
+    composed coverage. *)
+val pair_sequences : string list -> Oskernel.Program.t list

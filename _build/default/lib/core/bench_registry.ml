@@ -1,0 +1,265 @@
+module Program = Oskernel.Program
+module Syscall = Oskernel.Syscall
+module Recorder = Recorders.Recorder
+
+type expected =
+  | Ok_plain
+  | Ok_dv
+  | Ok_sc
+  | Empty_nr
+  | Empty_sc
+  | Empty_lp
+
+let expected_to_string = function
+  | Ok_plain -> "ok"
+  | Ok_dv -> "ok (DV)"
+  | Ok_sc -> "ok (SC)"
+  | Empty_nr -> "empty (NR)"
+  | Empty_sc -> "empty (SC)"
+  | Empty_lp -> "empty (LP)"
+
+let matches expected (r : Result.t) =
+  match (expected, r.Result.status) with
+  | (Ok_plain | Ok_sc), Result.Target _ -> true
+  | Ok_dv, Result.Target g -> Result.has_disconnected_node g
+  | (Empty_nr | Empty_sc | Empty_lp), Result.Empty -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark programs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_file = "/staging/test.txt"
+
+let staged = [ Program.staged_file test_file ]
+
+let open_setup = [ Syscall.Open { path = test_file; flags = [ Syscall.O_RDWR ]; ret = "id" } ]
+
+let bench ?(staging = []) ?(setup = []) ?cred ~syscall target =
+  Program.make
+    ~name:("cmd" ^ String.capitalize_ascii syscall)
+    ~syscall ~staging ~setup ?cred ~target ()
+
+let group1 =
+  [
+    bench ~syscall:"close" ~staging:staged ~setup:open_setup [ Syscall.Close "id" ];
+    bench ~syscall:"creat" [ Syscall.Creat { path = "/staging/created.txt"; ret = "id" } ];
+    bench ~syscall:"dup" ~staging:staged ~setup:open_setup
+      [ Syscall.Dup { fd = "id"; ret = "id2" } ];
+    bench ~syscall:"dup2" ~staging:staged ~setup:open_setup
+      [ Syscall.Dup2 { fd = "id"; newfd = 10; ret = "id2" } ];
+    bench ~syscall:"dup3" ~staging:staged ~setup:open_setup
+      [ Syscall.Dup3 { fd = "id"; newfd = 10; ret = "id2" } ];
+    bench ~syscall:"link" ~staging:staged
+      [ Syscall.Link { old_path = test_file; new_path = "/staging/link.txt" } ];
+    bench ~syscall:"linkat" ~staging:staged
+      [ Syscall.Linkat { old_path = test_file; new_path = "/staging/link.txt" } ];
+    bench ~syscall:"symlink" ~staging:staged
+      [ Syscall.Symlink { target = test_file; link_path = "/staging/sym.txt" } ];
+    bench ~syscall:"symlinkat" ~staging:staged
+      [ Syscall.Symlinkat { target = test_file; link_path = "/staging/sym.txt" } ];
+    bench ~syscall:"mknod" [ Syscall.Mknod { path = "/staging/fifo" } ];
+    bench ~syscall:"mknodat" [ Syscall.Mknodat { path = "/staging/fifo" } ];
+    bench ~syscall:"open" ~staging:staged
+      [ Syscall.Open { path = test_file; flags = [ Syscall.O_RDWR ]; ret = "id" } ];
+    bench ~syscall:"openat" ~staging:staged
+      [ Syscall.Openat { path = test_file; flags = [ Syscall.O_RDWR ]; ret = "id" } ];
+    bench ~syscall:"read" ~staging:staged ~setup:open_setup
+      [ Syscall.Read { fd = "id"; count = 32 } ];
+    bench ~syscall:"pread" ~staging:staged ~setup:open_setup
+      [ Syscall.Pread { fd = "id"; count = 32; offset = 0 } ];
+    bench ~syscall:"rename" ~staging:staged
+      [ Syscall.Rename { old_path = test_file; new_path = "/staging/renamed.txt" } ];
+    bench ~syscall:"renameat" ~staging:staged
+      [ Syscall.Renameat { old_path = test_file; new_path = "/staging/renamed.txt" } ];
+    bench ~syscall:"truncate" ~staging:staged
+      [ Syscall.Truncate { path = test_file; length = 10 } ];
+    bench ~syscall:"ftruncate" ~staging:staged ~setup:open_setup
+      [ Syscall.Ftruncate { fd = "id"; length = 10 } ];
+    bench ~syscall:"unlink" ~staging:staged [ Syscall.Unlink { path = test_file } ];
+    bench ~syscall:"unlinkat" ~staging:staged [ Syscall.Unlinkat { path = test_file } ];
+    bench ~syscall:"write" ~staging:staged ~setup:open_setup
+      [ Syscall.Write { fd = "id"; count = 32 } ];
+    bench ~syscall:"pwrite" ~staging:staged ~setup:open_setup
+      [ Syscall.Pwrite { fd = "id"; count = 32; offset = 0 } ];
+  ]
+
+let group2 =
+  [
+    bench ~syscall:"clone" [ Syscall.Clone ];
+    bench ~syscall:"execve" [ Syscall.Execve { path = "/bin/bash" } ];
+    bench ~syscall:"exit" [ Syscall.Exit { status = 0 } ];
+    bench ~syscall:"fork" [ Syscall.Fork ];
+    bench ~syscall:"kill" [ Syscall.Kill { signal = 9 } ];
+    bench ~syscall:"vfork" [ Syscall.Vfork ];
+  ]
+
+(* The setres[ug]id benchmarks follow the paper exactly: the setresuid
+   call performs an actual change of effective uid (the process starts
+   with a saved uid it can switch to), while setresgid sets the group id
+   to its current value — which is why SPADE's state-change monitoring
+   notices the former and not the latter (Section 4.3). *)
+let setuid_capable_cred =
+  { (Oskernel.Cred.make ~uid:1000 ~gid:1000) with Oskernel.Cred.suid = 2000 }
+
+let group3 =
+  [
+    bench ~syscall:"chmod" ~staging:staged [ Syscall.Chmod { path = test_file; mode = 0o600 } ];
+    bench ~syscall:"fchmod" ~staging:staged ~setup:open_setup
+      [ Syscall.Fchmod { fd = "id"; mode = 0o600 } ];
+    bench ~syscall:"fchmodat" ~staging:staged
+      [ Syscall.Fchmodat { path = test_file; mode = 0o600 } ];
+    bench ~syscall:"chown" ~staging:staged
+      [ Syscall.Chown { path = test_file; uid = -1; gid = 1000 } ];
+    bench ~syscall:"fchown" ~staging:staged ~setup:open_setup
+      [ Syscall.Fchown { fd = "id"; uid = -1; gid = 1000 } ];
+    bench ~syscall:"fchownat" ~staging:staged
+      [ Syscall.Fchownat { path = test_file; uid = -1; gid = 1000 } ];
+    bench ~syscall:"setgid" [ Syscall.Setgid { gid = 1000 } ];
+    bench ~syscall:"setregid" [ Syscall.Setregid { rgid = 1000; egid = 1000 } ];
+    bench ~syscall:"setresgid" [ Syscall.Setresgid { rgid = -1; egid = 1000; sgid = -1 } ];
+    bench ~syscall:"setuid" [ Syscall.Setuid { uid = 1000 } ];
+    bench ~syscall:"setreuid" [ Syscall.Setreuid { ruid = 1000; euid = 1000 } ];
+    bench ~syscall:"setresuid" ~cred:setuid_capable_cred
+      [ Syscall.Setresuid { ruid = -1; euid = 2000; suid = -1 } ];
+  ]
+
+let pipe_setup =
+  [
+    Syscall.Pipe { ret_read = "p1r"; ret_write = "p1w" };
+    Syscall.Pipe { ret_read = "p2r"; ret_write = "p2w" };
+    Syscall.Write { fd = "p1w"; count = 16 };
+  ]
+
+let group4 =
+  [
+    bench ~syscall:"pipe" [ Syscall.Pipe { ret_read = "pr"; ret_write = "pw" } ];
+    bench ~syscall:"pipe2" [ Syscall.Pipe2 { ret_read = "pr"; ret_write = "pw" } ];
+    bench ~syscall:"tee" ~setup:pipe_setup [ Syscall.Tee { fd_in = "p1r"; fd_out = "p2w" } ];
+  ]
+
+let all = group1 @ group2 @ group3 @ group4
+
+let group_of name =
+  match List.find_opt (fun (p : Program.t) -> String.equal p.Program.syscall name) all with
+  | Some p -> ( match p.Program.target with call :: _ -> Syscall.group call | [] -> 0)
+  | None -> 0
+
+let find_exn name =
+  match List.find_opt (fun (p : Program.t) -> String.equal p.Program.syscall name) all with
+  | Some p -> p
+  | None -> raise Not_found
+
+(* ------------------------------------------------------------------ *)
+(* Expected validation matrix (paper Table 2)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* (syscall, SPADE, OPUS, CamFlow) *)
+let table2 =
+  [
+    ("close", Ok_plain, Ok_plain, Empty_lp);
+    ("creat", Ok_plain, Ok_plain, Ok_plain);
+    ("dup", Empty_sc, Ok_plain, Empty_nr);
+    ("dup2", Empty_sc, Ok_plain, Empty_nr);
+    ("dup3", Empty_sc, Ok_plain, Empty_nr);
+    ("link", Ok_plain, Ok_plain, Ok_plain);
+    ("linkat", Ok_plain, Ok_plain, Ok_plain);
+    ("symlink", Ok_plain, Ok_plain, Empty_nr);
+    ("symlinkat", Ok_plain, Ok_plain, Empty_nr);
+    ("mknod", Empty_nr, Ok_plain, Empty_nr);
+    ("mknodat", Empty_nr, Empty_nr, Empty_nr);
+    ("open", Ok_plain, Ok_plain, Ok_plain);
+    ("openat", Ok_plain, Ok_plain, Ok_plain);
+    ("read", Ok_plain, Empty_nr, Ok_plain);
+    ("pread", Ok_plain, Empty_nr, Ok_plain);
+    ("rename", Ok_plain, Ok_plain, Ok_plain);
+    ("renameat", Ok_plain, Ok_plain, Ok_plain);
+    ("truncate", Ok_plain, Ok_plain, Ok_plain);
+    ("ftruncate", Ok_plain, Ok_plain, Ok_plain);
+    ("unlink", Ok_plain, Ok_plain, Ok_plain);
+    ("unlinkat", Ok_plain, Ok_plain, Ok_plain);
+    ("write", Ok_plain, Empty_nr, Ok_plain);
+    ("pwrite", Ok_plain, Empty_nr, Ok_plain);
+    ("clone", Ok_plain, Empty_nr, Ok_plain);
+    ("execve", Ok_plain, Ok_plain, Ok_plain);
+    ("exit", Empty_lp, Empty_lp, Empty_lp);
+    ("fork", Ok_plain, Ok_plain, Ok_plain);
+    ("kill", Empty_lp, Empty_lp, Empty_lp);
+    ("vfork", Ok_dv, Ok_plain, Ok_plain);
+    ("chmod", Ok_plain, Ok_plain, Ok_plain);
+    ("fchmod", Ok_plain, Empty_nr, Ok_plain);
+    ("fchmodat", Ok_plain, Ok_plain, Ok_plain);
+    ("chown", Empty_nr, Ok_plain, Ok_plain);
+    ("fchown", Empty_nr, Empty_nr, Ok_plain);
+    ("fchownat", Empty_nr, Ok_plain, Ok_plain);
+    ("setgid", Ok_plain, Ok_plain, Ok_plain);
+    ("setregid", Ok_plain, Ok_plain, Ok_plain);
+    ("setresgid", Empty_sc, Empty_nr, Ok_plain);
+    ("setuid", Ok_plain, Ok_plain, Ok_plain);
+    ("setreuid", Ok_plain, Ok_plain, Ok_plain);
+    ("setresuid", Ok_sc, Empty_nr, Ok_plain);
+    ("pipe", Empty_nr, Ok_plain, Empty_nr);
+    ("pipe2", Empty_nr, Ok_plain, Empty_nr);
+    ("tee", Empty_nr, Empty_nr, Ok_plain);
+  ]
+
+let expected tool syscall =
+  match List.find_opt (fun (n, _, _, _) -> String.equal n syscall) table2 with
+  | None -> raise Not_found
+  | Some (_, s, o, c) -> (
+      match tool with
+      | Recorder.Spade -> s
+      | Recorder.Opus -> o
+      | Recorder.Camflow -> c
+      | Recorder.Spade_neo4j -> s (* storage does not change coverage *)
+      | Recorder.Spade_camflow -> raise Not_found (* no Table 2 column *))
+
+(* ------------------------------------------------------------------ *)
+(* Failure-case and use-case benchmarks (Section 3.1)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Alice's example: a non-privileged user attempts to overwrite
+   /etc/passwd by renaming another file onto it. *)
+let failed_rename =
+  Program.make ~name:"cmdFailedRename" ~syscall:"rename" ~staging:staged
+    ~target:[ Syscall.Rename { old_path = test_file; new_path = "/etc/passwd" } ]
+    ()
+
+let failure_cases =
+  [
+    failed_rename;
+    Program.make ~name:"cmdFailedOpen" ~syscall:"open"
+      ~target:[ Syscall.Open { path = "/etc/shadow"; flags = [ Syscall.O_RDWR ]; ret = "id" } ]
+      ();
+    Program.make ~name:"cmdFailedUnlink" ~syscall:"unlink"
+      ~target:[ Syscall.Unlink { path = "/etc/passwd" } ]
+      ();
+    Program.make ~name:"cmdFailedChmod" ~syscall:"chmod"
+      ~target:[ Syscall.Chmod { path = "/etc/passwd"; mode = 0o666 } ]
+      ();
+    Program.make ~name:"cmdFailedSetuid" ~syscall:"setuid"
+      ~target:[ Syscall.Setuid { uid = 0 } ]
+      ();
+  ]
+
+(* Dora's example: the privilege-escalation step of a larger activity is
+   the target; the surrounding file accesses are context.  The process
+   stands for a subverted setuid-root binary (saved uid 0), and the
+   escalation step regains root and reads a protected file. *)
+let privilege_escalation =
+  let subverted_setuid_root_cred =
+    { (Oskernel.Cred.make ~uid:1000 ~gid:1000) with Oskernel.Cred.suid = 0 }
+  in
+  Program.make ~name:"cmdPrivEsc" ~syscall:"setresuid" ~staging:staged
+    ~cred:subverted_setuid_root_cred
+    ~setup:
+      [
+        Syscall.Open { path = test_file; flags = [ Syscall.O_RDWR ]; ret = "id" };
+        Syscall.Read { fd = "id"; count = 64 };
+      ]
+    ~target:
+      [
+        Syscall.Setresuid { ruid = -1; euid = 0; suid = -1 };
+        Syscall.Open { path = "/etc/shadow"; flags = [ Syscall.O_RDONLY ]; ret = "secret" };
+      ]
+    ()

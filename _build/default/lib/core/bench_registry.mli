@@ -1,0 +1,44 @@
+(** The benchmark suite: one benchmark program per syscall of the
+    paper's Table 1 (43 calls in 4 groups), plus the failure-case
+    variants of the Section 3.1 use cases, and the paper's expected
+    validation matrix (Table 2) for checking reproduction fidelity. *)
+
+(** Expected Table 2 cell. *)
+type expected =
+  | Ok_plain
+  | Ok_dv  (** ok, disconnected vforked process *)
+  | Ok_sc  (** ok, via state-change monitoring *)
+  | Empty_nr
+  | Empty_sc
+  | Empty_lp
+
+val expected_to_string : expected -> string
+
+(** Does a measured result agree with the expected cell?  [Ok_*] expect
+    a non-empty target graph (and [Ok_dv] a disconnected node);
+    [Empty_*] expect an empty result. *)
+val matches : expected -> Result.t -> bool
+
+(** All 43 syscall benchmarks, in Table 2 order. *)
+val all : Oskernel.Program.t list
+
+(** Benchmark group number (Table 1) per syscall name. *)
+val group_of : string -> int
+
+(** [find_exn name] returns the benchmark for a syscall name. *)
+val find_exn : string -> Oskernel.Program.t
+
+(** Expected Table 2 cell for (tool, syscall). *)
+val expected : Recorders.Recorder.tool -> string -> expected
+
+(** Failure-case benchmarks (Section 3.1, "Tracking failed calls"):
+    each performs a call that fails with an access-control error. *)
+val failure_cases : Oskernel.Program.t list
+
+(** The paper's "rename onto /etc/passwd" example. *)
+val failed_rename : Oskernel.Program.t
+
+(** A privilege-escalation sequence benchmark (Section 3.1, "Suspicious
+    activity detection"): the target is the setuid transition inside a
+    larger activity. *)
+val privilege_escalation : Oskernel.Program.t

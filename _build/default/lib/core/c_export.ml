@@ -1,0 +1,187 @@
+module Program = Oskernel.Program
+module Syscall = Oskernel.Syscall
+
+let flags_to_c flags =
+  let one = function
+    | Syscall.O_RDONLY -> "O_RDONLY"
+    | Syscall.O_WRONLY -> "O_WRONLY"
+    | Syscall.O_RDWR -> "O_RDWR"
+    | Syscall.O_CREAT -> "O_CREAT"
+    | Syscall.O_TRUNC -> "O_TRUNC"
+    | Syscall.O_APPEND -> "O_APPEND"
+  in
+  match flags with [] -> "O_RDONLY" | fs -> String.concat " | " (List.map one fs)
+
+(* Each call renders to one or more C statements.  A fresh counter keeps
+   scratch identifiers (pipe fd arrays, buffers) unique. *)
+let call_to_c fresh (c : Syscall.t) =
+  match c with
+  | Syscall.Open { path; flags; ret } ->
+      [ Printf.sprintf "int %s = open(\"%s\", %s);" ret path (flags_to_c flags) ]
+  | Syscall.Openat { path; flags; ret } ->
+      [ Printf.sprintf "int %s = openat(AT_FDCWD, \"%s\", %s);" ret path (flags_to_c flags) ]
+  | Syscall.Creat { path; ret } -> [ Printf.sprintf "int %s = creat(\"%s\", 0644);" ret path ]
+  | Syscall.Close r -> [ Printf.sprintf "close(%s);" r ]
+  | Syscall.Dup { fd; ret } -> [ Printf.sprintf "int %s = dup(%s);" ret fd ]
+  | Syscall.Dup2 { fd; newfd; ret } -> [ Printf.sprintf "int %s = dup2(%s, %d);" ret fd newfd ]
+  | Syscall.Dup3 { fd; newfd; ret } ->
+      [ Printf.sprintf "int %s = dup3(%s, %d, 0);" ret fd newfd ]
+  | Syscall.Link { old_path; new_path } ->
+      [ Printf.sprintf "link(\"%s\", \"%s\");" old_path new_path ]
+  | Syscall.Linkat { old_path; new_path } ->
+      [ Printf.sprintf "linkat(AT_FDCWD, \"%s\", AT_FDCWD, \"%s\", 0);" old_path new_path ]
+  | Syscall.Symlink { target; link_path } ->
+      [ Printf.sprintf "symlink(\"%s\", \"%s\");" target link_path ]
+  | Syscall.Symlinkat { target; link_path } ->
+      [ Printf.sprintf "symlinkat(\"%s\", AT_FDCWD, \"%s\");" target link_path ]
+  | Syscall.Mknod { path } -> [ Printf.sprintf "mknod(\"%s\", S_IFIFO | 0644, 0);" path ]
+  | Syscall.Mknodat { path } ->
+      [ Printf.sprintf "mknodat(AT_FDCWD, \"%s\", S_IFIFO | 0644, 0);" path ]
+  | Syscall.Read { fd; count } ->
+      let buf = fresh "buf" in
+      [
+        Printf.sprintf "char %s[%d];" buf count;
+        Printf.sprintf "read(%s, %s, sizeof %s);" fd buf buf;
+      ]
+  | Syscall.Pread { fd; count; offset } ->
+      let buf = fresh "buf" in
+      [
+        Printf.sprintf "char %s[%d];" buf count;
+        Printf.sprintf "pread(%s, %s, sizeof %s, %d);" fd buf buf offset;
+      ]
+  | Syscall.Write { fd; count } ->
+      let buf = fresh "buf" in
+      [
+        Printf.sprintf "char %s[%d] = {0};" buf count;
+        Printf.sprintf "write(%s, %s, sizeof %s);" fd buf buf;
+      ]
+  | Syscall.Pwrite { fd; count; offset } ->
+      let buf = fresh "buf" in
+      [
+        Printf.sprintf "char %s[%d] = {0};" buf count;
+        Printf.sprintf "pwrite(%s, %s, sizeof %s, %d);" fd buf buf offset;
+      ]
+  | Syscall.Rename { old_path; new_path } ->
+      [ Printf.sprintf "rename(\"%s\", \"%s\");" old_path new_path ]
+  | Syscall.Renameat { old_path; new_path } ->
+      [ Printf.sprintf "renameat(AT_FDCWD, \"%s\", AT_FDCWD, \"%s\");" old_path new_path ]
+  | Syscall.Truncate { path; length } ->
+      [ Printf.sprintf "truncate(\"%s\", %d);" path length ]
+  | Syscall.Ftruncate { fd; length } -> [ Printf.sprintf "ftruncate(%s, %d);" fd length ]
+  | Syscall.Unlink { path } -> [ Printf.sprintf "unlink(\"%s\");" path ]
+  | Syscall.Unlinkat { path } -> [ Printf.sprintf "unlinkat(AT_FDCWD, \"%s\", 0);" path ]
+  | Syscall.Clone -> [ "if (syscall(SYS_clone, SIGCHLD, 0) == 0) _exit(0);" ]
+  | Syscall.Execve { path } ->
+      let argv = fresh "argv" in
+      [
+        Printf.sprintf "char *%s[] = {\"%s\", NULL};" argv path;
+        Printf.sprintf "execve(\"%s\", %s, NULL);" path argv;
+      ]
+  | Syscall.Exit { status } -> [ Printf.sprintf "_exit(%d);" status ]
+  | Syscall.Fork -> [ "if (fork() == 0) _exit(0);" ]
+  | Syscall.Vfork -> [ "if (vfork() == 0) _exit(0);" ]
+  | Syscall.Kill { signal } -> [ Printf.sprintf "kill(getpid(), %d);" signal ]
+  | Syscall.Chmod { path; mode } -> [ Printf.sprintf "chmod(\"%s\", 0%o);" path mode ]
+  | Syscall.Fchmod { fd; mode } -> [ Printf.sprintf "fchmod(%s, 0%o);" fd mode ]
+  | Syscall.Fchmodat { path; mode } ->
+      [ Printf.sprintf "fchmodat(AT_FDCWD, \"%s\", 0%o, 0);" path mode ]
+  | Syscall.Chown { path; uid; gid } -> [ Printf.sprintf "chown(\"%s\", %d, %d);" path uid gid ]
+  | Syscall.Fchown { fd; uid; gid } -> [ Printf.sprintf "fchown(%s, %d, %d);" fd uid gid ]
+  | Syscall.Fchownat { path; uid; gid } ->
+      [ Printf.sprintf "fchownat(AT_FDCWD, \"%s\", %d, %d, 0);" path uid gid ]
+  | Syscall.Setgid { gid } -> [ Printf.sprintf "setgid(%d);" gid ]
+  | Syscall.Setregid { rgid; egid } -> [ Printf.sprintf "setregid(%d, %d);" rgid egid ]
+  | Syscall.Setresgid { rgid; egid; sgid } ->
+      [ Printf.sprintf "setresgid(%d, %d, %d);" rgid egid sgid ]
+  | Syscall.Setuid { uid } -> [ Printf.sprintf "setuid(%d);" uid ]
+  | Syscall.Setreuid { ruid; euid } -> [ Printf.sprintf "setreuid(%d, %d);" ruid euid ]
+  | Syscall.Setresuid { ruid; euid; suid } ->
+      [ Printf.sprintf "setresuid(%d, %d, %d);" ruid euid suid ]
+  | Syscall.Pipe { ret_read; ret_write } | Syscall.Pipe2 { ret_read; ret_write } ->
+      let arr = fresh "fds" in
+      let call =
+        match c with Syscall.Pipe2 _ -> Printf.sprintf "pipe2(%s, 0);" arr | _ -> Printf.sprintf "pipe(%s);" arr
+      in
+      [
+        Printf.sprintf "int %s[2];" arr;
+        call;
+        Printf.sprintf "int %s = %s[0];" ret_read arr;
+        Printf.sprintf "int %s = %s[1];" ret_write arr;
+      ]
+  | Syscall.Tee { fd_in; fd_out } -> [ Printf.sprintf "tee(%s, %s, 16, 0);" fd_in fd_out ]
+
+let includes =
+  [
+    "#define _GNU_SOURCE";
+    "#include <fcntl.h>";
+    "#include <unistd.h>";
+    "#include <signal.h>";
+    "#include <sys/stat.h>";
+    "#include <sys/syscall.h>";
+    "#include <sys/types.h>";
+  ]
+
+let c_source (p : Program.t) =
+  let buf = Buffer.create 1024 in
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "%s%d" prefix !counter
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "/* %s.c — benchmark program for the %s syscall (generated). */\n"
+       p.Program.name p.Program.syscall);
+  List.iter (fun line -> Buffer.add_string buf (line ^ "\n")) includes;
+  Buffer.add_string buf "\nint main() {\n";
+  List.iter
+    (fun call -> List.iter (fun line -> Buffer.add_string buf ("  " ^ line ^ "\n")) (call_to_c fresh call))
+    p.Program.setup;
+  Buffer.add_string buf "#ifdef TARGET\n";
+  List.iter
+    (fun call -> List.iter (fun line -> Buffer.add_string buf ("  " ^ line ^ "\n")) (call_to_c fresh call))
+    p.Program.target;
+  Buffer.add_string buf "#endif\n";
+  Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.contents buf
+
+let setup_script (p : Program.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "#!/bin/sh\n# Prepare the staging directory (generated).\n";
+  Buffer.add_string buf "mkdir -p /staging\n";
+  List.iter
+    (fun (f : Program.staged_file) ->
+      (match f.Program.sf_kind with
+      | `File -> Buffer.add_string buf (Printf.sprintf "touch %s\n" f.Program.sf_path)
+      | `Fifo -> Buffer.add_string buf (Printf.sprintf "mkfifo %s\n" f.Program.sf_path));
+      Buffer.add_string buf (Printf.sprintf "chmod 0%o %s\n" f.Program.sf_mode f.Program.sf_path);
+      Buffer.add_string buf
+        (Printf.sprintf "chown %d:%d %s\n" f.Program.sf_uid f.Program.sf_gid f.Program.sf_path))
+    p.Program.staging;
+  Buffer.contents buf
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then (
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+let export_all ~dir () =
+  let count = ref 0 in
+  List.iter
+    (fun (p : Program.t) ->
+      let subdir =
+        Filename.concat dir
+          (Filename.concat
+             ("grp" ^ String.capitalize_ascii p.Program.syscall)
+             p.Program.name)
+      in
+      mkdir_p subdir;
+      let write name text =
+        let oc = open_out (Filename.concat subdir name) in
+        output_string oc text;
+        close_out oc
+      in
+      write (p.Program.name ^ ".c") (c_source p);
+      write "setup.sh" (setup_script p);
+      incr count)
+    Bench_registry.all;
+  !count

@@ -1,0 +1,22 @@
+(** Export benchmark programs as the C sources the original ProvMark
+    shipped in its [benchmarkProgram/] directory: one small program per
+    syscall whose target section is guarded by [#ifdef TARGET]
+    (Section 3's [close.c] example), plus a [setup.sh] staging script.
+
+    The generated C is what the benchmark {e means}; the simulator
+    executes the same call sequence.  Generating the sources keeps the
+    two representations visibly in sync and gives users of a real
+    ProvMark deployment ready-made benchmark programs. *)
+
+(** [c_source program] renders the benchmark as a single C file. *)
+val c_source : Oskernel.Program.t -> string
+
+(** [setup_script program] renders the staging commands ([mkdir],
+    [touch], [chmod], [chown]) that prepare the staging directory. *)
+val setup_script : Oskernel.Program.t -> string
+
+(** [export_all ~dir ()] writes
+    [dir/grp<Syscall>/cmd<Syscall>/{cmd<Syscall>.c, setup.sh}] for every
+    registry benchmark, mirroring the original layout.  Returns the
+    number of benchmarks written. *)
+val export_all : dir:string -> unit -> int

@@ -1,0 +1,36 @@
+type pair_choice = Smallest | Largest
+
+type t = {
+  tool : Recorders.Recorder.tool;
+  trials : int;
+  filter_graphs : bool;
+  pair_choice : pair_choice;
+  backend : Gmatch.Engine.backend;
+  seed : int;
+  flakiness : float;
+  spade : Recorders.Spade.config;
+  opus : Recorders.Opus.config;
+  camflow : Recorders.Camflow.config;
+}
+
+let default_trials = function
+  | Recorders.Recorder.Spade | Recorders.Recorder.Spade_camflow
+  | Recorders.Recorder.Spade_neo4j -> 3
+  | Recorders.Recorder.Opus -> 2
+  | Recorders.Recorder.Camflow -> 5
+
+let default tool =
+  {
+    tool;
+    trials = default_trials tool;
+    filter_graphs = (tool = Recorders.Recorder.Camflow);
+    pair_choice = Smallest;
+    backend = Gmatch.Engine.default_backend;
+    seed = 1;
+    flakiness = 0.08;
+    spade = Recorders.Spade.default_config;
+    opus = Recorders.Opus.default_config;
+    camflow = Recorders.Camflow.default_config;
+  }
+
+let tool_name t = Recorders.Recorder.tool_name t.tool

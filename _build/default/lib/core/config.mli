@@ -1,0 +1,32 @@
+(** ProvMark pipeline configuration, mirroring the original
+    [config/config.ini] profiles: which capture tool to drive, how many
+    trials to record, whether to pre-filter obviously incomplete graphs,
+    and the per-tool recorder settings. *)
+
+type pair_choice =
+  | Smallest  (** pick the similarity class with the smallest graphs (paper default) *)
+  | Largest  (** also works, per Section 3.4 *)
+
+type t = {
+  tool : Recorders.Recorder.tool;
+  trials : int;
+  filter_graphs : bool;
+      (** drop obviously incomplete graphs before similarity classing;
+          the original default is true for CamFlow only *)
+  pair_choice : pair_choice;
+  backend : Gmatch.Engine.backend;
+  seed : int;  (** base of the per-run transient-value derivation *)
+  flakiness : float;  (** probability a SPADE/CamFlow run is perturbed *)
+  spade : Recorders.Spade.config;
+  opus : Recorders.Opus.config;
+  camflow : Recorders.Camflow.config;
+}
+
+(** Per-tool defaults: 3 trials for SPADE, 2 for OPUS, 5 for CamFlow
+    (the appendix batch runs used more trials for CamFlow than the
+    others), [filter_graphs] on for CamFlow only. *)
+val default : Recorders.Recorder.tool -> t
+
+val default_trials : Recorders.Recorder.tool -> int
+
+val tool_name : t -> string

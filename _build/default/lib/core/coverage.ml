@@ -1,0 +1,79 @@
+type group_score = {
+  group : int;
+  group_name : string;
+  recorded : int;
+  total : int;
+}
+
+type t = {
+  tool : Recorders.Recorder.tool;
+  groups : group_score list;
+  recorded : int;
+  total : int;
+}
+
+let group_names = [ (1, "Files"); (2, "Processes"); (3, "Permissions"); (4, "Pipes") ]
+
+let is_recorded (r : Result.t) =
+  match r.Result.status with Result.Target _ -> true | Result.Empty | Result.Failed _ -> false
+
+let score tool results =
+  let groups =
+    List.map
+      (fun (group, group_name) ->
+        let members =
+          List.filter (fun (r : Result.t) -> Bench_registry.group_of r.Result.syscall = group) results
+        in
+        {
+          group;
+          group_name;
+          recorded = List.length (List.filter is_recorded members);
+          total = List.length members;
+        })
+      group_names
+  in
+  {
+    tool;
+    groups;
+    recorded = List.fold_left (fun acc (g : group_score) -> acc + g.recorded) 0 groups;
+    total = List.fold_left (fun acc (g : group_score) -> acc + g.total) 0 groups;
+  }
+
+let of_matrix matrix = List.map (fun (tool, results) -> score tool results) matrix
+
+let render scores =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "%-14s" "Group");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf " %-14s" (Recorders.Recorder.tool_name s.tool)))
+    scores;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (group, name) ->
+      Buffer.add_string buf (Printf.sprintf "%d %-12s" group name);
+      List.iter
+        (fun s ->
+          match List.find_opt (fun g -> g.group = group) s.groups with
+          | Some g -> Buffer.add_string buf (Printf.sprintf " %2d/%-11d" g.recorded g.total)
+          | None -> Buffer.add_string buf (Printf.sprintf " %-14s" "-"))
+        scores;
+      Buffer.add_char buf '\n')
+    group_names;
+  Buffer.add_string buf (Printf.sprintf "%-14s" "overall");
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf " %2d/%-11d" s.recorded s.total))
+    scores;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let delta a b =
+  List.filter_map
+    (fun (ra : Result.t) ->
+      match
+        List.find_opt (fun (rb : Result.t) -> rb.Result.syscall = ra.Result.syscall) b
+      with
+      | Some rb when Result.status_word ra <> Result.status_word rb ->
+          Some (ra.Result.syscall, Result.status_word ra, Result.status_word rb)
+      | _ -> None)
+    a

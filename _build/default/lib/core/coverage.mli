@@ -1,0 +1,31 @@
+(** Expressiveness coverage summaries over a validation run: the
+    quantitative reading of Table 2 that the paper's Section 4 discusses
+    qualitatively (which tool records which class of activity). *)
+
+type group_score = {
+  group : int;  (** Table 1 group (1–4) *)
+  group_name : string;
+  recorded : int;  (** benchmarks with a non-empty target graph *)
+  total : int;
+}
+
+type t = {
+  tool : Recorders.Recorder.tool;
+  groups : group_score list;
+  recorded : int;
+  total : int;
+}
+
+(** [score tool results] tallies non-empty benchmarks per Table 1 group. *)
+val score : Recorders.Recorder.tool -> Result.t list -> t
+
+(** [of_matrix m] scores every tool of a validation matrix. *)
+val of_matrix : Report.matrix -> t list
+
+(** Render a small comparison table, e.g. for the bench output. *)
+val render : t list -> string
+
+(** [delta a b] lists the syscalls whose recorded/empty status differs
+    between two result sets (e.g. two configurations of one tool),
+    as [(syscall, status_a, status_b)]. *)
+val delta : Result.t list -> Result.t list -> (string * string * string) list

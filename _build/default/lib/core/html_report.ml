@@ -1,0 +1,154 @@
+module Recorder = Recorders.Recorder
+
+let esc = Vis.Svg.escape
+
+let style =
+  {|<style>
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1, h2, h3 { color: #20496b; }
+table.matrix { border-collapse: collapse; margin: 1em 0; }
+table.matrix th, table.matrix td { border: 1px solid #bbb; padding: 4px 10px; font-size: 14px; }
+table.matrix th { background: #eef3f8; }
+td.ok { background: #e6f4e6; }
+td.empty { background: #f7f7e8; }
+td.failed { background: #f8e6e6; }
+figure.graph { display: inline-block; margin: 0.5em; padding: 0.5em;
+               border: 1px solid #ddd; border-radius: 6px; vertical-align: top; }
+figure.graph figcaption { font-size: 13px; color: #555; margin-bottom: 0.3em; }
+details { margin: 0.8em 0; }
+summary { cursor: pointer; font-weight: bold; }
+.legend span { display: inline-block; padding: 2px 10px; margin-right: 8px;
+               border-radius: 4px; font-size: 13px; }
+</style>|}
+
+let legend =
+  {|<p class="legend">
+<span style="background:#a7c7e7">process / activity</span>
+<span style="background:#f7e39c">artifact / entity</span>
+<span style="background:#c8e6c9">dummy (background attachment)</span>
+</p>|}
+
+let status_class (r : Result.t) =
+  match r.Result.status with
+  | Result.Target _ -> "ok"
+  | Result.Empty -> "empty"
+  | Result.Failed _ -> "failed"
+
+let cell_text tool (r : Result.t) =
+  match Bench_registry.expected tool r.Result.syscall with
+  | expected ->
+      let suffix = if Bench_registry.matches expected r then "" else " *" in
+      (match r.Result.status with
+      | Result.Target g when Result.has_disconnected_node g -> "ok (DV)" ^ suffix
+      | Result.Target _ -> "ok" ^ suffix
+      | Result.Empty -> (
+          (match expected with
+          | Bench_registry.Empty_nr -> "empty (NR)"
+          | Bench_registry.Empty_sc -> "empty (SC)"
+          | Bench_registry.Empty_lp -> "empty (LP)"
+          | _ -> "empty")
+          ^ suffix)
+      | Result.Failed _ -> "failed" ^ suffix)
+  | exception Not_found -> Result.status_word r
+
+let anchor tool syscall =
+  Printf.sprintf "%s-%s" (String.lowercase_ascii (Recorder.tool_name tool)) syscall
+
+let benchmark_section buf tool (r : Result.t) =
+  Buffer.add_string buf
+    (Printf.sprintf "<details id=\"%s\"><summary>%s / %s — %s</summary>\n"
+       (anchor tool r.Result.syscall)
+       (esc (Recorder.tool_name tool))
+       (esc r.Result.syscall) (esc (Result.summary r)));
+  (match r.Result.status with
+  | Result.Target g -> Buffer.add_string buf (Vis.Svg.render_titled ~title:"benchmark result" g)
+  | Result.Empty ->
+      Buffer.add_string buf "<p>Foreground and background were indistinguishable.</p>\n"
+  | Result.Failed m -> Buffer.add_string buf (Printf.sprintf "<p>Failed: %s</p>\n" (esc m)));
+  (match r.Result.bg_general with
+  | Some g when Pgraph.Graph.size g > 0 ->
+      Buffer.add_string buf (Vis.Svg.render_titled ~title:"generalized background" g)
+  | _ -> ());
+  (match r.Result.fg_general with
+  | Some g when Pgraph.Graph.size g > 0 ->
+      Buffer.add_string buf (Vis.Svg.render_titled ~title:"generalized foreground" g)
+  | _ -> ());
+  let t = r.Result.times in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<p>recording %.4fs · transformation %.4fs · generalization %.4fs · comparison %.4fs</p>\n"
+       t.Result.recording_s t.Result.transformation_s t.Result.generalization_s
+       t.Result.comparison_s);
+  Buffer.add_string buf "</details>\n"
+
+let render (matrix : Report.matrix) =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">";
+  Buffer.add_string buf "<title>ProvMark results</title>";
+  Buffer.add_string buf style;
+  Buffer.add_string buf "</head><body>\n<h1>ProvMark benchmark results</h1>\n";
+  Buffer.add_string buf legend;
+  (* Matrix with links into the per-benchmark sections. *)
+  Buffer.add_string buf "<table class=\"matrix\"><tr><th>Group</th><th>syscall</th>";
+  List.iter
+    (fun (tool, _) ->
+      Buffer.add_string buf (Printf.sprintf "<th>%s</th>" (esc (Recorder.tool_name tool))))
+    matrix;
+  Buffer.add_string buf "</tr>\n";
+  List.iter
+    (fun syscall ->
+      Buffer.add_string buf
+        (Printf.sprintf "<tr><td>%d</td><td>%s</td>" (Bench_registry.group_of syscall)
+           (esc syscall));
+      List.iter
+        (fun (tool, results) ->
+          match
+            List.find_opt (fun (r : Result.t) -> r.Result.syscall = syscall) results
+          with
+          | None -> Buffer.add_string buf "<td>-</td>"
+          | Some r ->
+              Buffer.add_string buf
+                (Printf.sprintf "<td class=\"%s\"><a href=\"#%s\">%s</a></td>" (status_class r)
+                   (anchor tool syscall) (esc (cell_text tool r))))
+        matrix;
+      Buffer.add_string buf "</tr>\n")
+    Oskernel.Syscall.all_names;
+  Buffer.add_string buf "</table>\n";
+  let ok, total = Report.agreement matrix in
+  Buffer.add_string buf
+    (Printf.sprintf "<p>Agreement with the paper's Table 2: <b>%d/%d</b> cells.</p>\n" ok total);
+  Buffer.add_string buf "<h2>Per-benchmark graphs</h2>\n";
+  List.iter
+    (fun (tool, results) ->
+      Buffer.add_string buf (Printf.sprintf "<h3>%s</h3>\n" (esc (Recorder.tool_name tool)));
+      List.iter (benchmark_section buf tool) results)
+    matrix;
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
+let render_single (r : Result.t) =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">";
+  Buffer.add_string buf
+    (Printf.sprintf "<title>ProvMark: %s / %s</title>" (esc (Recorder.tool_name r.Result.tool))
+       (esc r.Result.syscall));
+  Buffer.add_string buf style;
+  Buffer.add_string buf "</head><body>\n";
+  Buffer.add_string buf
+    (Printf.sprintf "<h1>%s / %s</h1>\n" (esc (Recorder.tool_name r.Result.tool))
+       (esc r.Result.syscall));
+  Buffer.add_string buf legend;
+  benchmark_section buf r.Result.tool r;
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then (
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+let write_file path html =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc html;
+  close_out oc

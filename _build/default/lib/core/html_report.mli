@@ -1,0 +1,15 @@
+(** HTML result pages — the original ProvMark's [rh] result type
+    (finalResult/index.html): the validation matrix with, per benchmark,
+    the rendered target graph and the generalized foreground/background
+    graphs, drawn in the paper's visual language (blue process
+    rectangles, yellow artifact ovals, green dummy ovals). *)
+
+(** [render matrix] produces a self-contained HTML document. *)
+val render : Report.matrix -> string
+
+(** [render_single result] produces a page for one benchmark run. *)
+val render_single : Result.t -> string
+
+(** [write_file path html] writes the document, creating parent
+    directories as needed. *)
+val write_file : string -> string -> unit

@@ -1,0 +1,53 @@
+(** Prototype support for nondeterministic target activity — the future
+    work the paper sketches in Section 5.4: when the target consists of
+    concurrent threads, both foreground runs and their graphs depend on
+    the schedule, so a single representative pair no longer exists.
+    Following the paper's sketch, trial graphs are grouped by structure
+    ("fingerprinting or graph structure summarization to group the
+    different possible graphs according to schedule") and each group is
+    generalized and compared separately, yielding a {e set} of possible
+    target graphs.
+
+    Limitations, as expected of the paper's sketch: completeness over
+    schedules is not guaranteed (observed schedules are reported against
+    the total count), and threads are interleaved at syscall
+    granularity. *)
+
+type spec = {
+  name : string;
+  staging : Oskernel.Program.staged_file list;
+  setup : Oskernel.Syscall.t list;
+  threads : Oskernel.Syscall.t list list;  (** concurrent target threads *)
+}
+
+(** All interleavings of the threads (in a fixed deterministic order),
+    capped at [limit] (default 64). *)
+val schedules : ?limit:int -> spec -> Oskernel.Syscall.t list list
+
+(** One observed behaviour class. *)
+type behaviour = {
+  target : Pgraph.Graph.t;  (** target graph for this class (may be empty) *)
+  observations : int;  (** trials that landed in this class *)
+}
+
+type outcome = {
+  behaviours : behaviour list;  (** distinct behaviours, most frequent first *)
+  trials : int;
+  schedules_total : int;
+  schedules_exercised : int;  (** distinct schedules drawn across trials *)
+  discarded : int;  (** trial classes too small to generalize (singletons) *)
+}
+
+type failure =
+  | No_background
+  | No_behaviour  (** every foreground class was a singleton *)
+
+val failure_to_string : failure -> string
+
+(** [benchmark config spec] runs the multi-behaviour pipeline: records
+    [config.trials] foreground runs with a schedule drawn per trial
+    (deterministically from the config seed), a background batch as
+    usual, then groups, generalizes and compares per class.  Use more
+    trials than for deterministic benchmarks (2 per expected behaviour
+    at minimum). *)
+val benchmark : Config.t -> spec -> (outcome, failure) result

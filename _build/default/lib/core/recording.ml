@@ -1,0 +1,71 @@
+module Program = Oskernel.Program
+module Kernel = Oskernel.Kernel
+module Prng = Oskernel.Prng
+module Recorder = Recorders.Recorder
+
+type recorded = {
+  variant : Program.variant;
+  trial : int;
+  run_id : int;
+  output : Recorder.output;
+}
+
+let hash_name name =
+  (* Stable small hash so different benchmarks get unrelated run ids. *)
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land 0xFFFFFF) name;
+  !h
+
+let run_id_of config (prog : Program.t) variant trial =
+  let v = match variant with Program.Background -> 0 | Program.Foreground -> 1 in
+  (config.Config.seed * 1_000_000) + (hash_name prog.Program.name * 64) + (trial * 2) + v
+
+let record_one config (prog : Program.t) variant ~trial ~session =
+  let run_id = run_id_of config prog variant trial in
+  let trace = Kernel.run ~run_id prog variant in
+  let flake = Prng.create ~seed:(Int64.of_int ((run_id * 31) + 7)) in
+  let flaky = Prng.float flake < config.Config.flakiness in
+  let output =
+    match config.Config.tool with
+    | Recorder.Spade ->
+        (* SPADE occasionally gets stopped before its graph generation
+           finishes, yielding a truncated graph (Section 3.2). *)
+        let truncate_edges = if flaky then 1 + Prng.int flake 6 else 0 in
+        Recorder.Dot_text (Recorders.Spade.record ~config:config.Config.spade ~truncate_edges trace)
+    | Recorder.Opus ->
+        (* OPUS runs are stable; the cost is in the database. *)
+        Recorder.Store_dump
+          (Graphstore.Store.dump (Recorders.Opus.record ~config:config.Config.opus trace))
+    | Recorder.Camflow ->
+        (* CamFlow sometimes shows small structural variations. *)
+        let drop_edge_index = if flaky then Some (Prng.int flake 1000) else None in
+        Recorder.Prov_json
+          (Recorders.Camflow.record ~config:config.Config.camflow ?session ?drop_edge_index trace)
+    | Recorder.Spade_camflow ->
+        (* The experimental configuration: SPADE vocabulary over the LSM
+           stream.  No flakiness: the relay path of the 0.4.5 workaround
+           is bypassed. *)
+        Recorder.Dot_text (Recorders.Spade_camflow.record trace)
+    | Recorder.Spade_neo4j ->
+        (* The spn profile: same capture as SPADE, database storage. *)
+        let truncate_edges = if flaky then 1 + Prng.int flake 6 else 0 in
+        Recorder.Store_dump
+          (Graphstore.Store.dump
+             (Recorders.Spade.record_to_store ~config:config.Config.spade ~truncate_edges trace))
+  in
+  { variant; trial; run_id; output }
+
+let record_variant config prog variant =
+  (* One CamFlow session per variant batch: only relevant when the
+     pre-0.4.5 behaviour (reserialize = false) is being reproduced. *)
+  let session =
+    match config.Config.tool with
+    | Recorder.Camflow when not config.Config.camflow.Recorders.Camflow.reserialize ->
+        Some (Recorders.Camflow.new_session ())
+    | _ -> None
+  in
+  List.init config.Config.trials (fun trial -> record_one config prog variant ~trial ~session)
+
+let record_all config prog =
+  ( record_variant config prog Program.Background,
+    record_variant config prog Program.Foreground )

@@ -1,0 +1,25 @@
+(** Stage 1 — recording (paper Section 3.2).
+
+    Runs the benchmark program under the simulated kernel once per trial
+    and variant, drives the configured capture tool over each trace, and
+    returns the tool's native outputs.  Per-run transient values are
+    derived from the configuration seed, the benchmark name and the
+    trial number; SPADE and CamFlow runs are occasionally perturbed
+    (truncated output / small structural variation) with probability
+    [config.flakiness], reproducing the instabilities the paper works
+    around by recording extra trials. *)
+
+type recorded = {
+  variant : Oskernel.Program.variant;
+  trial : int;
+  run_id : int;
+  output : Recorders.Recorder.output;
+}
+
+(** [record_variant config program variant] produces [config.trials]
+    recordings. *)
+val record_variant :
+  Config.t -> Oskernel.Program.t -> Oskernel.Program.variant -> recorded list
+
+(** Both variants: (backgrounds, foregrounds). *)
+val record_all : Config.t -> Oskernel.Program.t -> recorded list * recorded list

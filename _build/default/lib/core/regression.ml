@@ -1,0 +1,52 @@
+type store = { dir : string }
+
+let gid = "r"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then (
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+let open_store dir =
+  mkdir_p dir;
+  { dir }
+
+let key ~tool ~benchmark =
+  Printf.sprintf "%s/%s" (String.lowercase_ascii (Recorders.Recorder.tool_name tool)) benchmark
+
+let sanitize k = String.map (function '/' -> '_' | c -> c) k
+
+let path_of store k = Filename.concat store.dir (sanitize k ^ ".dl")
+
+let save store ~key g =
+  let oc = open_out (path_of store key) in
+  output_string oc (Datalog.Encode.graph_to_string ~gid g);
+  close_out oc
+
+let load store ~key =
+  let path = path_of store key in
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    Some (Datalog.Encode.graph_of_string ~gid text)
+
+let keys store =
+  Sys.readdir store.dir |> Array.to_list
+  |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:".dl" f)
+  |> List.sort String.compare
+
+type verdict =
+  | Unchanged
+  | Changed of { baseline : Pgraph.Graph.t }
+  | New
+
+let check store ~key g =
+  match load store ~key with
+  | None -> New
+  | Some baseline ->
+      if Gmatch.Engine.similar baseline g then Unchanged else Changed { baseline }
+
+let accept = save

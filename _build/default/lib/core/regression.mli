@@ -1,0 +1,32 @@
+(** Regression testing support (the Section 3.1 "Regression testing" use
+    case): store benchmark graphs as Datalog fact files and compare a
+    fresh benchmarking run against the stored baseline with the same
+    isomorphism machinery the pipeline uses. *)
+
+type store
+
+(** [open_store dir] uses [dir] as the baseline directory, creating it
+    if missing. *)
+val open_store : string -> store
+
+(** Key under which a result is stored, e.g. ["spade/open"]. *)
+val key : tool:Recorders.Recorder.tool -> benchmark:string -> string
+
+val save : store -> key:string -> Pgraph.Graph.t -> unit
+
+val load : store -> key:string -> Pgraph.Graph.t option
+
+val keys : store -> string list
+
+type verdict =
+  | Unchanged  (** new graph is similar (shape-equal) to the baseline *)
+  | Changed of { baseline : Pgraph.Graph.t }  (** shapes differ: investigate or accept *)
+  | New  (** no baseline stored yet *)
+
+(** [check store ~key g] compares a fresh benchmark graph to the stored
+    baseline. *)
+val check : store -> key:string -> Pgraph.Graph.t -> verdict
+
+(** [accept store ~key g] replaces the baseline (the "changes are
+    expected" path). *)
+val accept : store -> key:string -> Pgraph.Graph.t -> unit

@@ -1,0 +1,132 @@
+module Recorder = Recorders.Recorder
+
+type matrix = (Recorder.tool * Result.t list) list
+
+(* Measured status rendered with the paper's note vocabulary: notes
+   (NR/SC/LP/DV) explain *why* a cell is empty or unusual, which is
+   curated knowledge — taken from the expected matrix — while the
+   ok/empty/failed status is measured. *)
+let cell expected (r : Result.t) =
+  let measured =
+    match r.Result.status with
+    | Result.Target g when Result.has_disconnected_node g -> "ok (DV)"
+    | Result.Target _ -> (
+        match expected with Bench_registry.Ok_sc -> "ok (SC)" | _ -> "ok")
+    | Result.Empty -> (
+        match expected with
+        | Bench_registry.Empty_nr -> "empty (NR)"
+        | Bench_registry.Empty_sc -> "empty (SC)"
+        | Bench_registry.Empty_lp -> "empty (LP)"
+        | _ -> "empty")
+    | Result.Failed _ -> "failed"
+  in
+  let marker = if Bench_registry.matches expected r then "" else " *" in
+  measured ^ marker
+
+let find_result results syscall =
+  List.find_opt (fun (r : Result.t) -> String.equal r.Result.syscall syscall) results
+
+let pad width s =
+  if String.length s >= width then s else s ^ String.make (width - String.length s) ' '
+
+let validation_matrix (matrix : matrix) =
+  let tools = List.map fst matrix in
+  let buf = Buffer.create 4096 in
+  let width = 14 in
+  Buffer.add_string buf (pad 6 "Group");
+  Buffer.add_string buf (pad 12 "syscall");
+  List.iter (fun t -> Buffer.add_string buf (pad width (Recorder.tool_name t))) tools;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun name ->
+      Buffer.add_string buf (pad 6 (string_of_int (Bench_registry.group_of name)));
+      Buffer.add_string buf (pad 12 name);
+      List.iter
+        (fun tool ->
+          let results = List.assoc tool matrix in
+          let text =
+            match find_result results name with
+            | None -> "-"
+            | Some r -> (
+                (* Tools without a Table 2 column (the experimental
+                   SPADE+CamFlow configuration) report the bare status. *)
+                match Bench_registry.expected tool name with
+                | expected -> cell expected r
+                | exception Not_found -> Result.status_word r)
+          in
+          Buffer.add_string buf (pad width text))
+        tools;
+      Buffer.add_char buf '\n')
+    Oskernel.Syscall.all_names;
+  Buffer.add_string buf
+    "\nNotes: NR = not recorded (default config), SC = only state changes monitored,\n\
+     \       LP = limitation in ProvMark, DV = disconnected vforked process.\n\
+     \       * marks disagreement with the paper's Table 2.\n";
+  Buffer.contents buf
+
+let agreement (matrix : matrix) =
+  List.fold_left
+    (fun (ok, total) (tool, results) ->
+      List.fold_left
+        (fun (ok, total) name ->
+          match find_result results name with
+          | None -> (ok, total)
+          | Some r -> (
+              match Bench_registry.expected tool name with
+              | expected ->
+                  ((if Bench_registry.matches expected r then ok + 1 else ok), total + 1)
+              | exception Not_found -> (ok, total)))
+        (ok, total) Oskernel.Syscall.all_names)
+    (0, 0) matrix
+
+let structure_table (matrix : matrix) ~syscalls =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (pad 12 "syscall");
+  List.iter (fun (t, _) -> Buffer.add_string buf (pad 22 (Recorder.tool_name t))) matrix;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun name ->
+      Buffer.add_string buf (pad 12 name);
+      List.iter
+        (fun (_, results) ->
+          let text =
+            match find_result results name with
+            | None -> "-"
+            | Some r -> (
+                match r.Result.status with
+                | Result.Target g -> Pgraph.Stats.shape_line (Pgraph.Stats.of_graph g)
+                | Result.Empty -> "empty"
+                | Result.Failed _ -> "failed")
+          in
+          Buffer.add_string buf (pad 22 text))
+        matrix;
+      Buffer.add_char buf '\n')
+    syscalls;
+  Buffer.contents buf
+
+let timing_lines results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %14s %14s %14s\n" "benchmark" "transform(s)" "generalize(s)"
+       "compare(s)");
+  List.iter
+    (fun (r : Result.t) ->
+      let t = r.Result.times in
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %14.4f %14.4f %14.4f\n" r.Result.syscall
+           t.Result.transformation_s t.Result.generalization_s t.Result.comparison_s))
+    results;
+  Buffer.contents buf
+
+let timing_csv results =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (r : Result.t) ->
+      let t = r.Result.times in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%.4f,%.4f,%.4f,%.4f\n"
+           (String.lowercase_ascii (Recorder.tool_name r.Result.tool))
+           r.Result.syscall t.Result.recording_s t.Result.transformation_s
+           t.Result.generalization_s t.Result.comparison_s))
+    results;
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Rendering of benchmark results: the Table 2 validation matrix, the
+    Table 3 structure summaries, per-stage timing lines (Figures 5–10),
+    and CSV export in the format of the original [*.time] files. *)
+
+(** A full validation run: per (tool, syscall) results. *)
+type matrix = (Recorders.Recorder.tool * Result.t list) list
+
+(** Render the Table 2 matrix.  Each cell shows the measured status
+    annotated with the paper's note, plus a [*] marker when the measured
+    result disagrees with the paper's expected cell. *)
+val validation_matrix : matrix -> string
+
+(** [agreement matrix] is [(agreeing cells, total cells)]. *)
+val agreement : matrix -> int * int
+
+(** Table 3-style structure summary for selected syscalls. *)
+val structure_table : matrix -> syscalls:string list -> string
+
+(** One figure's timing data: per-benchmark stacked stage times. *)
+val timing_lines : Result.t list -> string
+
+(** CSV in the sampleResult format: tool, syscall, then the four stage
+    times in seconds. *)
+val timing_csv : Result.t list -> string

@@ -1,0 +1,76 @@
+type note = Nr | Sc | Lp | Dv
+
+let note_to_string = function Nr -> "NR" | Sc -> "SC" | Lp -> "LP" | Dv -> "DV"
+
+type status =
+  | Target of Pgraph.Graph.t
+  | Empty
+  | Failed of string
+
+type stage_times = {
+  recording_s : float;
+  transformation_s : float;
+  generalization_s : float;
+  comparison_s : float;
+}
+
+let total_time t = t.recording_s +. t.transformation_s +. t.generalization_s +. t.comparison_s
+
+type t = {
+  benchmark : string;
+  syscall : string;
+  tool : Recorders.Recorder.tool;
+  status : status;
+  times : stage_times;
+  bg_general : Pgraph.Graph.t option;
+  fg_general : Pgraph.Graph.t option;
+  trials : int;
+}
+
+let status_word r =
+  match r.status with Target _ -> "ok" | Empty -> "empty" | Failed _ -> "failed"
+
+(* A target graph is "disconnected" when one of its connected components
+   contains no dummy node: dummy nodes are the attachment points to the
+   background graph, so a dummy-free component floats free of the rest
+   of the provenance — the vfork child (DV) and the setres* bug both
+   manifest this way. *)
+let has_disconnected_node g =
+  let module Smap = Map.Make (String) in
+  let nodes = Pgraph.Graph.nodes g in
+  if nodes = [] then false
+  else begin
+    (* Union-find over node ids. *)
+    let parent = Hashtbl.create 16 in
+    let rec find x =
+      match Hashtbl.find_opt parent x with
+      | Some p when not (String.equal p x) ->
+          let r = find p in
+          Hashtbl.replace parent x r;
+          r
+      | _ -> x
+    in
+    let union a b =
+      let ra = find a and rb = find b in
+      if not (String.equal ra rb) then Hashtbl.replace parent ra rb
+    in
+    List.iter (fun (n : Pgraph.Graph.node) -> Hashtbl.replace parent n.Pgraph.Graph.node_id n.Pgraph.Graph.node_id) nodes;
+    List.iter
+      (fun (e : Pgraph.Graph.edge) -> union e.Pgraph.Graph.edge_src e.Pgraph.Graph.edge_tgt)
+      (Pgraph.Graph.edges g);
+    let dummy_roots =
+      List.fold_left
+        (fun acc (n : Pgraph.Graph.node) ->
+          if Pgraph.Graph.is_dummy n then Smap.add (find n.Pgraph.Graph.node_id) () acc else acc)
+        Smap.empty nodes
+    in
+    List.exists
+      (fun (n : Pgraph.Graph.node) -> not (Smap.mem (find n.Pgraph.Graph.node_id) dummy_roots))
+      nodes
+  end
+
+let summary r =
+  match r.status with
+  | Target g -> Printf.sprintf "ok (%s)" (Pgraph.Stats.shape_line (Pgraph.Stats.of_graph g))
+  | Empty -> "empty"
+  | Failed m -> Printf.sprintf "failed (%s)" m

@@ -1,0 +1,46 @@
+(** Benchmark results and their classification against the vocabulary of
+    the paper's Table 2. *)
+
+(** Table 2 notes explaining empty or unusual results. *)
+type note =
+  | Nr  (** behavior not recorded (by default configuration) *)
+  | Sc  (** only state changes monitored *)
+  | Lp  (** limitation in ProvMark *)
+  | Dv  (** disconnected vforked process *)
+
+val note_to_string : note -> string
+
+type status =
+  | Target of Pgraph.Graph.t  (** non-empty target graph *)
+  | Empty  (** foreground and background were indistinguishable *)
+  | Failed of string  (** the pipeline could not produce a benchmark *)
+
+type stage_times = {
+  recording_s : float;
+  transformation_s : float;
+  generalization_s : float;
+  comparison_s : float;
+}
+
+val total_time : stage_times -> float
+
+type t = {
+  benchmark : string;
+  syscall : string;
+  tool : Recorders.Recorder.tool;
+  status : status;
+  times : stage_times;
+  bg_general : Pgraph.Graph.t option;
+  fg_general : Pgraph.Graph.t option;
+  trials : int;
+}
+
+(** "ok" / "empty" / "failed", as printed in the validation matrix. *)
+val status_word : t -> string
+
+(** A target graph containing a non-dummy node with no incident edges —
+    how the disconnected-vfork quirk (DV) manifests. *)
+val has_disconnected_node : Pgraph.Graph.t -> bool
+
+(** One-line human summary, e.g. ["ok (3n/2e)"]. *)
+val summary : t -> string

@@ -1,0 +1,17 @@
+(** Full pipeline orchestration: recording → transformation →
+    generalization → comparison, with wall-clock timing of each stage
+    (the quantities behind the paper's Figures 5–10). *)
+
+(** [run_once config program] executes the four stages exactly once. *)
+val run_once : Config.t -> Oskernel.Program.t -> Result.t
+
+(** [run config program] is {!run_once} with ProvMark's retry policy:
+    when flaky recorder runs leave no usable trial pair, the benchmark
+    is re-recorded with a growing number of trials (Section 3.2), up to
+    three attempts.  Stage times accumulate across attempts. *)
+val run : Config.t -> Oskernel.Program.t -> Result.t
+
+(** [run_syscall config name] looks the benchmark up in
+    {!Bench_registry} by syscall name.  Raises [Not_found] for unknown
+    names. *)
+val run_syscall : Config.t -> string -> Result.t

@@ -1,0 +1,19 @@
+module Program = Oskernel.Program
+module Syscall = Oskernel.Syscall
+
+let program n =
+  if n < 1 then invalid_arg "Scalability.program: factor must be >= 1";
+  let target =
+    List.concat
+      (List.init n (fun i ->
+           let path = Printf.sprintf "/staging/scale_%d.txt" i in
+           [
+             Syscall.Creat { path; ret = Printf.sprintf "fd%d" i };
+             Syscall.Unlink { path };
+           ]))
+  in
+  Program.make ~name:(Printf.sprintf "scale%d" n) ~syscall:"creat+unlink" ~target ()
+
+let factors = [ 1; 2; 4; 8 ]
+
+let all = List.map program factors

@@ -1,0 +1,11 @@
+(** The scalability series of Section 5.2: scale1 creates and deletes a
+    file; scale2/scale4/scale8 repeat the action 2/4/8 times (on
+    distinct files, so the target graph grows with the scale factor). *)
+
+(** [program n] is the scale-[n] benchmark. *)
+val program : int -> Oskernel.Program.t
+
+(** The paper's four scale factors: 1, 2, 4, 8. *)
+val factors : int list
+
+val all : Oskernel.Program.t list

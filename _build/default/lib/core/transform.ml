@@ -1,0 +1,26 @@
+module Recorder = Recorders.Recorder
+
+exception Transform_error of string
+
+let to_pgraph output =
+  match output with
+  | Recorder.Dot_text text -> (
+      match Recorders.Dot.of_string text with
+      | exception Recorders.Dot.Parse_error m -> raise (Transform_error ("DOT: " ^ m))
+      | dot -> Recorders.Dot.to_pgraph dot)
+  | Recorder.Store_dump dump -> (
+      match Graphstore.Store.load dump with
+      | exception Failure m -> raise (Transform_error ("store: " ^ m))
+      | store ->
+          (* Pay the database startup cost before querying, as ProvMark
+             does when extracting OPUS graphs from Neo4j. *)
+          Graphstore.Store.open_db store;
+          Recorders.Opus.store_to_pgraph store)
+  | Recorder.Prov_json text -> (
+      match Recorders.Provjson.of_string text with
+      | exception Recorders.Provjson.Format_error m -> raise (Transform_error ("PROV-JSON: " ^ m))
+      | g -> g)
+
+let to_datalog ~gid g = Datalog.Encode.graph_to_string ~gid g
+
+let batch recs = List.map (fun (r : Recording.recorded) -> to_pgraph r.Recording.output) recs

@@ -1,0 +1,19 @@
+(** Stage 2 — transformation (paper Section 3.3).
+
+    Maps each tool's native output to the uniform property-graph /
+    Datalog representation.  This is where OPUS pays its database
+    startup and query cost: the store dump is loaded and opened before
+    the graph can be exported, mirroring the Neo4j/JVM startup that
+    dominates OPUS timings in Figures 6 and 9. *)
+
+exception Transform_error of string
+
+(** Parse a native output into a property graph. *)
+val to_pgraph : Recorders.Recorder.output -> Pgraph.Graph.t
+
+(** The Datalog fact-file text for a graph under the given graph id —
+    the format all later stages (and the regression store) use. *)
+val to_datalog : gid:string -> Pgraph.Graph.t -> string
+
+(** Convenience: transform a whole recording batch. *)
+val batch : Recording.recorded list -> Pgraph.Graph.t list

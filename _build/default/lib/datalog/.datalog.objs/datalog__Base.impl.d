@@ -1,0 +1,1 @@
+lib/datalog/base.ml: Fact Format List Map Set String

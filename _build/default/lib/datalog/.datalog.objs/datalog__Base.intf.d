@@ -1,0 +1,1 @@
+lib/datalog/base.mli: Fact Format

@@ -1,0 +1,1 @@
+lib/datalog/encode.ml: Base Fact Graph List Parser Pgraph Printf Props

@@ -1,0 +1,1 @@
+lib/datalog/encode.mli: Base Fact Pgraph

@@ -1,0 +1,1 @@
+lib/datalog/fact.ml: Buffer Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/datalog/fact.mli: Format

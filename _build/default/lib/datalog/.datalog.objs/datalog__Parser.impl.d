@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Base Buffer Fact List Printf String

@@ -1,0 +1,31 @@
+module Smap = Map.Make (String)
+module Fset = Set.Make (Fact)
+
+type t = Fset.t Smap.t
+
+let empty = Smap.empty
+
+let add f b =
+  Smap.update f.Fact.pred
+    (function None -> Some (Fset.singleton f) | Some s -> Some (Fset.add f s))
+    b
+
+let of_list facts = List.fold_left (fun b f -> add f b) empty facts
+
+let to_list b = Smap.fold (fun _ s acc -> acc @ Fset.elements s) b []
+
+let facts_with_pred b p =
+  match Smap.find_opt p b with None -> [] | Some s -> Fset.elements s
+
+let mem f b =
+  match Smap.find_opt f.Fact.pred b with None -> false | Some s -> Fset.mem f s
+
+let cardinal b = Smap.fold (fun _ s acc -> acc + Fset.cardinal s) b 0
+
+let union a b = Smap.union (fun _ x y -> Some (Fset.union x y)) a b
+
+let predicates b = List.map fst (Smap.bindings b)
+
+let to_string b = String.concat "\n" (List.map Fact.to_string (to_list b)) ^ "\n"
+
+let pp ppf b = Format.pp_print_string ppf (to_string b)

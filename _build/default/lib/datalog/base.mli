@@ -1,0 +1,30 @@
+(** A fact base: an indexed collection of ground facts, as consumed by the
+    grounder of the mini-ASP solver and produced by the transformation
+    stage. *)
+
+type t
+
+val empty : t
+
+val add : Fact.t -> t -> t
+
+val of_list : Fact.t list -> t
+
+(** All facts, sorted (predicate, then arguments); duplicates removed. *)
+val to_list : t -> Fact.t list
+
+(** [facts_with_pred b p] returns the facts whose predicate is [p]. *)
+val facts_with_pred : t -> string -> Fact.t list
+
+val mem : Fact.t -> t -> bool
+
+val cardinal : t -> int
+
+val union : t -> t -> t
+
+val predicates : t -> string list
+
+(** Render one fact per line, parseable back with {!Parser.parse_facts}. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

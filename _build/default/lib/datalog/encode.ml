@@ -1,0 +1,87 @@
+exception Decode_error of string
+
+let node_pred gid = "n" ^ gid
+let edge_pred gid = "e" ^ gid
+let prop_pred gid = "p" ^ gid
+
+let graph_to_facts ~gid g =
+  let open Pgraph in
+  let node_facts =
+    List.map
+      (fun (n : Graph.node) ->
+        Fact.make (node_pred gid) [ Fact.sym_of_string n.Graph.node_id; Fact.Str n.Graph.node_label ])
+      (Graph.nodes g)
+  in
+  let edge_facts =
+    List.map
+      (fun (e : Graph.edge) ->
+        Fact.make (edge_pred gid)
+          [
+            Fact.sym_of_string e.Graph.edge_id;
+            Fact.sym_of_string e.Graph.edge_src;
+            Fact.sym_of_string e.Graph.edge_tgt;
+            Fact.Str e.Graph.edge_label;
+          ])
+      (Graph.edges g)
+  in
+  let props_of id props =
+    Props.fold
+      (fun k v acc -> Fact.make (prop_pred gid) [ Fact.sym_of_string id; Fact.Str k; Fact.Str v ] :: acc)
+      props []
+  in
+  let prop_facts =
+    List.concat_map (fun (n : Graph.node) -> props_of n.Graph.node_id n.Graph.node_props) (Graph.nodes g)
+    @ List.concat_map (fun (e : Graph.edge) -> props_of e.Graph.edge_id e.Graph.edge_props) (Graph.edges g)
+  in
+  node_facts @ edge_facts @ prop_facts
+
+let graph_to_base ~gid g = Base.of_list (graph_to_facts ~gid g)
+
+let graph_of_base ~gid b =
+  let open Pgraph in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt in
+  let id_of = Fact.string_of_term in
+  let g =
+    List.fold_left
+      (fun g f ->
+        match f.Fact.args with
+        | [ id; label ] ->
+            Graph.add_node g ~id:(id_of id) ~label:(Fact.string_of_term label)
+              ~props:Props.empty
+        | _ -> fail "node fact %s has wrong shape" (Fact.to_string f))
+      Graph.empty
+      (Base.facts_with_pred b (node_pred gid))
+  in
+  let g =
+    List.fold_left
+      (fun g f ->
+        match f.Fact.args with
+        | [ id; src; tgt; label ] ->
+            let src = id_of src and tgt = id_of tgt in
+            if not (Graph.mem_node g src) then
+              fail "edge %s refers to unknown source %s" (Fact.to_string f) src;
+            if not (Graph.mem_node g tgt) then
+              fail "edge %s refers to unknown target %s" (Fact.to_string f) tgt;
+            Graph.add_edge g ~id:(id_of id) ~src ~tgt ~label:(Fact.string_of_term label)
+              ~props:Props.empty
+        | _ -> fail "edge fact %s has wrong shape" (Fact.to_string f))
+      g
+      (Base.facts_with_pred b (edge_pred gid))
+  in
+  List.fold_left
+    (fun g f ->
+      match f.Fact.args with
+      | [ id; key; value ] -> (
+          let id = id_of id in
+          let key = Fact.string_of_term key and value = Fact.string_of_term value in
+          match (Graph.find_node g id, Graph.find_edge g id) with
+          | Some n, _ -> Graph.set_node_props g id (Props.add key value n.Graph.node_props)
+          | None, Some e -> Graph.set_edge_props g id (Props.add key value e.Graph.edge_props)
+          | None, None -> fail "property fact %s refers to unknown element" (Fact.to_string f))
+      | _ -> fail "property fact %s has wrong shape" (Fact.to_string f))
+    g
+    (Base.facts_with_pred b (prop_pred gid))
+
+let graph_to_string ~gid g = Base.to_string (graph_to_base ~gid g)
+
+let graph_of_string ~gid s = graph_of_base ~gid (Parser.parse_base s)

@@ -1,0 +1,109 @@
+exception Parse_error of string
+
+type token =
+  | Tident of string
+  | Tstring of string
+  | Tint of int
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tdot
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  while !pos < n do
+    match src.[!pos] with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '%' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          incr pos
+        done
+    | '(' ->
+        tokens := Tlparen :: !tokens;
+        incr pos
+    | ')' ->
+        tokens := Trparen :: !tokens;
+        incr pos
+    | ',' ->
+        tokens := Tcomma :: !tokens;
+        incr pos
+    | '.' ->
+        tokens := Tdot :: !tokens;
+        incr pos
+    | '"' ->
+        incr pos;
+        let b = Buffer.create 16 in
+        let rec loop () =
+          match peek () with
+          | None -> fail "unterminated string"
+          | Some '"' -> incr pos
+          | Some '\\' -> (
+              incr pos;
+              match peek () with
+              | Some '"' -> Buffer.add_char b '"'; incr pos; loop ()
+              | Some '\\' -> Buffer.add_char b '\\'; incr pos; loop ()
+              | Some 'n' -> Buffer.add_char b '\n'; incr pos; loop ()
+              | Some c -> Buffer.add_char b c; incr pos; loop ()
+              | None -> fail "unterminated escape")
+          | Some c ->
+              Buffer.add_char b c;
+              incr pos;
+              loop ()
+        in
+        loop ();
+        tokens := Tstring (Buffer.contents b) :: !tokens
+    | '-' | '0' .. '9' ->
+        let start = !pos in
+        if src.[!pos] = '-' then incr pos;
+        while !pos < n && (match src.[!pos] with '0' .. '9' -> true | _ -> false) do
+          incr pos
+        done;
+        let s = String.sub src start (!pos - start) in
+        (match int_of_string_opt s with
+        | Some v -> tokens := Tint v :: !tokens
+        | None -> fail (Printf.sprintf "bad integer %S" s))
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let start = !pos in
+        while
+          !pos < n
+          && match src.[!pos] with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+        do
+          incr pos
+        done;
+        tokens := Tident (String.sub src start (!pos - start)) :: !tokens
+    | c -> fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !tokens
+
+let parse_facts src =
+  let tokens = tokenize src in
+  let fail msg = raise (Parse_error msg) in
+  let rec parse_args acc = function
+    | Tstring s :: rest -> after_arg (Fact.Str s :: acc) rest
+    | Tint v :: rest -> after_arg (Fact.Int v :: acc) rest
+    | Tident s :: rest -> after_arg (Fact.Sym s :: acc) rest
+    | _ -> fail "expected argument"
+  and after_arg acc = function
+    | Tcomma :: rest -> parse_args acc rest
+    | Trparen :: rest -> (List.rev acc, rest)
+    | _ -> fail "expected , or ) after argument"
+  in
+  let rec parse_all acc = function
+    | [] -> List.rev acc
+    | Tident pred :: Tlparen :: rest -> (
+        let args, rest = parse_args [] rest in
+        match rest with
+        | Tdot :: rest -> parse_all (Fact.make pred args :: acc) rest
+        | _ -> fail (Printf.sprintf "expected . after fact %s(...)" pred))
+    | Tident pred :: Tdot :: rest ->
+        (* Nullary fact written without parentheses. *)
+        parse_all (Fact.make pred [] :: acc) rest
+    | _ -> fail "expected fact"
+  in
+  parse_all [] tokens
+
+let parse_base s = Base.of_list (parse_facts s)

@@ -1,0 +1,12 @@
+(** Parser for files of ground Datalog facts, one [pred(args).] per
+    statement.  Whitespace is insignificant and ['%'] starts a comment
+    running to end of line (clingo convention).  This is the format the
+    regression-testing use case stores benchmark graphs in. *)
+
+exception Parse_error of string
+
+(** [parse_facts s] parses every fact in [s]. *)
+val parse_facts : string -> Fact.t list
+
+(** [parse_base s] is [Base.of_list (parse_facts s)]. *)
+val parse_base : string -> Base.t

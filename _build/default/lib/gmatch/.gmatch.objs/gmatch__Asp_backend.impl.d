@@ -1,0 +1,1 @@
+lib/gmatch/asp_backend.ml: Asp Datalog Matching

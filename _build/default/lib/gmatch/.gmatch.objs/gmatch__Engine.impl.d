@@ -1,0 +1,1 @@
+lib/gmatch/engine.ml: Asp_backend Incremental Printf Vf2

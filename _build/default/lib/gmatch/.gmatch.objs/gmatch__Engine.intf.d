@@ -1,0 +1,1 @@
+lib/gmatch/engine.mli: Matching Pgraph

@@ -1,0 +1,1 @@
+lib/gmatch/incremental.ml: Array Graph Int List Matching Pgraph Props Result String Vf2

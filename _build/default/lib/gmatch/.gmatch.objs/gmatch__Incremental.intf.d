@@ -1,0 +1,1 @@
+lib/gmatch/incremental.mli: Matching Pgraph

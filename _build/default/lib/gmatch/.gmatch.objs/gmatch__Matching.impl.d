@@ -1,0 +1,1 @@
+lib/gmatch/matching.ml: Format Graph List Pgraph Printf Props Result Set String

@@ -1,0 +1,1 @@
+lib/gmatch/matching.mli: Format Pgraph

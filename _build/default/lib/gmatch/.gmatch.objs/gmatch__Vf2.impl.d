@@ -1,0 +1,1 @@
+lib/gmatch/vf2.ml: Graph Hashtbl Int List Map Matching Option Pgraph Props String

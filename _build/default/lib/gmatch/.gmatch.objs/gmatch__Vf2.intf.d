@@ -1,0 +1,1 @@
+lib/gmatch/vf2.mli: Matching Pgraph

@@ -1,0 +1,27 @@
+let default_max_steps = 10_000_000
+
+let encode g1 g2 =
+  Datalog.Base.union
+    (Datalog.Encode.graph_to_base ~gid:"1" g1)
+    (Datalog.Encode.graph_to_base ~gid:"2" g2)
+
+let run ?(max_steps = default_max_steps) ~program ~find_optimal g1 g2 =
+  let facts = encode g1 g2 in
+  Asp.Engine.run ~max_steps ~find_optimal ~program ~facts ()
+
+let similar ?max_steps g1 g2 =
+  match run ?max_steps ~program:Asp.Listings.similarity ~find_optimal:false g1 g2 with
+  | Asp.Engine.Model _ -> true
+  | Asp.Engine.Unsat | Asp.Engine.Unknown -> false
+
+let decode g1 outcome =
+  match outcome with
+  | Asp.Engine.Model { cost; atoms; optimal = _ } ->
+      Some (Matching.of_pairs g1 (Asp.Engine.matching_of_atoms atoms) cost)
+  | Asp.Engine.Unsat | Asp.Engine.Unknown -> None
+
+let iso_min_cost ?max_steps g1 g2 =
+  decode g1 (run ?max_steps ~program:Asp.Listings.similarity_min_cost ~find_optimal:true g1 g2)
+
+let sub_iso_min_cost ?max_steps g1 g2 =
+  decode g1 (run ?max_steps ~program:Asp.Listings.subgraph ~find_optimal:true g1 g2)

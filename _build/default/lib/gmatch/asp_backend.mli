@@ -1,0 +1,14 @@
+(** Graph matching through the mini-ASP solver, using the paper's
+    Listing 3 / Listing 4 specifications verbatim: the two graphs are
+    encoded as Datalog facts under graph ids [1] and [2], the program is
+    parsed, grounded and solved, and the [h/2] atoms of the optimal model
+    are decoded back into a {!Matching.t}. *)
+
+(** Step budget handed to the solver; raise for very large graphs. *)
+val default_max_steps : int
+
+val similar : ?max_steps:int -> Pgraph.Graph.t -> Pgraph.Graph.t -> bool
+
+val iso_min_cost : ?max_steps:int -> Pgraph.Graph.t -> Pgraph.Graph.t -> Matching.t option
+
+val sub_iso_min_cost : ?max_steps:int -> Pgraph.Graph.t -> Pgraph.Graph.t -> Matching.t option

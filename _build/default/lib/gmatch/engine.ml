@@ -1,0 +1,32 @@
+type backend = Asp | Direct | Incremental
+
+let default_backend = Direct
+
+let backend_of_string = function
+  | "asp" -> Ok Asp
+  | "direct" | "vf2" -> Ok Direct
+  | "incremental" | "inc" -> Ok Incremental
+  | s -> Error (Printf.sprintf "unknown matching backend %S (expected asp, direct or incremental)" s)
+
+let backend_to_string = function
+  | Asp -> "asp"
+  | Direct -> "direct"
+  | Incremental -> "incremental"
+
+let similar ?(backend = default_backend) g1 g2 =
+  match backend with
+  | Asp -> Asp_backend.similar g1 g2
+  | Direct -> Vf2.similar g1 g2
+  | Incremental -> Incremental.similar g1 g2
+
+let generalization_matching ?(backend = default_backend) g1 g2 =
+  match backend with
+  | Asp -> Asp_backend.iso_min_cost g1 g2
+  | Direct -> Vf2.iso_min_cost g1 g2
+  | Incremental -> Incremental.iso_min_cost g1 g2
+
+let subgraph_matching ?(backend = default_backend) g1 g2 =
+  match backend with
+  | Asp -> Asp_backend.sub_iso_min_cost g1 g2
+  | Direct -> Vf2.sub_iso_min_cost g1 g2
+  | Incremental -> Incremental.sub_iso_min_cost g1 g2

@@ -1,0 +1,34 @@
+(** Backend-dispatching entry points used by the ProvMark pipeline.
+
+    [Asp] runs the paper's Listing 3/4 specifications through the
+    mini-ASP solver (the reference semantics); [Direct] runs the native
+    VF2-style matcher (much faster on larger graphs).  Both compute the
+    same answers — this is enforced by the property-based test suite. *)
+
+type backend =
+  | Asp
+  | Direct
+  | Incremental
+      (** creation-order greedy alignment with certified optimality and
+          exact fallback (the paper's Section 5.4 suggestion); always
+          returns the same answers as [Direct] *)
+
+val default_backend : backend
+
+val backend_of_string : string -> (backend, string) result
+val backend_to_string : backend -> string
+
+(** Shape similarity (Section 3.4): do the two graphs admit a label- and
+    structure-preserving bijection? *)
+val similar : ?backend:backend -> Pgraph.Graph.t -> Pgraph.Graph.t -> bool
+
+(** Optimal bijective matching between two similar graphs, minimizing
+    property mismatches — the generalization-stage matching. *)
+val generalization_matching :
+  ?backend:backend -> Pgraph.Graph.t -> Pgraph.Graph.t -> Matching.t option
+
+(** Optimal embedding of the first graph into the second, minimizing
+    property mismatches — the comparison-stage matching (background into
+    foreground). *)
+val subgraph_matching :
+  ?backend:backend -> Pgraph.Graph.t -> Pgraph.Graph.t -> Matching.t option

@@ -1,0 +1,134 @@
+open Pgraph
+
+let certified = ref 0
+let fallbacks = ref 0
+
+let stats () = (!certified, !fallbacks)
+
+let reset_stats () =
+  certified := 0;
+  fallbacks := 0
+
+(* Creation order: recorders assign identifiers with increasing numeric
+   suffixes (v1, r2, n3, cf:boot:17, ...), which stand in for the
+   timestamps of the paper's suggestion. *)
+let creation_index id =
+  let n = String.length id in
+  let rec start i = if i > 0 && id.[i - 1] >= '0' && id.[i - 1] <= '9' then start (i - 1) else i in
+  let s = start n in
+  if s = n then max_int else int_of_string (String.sub id s (n - s))
+
+let by_creation_nodes g =
+  List.sort
+    (fun (a : Graph.node) b ->
+      let c = Int.compare (creation_index a.Graph.node_id) (creation_index b.Graph.node_id) in
+      if c <> 0 then c else String.compare a.Graph.node_id b.Graph.node_id)
+    (Graph.nodes g)
+
+let by_creation_edges g =
+  List.sort
+    (fun (a : Graph.edge) b ->
+      let c = Int.compare (creation_index a.Graph.edge_id) (creation_index b.Graph.edge_id) in
+      if c <> 0 then c else String.compare a.Graph.edge_id b.Graph.edge_id)
+    (Graph.edges g)
+
+(* Greedy order-preserving alignment of two sequences by label: for each
+   left element take the first unconsumed right element with the same
+   label.  Returns None when some left element finds no partner. *)
+let align_by_label left right ~label_of ~id_of =
+  let right = Array.of_list right in
+  let used = Array.make (Array.length right) false in
+  let rec find_from label i =
+    if i >= Array.length right then None
+    else if (not used.(i)) && String.equal (label_of right.(i)) label then Some i
+    else find_from label (i + 1)
+  in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | x :: rest -> (
+        match find_from (label_of x) 0 with
+        | None -> None
+        | Some i ->
+            used.(i) <- true;
+            go ((id_of x, id_of right.(i)) :: acc) rest)
+  in
+  go [] left
+
+(* Admissible lower bound on the optimal property cost: every left
+   element pays at least its cheapest same-label pairing. *)
+let cost_lower_bound g1 g2 =
+  let node_lb =
+    List.fold_left
+      (fun acc (n1 : Graph.node) ->
+        let best =
+          List.fold_left
+            (fun best (n2 : Graph.node) ->
+              if String.equal n1.Graph.node_label n2.Graph.node_label then
+                min best (Props.mismatch_cost n1.Graph.node_props n2.Graph.node_props)
+              else best)
+            max_int (Graph.nodes g2)
+        in
+        if best = max_int then max_int else acc + best)
+      0 (Graph.nodes g1)
+  in
+  if node_lb = max_int then max_int
+  else
+    List.fold_left
+      (fun acc (e1 : Graph.edge) ->
+        if acc = max_int then max_int
+        else
+          let best =
+            List.fold_left
+              (fun best (e2 : Graph.edge) ->
+                if String.equal e1.Graph.edge_label e2.Graph.edge_label then
+                  min best (Props.mismatch_cost e1.Graph.edge_props e2.Graph.edge_props)
+                else best)
+              max_int (Graph.edges g2)
+          in
+          if best = max_int then max_int else acc + best)
+      node_lb (Graph.edges g1)
+
+let greedy ~sub g1 g2 =
+  let node_pairs =
+    align_by_label (by_creation_nodes g1) (by_creation_nodes g2)
+      ~label_of:(fun (n : Graph.node) -> n.Graph.node_label)
+      ~id_of:(fun (n : Graph.node) -> n.Graph.node_id)
+  in
+  let edge_pairs =
+    align_by_label (by_creation_edges g1) (by_creation_edges g2)
+      ~label_of:(fun (e : Graph.edge) -> e.Graph.edge_label)
+      ~id_of:(fun (e : Graph.edge) -> e.Graph.edge_id)
+  in
+  match (node_pairs, edge_pairs) with
+  | Some node_map, Some edge_map ->
+      let m = { Matching.node_map; edge_map; cost = 0 } in
+      let m = { m with Matching.cost = Matching.cost_of g1 g2 m } in
+      if Result.is_ok (Matching.verify ~sub g1 g2 m) then Some m else None
+  | _ -> None
+
+(* Accept the greedy alignment only when it is provably optimal. *)
+let attempt ~sub g1 g2 =
+  match greedy ~sub g1 g2 with
+  | Some m when m.Matching.cost = cost_lower_bound g1 g2 ->
+      incr certified;
+      Some m
+  | _ ->
+      incr fallbacks;
+      None
+
+(* Similarity ignores properties, so any verified bijection certifies it
+   — no cost bound needed. *)
+let similar g1 g2 =
+  match greedy ~sub:false g1 g2 with
+  | Some _ ->
+      incr certified;
+      true
+  | None ->
+      incr fallbacks;
+      Vf2.similar g1 g2
+
+let iso_min_cost g1 g2 =
+  match attempt ~sub:false g1 g2 with Some m -> Some m | None -> Vf2.iso_min_cost g1 g2
+
+let sub_iso_min_cost g1 g2 =
+  match attempt ~sub:true g1 g2 with Some m -> Some m | None -> Vf2.sub_iso_min_cost g1 g2

@@ -1,0 +1,25 @@
+(** Incremental matching — the optimization the paper suggests in
+    Section 5.4: "if matched nodes are usually produced in the same
+    order (according to timestamps), then it may be possible to
+    incrementally match the foreground and background graphs".
+
+    Elements are aligned greedily in creation order (recorders assign
+    monotonically increasing identifiers, standing in for timestamps),
+    label-compatibly.  The greedy matching is {e certified}: it is
+    returned only when it verifies structurally and its property cost
+    reaches an admissible lower bound — i.e. when it is provably
+    optimal.  Otherwise the exact {!Vf2} search runs, so results are
+    always identical to the exact backend; only the time differs. *)
+
+(** How often the fast path succeeded since program start, as
+    [(certified, fallbacks)] — exposed so benchmarks can report the hit
+    rate. *)
+val stats : unit -> int * int
+
+val reset_stats : unit -> unit
+
+val similar : Pgraph.Graph.t -> Pgraph.Graph.t -> bool
+
+val iso_min_cost : Pgraph.Graph.t -> Pgraph.Graph.t -> Matching.t option
+
+val sub_iso_min_cost : Pgraph.Graph.t -> Pgraph.Graph.t -> Matching.t option

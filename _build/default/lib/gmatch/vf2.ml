@@ -1,0 +1,279 @@
+open Pgraph
+
+(* The search matches left nodes to right nodes one at a time
+   (most-constrained-first), and as soon as both endpoints of a left edge
+   are matched, branches over the compatible right edges.  Injectivity is
+   maintained with "used" tables; for the bijective modes a cardinality
+   precheck on label multisets guarantees that an injective total matching
+   is in fact a bijection. *)
+
+type mode = Bijective | Injective
+
+type search_state = {
+  g1 : Graph.t;
+  g2 : Graph.t;
+  mode : mode;
+  with_cost : bool;
+  node_assign : (string, string) Hashtbl.t;
+  used2_nodes : (string, unit) Hashtbl.t;
+  edge_assign : (string, string) Hashtbl.t;
+  used2_edges : (string, unit) Hashtbl.t;
+  mutable cost : int;
+  mutable best_cost : int;
+  mutable best : (((string * string) list * (string * string) list) * int) option;
+}
+
+let node_cost st (n1 : Graph.node) (n2 : Graph.node) =
+  if st.with_cost then Props.mismatch_cost n1.Graph.node_props n2.Graph.node_props else 0
+
+let edge_cost st (e1 : Graph.edge) (e2 : Graph.edge) =
+  if st.with_cost then Props.mismatch_cost e1.Graph.edge_props e2.Graph.edge_props else 0
+
+(* Right-edge candidates for a left edge whose endpoints are matched. *)
+let edge_candidates st (e1 : Graph.edge) =
+  match
+    ( Hashtbl.find_opt st.node_assign e1.Graph.edge_src,
+      Hashtbl.find_opt st.node_assign e1.Graph.edge_tgt )
+  with
+  | Some src2, Some tgt2 ->
+      List.filter
+        (fun (e2 : Graph.edge) ->
+          String.equal e2.Graph.edge_label e1.Graph.edge_label
+          && String.equal e2.Graph.edge_tgt tgt2
+          && not (Hashtbl.mem st.used2_edges e2.Graph.edge_id))
+        (Graph.out_edges st.g2 src2)
+  | _ -> []
+
+(* Left edges both of whose endpoints are matched but which are not yet
+   assigned. *)
+let pending_edges st =
+  List.filter
+    (fun (e1 : Graph.edge) ->
+      (not (Hashtbl.mem st.edge_assign e1.Graph.edge_id))
+      && Hashtbl.mem st.node_assign e1.Graph.edge_src
+      && Hashtbl.mem st.node_assign e1.Graph.edge_tgt)
+    (Graph.edges st.g1)
+
+let degree_ok st (n1 : Graph.node) (n2 : Graph.node) =
+  let d1o = List.length (Graph.out_edges st.g1 n1.Graph.node_id)
+  and d1i = List.length (Graph.in_edges st.g1 n1.Graph.node_id)
+  and d2o = List.length (Graph.out_edges st.g2 n2.Graph.node_id)
+  and d2i = List.length (Graph.in_edges st.g2 n2.Graph.node_id) in
+  match st.mode with
+  | Bijective -> d1o = d2o && d1i = d2i
+  | Injective -> d1o <= d2o && d1i <= d2i
+
+(* Candidates for an unmatched left node: unused right nodes of the same
+   label, degree-compatible, and consistent with the edges already
+   connecting [n1] to the matched region. *)
+let node_candidates st (n1 : Graph.node) =
+  let consistent (n2 : Graph.node) =
+    let ok_edge (e1 : Graph.edge) other pick_required =
+      match Hashtbl.find_opt st.node_assign other with
+      | None -> true
+      | Some other2 ->
+          let required_src, required_tgt = pick_required n2.Graph.node_id other2 in
+          List.exists
+            (fun (e2 : Graph.edge) ->
+              String.equal e2.Graph.edge_label e1.Graph.edge_label
+              && String.equal e2.Graph.edge_src required_src
+              && String.equal e2.Graph.edge_tgt required_tgt
+              && not (Hashtbl.mem st.used2_edges e2.Graph.edge_id))
+            (Graph.incident_edges st.g2 required_src)
+    in
+    List.for_all
+      (fun (e1 : Graph.edge) ->
+        if String.equal e1.Graph.edge_src n1.Graph.node_id then
+          ok_edge e1 e1.Graph.edge_tgt (fun me other -> (me, other))
+        else ok_edge e1 e1.Graph.edge_src (fun me other -> (other, me)))
+      (Graph.incident_edges st.g1 n1.Graph.node_id)
+  in
+  List.filter
+    (fun (n2 : Graph.node) ->
+      String.equal n2.Graph.node_label n1.Graph.node_label
+      && (not (Hashtbl.mem st.used2_nodes n2.Graph.node_id))
+      && degree_ok st n1 n2
+      && consistent n2)
+    (Graph.nodes st.g2)
+
+(* Admissible lower bound on the cost still to be paid: every unmatched
+   left node must map to SOME unused same-label right node, so it pays at
+   least the cheapest such pairing (structure ignored — admissible).  An
+   unmatched node with no remaining candidate makes the branch dead. *)
+let remaining_cost_lower_bound st =
+  let rec fold_nodes nodes acc =
+    match nodes with
+    | [] -> Some acc
+    | (n1 : Graph.node) :: rest ->
+        if Hashtbl.mem st.node_assign n1.Graph.node_id then fold_nodes rest acc
+        else
+          let best = ref max_int in
+          List.iter
+            (fun (n2 : Graph.node) ->
+              if
+                String.equal n2.Graph.node_label n1.Graph.node_label
+                && not (Hashtbl.mem st.used2_nodes n2.Graph.node_id)
+              then (
+                let c = node_cost st n1 n2 in
+                if c < !best then best := c))
+            (Graph.nodes st.g2);
+          if !best = max_int then None else fold_nodes rest (acc + !best)
+  in
+  (* Same reasoning for edges, ignoring endpoint compatibility (still
+     admissible).  Transient per-event properties (timestamps, event
+     ids) make every edge pairing pay a fixed floor, which is what makes
+     this bound bite on symmetric graphs. *)
+  let rec fold_edges edges acc =
+    match edges with
+    | [] -> Some acc
+    | (e1 : Graph.edge) :: rest ->
+        if Hashtbl.mem st.edge_assign e1.Graph.edge_id then fold_edges rest acc
+        else
+          let best = ref max_int in
+          List.iter
+            (fun (e2 : Graph.edge) ->
+              if
+                String.equal e2.Graph.edge_label e1.Graph.edge_label
+                && not (Hashtbl.mem st.used2_edges e2.Graph.edge_id)
+              then (
+                let c = edge_cost st e1 e2 in
+                if c < !best then best := c))
+            (Graph.edges st.g2);
+          if !best = max_int then None else fold_edges rest (acc + !best)
+  in
+  match fold_nodes (Graph.nodes st.g1) 0 with
+  | None -> None
+  | Some n -> ( match fold_edges (Graph.edges st.g1) 0 with None -> None | Some e -> Some (n + e))
+
+let record_model st =
+  if st.cost < st.best_cost then (
+    st.best_cost <- st.cost;
+    let nodes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.node_assign [] in
+    let edges = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.edge_assign [] in
+    st.best <- Some ((nodes, edges), st.cost))
+
+exception Found
+
+let rec search st ~first_only =
+  if
+    st.with_cost
+    && (st.cost >= st.best_cost
+       ||
+       match remaining_cost_lower_bound st with
+       | None -> true
+       | Some lb -> st.cost + lb >= st.best_cost)
+  then ()
+  else
+    match pending_edges st with
+    | e1 :: _ ->
+        (* Resolve determined edges before extending the node matching.
+           Candidates are tried cheapest-first so the initial descent
+           reaches a near-optimal matching and branch-and-bound prunes
+           aggressively on symmetric graphs. *)
+        let candidates =
+          if st.with_cost then
+            List.sort
+              (fun a b -> Int.compare (edge_cost st e1 a) (edge_cost st e1 b))
+              (edge_candidates st e1)
+          else edge_candidates st e1
+        in
+        List.iter
+          (fun (e2 : Graph.edge) ->
+            Hashtbl.replace st.edge_assign e1.Graph.edge_id e2.Graph.edge_id;
+            Hashtbl.replace st.used2_edges e2.Graph.edge_id ();
+            let c = edge_cost st e1 e2 in
+            st.cost <- st.cost + c;
+            search st ~first_only;
+            st.cost <- st.cost - c;
+            Hashtbl.remove st.used2_edges e2.Graph.edge_id;
+            Hashtbl.remove st.edge_assign e1.Graph.edge_id)
+          candidates
+    | [] -> (
+        let unmatched =
+          List.filter
+            (fun (n : Graph.node) -> not (Hashtbl.mem st.node_assign n.Graph.node_id))
+            (Graph.nodes st.g1)
+        in
+        match unmatched with
+        | [] ->
+            record_model st;
+            if first_only then raise Found
+        | _ ->
+            (* Most-constrained node first. *)
+            let scored = List.map (fun n -> (n, node_candidates st n)) unmatched in
+            let n1, cands =
+              List.fold_left
+                (fun (bn, bc) (n, c) -> if List.length c < List.length bc then (n, c) else (bn, bc))
+                (List.hd scored) (List.tl scored)
+            in
+            let cands =
+              if st.with_cost then
+                List.sort (fun a b -> Int.compare (node_cost st n1 a) (node_cost st n1 b)) cands
+              else cands
+            in
+            List.iter
+              (fun (n2 : Graph.node) ->
+                Hashtbl.replace st.node_assign n1.Graph.node_id n2.Graph.node_id;
+                Hashtbl.replace st.used2_nodes n2.Graph.node_id ();
+                let c = node_cost st n1 n2 in
+                st.cost <- st.cost + c;
+                search st ~first_only;
+                st.cost <- st.cost - c;
+                Hashtbl.remove st.used2_nodes n2.Graph.node_id;
+                Hashtbl.remove st.node_assign n1.Graph.node_id)
+              cands)
+
+let make_state ~mode ~with_cost g1 g2 =
+  {
+    g1;
+    g2;
+    mode;
+    with_cost;
+    node_assign = Hashtbl.create 32;
+    used2_nodes = Hashtbl.create 32;
+    edge_assign = Hashtbl.create 32;
+    used2_edges = Hashtbl.create 32;
+    cost = 0;
+    best_cost = max_int;
+    best = None;
+  }
+
+let bijective_precheck g1 g2 =
+  Graph.node_count g1 = Graph.node_count g2
+  && Graph.edge_count g1 = Graph.edge_count g2
+  && List.equal String.equal (Graph.node_label_multiset g1) (Graph.node_label_multiset g2)
+  && List.equal String.equal (Graph.edge_label_multiset g1) (Graph.edge_label_multiset g2)
+
+let injective_precheck g1 g2 =
+  let module Smap = Map.Make (String) in
+  let hist labels =
+    List.fold_left
+      (fun m l -> Smap.update l (function None -> Some 1 | Some n -> Some (n + 1)) m)
+      Smap.empty labels
+  in
+  let covers h1 h2 =
+    Smap.for_all (fun l c -> match Smap.find_opt l h2 with Some c2 -> c <= c2 | None -> false) h1
+  in
+  covers (hist (Graph.node_label_multiset g1)) (hist (Graph.node_label_multiset g2))
+  && covers (hist (Graph.edge_label_multiset g1)) (hist (Graph.edge_label_multiset g2))
+
+let similar g1 g2 =
+  bijective_precheck g1 g2
+  &&
+  let st = make_state ~mode:Bijective ~with_cost:false g1 g2 in
+  match search st ~first_only:true with
+  | () -> Option.is_some st.best
+  | exception Found -> true
+
+let run_min_cost ~mode g1 g2 =
+  let precheck = match mode with Bijective -> bijective_precheck | Injective -> injective_precheck in
+  if not (precheck g1 g2) then None
+  else
+    let st = make_state ~mode ~with_cost:true g1 g2 in
+    search st ~first_only:false;
+    Option.map
+      (fun ((nodes, edges), cost) -> { Matching.node_map = nodes; edge_map = edges; cost })
+      st.best
+
+let iso_min_cost g1 g2 = run_min_cost ~mode:Bijective g1 g2
+let sub_iso_min_cost g1 g2 = run_min_cost ~mode:Injective g1 g2

@@ -1,0 +1,22 @@
+(** Direct VF2-style branch-and-bound graph matcher.
+
+    This is the fast native backend; the {!Asp_backend} solves the same
+    problems from the paper's ASP specifications, and the two are
+    cross-checked in the test suite (they must agree on satisfiability
+    and on optimal cost; optimal matchings themselves need not be
+    unique). *)
+
+(** [similar g1 g2] decides shape similarity (paper Section 3.4):
+    existence of a bijection preserving labels and edge incidences,
+    ignoring properties. *)
+val similar : Pgraph.Graph.t -> Pgraph.Graph.t -> bool
+
+(** [iso_min_cost g1 g2] finds a similarity bijection minimizing the
+    Listing-4 property-mismatch cost, or [None] when the graphs are not
+    similar. *)
+val iso_min_cost : Pgraph.Graph.t -> Pgraph.Graph.t -> Matching.t option
+
+(** [sub_iso_min_cost g1 g2] finds an injection of [g1] into [g2]
+    preserving labels and incidences and minimizing the property-mismatch
+    cost, or [None] if no embedding exists. *)
+val sub_iso_min_cost : Pgraph.Graph.t -> Pgraph.Graph.t -> Matching.t option

@@ -1,0 +1,1 @@
+lib/graphstore/query.ml: List Option Store String

@@ -1,0 +1,1 @@
+lib/graphstore/query.mli: Store

@@ -1,0 +1,1 @@
+lib/graphstore/store.ml: Buffer Hashtbl Int Int64 List Printf String

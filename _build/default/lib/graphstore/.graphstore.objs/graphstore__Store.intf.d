@@ -1,0 +1,1 @@
+lib/graphstore/store.mli:

@@ -1,0 +1,36 @@
+let has_props (n : Store.node_record) props =
+  List.for_all
+    (fun (k, v) ->
+      match List.assoc_opt k n.Store.n_props with Some w -> String.equal v w | None -> false)
+    props
+
+let match_nodes store ?label ?(props = []) () =
+  let base =
+    match label with
+    | Some l -> Store.nodes_with_label store l
+    | None -> Store.all_nodes store
+  in
+  List.filter (fun n -> has_props n props) base
+
+let expand store ~from ?rel_type dir =
+  let rels =
+    match dir with
+    | `Out -> Store.rels_from store from
+    | `In -> Store.rels_to store from
+    | `Both -> Store.rels_from store from @ Store.rels_to store from
+  in
+  let rels =
+    match rel_type with
+    | Some t -> List.filter (fun (r : Store.rel_record) -> String.equal r.Store.r_type t) rels
+    | None -> rels
+  in
+  List.filter_map
+    (fun (r : Store.rel_record) ->
+      let far = if r.Store.r_src = from then r.Store.r_tgt else r.Store.r_src in
+      Option.map (fun n -> (r, n)) (Store.find_node store far))
+    rels
+
+let export_all store = (Store.all_nodes store, Store.all_rels store)
+
+let degree store id =
+  List.length (Store.rels_from store id) + List.length (Store.rels_to store id)

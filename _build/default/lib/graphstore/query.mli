@@ -1,0 +1,26 @@
+(** Query layer over {!Store}: the subset of graph-pattern operations the
+    OPUS transformation module needs (match by label and properties,
+    expand relationships, full export).  All queries require the store to
+    be opened and raise {!Store.Closed} otherwise. *)
+
+(** [match_nodes store ?label ?props ()] returns nodes carrying [label]
+    (if given) whose properties include all bindings in [props]. *)
+val match_nodes :
+  Store.t -> ?label:string -> ?props:(string * string) list -> unit -> Store.node_record list
+
+(** [expand store ~from ?rel_type dir] follows relationships from node
+    [from] in the given direction, returning each relationship with the
+    node at its far end. *)
+val expand :
+  Store.t ->
+  from:int ->
+  ?rel_type:string ->
+  [ `Out | `In | `Both ] ->
+  (Store.rel_record * Store.node_record) list
+
+(** Export the full graph as (nodes, relationships) — what ProvMark's
+    OPUS transformation performs after each run. *)
+val export_all : Store.t -> Store.node_record list * Store.rel_record list
+
+(** Degree of a node, counting both directions. *)
+val degree : Store.t -> int -> int

@@ -1,0 +1,1 @@
+lib/minijson/json.ml: Bool Buffer Char Float Format List Printf String

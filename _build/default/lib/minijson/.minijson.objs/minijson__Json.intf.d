@@ -1,0 +1,1 @@
+lib/minijson/json.mli: Format

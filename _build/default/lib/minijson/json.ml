@@ -1,0 +1,298 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_string ?(pretty = false) j =
+  let b = Buffer.create 256 in
+  let indent n = if pretty then Buffer.add_string b (String.make (2 * n) ' ') in
+  let newline () = if pretty then Buffer.add_char b '\n' in
+  let rec go depth j =
+    match j with
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Number f -> Buffer.add_string b (number_to_string f)
+    | String s -> escape_string b s
+    | Array [] -> Buffer.add_string b "[]"
+    | Array items ->
+        Buffer.add_char b '[';
+        newline ();
+        List.iteri
+          (fun i item ->
+            if i > 0 then (Buffer.add_char b ','; newline ());
+            indent (depth + 1);
+            go (depth + 1) item)
+          items;
+        newline ();
+        indent depth;
+        Buffer.add_char b ']'
+    | Object [] -> Buffer.add_string b "{}"
+    | Object members ->
+        Buffer.add_char b '{';
+        newline ();
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then (Buffer.add_char b ','; newline ());
+            indent (depth + 1);
+            escape_string b k;
+            Buffer.add_string b (if pretty then ": " else ":");
+            go (depth + 1) v)
+          members;
+        newline ();
+        indent depth;
+        Buffer.add_char b '}'
+  in
+  go 0 j;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when Char.equal c c' -> advance st
+  | _ -> error st (Printf.sprintf "expected %c" c)
+
+let parse_literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.equal (String.sub st.src st.pos n) word then (
+    st.pos <- st.pos + n;
+    value)
+  else error st (Printf.sprintf "expected %s" word)
+
+let parse_hex4 st =
+  if st.pos + 4 > String.length st.src then error st "truncated \\u escape";
+  let s = String.sub st.src st.pos 4 in
+  st.pos <- st.pos + 4;
+  match int_of_string_opt ("0x" ^ s) with
+  | Some n -> n
+  | None -> error st "bad \\u escape"
+
+(* Encode a Unicode scalar value as UTF-8. *)
+let add_utf8 b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then (
+    Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F))))
+  else if cp < 0x10000 then (
+    Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F))))
+  else (
+    Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F))))
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' ->
+        advance st;
+        Buffer.contents b
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> error st "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                let hi = parse_hex4 st in
+                if hi >= 0xD800 && hi <= 0xDBFF then (
+                  (* surrogate pair *)
+                  expect st '\\';
+                  expect st 'u';
+                  let lo = parse_hex4 st in
+                  if lo < 0xDC00 || lo > 0xDFFF then error st "invalid low surrogate";
+                  add_utf8 b (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00)))
+                else add_utf8 b hi
+            | _ -> error st "bad escape character");
+            loop ())
+    | Some c ->
+        advance st;
+        Buffer.add_char b c;
+        loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  let rec eat () =
+    match peek st with
+    | Some c when is_num_char c ->
+        advance st;
+        eat ()
+    | _ -> ()
+  in
+  eat ();
+  let s = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Number f
+  | None -> error st (Printf.sprintf "bad number %S" s)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '{' -> parse_object st
+  | Some '[' -> parse_array st
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error st (Printf.sprintf "unexpected character %C" c)
+
+and parse_object st =
+  expect st '{';
+  skip_ws st;
+  match peek st with
+  | Some '}' ->
+      advance st;
+      Object []
+  | _ ->
+      let rec members acc =
+        skip_ws st;
+        let key = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let value = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+            advance st;
+            members ((key, value) :: acc)
+        | Some '}' ->
+            advance st;
+            Object (List.rev ((key, value) :: acc))
+        | _ -> error st "expected , or } in object"
+      in
+      members []
+
+and parse_array st =
+  expect st '[';
+  skip_ws st;
+  match peek st with
+  | Some ']' ->
+      advance st;
+      Array []
+  | _ ->
+      let rec items acc =
+        let value = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+            advance st;
+            items (value :: acc)
+        | Some ']' ->
+            advance st;
+            Array (List.rev (value :: acc))
+        | _ -> error st "expected , or ] in array"
+      in
+      items []
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  (match peek st with None -> () | Some _ -> error st "trailing garbage");
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function
+  | Object members -> ( match List.assoc_opt key members with Some v -> v | None -> Null)
+  | _ -> invalid_arg "Json.member: not an object"
+
+let mem key = function
+  | Object members -> List.mem_assoc key members
+  | _ -> invalid_arg "Json.mem: not an object"
+
+let to_assoc = function Object members -> members | _ -> invalid_arg "Json.to_assoc: not an object"
+let to_list = function Array items -> items | _ -> invalid_arg "Json.to_list: not an array"
+let to_str = function String s -> s | _ -> invalid_arg "Json.to_str: not a string"
+let to_number = function Number f -> f | _ -> invalid_arg "Json.to_number: not a number"
+
+let to_int = function
+  | Number f when Float.is_integer f -> int_of_float f
+  | _ -> invalid_arg "Json.to_int: not an integer"
+
+let to_bool = function Bool b -> b | _ -> invalid_arg "Json.to_bool: not a boolean"
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> Bool.equal x y
+  | Number x, Number y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | Array xs, Array ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Object xs, Object ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun (k, v) (k', v') -> String.equal k k' && equal v v') xs ys
+  | (Null | Bool _ | Number _ | String _ | Array _ | Object _), _ -> false
+
+let pp ppf j = Format.pp_print_string ppf (to_string ~pretty:true j)

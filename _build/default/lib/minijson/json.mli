@@ -1,0 +1,43 @@
+(** A minimal JSON implementation (vendored substitute for yojson, which
+    is not available in the sealed build environment).  It supports the
+    full JSON grammar needed by the W3C PROV-JSON serialization used by
+    CamFlow: objects, arrays, strings with escapes, numbers, booleans and
+    null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Parse_error of string
+
+(** [to_string ?pretty j] serializes [j].  With [pretty:true] (default
+    false) the output is indented with two spaces.  Object member order is
+    preserved. *)
+val to_string : ?pretty:bool -> t -> string
+
+(** [of_string s] parses a JSON document.  Raises {!Parse_error} with a
+    message including the offending position on malformed input. *)
+val of_string : string -> t
+
+(** {2 Accessors}
+
+    Accessors raise [Invalid_argument] when the value has the wrong
+    shape; [member] returns [Null] for a missing member, mirroring
+    common JSON library conventions. *)
+
+val member : string -> t -> t
+val mem : string -> t -> bool
+val to_assoc : t -> (string * t) list
+val to_list : t -> t list
+val to_str : t -> string
+val to_number : t -> float
+val to_int : t -> int
+val to_bool : t -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/oskernel/cred.mli: Errno Format

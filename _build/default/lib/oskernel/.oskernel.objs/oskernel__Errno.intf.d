@@ -1,0 +1,1 @@
+lib/oskernel/errno.mli: Format

@@ -1,0 +1,1 @@
+lib/oskernel/event.ml: Errno Format Printf

@@ -1,0 +1,1 @@
+lib/oskernel/event.mli: Errno Format

@@ -1,0 +1,1 @@
+lib/oskernel/fs.ml: Cred Errno Hashtbl List String

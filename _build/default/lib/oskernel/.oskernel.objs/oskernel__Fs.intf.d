@@ -1,0 +1,1 @@
+lib/oskernel/fs.mli: Cred Errno

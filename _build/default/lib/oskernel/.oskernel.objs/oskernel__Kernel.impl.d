@@ -1,0 +1,1 @@
+lib/oskernel/kernel.ml: Cred Errno Event Fs Hashtbl Int64 List Option Printf Prng Process Program String Syscall Trace

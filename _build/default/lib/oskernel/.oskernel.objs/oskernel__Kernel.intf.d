@@ -1,0 +1,1 @@
+lib/oskernel/kernel.mli: Program Trace

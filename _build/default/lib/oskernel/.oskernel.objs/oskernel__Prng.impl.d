@@ -1,0 +1,1 @@
+lib/oskernel/prng.ml: Int64 Printf

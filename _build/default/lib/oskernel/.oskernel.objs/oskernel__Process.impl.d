@@ -1,0 +1,1 @@
+lib/oskernel/process.ml: Cred Hashtbl Syscall

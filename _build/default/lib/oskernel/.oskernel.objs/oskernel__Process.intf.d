@@ -1,0 +1,1 @@
+lib/oskernel/process.mli: Cred Hashtbl Syscall

@@ -1,0 +1,1 @@
+lib/oskernel/program.mli: Cred Syscall

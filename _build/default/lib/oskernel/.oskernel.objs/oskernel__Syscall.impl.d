@@ -1,0 +1,1 @@
+lib/oskernel/syscall.ml: Format

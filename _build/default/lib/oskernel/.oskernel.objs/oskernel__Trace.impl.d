@@ -1,0 +1,1 @@
+lib/oskernel/trace.ml: Event Format Int List

@@ -1,0 +1,1 @@
+lib/oskernel/trace.mli: Event Format

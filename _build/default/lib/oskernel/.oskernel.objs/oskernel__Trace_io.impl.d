@@ -1,0 +1,1 @@
+lib/oskernel/trace_io.ml: Errno Event Float Json List Minijson Printf Trace

@@ -1,0 +1,1 @@
+lib/oskernel/trace_io.mli: Trace

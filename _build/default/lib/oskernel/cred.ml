@@ -1,0 +1,66 @@
+type t = {
+  ruid : int;
+  euid : int;
+  suid : int;
+  rgid : int;
+  egid : int;
+  sgid : int;
+}
+
+let make ~uid ~gid = { ruid = uid; euid = uid; suid = uid; rgid = gid; egid = gid; sgid = gid }
+let root = make ~uid:0 ~gid:0
+let is_root c = c.euid = 0
+
+let allowed_uid c id = id = c.ruid || id = c.euid || id = c.suid
+let allowed_gid c id = id = c.rgid || id = c.egid || id = c.sgid
+
+let setuid c id =
+  if is_root c then Ok { c with ruid = id; euid = id; suid = id }
+  else if allowed_uid c id then Ok { c with euid = id }
+  else Error Errno.EPERM
+
+let setgid c id =
+  if is_root c then Ok { c with rgid = id; egid = id; sgid = id }
+  else if allowed_gid c id then Ok { c with egid = id }
+  else Error Errno.EPERM
+
+let pick current requested = if requested = -1 then current else requested
+
+let setreuid c r e =
+  let r' = pick c.ruid r and e' = pick c.euid e in
+  let ok = is_root c || ((r = -1 || allowed_uid c r) && (e = -1 || allowed_uid c e)) in
+  if not ok then Error Errno.EPERM
+  else
+    (* If the real uid changes or the effective uid differs from the old
+       real uid, the saved uid becomes the new effective uid. *)
+    let s' = if r <> -1 || e' <> c.ruid then e' else c.suid in
+    Ok { c with ruid = r'; euid = e'; suid = s' }
+
+let setregid c r e =
+  let r' = pick c.rgid r and e' = pick c.egid e in
+  let ok = is_root c || ((r = -1 || allowed_gid c r) && (e = -1 || allowed_gid c e)) in
+  if not ok then Error Errno.EPERM
+  else
+    let s' = if r <> -1 || e' <> c.rgid then e' else c.sgid in
+    Ok { c with rgid = r'; egid = e'; sgid = s' }
+
+let setresuid c r e s =
+  let ok =
+    is_root c
+    || (r = -1 || allowed_uid c r) && (e = -1 || allowed_uid c e) && (s = -1 || allowed_uid c s)
+  in
+  if not ok then Error Errno.EPERM
+  else Ok { c with ruid = pick c.ruid r; euid = pick c.euid e; suid = pick c.suid s }
+
+let setresgid c r e s =
+  let ok =
+    is_root c
+    || (r = -1 || allowed_gid c r) && (e = -1 || allowed_gid c e) && (s = -1 || allowed_gid c s)
+  in
+  if not ok then Error Errno.EPERM
+  else Ok { c with rgid = pick c.rgid r; egid = pick c.egid e; sgid = pick c.sgid s }
+
+let equal a b = a = b
+
+let pp ppf c =
+  Format.fprintf ppf "uid %d/%d/%d gid %d/%d/%d" c.ruid c.euid c.suid c.rgid c.egid c.sgid

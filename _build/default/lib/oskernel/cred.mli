@@ -1,0 +1,35 @@
+(** Process credentials: real, effective and saved user/group ids, with
+    the POSIX transition rules needed by the [set*uid]/[set*gid]
+    benchmark group. *)
+
+type t = {
+  ruid : int;
+  euid : int;
+  suid : int;
+  rgid : int;
+  egid : int;
+  sgid : int;
+}
+
+val make : uid:int -> gid:int -> t
+
+val root : t
+
+val is_root : t -> bool
+
+(** Each setter returns [Error EPERM] when the caller lacks the
+    privilege for the requested transition, mirroring the kernel rules:
+    an unprivileged process may only set ids to one of its current
+    real/effective/saved ids.  [-1] arguments mean "leave unchanged"
+    (for the [setre*]/[setres*] forms). *)
+
+val setuid : t -> int -> (t, Errno.t) result
+val setgid : t -> int -> (t, Errno.t) result
+val setreuid : t -> int -> int -> (t, Errno.t) result
+val setregid : t -> int -> int -> (t, Errno.t) result
+val setresuid : t -> int -> int -> int -> (t, Errno.t) result
+val setresgid : t -> int -> int -> int -> (t, Errno.t) result
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

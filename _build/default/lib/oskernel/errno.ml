@@ -1,0 +1,35 @@
+type t =
+  | EACCES
+  | EBADF
+  | EEXIST
+  | EINVAL
+  | EISDIR
+  | ENOENT
+  | ENOTDIR
+  | EPERM
+  | ESRCH
+
+let to_string = function
+  | EACCES -> "EACCES"
+  | EBADF -> "EBADF"
+  | EEXIST -> "EEXIST"
+  | EINVAL -> "EINVAL"
+  | EISDIR -> "EISDIR"
+  | ENOENT -> "ENOENT"
+  | ENOTDIR -> "ENOTDIR"
+  | EPERM -> "EPERM"
+  | ESRCH -> "ESRCH"
+
+let code = function
+  | EPERM -> 1
+  | ENOENT -> 2
+  | ESRCH -> 3
+  | EACCES -> 13
+  | EEXIST -> 17
+  | ENOTDIR -> 20
+  | EISDIR -> 21
+  | EINVAL -> 22
+  | EBADF -> 9
+
+let equal a b = a = b
+let pp ppf e = Format.pp_print_string ppf (to_string e)

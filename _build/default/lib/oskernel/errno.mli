@@ -1,0 +1,21 @@
+(** The error codes the simulated kernel can return. *)
+
+type t =
+  | EACCES
+  | EBADF
+  | EEXIST
+  | EINVAL
+  | EISDIR
+  | ENOENT
+  | ENOTDIR
+  | EPERM
+  | ESRCH
+
+val to_string : t -> string
+
+(** Conventional Linux numeric code (positive). *)
+val code : t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

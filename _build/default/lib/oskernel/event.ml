@@ -1,0 +1,70 @@
+type fd_info = { fd : int; ino : int; path : string option }
+
+type audit_record = {
+  a_seq : int;
+  a_time : int;
+  a_syscall : string;
+  a_args : (string * string) list;
+  a_exit : int;
+  a_success : bool;
+  a_pid : int;
+  a_ppid : int;
+  a_uid : int;
+  a_euid : int;
+  a_gid : int;
+  a_egid : int;
+  a_comm : string;
+  a_exe : string;
+  a_paths : string list;
+  a_fds : fd_info list;
+}
+
+type libc_record = {
+  l_seq : int;
+  l_time : int;
+  l_func : string;
+  l_args : (string * string) list;
+  l_ret : int;
+  l_errno : Errno.t option;
+  l_pid : int;
+  l_comm : string;
+  l_fds : fd_info list;
+}
+
+type lsm_object =
+  | Obj_inode of { ino : int; path : string option; kind : string }
+  | Obj_process of { pid : int }
+  | Obj_cred of { uid : int; gid : int }
+
+type lsm_record = {
+  s_seq : int;
+  s_time : int;
+  s_hook : string;
+  s_pid : int;
+  s_obj : lsm_object;
+  s_extra : (string * string) list;
+  s_allowed : bool;
+}
+
+type t =
+  | Audit of audit_record
+  | Libc of libc_record
+  | Lsm of lsm_record
+
+let pp ppf = function
+  | Audit a ->
+      Format.fprintf ppf "audit[%d] %s pid=%d exit=%d success=%b" a.a_seq a.a_syscall a.a_pid
+        a.a_exit a.a_success
+  | Libc l ->
+      Format.fprintf ppf "libc[%d] %s pid=%d ret=%d" l.l_seq l.l_func l.l_pid l.l_ret
+  | Lsm s ->
+      let obj =
+        match s.s_obj with
+        | Obj_inode { ino; path; kind } ->
+            Printf.sprintf "inode %d (%s%s)" ino kind
+              (match path with Some p -> " " ^ p | None -> "")
+        | Obj_process { pid } -> Printf.sprintf "process %d" pid
+        | Obj_cred { uid; gid } -> Printf.sprintf "cred %d:%d" uid gid
+      in
+      Format.fprintf ppf "lsm[%d] %s pid=%d obj=%s allowed=%b" s.s_seq s.s_hook s.s_pid obj
+        s.s_allowed

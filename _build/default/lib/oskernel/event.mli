@@ -1,0 +1,66 @@
+(** Observation events: what each capture layer sees when the simulated
+    kernel executes a syscall.  Three parallel streams mirror the
+    architectures of Figure 2:
+
+    - the {e audit} stream is what the Linux Audit service reports
+      (syscall-exit records with argument and path metadata) — consumed
+      by the SPADE recorder;
+    - the {e libc} stream is the sequence of C-library calls visible to a
+      userspace interposition layer — consumed by the OPUS recorder;
+    - the {e LSM} stream is the sequence of security-hook invocations
+      inside the kernel — consumed by the CamFlow recorder. *)
+
+type fd_info = { fd : int; ino : int; path : string option }
+
+type audit_record = {
+  a_seq : int;
+  a_time : int;  (** kernel clock ticks at syscall exit *)
+  a_syscall : string;
+  a_args : (string * string) list;
+  a_exit : int;  (** return value, or negated errno code *)
+  a_success : bool;
+  a_pid : int;
+  a_ppid : int;
+  a_uid : int;
+  a_euid : int;
+  a_gid : int;
+  a_egid : int;
+  a_comm : string;
+  a_exe : string;
+  a_paths : string list;  (** audit PATH records attached to the event *)
+  a_fds : fd_info list;
+}
+
+type libc_record = {
+  l_seq : int;
+  l_time : int;
+  l_func : string;  (** C library function name *)
+  l_args : (string * string) list;
+  l_ret : int;
+  l_errno : Errno.t option;
+  l_pid : int;
+  l_comm : string;
+  l_fds : fd_info list;
+}
+
+type lsm_object =
+  | Obj_inode of { ino : int; path : string option; kind : string }
+  | Obj_process of { pid : int }
+  | Obj_cred of { uid : int; gid : int }
+
+type lsm_record = {
+  s_seq : int;
+  s_time : int;
+  s_hook : string;  (** LSM hook name, e.g. ["file_open"] *)
+  s_pid : int;
+  s_obj : lsm_object;
+  s_extra : (string * string) list;
+  s_allowed : bool;  (** false when the hook denied the operation *)
+}
+
+type t =
+  | Audit of audit_record
+  | Libc of libc_record
+  | Lsm of lsm_record
+
+val pp : Format.formatter -> t -> unit

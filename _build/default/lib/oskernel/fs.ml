@@ -1,0 +1,190 @@
+type ftype =
+  | Regular
+  | Directory
+  | Fifo
+  | Chardev
+  | Symlink of string
+
+type inode = {
+  ino : int;
+  ftype : ftype;
+  mutable mode : int;
+  mutable uid : int;
+  mutable gid : int;
+  mutable nlink : int;
+  mutable size : int;
+  mutable version : int;
+}
+
+type t = {
+  inodes : (int, inode) Hashtbl.t;
+  paths : (string, int) Hashtbl.t;
+  mutable next_ino : int;
+}
+
+let create ?(first_ino = 2) () =
+  let fs = { inodes = Hashtbl.create 64; paths = Hashtbl.create 64; next_ino = max 2 first_ino } in
+  (* Root directory. *)
+  let root =
+    { ino = 1; ftype = Directory; mode = 0o755; uid = 0; gid = 0; nlink = 1; size = 0; version = 0 }
+  in
+  Hashtbl.replace fs.inodes 1 root;
+  Hashtbl.replace fs.paths "/" 1;
+  fs
+
+let alloc fs ~ftype ~mode ~uid ~gid =
+  let ino = fs.next_ino in
+  fs.next_ino <- ino + 1;
+  let inode = { ino; ftype; mode; uid; gid; nlink = 0; size = 0; version = 0 } in
+  Hashtbl.replace fs.inodes ino inode;
+  inode
+
+let lookup fs path =
+  match Hashtbl.find_opt fs.paths path with
+  | None -> None
+  | Some ino -> Hashtbl.find_opt fs.inodes ino
+
+let find_inode fs ino = Hashtbl.find_opt fs.inodes ino
+
+let resolve fs path =
+  match lookup fs path with
+  | Some { ftype = Symlink target; _ } -> lookup fs target
+  | other -> other
+
+let path_exists fs path = Hashtbl.mem fs.paths path
+
+let parent_of path =
+  match String.rindex_opt path '/' with
+  | None | Some 0 -> "/"
+  | Some i -> String.sub path 0 i
+
+let rec ensure_dir fs path =
+  if not (path_exists fs path) then (
+    if not (String.equal path "/") then ensure_dir fs (parent_of path);
+    let d = alloc fs ~ftype:Directory ~mode:0o755 ~uid:0 ~gid:0 in
+    d.nlink <- 1;
+    Hashtbl.replace fs.paths path d.ino)
+
+let bind fs path inode =
+  Hashtbl.replace fs.paths path inode.ino;
+  inode.nlink <- inode.nlink + 1
+
+let unbind fs path =
+  match Hashtbl.find_opt fs.paths path with
+  | None -> None
+  | Some ino ->
+      Hashtbl.remove fs.paths path;
+      let inode = Hashtbl.find_opt fs.inodes ino in
+      (match inode with
+      | Some i ->
+          i.nlink <- i.nlink - 1;
+          if i.nlink <= 0 then Hashtbl.remove fs.inodes ino
+      | None -> ());
+      inode
+
+let mknod_at fs ~path ~ftype ~mode ~uid ~gid =
+  if path_exists fs path then Error Errno.EEXIST
+  else (
+    ensure_dir fs (parent_of path);
+    let inode = alloc fs ~ftype ~mode ~uid ~gid in
+    bind fs path inode;
+    Ok inode)
+
+let mkfile fs ~path ~mode ~uid ~gid = mknod_at fs ~path ~ftype:Regular ~mode ~uid ~gid
+
+let mkdir fs ~path ~mode ~uid ~gid =
+  match lookup fs path with
+  | Some ({ ftype = Directory; _ } as d) -> Ok d
+  | Some _ -> Error Errno.EEXIST
+  | None -> mknod_at fs ~path ~ftype:Directory ~mode ~uid ~gid
+
+let make_pipe fs =
+  let inode = alloc fs ~ftype:Fifo ~mode:0o600 ~uid:0 ~gid:0 in
+  inode.nlink <- 1;
+  inode
+
+let paths_of_ino fs ino =
+  Hashtbl.fold (fun path i acc -> if i = ino then path :: acc else acc) fs.paths []
+  |> List.sort String.compare
+
+let link fs ~old_path ~new_path =
+  match lookup fs old_path with
+  | None -> Error Errno.ENOENT
+  | Some { ftype = Directory; _ } -> Error Errno.EPERM
+  | Some inode ->
+      if path_exists fs new_path then Error Errno.EEXIST
+      else (
+        ensure_dir fs (parent_of new_path);
+        bind fs new_path inode;
+        Ok inode)
+
+let symlink fs ~target ~link_path ~uid ~gid =
+  if path_exists fs link_path then Error Errno.EEXIST
+  else (
+    ensure_dir fs (parent_of link_path);
+    let inode = alloc fs ~ftype:(Symlink target) ~mode:0o777 ~uid ~gid in
+    bind fs link_path inode;
+    Ok inode)
+
+let unlink fs path =
+  match lookup fs path with
+  | None -> Error Errno.ENOENT
+  | Some { ftype = Directory; _ } -> Error Errno.EISDIR
+  | Some _ -> ( match unbind fs path with Some i -> Ok i | None -> Error Errno.ENOENT)
+
+let rename fs ~old_path ~new_path =
+  match lookup fs old_path with
+  | None -> Error Errno.ENOENT
+  | Some inode ->
+      if path_exists fs new_path then ignore (unbind fs new_path);
+      ensure_dir fs (parent_of new_path);
+      Hashtbl.remove fs.paths old_path;
+      Hashtbl.replace fs.paths new_path inode.ino;
+      Ok inode
+
+let truncate fs path ~length =
+  match resolve fs path with
+  | None -> Error Errno.ENOENT
+  | Some { ftype = Directory; _ } -> Error Errno.EISDIR
+  | Some inode ->
+      inode.size <- length;
+      inode.version <- inode.version + 1;
+      Ok inode
+
+let chmod fs path ~mode =
+  match resolve fs path with
+  | None -> Error Errno.ENOENT
+  | Some inode ->
+      inode.mode <- mode;
+      Ok inode
+
+let chown fs path ~uid ~gid =
+  match resolve fs path with
+  | None -> Error Errno.ENOENT
+  | Some inode ->
+      if uid >= 0 then inode.uid <- uid;
+      if gid >= 0 then inode.gid <- gid;
+      Ok inode
+
+let may_write inode (cred : Cred.t) =
+  Cred.is_root cred
+  || (inode.uid = cred.Cred.euid && inode.mode land 0o200 <> 0)
+  || (inode.gid = cred.Cred.egid && inode.mode land 0o020 <> 0)
+  || inode.mode land 0o002 <> 0
+
+let may_read inode (cred : Cred.t) =
+  Cred.is_root cred
+  || (inode.uid = cred.Cred.euid && inode.mode land 0o400 <> 0)
+  || (inode.gid = cred.Cred.egid && inode.mode land 0o040 <> 0)
+  || inode.mode land 0o004 <> 0
+
+let may_exec inode (cred : Cred.t) =
+  Cred.is_root cred
+  || (inode.uid = cred.Cred.euid && inode.mode land 0o100 <> 0)
+  || (inode.gid = cred.Cred.egid && inode.mode land 0o010 <> 0)
+  || inode.mode land 0o001 <> 0
+
+let may_modify_dir_of fs path cred =
+  match lookup fs (parent_of path) with
+  | None -> true  (* parent will be created by staging; treat as writable *)
+  | Some dir -> may_write dir cred

@@ -1,0 +1,86 @@
+(** In-memory filesystem for the simulated kernel: a path table over an
+    inode table.  Paths are absolute, ['/']-separated; intermediate
+    directories are created implicitly when staging.  Pipes are
+    anonymous inodes with no path. *)
+
+type ftype =
+  | Regular
+  | Directory
+  | Fifo
+  | Chardev
+  | Symlink of string  (** link target path *)
+
+type inode = {
+  ino : int;
+  ftype : ftype;
+  mutable mode : int;  (** permission bits, e.g. 0o644 *)
+  mutable uid : int;
+  mutable gid : int;
+  mutable nlink : int;
+  mutable size : int;
+  mutable version : int;  (** bumped on every content write/truncate *)
+}
+
+type t
+
+(** [create ?first_ino ()] builds a filesystem containing only the root
+    directory.  [first_ino] (default 2) lets runs allocate from a
+    run-specific base so inode numbers behave like the transient values
+    real systems produce. *)
+val create : ?first_ino:int -> unit -> t
+
+(** [mkfile fs ~path ~mode ~uid ~gid] creates a regular file, creating
+    missing parent directories (owned by root).  Returns [Error EEXIST]
+    if the path exists. *)
+val mkfile : t -> path:string -> mode:int -> uid:int -> gid:int -> (inode, Errno.t) result
+
+val mknod_at : t -> path:string -> ftype:ftype -> mode:int -> uid:int -> gid:int -> (inode, Errno.t) result
+
+(** Create a directory (with its missing parents, which are root-owned).
+    Creating an existing directory is a no-op returning its inode. *)
+val mkdir : t -> path:string -> mode:int -> uid:int -> gid:int -> (inode, Errno.t) result
+
+(** Anonymous FIFO inode for [pipe]. *)
+val make_pipe : t -> inode
+
+val lookup : t -> string -> inode option
+
+(** Resolve one level of symlink indirection. *)
+val resolve : t -> string -> inode option
+
+val path_exists : t -> string -> bool
+
+(** All paths currently bound to the given inode number, sorted. *)
+val paths_of_ino : t -> int -> string list
+
+(** Hard link: bind [new_path] to the inode at [old_path]. *)
+val link : t -> old_path:string -> new_path:string -> (inode, Errno.t) result
+
+val symlink : t -> target:string -> link_path:string -> uid:int -> gid:int -> (inode, Errno.t) result
+
+val unlink : t -> string -> (inode, Errno.t) result
+
+(** [rename fs ~old_path ~new_path] moves the binding; an existing
+    target is replaced (its inode link count drops). *)
+val rename : t -> old_path:string -> new_path:string -> (inode, Errno.t) result
+
+val truncate : t -> string -> length:int -> (inode, Errno.t) result
+
+val chmod : t -> string -> mode:int -> (inode, Errno.t) result
+
+val chown : t -> string -> uid:int -> gid:int -> (inode, Errno.t) result
+
+(** Write access check against permission bits and ownership ([euid] 0
+    bypasses). *)
+val may_write : inode -> Cred.t -> bool
+
+val may_read : inode -> Cred.t -> bool
+
+(** Execute-permission check (for [execve]). *)
+val may_exec : inode -> Cred.t -> bool
+
+(** Parent-directory write permission for creating/removing entries at
+    [path]. *)
+val may_modify_dir_of : t -> string -> Cred.t -> bool
+
+val find_inode : t -> int -> inode option

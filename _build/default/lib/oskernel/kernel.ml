@@ -1,0 +1,698 @@
+let default_uid = 1000
+let default_gid = 1000
+
+type state = {
+  fs : Fs.t;
+  procs : (int, Process.t) Hashtbl.t;
+  mutable clock : int;
+  mutable next_pid : int;
+  mutable seq : int;
+  mutable audit : Event.audit_record list;
+  mutable libc : Event.libc_record list;
+  mutable lsm : Event.lsm_record list;
+  regs : (string, int) Hashtbl.t;
+}
+
+let tick st =
+  st.clock <- st.clock + 1;
+  st.clock
+
+let next_seq st =
+  st.seq <- st.seq + 1;
+  st.seq
+
+(* ------------------------------------------------------------------ *)
+(* Event emission                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let emit_audit st (p : Process.t) ~syscall ~args ~ret ~errno ~paths ~fds =
+  let c = p.Process.cred in
+  st.audit <-
+    {
+      Event.a_seq = next_seq st;
+      a_time = tick st;
+      a_syscall = syscall;
+      a_args = args;
+      a_exit = (match errno with None -> ret | Some e -> -Errno.code e);
+      a_success = Option.is_none errno;
+      a_pid = p.Process.pid;
+      a_ppid = p.Process.ppid;
+      a_uid = c.Cred.ruid;
+      a_euid = c.Cred.euid;
+      a_gid = c.Cred.rgid;
+      a_egid = c.Cred.egid;
+      a_comm = p.Process.comm;
+      a_exe = p.Process.exe;
+      a_paths = paths;
+      a_fds = fds;
+    }
+    :: st.audit
+
+let emit_libc st (p : Process.t) ~func ~args ~ret ~errno ~fds =
+  st.libc <-
+    {
+      Event.l_seq = next_seq st;
+      l_time = tick st;
+      l_func = func;
+      l_args = args;
+      l_ret = (match errno with None -> ret | Some _ -> -1);
+      l_errno = errno;
+      l_pid = p.Process.pid;
+      l_comm = p.Process.comm;
+      l_fds = fds;
+    }
+    :: st.libc
+
+let emit_lsm st (p : Process.t) ~hook ~obj ?(extra = []) ~allowed () =
+  st.lsm <-
+    {
+      Event.s_seq = next_seq st;
+      s_time = tick st;
+      s_hook = hook;
+      s_pid = p.Process.pid;
+      s_obj = obj;
+      s_extra = extra;
+      s_allowed = allowed;
+    }
+    :: st.lsm
+
+let inode_obj st (inode : Fs.inode) =
+  let kind =
+    match inode.Fs.ftype with
+    | Fs.Regular -> "file"
+    | Fs.Directory -> "directory"
+    | Fs.Fifo -> "fifo"
+    | Fs.Chardev -> "chardev"
+    | Fs.Symlink _ -> "symlink"
+  in
+  let path = match Fs.paths_of_ino st.fs inode.Fs.ino with [] -> None | p :: _ -> Some p in
+  Event.Obj_inode { ino = inode.Fs.ino; path; kind }
+
+let fd_info st (p : Process.t) fd =
+  match Process.find_fd p fd with
+  | None -> { Event.fd; ino = -1; path = None }
+  | Some entry ->
+      let path =
+        match Fs.paths_of_ino st.fs entry.Process.ino with [] -> None | x :: _ -> Some x
+      in
+      { Event.fd; ino = entry.Process.ino; path }
+
+(* ------------------------------------------------------------------ *)
+(* Register (symbolic fd) environment                                  *)
+(* ------------------------------------------------------------------ *)
+
+let reg st r = Hashtbl.find_opt st.regs r
+let bind_reg st r fd = Hashtbl.replace st.regs r fd
+
+(* ------------------------------------------------------------------ *)
+(* Syscall execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let flags_to_string flags =
+  let one = function
+    | Syscall.O_RDONLY -> "O_RDONLY"
+    | Syscall.O_WRONLY -> "O_WRONLY"
+    | Syscall.O_RDWR -> "O_RDWR"
+    | Syscall.O_CREAT -> "O_CREAT"
+    | Syscall.O_TRUNC -> "O_TRUNC"
+    | Syscall.O_APPEND -> "O_APPEND"
+  in
+  match flags with [] -> "O_RDONLY" | fs -> String.concat "|" (List.map one fs)
+
+let wants_write flags =
+  List.exists
+    (function
+      | Syscall.O_WRONLY | Syscall.O_RDWR | Syscall.O_TRUNC | Syscall.O_APPEND -> true
+      | Syscall.O_RDONLY | Syscall.O_CREAT -> false)
+    flags
+
+(* Emit the full event triple for a simple call: LSM hooks already
+   emitted by the caller; this adds the audit-exit and libc records. *)
+let finish st p ~syscall ?func ~args ~ret ~errno ?(paths = []) ?(fds = []) () =
+  emit_audit st p ~syscall ~args ~ret ~errno ~paths ~fds;
+  emit_libc st p ~func:(Option.value func ~default:syscall) ~args ~ret ~errno ~fds;
+  (ret, errno)
+
+let exec_open st (p : Process.t) ~syscall ~path ~flags ~ret_reg =
+  let args = [ ("filename", path); ("flags", flags_to_string flags) ] in
+  let finish_fail errno = finish st p ~syscall ~args ~ret:(-1) ~errno:(Some errno) ~paths:[ path ] () in
+  match Fs.resolve st.fs path with
+  | Some inode ->
+      let permitted =
+        if wants_write flags then Fs.may_write inode p.Process.cred
+        else Fs.may_read inode p.Process.cred
+      in
+      emit_lsm st p ~hook:"file_open" ~obj:(inode_obj st inode) ~allowed:permitted ();
+      if not permitted then finish_fail Errno.EACCES
+      else (
+        if List.mem Syscall.O_TRUNC flags then (
+          inode.Fs.size <- 0;
+          inode.Fs.version <- inode.Fs.version + 1);
+        let fd = Process.alloc_fd p ~ino:inode.Fs.ino ~flags in
+        bind_reg st ret_reg fd;
+        finish st p ~syscall ~args ~ret:fd ~errno:None ~paths:[ path ] ~fds:[ fd_info st p fd ] ())
+  | None ->
+      let creating = List.mem Syscall.O_CREAT flags in
+      if not creating then finish_fail Errno.ENOENT
+      else if not (Fs.may_modify_dir_of st.fs path p.Process.cred) then (
+        emit_lsm st p
+          ~hook:"inode_create"
+          ~obj:(Event.Obj_inode { ino = -1; path = Some path; kind = "file" })
+          ~allowed:false ();
+        finish_fail Errno.EACCES)
+      else (
+        match
+          Fs.mkfile st.fs ~path ~mode:0o644 ~uid:p.Process.cred.Cred.euid
+            ~gid:p.Process.cred.Cred.egid
+        with
+        | Error e -> finish_fail e
+        | Ok inode ->
+            emit_lsm st p ~hook:"inode_create" ~obj:(inode_obj st inode) ~allowed:true ();
+            emit_lsm st p ~hook:"file_open" ~obj:(inode_obj st inode) ~allowed:true ();
+            let fd = Process.alloc_fd p ~ino:inode.Fs.ino ~flags in
+            bind_reg st ret_reg fd;
+            finish st p ~syscall ~args ~ret:fd ~errno:None ~paths:[ path ]
+              ~fds:[ fd_info st p fd ] ())
+
+let exec_rw st (p : Process.t) ~syscall ~fd_reg ~count ~write =
+  let args = [ ("count", string_of_int count) ] in
+  match reg st fd_reg with
+  | None -> finish st p ~syscall ~args ~ret:(-1) ~errno:(Some Errno.EBADF) ()
+  | Some fd -> (
+      match Process.find_fd p fd with
+      | None -> finish st p ~syscall ~args ~ret:(-1) ~errno:(Some Errno.EBADF) ()
+      | Some entry ->
+          let inode = Fs.find_inode st.fs entry.Process.ino in
+          (match inode with
+          | Some inode ->
+              emit_lsm st p ~hook:"file_permission" ~obj:(inode_obj st inode)
+                ~extra:[ ("mode", if write then "MAY_WRITE" else "MAY_READ") ]
+                ~allowed:true ();
+              if write then (
+                inode.Fs.size <- max inode.Fs.size (entry.Process.offset + count);
+                inode.Fs.version <- inode.Fs.version + 1)
+          | None -> ());
+          entry.Process.offset <- entry.Process.offset + count;
+          let args = ("fd", string_of_int fd) :: args in
+          finish st p ~syscall ~args ~ret:count ~errno:None ~fds:[ fd_info st p fd ] ())
+
+(* Create a child process.  [vfork] changes the stream ordering: the
+   child's records appear before the parent's own syscall-exit record,
+   because Linux Audit logs on exit and the vforking parent is suspended
+   until the child terminates (the paper's explanation of SPADE's
+   disconnected vfork graphs). *)
+let exec_fork st (p : Process.t) ~syscall =
+  let child_pid = st.next_pid in
+  st.next_pid <- child_pid + 1;
+  let child = Process.fork_into p ~pid:child_pid in
+  Hashtbl.replace st.procs child_pid child;
+  p.Process.last_child <- Some child_pid;
+  emit_lsm st p ~hook:"task_alloc" ~obj:(Event.Obj_process { pid = child_pid }) ~allowed:true ();
+  let child_exit () =
+    child.Process.alive <- false;
+    child.Process.exit_status <- Some 0;
+    emit_lsm st child ~hook:"task_free" ~obj:(Event.Obj_process { pid = child_pid }) ~allowed:true ();
+    emit_audit st child ~syscall:"exit" ~args:[ ("status", "0") ] ~ret:0 ~errno:None ~paths:[]
+      ~fds:[]
+  in
+  let args = [] in
+  if String.equal syscall "vfork" then (
+    child_exit ();
+    finish st p ~syscall ~args ~ret:child_pid ~errno:None ())
+  else
+    let r = finish st p ~syscall ~args ~ret:child_pid ~errno:None () in
+    child_exit ();
+    r
+
+(* The dynamic loader's activity after execve: visible to the audit
+   stream (SPADE's large execve graphs) but not to the libc interposer
+   (the loader performs raw syscalls before library interposition is in
+   place) and only as a file_open to the LSM layer. *)
+let loader_activity st (p : Process.t) =
+  match Fs.resolve st.fs "/lib/x86_64-linux-gnu/libc.so.6" with
+  | None -> ()
+  | Some libc ->
+      let path = "/lib/x86_64-linux-gnu/libc.so.6" in
+      emit_lsm st p ~hook:"file_open" ~obj:(inode_obj st libc) ~allowed:true ();
+      let fd = Process.alloc_fd p ~ino:libc.Fs.ino ~flags:[ Syscall.O_RDONLY ] in
+      emit_audit st p ~syscall:"openat"
+        ~args:[ ("filename", path); ("flags", "O_RDONLY|O_CLOEXEC") ]
+        ~ret:fd ~errno:None ~paths:[ path ] ~fds:[ fd_info st p fd ];
+      emit_audit st p ~syscall:"read"
+        ~args:[ ("fd", string_of_int fd); ("count", "832") ]
+        ~ret:832 ~errno:None ~paths:[] ~fds:[ fd_info st p fd ];
+      emit_audit st p ~syscall:"mmap"
+        ~args:[ ("fd", string_of_int fd); ("prot", "PROT_READ|PROT_EXEC") ]
+        ~ret:0 ~errno:None ~paths:[] ~fds:[ fd_info st p fd ];
+      ignore (Process.close_fd p fd);
+      emit_audit st p ~syscall:"close"
+        ~args:[ ("fd", string_of_int fd) ]
+        ~ret:0 ~errno:None ~paths:[] ~fds:[]
+
+let exec_execve st (p : Process.t) ~path =
+  let args = [ ("filename", path); ("argc", "1") ] in
+  match Fs.resolve st.fs path with
+  | None -> finish st p ~syscall:"execve" ~args ~ret:(-1) ~errno:(Some Errno.ENOENT) ~paths:[ path ] ()
+  | Some inode when not (Fs.may_exec inode p.Process.cred) ->
+      emit_lsm st p ~hook:"bprm_check" ~obj:(inode_obj st inode) ~allowed:false ();
+      finish st p ~syscall:"execve" ~args ~ret:(-1) ~errno:(Some Errno.EACCES) ~paths:[ path ] ()
+  | Some inode ->
+      emit_lsm st p ~hook:"bprm_check" ~obj:(inode_obj st inode) ~allowed:true ();
+      p.Process.exe <- path;
+      (p.Process.comm <-
+        (match String.rindex_opt path '/' with
+        | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+        | None -> path));
+      emit_lsm st p ~hook:"bprm_committed_creds" ~obj:(Event.Obj_process { pid = p.Process.pid })
+        ~allowed:true ();
+      let r = finish st p ~syscall:"execve" ~args ~ret:0 ~errno:None ~paths:[ path ] () in
+      loader_activity st p;
+      r
+
+let path_op_denied st p ~syscall ~hook ~args ~paths ~kind ~path =
+  emit_lsm st p ~hook ~obj:(Event.Obj_inode { ino = -1; path = Some path; kind }) ~allowed:false ();
+  finish st p ~syscall ~args ~ret:(-1) ~errno:(Some Errno.EACCES) ~paths ()
+
+let exec_setcred st p ~syscall ~args ~apply ~hook =
+  let before = p.Process.cred in
+  match apply before with
+  | Ok after ->
+      let changed = not (Cred.equal before after) in
+      emit_lsm st p ~hook
+        ~obj:(Event.Obj_cred { uid = after.Cred.euid; gid = after.Cred.egid })
+        ~extra:[ ("changed", string_of_bool changed) ]
+        ~allowed:true ();
+      p.Process.cred <- after;
+      finish st p ~syscall ~args ~ret:0 ~errno:None ()
+  | Error e ->
+      emit_lsm st p ~hook
+        ~obj:(Event.Obj_cred { uid = before.Cred.euid; gid = before.Cred.egid })
+        ~allowed:false ();
+      finish st p ~syscall ~args ~ret:(-1) ~errno:(Some e) ()
+
+let exec_call st (p : Process.t) call =
+  let cred = p.Process.cred in
+  let fail ~syscall ~args ?(paths = []) errno =
+    finish st p ~syscall ~args ~ret:(-1) ~errno:(Some errno) ~paths ()
+  in
+  match (call : Syscall.t) with
+  | Syscall.Open { path; flags; ret } -> exec_open st p ~syscall:"open" ~path ~flags ~ret_reg:ret
+  | Syscall.Openat { path; flags; ret } -> exec_open st p ~syscall:"openat" ~path ~flags ~ret_reg:ret
+  | Syscall.Creat { path; ret } ->
+      exec_open st p ~syscall:"creat" ~path
+        ~flags:[ Syscall.O_CREAT; Syscall.O_WRONLY; Syscall.O_TRUNC ]
+        ~ret_reg:ret
+  | Syscall.Close r -> (
+      let args_of fd = [ ("fd", string_of_int fd) ] in
+      match reg st r with
+      | None -> fail ~syscall:"close" ~args:[ ("fd", "-1") ] Errno.EBADF
+      | Some fd ->
+          (* Capture descriptor metadata before the entry disappears. *)
+          let info = fd_info st p fd in
+          if Process.close_fd p fd then
+            (* CamFlow observes the close only when the kernel finally
+               frees the file structure, which ProvMark does not reliably
+               catch (Table 2 note LP) — so no LSM hook is emitted. *)
+            finish st p ~syscall:"close" ~args:(args_of fd) ~ret:0 ~errno:None
+              ~paths:(match info.Event.path with Some p -> [ p ] | None -> [])
+              ~fds:[ info ] ()
+          else fail ~syscall:"close" ~args:(args_of fd) Errno.EBADF)
+  | Syscall.Dup { fd = r; ret } -> (
+      match Option.bind (reg st r) (fun fd -> Option.map (fun e -> (fd, e)) (Process.find_fd p fd)) with
+      | None -> fail ~syscall:"dup" ~args:[ ("oldfd", "-1") ] Errno.EBADF
+      | Some (fd, entry) ->
+          (* fd duplication is process-local state: no LSM hook fires. *)
+          let nfd = Process.alloc_fd p ~ino:entry.Process.ino ~flags:entry.Process.flags in
+          bind_reg st ret nfd;
+          finish st p ~syscall:"dup"
+            ~args:[ ("oldfd", string_of_int fd) ]
+            ~ret:nfd ~errno:None
+            ~fds:[ fd_info st p fd; fd_info st p nfd ]
+            ())
+  | Syscall.Dup2 { fd = r; newfd; ret } | Syscall.Dup3 { fd = r; newfd; ret } -> (
+      let syscall = match call with Syscall.Dup3 _ -> "dup3" | _ -> "dup2" in
+      match Option.bind (reg st r) (fun fd -> Option.map (fun e -> (fd, e)) (Process.find_fd p fd)) with
+      | None -> fail ~syscall ~args:[ ("oldfd", "-1") ] Errno.EBADF
+      | Some (fd, entry) ->
+          Process.install_fd p newfd ~ino:entry.Process.ino ~flags:entry.Process.flags;
+          bind_reg st ret newfd;
+          finish st p ~syscall
+            ~args:[ ("oldfd", string_of_int fd); ("newfd", string_of_int newfd) ]
+            ~ret:newfd ~errno:None
+            ~fds:[ fd_info st p fd; fd_info st p newfd ]
+            ())
+  | Syscall.Link { old_path; new_path } | Syscall.Linkat { old_path; new_path } ->
+      let syscall = match call with Syscall.Linkat _ -> "linkat" | _ -> "link" in
+      let args = [ ("oldname", old_path); ("newname", new_path) ] in
+      let paths = [ old_path; new_path ] in
+      if not (Fs.may_modify_dir_of st.fs new_path cred) then
+        path_op_denied st p ~syscall ~hook:"inode_link" ~args ~paths ~kind:"file" ~path:old_path
+      else (
+        match Fs.link st.fs ~old_path ~new_path with
+        | Error e -> fail ~syscall ~args ~paths e
+        | Ok inode ->
+            emit_lsm st p ~hook:"inode_link" ~obj:(inode_obj st inode)
+              ~extra:[ ("new_path", new_path) ] ~allowed:true ();
+            finish st p ~syscall ~args ~ret:0 ~errno:None ~paths ())
+  | Syscall.Symlink { target; link_path } | Syscall.Symlinkat { target; link_path } -> (
+      let syscall = match call with Syscall.Symlinkat _ -> "symlinkat" | _ -> "symlink" in
+      let args = [ ("oldname", target); ("newname", link_path) ] in
+      let paths = [ link_path ] in
+      if not (Fs.may_modify_dir_of st.fs link_path cred) then
+        path_op_denied st p ~syscall ~hook:"inode_symlink" ~args ~paths ~kind:"symlink"
+          ~path:link_path
+      else
+        match
+          Fs.symlink st.fs ~target ~link_path ~uid:cred.Cred.euid ~gid:cred.Cred.egid
+        with
+        | Error e -> fail ~syscall ~args ~paths e
+        | Ok inode ->
+            emit_lsm st p ~hook:"inode_symlink" ~obj:(inode_obj st inode)
+              ~extra:[ ("target", target) ] ~allowed:true ();
+            finish st p ~syscall ~args ~ret:0 ~errno:None ~paths ())
+  | Syscall.Mknod { path } | Syscall.Mknodat { path } -> (
+      let syscall = match call with Syscall.Mknodat _ -> "mknodat" | _ -> "mknod" in
+      let args = [ ("filename", path); ("mode", "S_IFIFO|0644") ] in
+      if not (Fs.may_modify_dir_of st.fs path cred) then
+        path_op_denied st p ~syscall ~hook:"inode_mknod" ~args ~paths:[ path ] ~kind:"fifo" ~path
+      else
+        match
+          Fs.mknod_at st.fs ~path ~ftype:Fs.Fifo ~mode:0o644 ~uid:cred.Cred.euid
+            ~gid:cred.Cred.egid
+        with
+        | Error e -> fail ~syscall ~args ~paths:[ path ] e
+        | Ok inode ->
+            emit_lsm st p ~hook:"inode_mknod" ~obj:(inode_obj st inode) ~allowed:true ();
+            finish st p ~syscall ~args ~ret:0 ~errno:None ~paths:[ path ] ())
+  | Syscall.Read { fd; count } -> exec_rw st p ~syscall:"read" ~fd_reg:fd ~count ~write:false
+  | Syscall.Pread { fd; count; offset = _ } ->
+      exec_rw st p ~syscall:"pread" ~fd_reg:fd ~count ~write:false
+  | Syscall.Write { fd; count } -> exec_rw st p ~syscall:"write" ~fd_reg:fd ~count ~write:true
+  | Syscall.Pwrite { fd; count; offset = _ } ->
+      exec_rw st p ~syscall:"pwrite" ~fd_reg:fd ~count ~write:true
+  | Syscall.Rename { old_path; new_path } | Syscall.Renameat { old_path; new_path } -> (
+      let syscall = match call with Syscall.Renameat _ -> "renameat" | _ -> "rename" in
+      let args = [ ("oldname", old_path); ("newname", new_path) ] in
+      let paths = [ old_path; new_path ] in
+      let allowed =
+        Fs.may_modify_dir_of st.fs old_path cred && Fs.may_modify_dir_of st.fs new_path cred
+      in
+      if not allowed then
+        path_op_denied st p ~syscall ~hook:"inode_rename" ~args ~paths ~kind:"file" ~path:old_path
+      else
+        match Fs.rename st.fs ~old_path ~new_path with
+        | Error e -> fail ~syscall ~args ~paths e
+        | Ok inode ->
+            emit_lsm st p ~hook:"inode_rename" ~obj:(inode_obj st inode)
+              ~extra:[ ("old_path", old_path); ("new_path", new_path) ]
+              ~allowed:true ();
+            finish st p ~syscall ~args ~ret:0 ~errno:None ~paths ())
+  | Syscall.Truncate { path; length } -> (
+      let args = [ ("path", path); ("length", string_of_int length) ] in
+      match Fs.resolve st.fs path with
+      | None -> fail ~syscall:"truncate" ~args ~paths:[ path ] Errno.ENOENT
+      | Some inode ->
+          let allowed = Fs.may_write inode cred in
+          emit_lsm st p ~hook:"file_truncate" ~obj:(inode_obj st inode) ~allowed ();
+          if not allowed then fail ~syscall:"truncate" ~args ~paths:[ path ] Errno.EACCES
+          else (
+            ignore (Fs.truncate st.fs path ~length);
+            finish st p ~syscall:"truncate" ~args ~ret:0 ~errno:None ~paths:[ path ] ()))
+  | Syscall.Ftruncate { fd = r; length } -> (
+      let args = [ ("length", string_of_int length) ] in
+      match Option.bind (reg st r) (fun fd -> Option.map (fun e -> (fd, e)) (Process.find_fd p fd)) with
+      | None -> fail ~syscall:"ftruncate" ~args Errno.EBADF
+      | Some (fd, entry) ->
+          (match Fs.find_inode st.fs entry.Process.ino with
+          | Some inode ->
+              emit_lsm st p ~hook:"file_truncate" ~obj:(inode_obj st inode) ~allowed:true ();
+              inode.Fs.size <- length;
+              inode.Fs.version <- inode.Fs.version + 1
+          | None -> ());
+          finish st p ~syscall:"ftruncate"
+            ~args:(("fd", string_of_int fd) :: args)
+            ~ret:0 ~errno:None ~fds:[ fd_info st p fd ] ())
+  | Syscall.Unlink { path } | Syscall.Unlinkat { path } -> (
+      let syscall = match call with Syscall.Unlinkat _ -> "unlinkat" | _ -> "unlink" in
+      let args = [ ("pathname", path) ] in
+      if not (Fs.may_modify_dir_of st.fs path cred) then
+        path_op_denied st p ~syscall ~hook:"inode_unlink" ~args ~paths:[ path ] ~kind:"file" ~path
+      else
+        match Fs.lookup st.fs path with
+        | None -> fail ~syscall ~args ~paths:[ path ] Errno.ENOENT
+        | Some inode ->
+            emit_lsm st p ~hook:"inode_unlink" ~obj:(inode_obj st inode) ~allowed:true ();
+            (match Fs.unlink st.fs path with
+            | Ok _ -> finish st p ~syscall ~args ~ret:0 ~errno:None ~paths:[ path ] ()
+            | Error e -> fail ~syscall ~args ~paths:[ path ] e))
+  | Syscall.Clone -> exec_fork st p ~syscall:"clone"
+  | Syscall.Fork -> exec_fork st p ~syscall:"fork"
+  | Syscall.Vfork -> exec_fork st p ~syscall:"vfork"
+  | Syscall.Execve { path } -> exec_execve st p ~path
+  | Syscall.Exit { status } ->
+      p.Process.alive <- false;
+      p.Process.exit_status <- Some status;
+      emit_lsm st p ~hook:"task_free" ~obj:(Event.Obj_process { pid = p.Process.pid })
+        ~allowed:true ();
+      emit_audit st p ~syscall:"exit" ~args:[ ("status", string_of_int status) ] ~ret:status
+        ~errno:None ~paths:[] ~fds:[];
+      (status, None)
+  | Syscall.Kill { signal } ->
+      (* The benchmark process signals itself with a fatal signal: it is
+         torn down before the syscall exit is logged, so no record
+         reaches any stream — the "limitation in ProvMark" (LP) cases of
+         Table 2. *)
+      p.Process.alive <- false;
+      p.Process.exit_status <- Some (128 + signal);
+      emit_lsm st p ~hook:"task_free" ~obj:(Event.Obj_process { pid = p.Process.pid })
+        ~allowed:true ();
+      (0, None)
+  | Syscall.Chmod { path; mode } | Syscall.Fchmodat { path; mode } -> (
+      let syscall = match call with Syscall.Fchmodat _ -> "fchmodat" | _ -> "chmod" in
+      let args = [ ("filename", path); ("mode", Printf.sprintf "0%o" mode) ] in
+      match Fs.resolve st.fs path with
+      | None -> fail ~syscall ~args ~paths:[ path ] Errno.ENOENT
+      | Some inode ->
+          let allowed = Cred.is_root cred || inode.Fs.uid = cred.Cred.euid in
+          emit_lsm st p ~hook:"inode_setattr" ~obj:(inode_obj st inode)
+            ~extra:[ ("attr", "mode"); ("mode", Printf.sprintf "0%o" mode) ]
+            ~allowed ();
+          if not allowed then fail ~syscall ~args ~paths:[ path ] Errno.EPERM
+          else (
+            ignore (Fs.chmod st.fs path ~mode);
+            finish st p ~syscall ~args ~ret:0 ~errno:None ~paths:[ path ] ()))
+  | Syscall.Fchmod { fd = r; mode } -> (
+      let args = [ ("mode", Printf.sprintf "0%o" mode) ] in
+      match Option.bind (reg st r) (fun fd -> Option.map (fun e -> (fd, e)) (Process.find_fd p fd)) with
+      | None -> fail ~syscall:"fchmod" ~args Errno.EBADF
+      | Some (fd, entry) ->
+          (match Fs.find_inode st.fs entry.Process.ino with
+          | Some inode ->
+              emit_lsm st p ~hook:"inode_setattr" ~obj:(inode_obj st inode)
+                ~extra:[ ("attr", "mode") ] ~allowed:true ();
+              inode.Fs.mode <- mode
+          | None -> ());
+          finish st p ~syscall:"fchmod"
+            ~args:(("fd", string_of_int fd) :: args)
+            ~ret:0 ~errno:None ~fds:[ fd_info st p fd ] ())
+  | Syscall.Chown { path; uid; gid } | Syscall.Fchownat { path; uid; gid } -> (
+      let syscall = match call with Syscall.Fchownat _ -> "fchownat" | _ -> "chown" in
+      let args =
+        [ ("filename", path); ("user", string_of_int uid); ("group", string_of_int gid) ]
+      in
+      match Fs.resolve st.fs path with
+      | None -> fail ~syscall ~args ~paths:[ path ] Errno.ENOENT
+      | Some inode ->
+          (* Only root may change the owner; the owner may change the
+             group (to one of their groups — simplified). *)
+          let allowed =
+            Cred.is_root cred || (inode.Fs.uid = cred.Cred.euid && (uid = -1 || uid = inode.Fs.uid))
+          in
+          emit_lsm st p ~hook:"inode_setattr" ~obj:(inode_obj st inode)
+            ~extra:[ ("attr", "owner") ] ~allowed ();
+          if not allowed then fail ~syscall ~args ~paths:[ path ] Errno.EPERM
+          else (
+            ignore (Fs.chown st.fs path ~uid ~gid);
+            finish st p ~syscall ~args ~ret:0 ~errno:None ~paths:[ path ] ()))
+  | Syscall.Fchown { fd = r; uid; gid } -> (
+      let args = [ ("user", string_of_int uid); ("group", string_of_int gid) ] in
+      match Option.bind (reg st r) (fun fd -> Option.map (fun e -> (fd, e)) (Process.find_fd p fd)) with
+      | None -> fail ~syscall:"fchown" ~args Errno.EBADF
+      | Some (fd, entry) ->
+          (match Fs.find_inode st.fs entry.Process.ino with
+          | Some inode ->
+              emit_lsm st p ~hook:"inode_setattr" ~obj:(inode_obj st inode)
+                ~extra:[ ("attr", "owner") ] ~allowed:true ();
+              if uid >= 0 then inode.Fs.uid <- uid;
+              if gid >= 0 then inode.Fs.gid <- gid
+          | None -> ());
+          finish st p ~syscall:"fchown"
+            ~args:(("fd", string_of_int fd) :: args)
+            ~ret:0 ~errno:None ~fds:[ fd_info st p fd ] ())
+  | Syscall.Setuid { uid } ->
+      exec_setcred st p ~syscall:"setuid"
+        ~args:[ ("uid", string_of_int uid) ]
+        ~apply:(fun c -> Cred.setuid c uid)
+        ~hook:"task_fix_setuid"
+  | Syscall.Setgid { gid } ->
+      exec_setcred st p ~syscall:"setgid"
+        ~args:[ ("gid", string_of_int gid) ]
+        ~apply:(fun c -> Cred.setgid c gid)
+        ~hook:"task_fix_setgid"
+  | Syscall.Setreuid { ruid; euid } ->
+      exec_setcred st p ~syscall:"setreuid"
+        ~args:[ ("ruid", string_of_int ruid); ("euid", string_of_int euid) ]
+        ~apply:(fun c -> Cred.setreuid c ruid euid)
+        ~hook:"task_fix_setuid"
+  | Syscall.Setregid { rgid; egid } ->
+      exec_setcred st p ~syscall:"setregid"
+        ~args:[ ("rgid", string_of_int rgid); ("egid", string_of_int egid) ]
+        ~apply:(fun c -> Cred.setregid c rgid egid)
+        ~hook:"task_fix_setgid"
+  | Syscall.Setresuid { ruid; euid; suid } ->
+      exec_setcred st p ~syscall:"setresuid"
+        ~args:
+          [
+            ("ruid", string_of_int ruid); ("euid", string_of_int euid); ("suid", string_of_int suid);
+          ]
+        ~apply:(fun c -> Cred.setresuid c ruid euid suid)
+        ~hook:"task_fix_setuid"
+  | Syscall.Setresgid { rgid; egid; sgid } ->
+      exec_setcred st p ~syscall:"setresgid"
+        ~args:
+          [
+            ("rgid", string_of_int rgid); ("egid", string_of_int egid); ("sgid", string_of_int sgid);
+          ]
+        ~apply:(fun c -> Cred.setresgid c rgid egid sgid)
+        ~hook:"task_fix_setgid"
+  | Syscall.Pipe { ret_read; ret_write } | Syscall.Pipe2 { ret_read; ret_write } ->
+      let syscall = match call with Syscall.Pipe2 _ -> "pipe2" | _ -> "pipe" in
+      let inode = Fs.make_pipe st.fs in
+      emit_lsm st p ~hook:"inode_alloc" ~obj:(inode_obj st inode) ~allowed:true ();
+      let rfd = Process.alloc_fd p ~ino:inode.Fs.ino ~flags:[ Syscall.O_RDONLY ] in
+      let wfd = Process.alloc_fd p ~ino:inode.Fs.ino ~flags:[ Syscall.O_WRONLY ] in
+      bind_reg st ret_read rfd;
+      bind_reg st ret_write wfd;
+      finish st p ~syscall
+        ~args:[ ("fds", Printf.sprintf "[%d,%d]" rfd wfd) ]
+        ~ret:0 ~errno:None
+        ~fds:[ fd_info st p rfd; fd_info st p wfd ]
+        ()
+  | Syscall.Tee { fd_in; fd_out } -> (
+      let resolve r = Option.bind (reg st r) (fun fd -> Option.map (fun e -> (fd, e)) (Process.find_fd p fd)) in
+      match (resolve fd_in, resolve fd_out) with
+      | Some (ifd, ientry), Some (ofd, oentry) ->
+          (match (Fs.find_inode st.fs ientry.Process.ino, Fs.find_inode st.fs oentry.Process.ino) with
+          | Some iin, Some iout ->
+              emit_lsm st p ~hook:"file_permission" ~obj:(inode_obj st iin)
+                ~extra:[ ("mode", "MAY_READ") ] ~allowed:true ();
+              emit_lsm st p ~hook:"file_permission" ~obj:(inode_obj st iout)
+                ~extra:[ ("mode", "MAY_WRITE") ] ~allowed:true ();
+              iout.Fs.size <- iout.Fs.size + 16;
+              iout.Fs.version <- iout.Fs.version + 1
+          | _ -> ());
+          finish st p ~syscall:"tee"
+            ~args:[ ("fd_in", string_of_int ifd); ("fd_out", string_of_int ofd); ("len", "16") ]
+            ~ret:16 ~errno:None
+            ~fds:[ fd_info st p ifd; fd_info st p ofd ]
+            ()
+      | _ -> fail ~syscall:"tee" ~args:[] Errno.EBADF)
+
+(* ------------------------------------------------------------------ *)
+(* Run orchestration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let system_files st =
+  let root file mode = ignore (Fs.mkfile st.fs ~path:file ~mode ~uid:0 ~gid:0) in
+  root "/bin/bash" 0o755;
+  root "/lib/x86_64-linux-gnu/libc.so.6" 0o755;
+  root "/etc/passwd" 0o644;
+  root "/etc/shadow" 0o600
+
+let stage_program st (prog : Program.t) =
+  List.iter
+    (fun (f : Program.staged_file) ->
+      let ftype = match f.Program.sf_kind with `File -> Fs.Regular | `Fifo -> Fs.Fifo in
+      ignore
+        (Fs.mknod_at st.fs ~path:f.Program.sf_path ~ftype ~mode:f.Program.sf_mode
+           ~uid:f.Program.sf_uid ~gid:f.Program.sf_gid))
+    prog.Program.staging
+
+let default_env prng =
+  [
+    ("PATH", "/usr/local/bin:/usr/bin:/bin");
+    ("HOME", "/home/user");
+    ("LANG", "en_US.UTF-8");
+    ("SHELL", "/bin/bash");
+    ("USER", "user");
+    ("PWD", "/staging");
+    ("TERM", "xterm-256color");
+    ("LOGNAME", "user");
+    (* Session-scoped values: different on every run, the transient data
+       OPUS faithfully records and generalization must strip. *)
+    ("XDG_SESSION_ID", string_of_int (100 + Prng.int prng 900));
+    ("SSH_TTY", "/dev/pts/" ^ string_of_int (Prng.int prng 16));
+  ]
+
+let exe_path = "/staging/bench"
+
+let run ?(uid = default_uid) ?(gid = default_gid) ~run_id (prog : Program.t) variant =
+  let prng = Prng.create ~seed:(Int64.of_int ((run_id * 2654435761) + 97)) in
+  let st =
+    {
+      fs = Fs.create ~first_ino:(100 + Prng.int prng 900) ();
+      procs = Hashtbl.create 8;
+      clock = 1_600_000_000 + (Prng.int prng 100_000 * 10);
+      next_pid = 1_000 + Prng.int prng 20_000;
+      (* Audit event ids count up from boot; each run resumes at a
+         different point, so they are transient like timestamps. *)
+      seq = Prng.int prng 1_000_000;
+      audit = [];
+      libc = [];
+      lsm = [];
+      regs = Hashtbl.create 8;
+    }
+  in
+  system_files st;
+  (* The staging directory belongs to the benchmark user so file
+     creation, renaming and deletion inside it succeed. *)
+  ignore (Fs.mkdir st.fs ~path:"/staging" ~mode:0o755 ~uid ~gid);
+  ignore (Fs.mkfile st.fs ~path:exe_path ~mode:0o755 ~uid ~gid);
+  stage_program st prog;
+  (* Shell parent process. *)
+  let shell_pid = st.next_pid in
+  st.next_pid <- shell_pid + 1;
+  let shell =
+    Process.create ~pid:shell_pid ~ppid:1 ~comm:"bash" ~exe:"/bin/bash"
+      ~cred:(Cred.make ~uid ~gid)
+  in
+  Hashtbl.replace st.procs shell_pid shell;
+  (* Boilerplate: shell forks the benchmark process... *)
+  let bench_pid = st.next_pid in
+  st.next_pid <- bench_pid + 1;
+  let bench = Process.fork_into shell ~pid:bench_pid in
+  (match prog.Program.cred with Some c -> bench.Process.cred <- c | None -> ());
+  Hashtbl.replace st.procs bench_pid bench;
+  shell.Process.last_child <- Some bench_pid;
+  emit_lsm st shell ~hook:"task_alloc" ~obj:(Event.Obj_process { pid = bench_pid }) ~allowed:true ();
+  emit_audit st shell ~syscall:"fork" ~args:[] ~ret:bench_pid ~errno:None ~paths:[] ~fds:[];
+  (* ...which execs the benchmark binary (including loader activity)... *)
+  ignore (exec_execve st bench ~path:exe_path);
+  (* ...runs the selected program body... *)
+  List.iter
+    (fun call -> if bench.Process.alive then ignore (exec_call st bench call))
+    (Program.body prog variant);
+  (* ...and exits (implicitly, unless the program already terminated). *)
+  if bench.Process.alive then ignore (exec_call st bench (Syscall.Exit { status = 0 }));
+  {
+    Trace.run_id;
+    monitored_pid = bench_pid;
+    shell_pid;
+    exe_path;
+    boot_id = Prng.hex_token prng;
+    base_time = st.clock;
+    env = default_env prng;
+    audit = List.rev st.audit;
+    libc = List.rev st.libc;
+    lsm = List.rev st.lsm;
+  }

@@ -1,0 +1,27 @@
+(** The kernel simulator: executes a benchmark program variant and
+    produces the three observation streams.
+
+    Each run simulates the full process life cycle the paper describes as
+    "boilerplate" background activity: a shell process forks the
+    benchmark process, which [execve]s the benchmark binary, the loader
+    opens and maps the C library, the program body runs, and the process
+    exits.  Foreground and background variants therefore share identical
+    boilerplate, differing exactly in the target section.
+
+    Transient values (timestamps, pids, inode numbers, the boot id) are
+    derived from [run_id]; two runs with the same [run_id] are
+    bit-identical, two runs with different [run_id]s differ in all
+    transient values, exactly the reproducibility challenge ProvMark's
+    generalization stage addresses (Section 3.4). *)
+
+(** Default credentials of the monitored process (an unprivileged user). *)
+val default_uid : int
+
+val default_gid : int
+
+(** [run ?uid ?gid ~run_id program variant] executes the program variant
+    and returns the recorded trace.  The staging directory is populated
+    from [program.staging] before the run; system files ([/etc/passwd],
+    [/bin/bash], [/lib/libc.so.6], the benchmark binary) are always
+    present. *)
+val run : ?uid:int -> ?gid:int -> run_id:int -> Program.t -> Program.variant -> Trace.t

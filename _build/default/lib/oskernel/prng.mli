@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of run-to-run variation in the simulator — transient
+    identifiers, timestamp jitter, injected flaky runs — draws from a
+    [Prng.t] seeded from the trial number, so experiments are exactly
+    reproducible while still varying across trials the way real
+    provenance recorders do. *)
+
+type t
+
+val create : seed:int64 -> t
+
+(** Derive an independent stream, e.g. one per trial. *)
+val split : t -> t
+
+val next_int64 : t -> int64
+
+(** [int t bound] draws uniformly from [0, bound). *)
+val int : t -> int -> int
+
+(** [float t] draws uniformly from [0, 1). *)
+val float : t -> float
+
+(** Eight-hex-digit token, for transient identifiers. *)
+val hex_token : t -> string

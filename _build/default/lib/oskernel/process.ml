@@ -1,0 +1,56 @@
+type fd_entry = {
+  ino : int;
+  flags : Syscall.open_flag list;
+  mutable offset : int;
+}
+
+type t = {
+  pid : int;
+  ppid : int;
+  mutable comm : string;
+  mutable exe : string;
+  mutable cred : Cred.t;
+  fds : (int, fd_entry) Hashtbl.t;
+  mutable next_fd : int;
+  mutable alive : bool;
+  mutable exit_status : int option;
+  mutable last_child : int option;
+}
+
+let create ~pid ~ppid ~comm ~exe ~cred =
+  {
+    pid;
+    ppid;
+    comm;
+    exe;
+    cred;
+    fds = Hashtbl.create 8;
+    next_fd = 3;  (* 0-2 are stdio *)
+    alive = true;
+    exit_status = None;
+    last_child = None;
+  }
+
+let alloc_fd p ~ino ~flags =
+  let rec free n = if Hashtbl.mem p.fds n then free (n + 1) else n in
+  let fd = free p.next_fd in
+  Hashtbl.replace p.fds fd { ino; flags; offset = 0 };
+  fd
+
+let install_fd p fd ~ino ~flags = Hashtbl.replace p.fds fd { ino; flags; offset = 0 }
+
+let find_fd p fd = Hashtbl.find_opt p.fds fd
+
+let close_fd p fd =
+  if Hashtbl.mem p.fds fd then (
+    Hashtbl.remove p.fds fd;
+    true)
+  else false
+
+let fork_into parent ~pid =
+  let child = create ~pid ~ppid:parent.pid ~comm:parent.comm ~exe:parent.exe ~cred:parent.cred in
+  Hashtbl.iter
+    (fun fd entry -> Hashtbl.replace child.fds fd { entry with offset = entry.offset })
+    parent.fds;
+  child.next_fd <- parent.next_fd;
+  child

@@ -1,0 +1,37 @@
+(** Simulated processes: identity, credentials, and the per-process file
+    descriptor table. *)
+
+type fd_entry = {
+  ino : int;
+  flags : Syscall.open_flag list;
+  mutable offset : int;
+}
+
+type t = {
+  pid : int;
+  ppid : int;
+  mutable comm : string;
+  mutable exe : string;
+  mutable cred : Cred.t;
+  fds : (int, fd_entry) Hashtbl.t;
+  mutable next_fd : int;
+  mutable alive : bool;
+  mutable exit_status : int option;
+  mutable last_child : int option;  (** pid of the most recently forked child *)
+}
+
+val create : pid:int -> ppid:int -> comm:string -> exe:string -> cred:Cred.t -> t
+
+(** Allocate the lowest unused descriptor number ≥ [next_fd]. *)
+val alloc_fd : t -> ino:int -> flags:Syscall.open_flag list -> int
+
+(** Install an entry at a specific descriptor number (for [dup2]/[dup3]),
+    silently replacing any previous entry, as the kernel does. *)
+val install_fd : t -> int -> ino:int -> flags:Syscall.open_flag list -> unit
+
+val find_fd : t -> int -> fd_entry option
+
+val close_fd : t -> int -> bool
+
+(** Duplicate the fd table into a forked child. *)
+val fork_into : t -> pid:int -> t

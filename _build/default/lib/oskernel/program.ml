@@ -1,0 +1,28 @@
+type staged_file = {
+  sf_path : string;
+  sf_mode : int;
+  sf_uid : int;
+  sf_gid : int;
+  sf_kind : [ `File | `Fifo ];
+}
+
+type t = {
+  name : string;
+  syscall : string;
+  staging : staged_file list;
+  setup : Syscall.t list;
+  target : Syscall.t list;
+  cred : Cred.t option;
+}
+
+type variant = Background | Foreground
+
+let body t = function
+  | Background -> t.setup
+  | Foreground -> t.setup @ t.target
+
+let staged_file ?(mode = 0o644) ?(uid = 1000) ?(gid = 1000) ?(kind = `File) sf_path =
+  { sf_path; sf_mode = mode; sf_uid = uid; sf_gid = gid; sf_kind = kind }
+
+let make ~name ~syscall ?(staging = []) ?(setup = []) ?cred ~target () =
+  { name; syscall; staging; setup; target; cred }

@@ -1,0 +1,42 @@
+(** Benchmark programs.
+
+    A program mirrors the paper's C benchmark layout (Section 3): a
+    [setup] prefix that establishes the context (e.g. the [open] before a
+    [close]), and a [target] section corresponding to the
+    [#ifdef TARGET] region.  The {e background} variant runs only the
+    setup; the {e foreground} variant runs setup followed by target.
+    [staging] lists filesystem objects that the staging directory must
+    contain before the run (e.g. the file an [unlink] benchmark
+    deletes). *)
+
+type staged_file = {
+  sf_path : string;
+  sf_mode : int;
+  sf_uid : int;
+  sf_gid : int;
+  sf_kind : [ `File | `Fifo ];
+}
+
+type t = {
+  name : string;  (** benchmark identifier, e.g. ["cmdCreat"] *)
+  syscall : string;  (** the syscall family being benchmarked *)
+  staging : staged_file list;
+  setup : Syscall.t list;
+  target : Syscall.t list;
+  cred : Cred.t option;
+      (** starting credentials of the benchmark process; [None] means the
+          default unprivileged user.  The [setres*id] benchmarks use a
+          saved id differing from the effective one so the target call
+          performs an actual transition. *)
+}
+
+type variant = Background | Foreground
+
+(** The syscalls actually executed for a given variant. *)
+val body : t -> variant -> Syscall.t list
+
+val staged_file : ?mode:int -> ?uid:int -> ?gid:int -> ?kind:[ `File | `Fifo ] -> string -> staged_file
+
+val make :
+  name:string -> syscall:string -> ?staging:staged_file list -> ?setup:Syscall.t list ->
+  ?cred:Cred.t -> target:Syscall.t list -> unit -> t

@@ -1,0 +1,116 @@
+type open_flag = O_RDONLY | O_WRONLY | O_RDWR | O_CREAT | O_TRUNC | O_APPEND
+
+type t =
+  | Open of { path : string; flags : open_flag list; ret : string }
+  | Openat of { path : string; flags : open_flag list; ret : string }
+  | Creat of { path : string; ret : string }
+  | Close of string
+  | Dup of { fd : string; ret : string }
+  | Dup2 of { fd : string; newfd : int; ret : string }
+  | Dup3 of { fd : string; newfd : int; ret : string }
+  | Link of { old_path : string; new_path : string }
+  | Linkat of { old_path : string; new_path : string }
+  | Symlink of { target : string; link_path : string }
+  | Symlinkat of { target : string; link_path : string }
+  | Mknod of { path : string }
+  | Mknodat of { path : string }
+  | Read of { fd : string; count : int }
+  | Pread of { fd : string; count : int; offset : int }
+  | Write of { fd : string; count : int }
+  | Pwrite of { fd : string; count : int; offset : int }
+  | Rename of { old_path : string; new_path : string }
+  | Renameat of { old_path : string; new_path : string }
+  | Truncate of { path : string; length : int }
+  | Ftruncate of { fd : string; length : int }
+  | Unlink of { path : string }
+  | Unlinkat of { path : string }
+  | Clone
+  | Execve of { path : string }
+  | Exit of { status : int }
+  | Fork
+  | Vfork
+  | Kill of { signal : int }
+  | Chmod of { path : string; mode : int }
+  | Fchmod of { fd : string; mode : int }
+  | Fchmodat of { path : string; mode : int }
+  | Chown of { path : string; uid : int; gid : int }
+  | Fchown of { fd : string; uid : int; gid : int }
+  | Fchownat of { path : string; uid : int; gid : int }
+  | Setgid of { gid : int }
+  | Setregid of { rgid : int; egid : int }
+  | Setresgid of { rgid : int; egid : int; sgid : int }
+  | Setuid of { uid : int }
+  | Setreuid of { ruid : int; euid : int }
+  | Setresuid of { ruid : int; euid : int; suid : int }
+  | Pipe of { ret_read : string; ret_write : string }
+  | Pipe2 of { ret_read : string; ret_write : string }
+  | Tee of { fd_in : string; fd_out : string }
+
+let name = function
+  | Open _ -> "open"
+  | Openat _ -> "openat"
+  | Creat _ -> "creat"
+  | Close _ -> "close"
+  | Dup _ -> "dup"
+  | Dup2 _ -> "dup2"
+  | Dup3 _ -> "dup3"
+  | Link _ -> "link"
+  | Linkat _ -> "linkat"
+  | Symlink _ -> "symlink"
+  | Symlinkat _ -> "symlinkat"
+  | Mknod _ -> "mknod"
+  | Mknodat _ -> "mknodat"
+  | Read _ -> "read"
+  | Pread _ -> "pread"
+  | Write _ -> "write"
+  | Pwrite _ -> "pwrite"
+  | Rename _ -> "rename"
+  | Renameat _ -> "renameat"
+  | Truncate _ -> "truncate"
+  | Ftruncate _ -> "ftruncate"
+  | Unlink _ -> "unlink"
+  | Unlinkat _ -> "unlinkat"
+  | Clone -> "clone"
+  | Execve _ -> "execve"
+  | Exit _ -> "exit"
+  | Fork -> "fork"
+  | Vfork -> "vfork"
+  | Kill _ -> "kill"
+  | Chmod _ -> "chmod"
+  | Fchmod _ -> "fchmod"
+  | Fchmodat _ -> "fchmodat"
+  | Chown _ -> "chown"
+  | Fchown _ -> "fchown"
+  | Fchownat _ -> "fchownat"
+  | Setgid _ -> "setgid"
+  | Setregid _ -> "setregid"
+  | Setresgid _ -> "setresgid"
+  | Setuid _ -> "setuid"
+  | Setreuid _ -> "setreuid"
+  | Setresuid _ -> "setresuid"
+  | Pipe _ -> "pipe"
+  | Pipe2 _ -> "pipe2"
+  | Tee _ -> "tee"
+
+let group = function
+  | Open _ | Openat _ | Creat _ | Close _ | Dup _ | Dup2 _ | Dup3 _ | Link _ | Linkat _
+  | Symlink _ | Symlinkat _ | Mknod _ | Mknodat _ | Read _ | Pread _ | Write _ | Pwrite _
+  | Rename _ | Renameat _ | Truncate _ | Ftruncate _ | Unlink _ | Unlinkat _ -> 1
+  | Clone | Execve _ | Exit _ | Fork | Vfork | Kill _ -> 2
+  | Chmod _ | Fchmod _ | Fchmodat _ | Chown _ | Fchown _ | Fchownat _ | Setgid _ | Setregid _
+  | Setresgid _ | Setuid _ | Setreuid _ | Setresuid _ -> 3
+  | Pipe _ | Pipe2 _ | Tee _ -> 4
+
+(* Table 2 order. *)
+let all_names =
+  [
+    "close"; "creat"; "dup"; "dup2"; "dup3"; "link"; "linkat"; "symlink"; "symlinkat";
+    "mknod"; "mknodat"; "open"; "openat"; "read"; "pread"; "rename"; "renameat";
+    "truncate"; "ftruncate"; "unlink"; "unlinkat"; "write"; "pwrite";
+    "clone"; "execve"; "exit"; "fork"; "kill"; "vfork";
+    "chmod"; "fchmod"; "fchmodat"; "chown"; "fchown"; "fchownat";
+    "setgid"; "setregid"; "setresgid"; "setuid"; "setreuid"; "setresuid";
+    "pipe"; "pipe2"; "tee";
+  ]
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,70 @@
+(** The system calls covered by the benchmark suite (paper Table 1):
+    22 families, 43 concrete calls across four groups (files, processes,
+    permissions, pipes).
+
+    File descriptors are referred to by symbolic register names bound by
+    the call that produced them (mirroring the C benchmark programs,
+    e.g. [int id = open(...); close(id);]). *)
+
+type open_flag = O_RDONLY | O_WRONLY | O_RDWR | O_CREAT | O_TRUNC | O_APPEND
+
+type t =
+  (* Group 1: files *)
+  | Open of { path : string; flags : open_flag list; ret : string }
+  | Openat of { path : string; flags : open_flag list; ret : string }
+  | Creat of { path : string; ret : string }
+  | Close of string
+  | Dup of { fd : string; ret : string }
+  | Dup2 of { fd : string; newfd : int; ret : string }
+  | Dup3 of { fd : string; newfd : int; ret : string }
+  | Link of { old_path : string; new_path : string }
+  | Linkat of { old_path : string; new_path : string }
+  | Symlink of { target : string; link_path : string }
+  | Symlinkat of { target : string; link_path : string }
+  | Mknod of { path : string }
+  | Mknodat of { path : string }
+  | Read of { fd : string; count : int }
+  | Pread of { fd : string; count : int; offset : int }
+  | Write of { fd : string; count : int }
+  | Pwrite of { fd : string; count : int; offset : int }
+  | Rename of { old_path : string; new_path : string }
+  | Renameat of { old_path : string; new_path : string }
+  | Truncate of { path : string; length : int }
+  | Ftruncate of { fd : string; length : int }
+  | Unlink of { path : string }
+  | Unlinkat of { path : string }
+  (* Group 2: processes *)
+  | Clone
+  | Execve of { path : string }
+  | Exit of { status : int }
+  | Fork
+  | Vfork
+  | Kill of { signal : int }  (** sent to the most recently forked child *)
+  (* Group 3: permissions *)
+  | Chmod of { path : string; mode : int }
+  | Fchmod of { fd : string; mode : int }
+  | Fchmodat of { path : string; mode : int }
+  | Chown of { path : string; uid : int; gid : int }
+  | Fchown of { fd : string; uid : int; gid : int }
+  | Fchownat of { path : string; uid : int; gid : int }
+  | Setgid of { gid : int }
+  | Setregid of { rgid : int; egid : int }
+  | Setresgid of { rgid : int; egid : int; sgid : int }
+  | Setuid of { uid : int }
+  | Setreuid of { ruid : int; euid : int }
+  | Setresuid of { ruid : int; euid : int; suid : int }
+  (* Group 4: pipes *)
+  | Pipe of { ret_read : string; ret_write : string }
+  | Pipe2 of { ret_read : string; ret_write : string }
+  | Tee of { fd_in : string; fd_out : string }
+
+(** Kernel-visible syscall name, e.g. ["openat"], ["setresuid"]. *)
+val name : t -> string
+
+(** Benchmark group number from Table 1 (1-4). *)
+val group : t -> int
+
+(** All 43 syscall names in Table 2 order. *)
+val all_names : string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+type t = {
+  run_id : int;
+  monitored_pid : int;
+  shell_pid : int;
+  exe_path : string;
+  boot_id : string;
+  base_time : int;
+  env : (string * string) list;
+  audit : Event.audit_record list;
+  libc : Event.libc_record list;
+  lsm : Event.lsm_record list;
+}
+
+let merged t =
+  let items =
+    List.map (fun a -> (a.Event.a_seq, Event.Audit a)) t.audit
+    @ List.map (fun l -> (l.Event.l_seq, Event.Libc l)) t.libc
+    @ List.map (fun s -> (s.Event.s_seq, Event.Lsm s)) t.lsm
+  in
+  List.map snd (List.sort (fun (a, _) (b, _) -> Int.compare a b) items)
+
+let audit_count t = List.length t.audit
+let libc_count t = List.length t.libc
+let lsm_count t = List.length t.lsm
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>run %d (pid %d, boot %s)@,%a@]" t.run_id t.monitored_pid t.boot_id
+    (Format.pp_print_list Event.pp) (merged t)

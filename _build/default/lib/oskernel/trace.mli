@@ -1,0 +1,27 @@
+(** The result of one simulated run: the three observation streams in
+    chronological order, plus the per-run transient context that
+    provenance recorders fold into their output (and that ProvMark's
+    generalization stage must strip back out). *)
+
+type t = {
+  run_id : int;
+  monitored_pid : int;  (** the benchmark process *)
+  shell_pid : int;  (** its parent *)
+  exe_path : string;  (** path of the benchmark executable *)
+  boot_id : string;  (** per-run transient token *)
+  base_time : int;
+  env : (string * string) list;
+      (** environment of the monitored process (recorded by OPUS) *)
+  audit : Event.audit_record list;
+  libc : Event.libc_record list;
+  lsm : Event.lsm_record list;
+}
+
+(** Events of all three streams merged, ordered by sequence number. *)
+val merged : t -> Event.t list
+
+val audit_count : t -> int
+val libc_count : t -> int
+val lsm_count : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,234 @@
+open Minijson
+
+exception Format_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_int n = Json.Number (float_of_int n)
+
+let json_pairs kvs =
+  Json.Array (List.map (fun (k, v) -> Json.Array [ Json.String k; Json.String v ]) kvs)
+
+let json_fd (f : Event.fd_info) =
+  Json.Object
+    ([ ("fd", json_int f.Event.fd); ("ino", json_int f.Event.ino) ]
+    @ match f.Event.path with Some p -> [ ("path", Json.String p) ] | None -> [])
+
+let json_audit (a : Event.audit_record) =
+  Json.Object
+    [
+      ("kind", Json.String "audit");
+      ("seq", json_int a.Event.a_seq);
+      ("time", json_int a.Event.a_time);
+      ("syscall", Json.String a.Event.a_syscall);
+      ("args", json_pairs a.Event.a_args);
+      ("exit", json_int a.Event.a_exit);
+      ("success", Json.Bool a.Event.a_success);
+      ("pid", json_int a.Event.a_pid);
+      ("ppid", json_int a.Event.a_ppid);
+      ("uid", json_int a.Event.a_uid);
+      ("euid", json_int a.Event.a_euid);
+      ("gid", json_int a.Event.a_gid);
+      ("egid", json_int a.Event.a_egid);
+      ("comm", Json.String a.Event.a_comm);
+      ("exe", Json.String a.Event.a_exe);
+      ("paths", Json.Array (List.map (fun p -> Json.String p) a.Event.a_paths));
+      ("fds", Json.Array (List.map json_fd a.Event.a_fds));
+    ]
+
+let json_libc (l : Event.libc_record) =
+  Json.Object
+    ([
+       ("kind", Json.String "libc");
+       ("seq", json_int l.Event.l_seq);
+       ("time", json_int l.Event.l_time);
+       ("func", Json.String l.Event.l_func);
+       ("args", json_pairs l.Event.l_args);
+       ("ret", json_int l.Event.l_ret);
+       ("pid", json_int l.Event.l_pid);
+       ("comm", Json.String l.Event.l_comm);
+       ("fds", Json.Array (List.map json_fd l.Event.l_fds));
+     ]
+    @ match l.Event.l_errno with
+      | Some e -> [ ("errno", Json.String (Errno.to_string e)) ]
+      | None -> [])
+
+let json_obj = function
+  | Event.Obj_inode { ino; path; kind } ->
+      Json.Object
+        ([ ("type", Json.String "inode"); ("ino", json_int ino); ("inode_kind", Json.String kind) ]
+        @ match path with Some p -> [ ("path", Json.String p) ] | None -> [])
+  | Event.Obj_process { pid } ->
+      Json.Object [ ("type", Json.String "process"); ("pid", json_int pid) ]
+  | Event.Obj_cred { uid; gid } ->
+      Json.Object [ ("type", Json.String "cred"); ("uid", json_int uid); ("gid", json_int gid) ]
+
+let json_lsm (s : Event.lsm_record) =
+  Json.Object
+    [
+      ("kind", Json.String "lsm");
+      ("seq", json_int s.Event.s_seq);
+      ("time", json_int s.Event.s_time);
+      ("hook", Json.String s.Event.s_hook);
+      ("pid", json_int s.Event.s_pid);
+      ("obj", json_obj s.Event.s_obj);
+      ("extra", json_pairs s.Event.s_extra);
+      ("allowed", Json.Bool s.Event.s_allowed);
+    ]
+
+let to_json (t : Trace.t) =
+  Json.Object
+    [
+      ("run_id", json_int t.Trace.run_id);
+      ("monitored_pid", json_int t.Trace.monitored_pid);
+      ("shell_pid", json_int t.Trace.shell_pid);
+      ("exe_path", Json.String t.Trace.exe_path);
+      ("boot_id", Json.String t.Trace.boot_id);
+      ("base_time", json_int t.Trace.base_time);
+      ("env", json_pairs t.Trace.env);
+      ("audit", Json.Array (List.map json_audit t.Trace.audit));
+      ("libc", Json.Array (List.map json_libc t.Trace.libc));
+      ("lsm", Json.Array (List.map json_lsm t.Trace.lsm));
+    ]
+
+let to_string t = Json.to_string ~pretty:true (to_json t)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let get_int j key =
+  match Json.member key j with
+  | Json.Number f when Float.is_integer f -> int_of_float f
+  | _ -> fail "missing or non-integer field %s" key
+
+let get_str j key =
+  match Json.member key j with Json.String s -> s | _ -> fail "missing string field %s" key
+
+let get_bool j key =
+  match Json.member key j with Json.Bool b -> b | _ -> fail "missing boolean field %s" key
+
+let get_pairs j key =
+  match Json.member key j with
+  | Json.Array items ->
+      List.map
+        (function
+          | Json.Array [ Json.String k; Json.String v ] -> (k, v)
+          | _ -> fail "malformed pair in %s" key)
+        items
+  | _ -> fail "missing pair list %s" key
+
+let get_list j key =
+  match Json.member key j with Json.Array items -> items | _ -> fail "missing array %s" key
+
+let fd_of_json j =
+  {
+    Event.fd = get_int j "fd";
+    ino = get_int j "ino";
+    path = (match Json.member "path" j with Json.String s -> Some s | _ -> None);
+  }
+
+let audit_of_json j =
+  {
+    Event.a_seq = get_int j "seq";
+    a_time = get_int j "time";
+    a_syscall = get_str j "syscall";
+    a_args = get_pairs j "args";
+    a_exit = get_int j "exit";
+    a_success = get_bool j "success";
+    a_pid = get_int j "pid";
+    a_ppid = get_int j "ppid";
+    a_uid = get_int j "uid";
+    a_euid = get_int j "euid";
+    a_gid = get_int j "gid";
+    a_egid = get_int j "egid";
+    a_comm = get_str j "comm";
+    a_exe = get_str j "exe";
+    a_paths =
+      List.map (function Json.String s -> s | _ -> fail "bad path entry") (get_list j "paths");
+    a_fds = List.map fd_of_json (get_list j "fds");
+  }
+
+let errno_of_string s =
+  match s with
+  | "EACCES" -> Errno.EACCES
+  | "EBADF" -> Errno.EBADF
+  | "EEXIST" -> Errno.EEXIST
+  | "EINVAL" -> Errno.EINVAL
+  | "EISDIR" -> Errno.EISDIR
+  | "ENOENT" -> Errno.ENOENT
+  | "ENOTDIR" -> Errno.ENOTDIR
+  | "EPERM" -> Errno.EPERM
+  | "ESRCH" -> Errno.ESRCH
+  | other -> fail "unknown errno %s" other
+
+let libc_of_json j =
+  {
+    Event.l_seq = get_int j "seq";
+    l_time = get_int j "time";
+    l_func = get_str j "func";
+    l_args = get_pairs j "args";
+    l_ret = get_int j "ret";
+    l_errno =
+      (match Json.member "errno" j with Json.String s -> Some (errno_of_string s) | _ -> None);
+    l_pid = get_int j "pid";
+    l_comm = get_str j "comm";
+    l_fds = List.map fd_of_json (get_list j "fds");
+  }
+
+let obj_of_json j =
+  match get_str j "type" with
+  | "inode" ->
+      Event.Obj_inode
+        {
+          ino = get_int j "ino";
+          kind = get_str j "inode_kind";
+          path = (match Json.member "path" j with Json.String s -> Some s | _ -> None);
+        }
+  | "process" -> Event.Obj_process { pid = get_int j "pid" }
+  | "cred" -> Event.Obj_cred { uid = get_int j "uid"; gid = get_int j "gid" }
+  | other -> fail "unknown lsm object type %s" other
+
+let lsm_of_json j =
+  {
+    Event.s_seq = get_int j "seq";
+    s_time = get_int j "time";
+    s_hook = get_str j "hook";
+    s_pid = get_int j "pid";
+    s_obj = obj_of_json (Json.member "obj" j);
+    s_extra = get_pairs j "extra";
+    s_allowed = get_bool j "allowed";
+  }
+
+let of_string text =
+  match Json.of_string text with
+  | exception Json.Parse_error m -> fail "invalid JSON: %s" m
+  | j ->
+      {
+        Trace.run_id = get_int j "run_id";
+        monitored_pid = get_int j "monitored_pid";
+        shell_pid = get_int j "shell_pid";
+        exe_path = get_str j "exe_path";
+        boot_id = get_str j "boot_id";
+        base_time = get_int j "base_time";
+        env = get_pairs j "env";
+        audit = List.map audit_of_json (get_list j "audit");
+        libc = List.map libc_of_json (get_list j "libc");
+        lsm = List.map lsm_of_json (get_list j "lsm");
+      }
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text

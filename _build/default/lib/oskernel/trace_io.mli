@@ -1,0 +1,18 @@
+(** Serialization of traces, so recorder development can work from
+    stored observation streams (the way the original project shipped
+    sample results and recorded audit logs) without re-running the
+    kernel simulator.
+
+    The on-disk format is a JSON document with the run metadata, the
+    environment, and the three event streams; {!of_string} rejects
+    malformed or incomplete documents with {!Format_error}. *)
+
+exception Format_error of string
+
+val to_string : Trace.t -> string
+
+val of_string : string -> Trace.t
+
+val save : string -> Trace.t -> unit
+
+val load : string -> Trace.t

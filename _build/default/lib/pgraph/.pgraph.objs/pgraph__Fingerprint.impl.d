@@ -1,0 +1,1 @@
+lib/pgraph/fingerprint.ml: Bytes Char Format Graph Int64 List Map Printf String

@@ -1,0 +1,1 @@
+lib/pgraph/fingerprint.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/pgraph/graph.ml: Format List Map Printf Props String

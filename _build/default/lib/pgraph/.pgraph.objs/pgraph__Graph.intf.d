@@ -1,0 +1,1 @@
+lib/pgraph/graph.mli: Format Props

@@ -1,0 +1,1 @@
+lib/pgraph/props.ml: Format List Map String

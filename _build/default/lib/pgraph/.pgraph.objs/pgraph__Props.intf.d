@@ -1,0 +1,1 @@
+lib/pgraph/props.mli: Format

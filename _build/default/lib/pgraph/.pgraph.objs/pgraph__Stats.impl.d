@@ -1,0 +1,1 @@
+lib/pgraph/stats.ml: Format Graph Hashtbl List Map Printf Props String

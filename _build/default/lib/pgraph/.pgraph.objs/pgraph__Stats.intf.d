@@ -1,0 +1,1 @@
+lib/pgraph/stats.mli: Format Graph

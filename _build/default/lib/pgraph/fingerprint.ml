@@ -1,0 +1,69 @@
+type t = int64
+
+(* FNV-1a over bytes, widened to 64 bits; deterministic across runs. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash_string h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let hash_int64 h x =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 x;
+  hash_string h (Bytes.to_string b)
+
+let combine_sorted hashes =
+  (* Order-independent inputs are sorted first so the result is invariant
+     under renaming of identifiers. *)
+  List.fold_left hash_int64 fnv_offset (List.sort Int64.compare hashes)
+
+let refinement_rounds = 3
+
+let of_graph g =
+  let module Smap = Map.Make (String) in
+  let initial =
+    List.fold_left
+      (fun m (n : Graph.node) ->
+        Smap.add n.Graph.node_id (hash_string fnv_offset n.Graph.node_label) m)
+      Smap.empty (Graph.nodes g)
+  in
+  let refine colours =
+    Smap.mapi
+      (fun id c ->
+        let outs =
+          List.map
+            (fun (e : Graph.edge) ->
+              hash_int64 (hash_string fnv_offset e.Graph.edge_label)
+                (Smap.find e.Graph.edge_tgt colours))
+            (Graph.out_edges g id)
+        in
+        let ins =
+          List.map
+            (fun (e : Graph.edge) ->
+              hash_int64 (hash_string (hash_string fnv_offset "in") e.Graph.edge_label)
+                (Smap.find e.Graph.edge_src colours))
+            (Graph.in_edges g id)
+        in
+        hash_int64 (hash_int64 c (combine_sorted outs)) (combine_sorted ins))
+      colours
+  in
+  let rec loop i colours = if i = 0 then colours else loop (i - 1) (refine colours) in
+  let final = loop refinement_rounds initial in
+  let node_part = combine_sorted (List.map snd (Smap.bindings final)) in
+  let edge_part =
+    combine_sorted
+      (List.map (fun (e : Graph.edge) -> hash_string fnv_offset e.Graph.edge_label) (Graph.edges g))
+  in
+  hash_int64 (hash_int64 (hash_int64 fnv_offset node_part) edge_part)
+    (Int64.of_int (Graph.size g))
+
+let equal = Int64.equal
+let compare = Int64.compare
+let to_hex t = Printf.sprintf "%016Lx" t
+let pp ppf t = Format.pp_print_string ppf (to_hex t)

@@ -1,0 +1,24 @@
+(** Cheap isomorphism-invariant fingerprints for property graphs.
+
+    Two graphs with different fingerprints cannot be similar (isomorphic
+    up to properties); equal fingerprints are only a heuristic signal.
+    ProvMark's generalization stage uses fingerprints to bucket trial runs
+    into candidate similarity classes before invoking the exact solver,
+    and the regression-testing use case uses them as a fast change
+    detector. *)
+
+type t
+
+(** [of_graph g] computes a fingerprint from label multisets and a
+    bounded Weisfeiler–Leman colour refinement of the underlying
+    directed labelled graph.  Properties are ignored (similarity is
+    shape-only, per Section 3.4). *)
+val of_graph : Graph.t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Stable hexadecimal rendering, usable as a dictionary key. *)
+val to_hex : t -> string
+
+val pp : Format.formatter -> t -> unit

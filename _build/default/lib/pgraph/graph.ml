@@ -1,0 +1,173 @@
+module Smap = Map.Make (String)
+
+type node = {
+  node_id : string;
+  node_label : string;
+  node_props : Props.t;
+}
+
+type edge = {
+  edge_id : string;
+  edge_src : string;
+  edge_tgt : string;
+  edge_label : string;
+  edge_props : Props.t;
+}
+
+type t = {
+  g_nodes : node Smap.t;
+  g_edges : edge Smap.t;
+}
+
+let empty = { g_nodes = Smap.empty; g_edges = Smap.empty }
+
+let mem_node g id = Smap.mem id g.g_nodes
+let mem_edge g id = Smap.mem id g.g_edges
+
+let add_node g ~id ~label ~props =
+  if mem_node g id || mem_edge g id then
+    invalid_arg (Printf.sprintf "Pgraph.Graph.add_node: duplicate identifier %s" id);
+  { g with g_nodes = Smap.add id { node_id = id; node_label = label; node_props = props } g.g_nodes }
+
+let add_edge g ~id ~src ~tgt ~label ~props =
+  if mem_node g id || mem_edge g id then
+    invalid_arg (Printf.sprintf "Pgraph.Graph.add_edge: duplicate identifier %s" id);
+  if not (mem_node g src) then
+    invalid_arg (Printf.sprintf "Pgraph.Graph.add_edge: unknown source %s" src);
+  if not (mem_node g tgt) then
+    invalid_arg (Printf.sprintf "Pgraph.Graph.add_edge: unknown target %s" tgt);
+  { g with
+    g_edges =
+      Smap.add id
+        { edge_id = id; edge_src = src; edge_tgt = tgt; edge_label = label; edge_props = props }
+        g.g_edges }
+
+let node_count g = Smap.cardinal g.g_nodes
+let edge_count g = Smap.cardinal g.g_edges
+let size g = node_count g + edge_count g
+
+let find_node g id = Smap.find_opt id g.g_nodes
+let find_edge g id = Smap.find_opt id g.g_edges
+
+let nodes g = List.map snd (Smap.bindings g.g_nodes)
+let edges g = List.map snd (Smap.bindings g.g_edges)
+
+let node_ids g = List.map fst (Smap.bindings g.g_nodes)
+let edge_ids g = List.map fst (Smap.bindings g.g_edges)
+
+let incident_edges g id =
+  List.filter (fun e -> String.equal e.edge_src id || String.equal e.edge_tgt id) (edges g)
+
+let out_edges g id = List.filter (fun e -> String.equal e.edge_src id) (edges g)
+let in_edges g id = List.filter (fun e -> String.equal e.edge_tgt id) (edges g)
+
+let set_node_props g id props =
+  match find_node g id with
+  | None -> invalid_arg (Printf.sprintf "Pgraph.Graph.set_node_props: unknown node %s" id)
+  | Some n -> { g with g_nodes = Smap.add id { n with node_props = props } g.g_nodes }
+
+let set_edge_props g id props =
+  match find_edge g id with
+  | None -> invalid_arg (Printf.sprintf "Pgraph.Graph.set_edge_props: unknown edge %s" id)
+  | Some e -> { g with g_edges = Smap.add id { e with edge_props = props } g.g_edges }
+
+let remove_edge g id = { g with g_edges = Smap.remove id g.g_edges }
+
+let remove_node g id =
+  let g_edges =
+    Smap.filter
+      (fun _ e -> not (String.equal e.edge_src id || String.equal e.edge_tgt id))
+      g.g_edges
+  in
+  { g_nodes = Smap.remove id g.g_nodes; g_edges }
+
+let map_ids f g =
+  let add_n acc n =
+    let id = f n.node_id in
+    if Smap.mem id acc then invalid_arg "Pgraph.Graph.map_ids: not injective on nodes";
+    Smap.add id { n with node_id = id } acc
+  in
+  let add_e acc e =
+    let id = f e.edge_id in
+    if Smap.mem id acc then invalid_arg "Pgraph.Graph.map_ids: not injective on edges";
+    Smap.add id { e with edge_id = id; edge_src = f e.edge_src; edge_tgt = f e.edge_tgt } acc
+  in
+  { g_nodes = List.fold_left add_n Smap.empty (nodes g);
+    g_edges = List.fold_left add_e Smap.empty (edges g) }
+
+let disjoint_union a b =
+  let clash = Smap.exists (fun id _ -> mem_node a id || mem_edge a id) b.g_nodes
+              || Smap.exists (fun id _ -> mem_node a id || mem_edge a id) b.g_edges in
+  if clash then invalid_arg "Pgraph.Graph.disjoint_union: identifier clash";
+  { g_nodes = Smap.union (fun _ n _ -> Some n) a.g_nodes b.g_nodes;
+    g_edges = Smap.union (fun _ e _ -> Some e) a.g_edges b.g_edges }
+
+let equal_structure a b =
+  Smap.equal
+    (fun n m -> String.equal n.node_label m.node_label)
+    a.g_nodes b.g_nodes
+  && Smap.equal
+       (fun e f ->
+         String.equal e.edge_label f.edge_label
+         && String.equal e.edge_src f.edge_src
+         && String.equal e.edge_tgt f.edge_tgt)
+       a.g_edges b.g_edges
+
+let equal a b =
+  Smap.equal
+    (fun n m -> String.equal n.node_label m.node_label && Props.equal n.node_props m.node_props)
+    a.g_nodes b.g_nodes
+  && Smap.equal
+       (fun e f ->
+         String.equal e.edge_label f.edge_label
+         && String.equal e.edge_src f.edge_src
+         && String.equal e.edge_tgt f.edge_tgt
+         && Props.equal e.edge_props f.edge_props)
+       a.g_edges b.g_edges
+
+let node_label_multiset g = List.sort String.compare (List.map (fun n -> n.node_label) (nodes g))
+let edge_label_multiset g = List.sort String.compare (List.map (fun e -> e.edge_label) (edges g))
+
+let dummy_label = "dummy"
+
+let is_dummy n = String.equal n.node_label dummy_label
+
+let subtract_matched g ~matched_nodes ~matched_edges =
+  let removed_nodes =
+    List.fold_left (fun s id -> Smap.add id () s) Smap.empty matched_nodes
+  in
+  let removed_edges =
+    List.fold_left (fun s id -> Smap.add id () s) Smap.empty matched_edges
+  in
+  let g_edges = Smap.filter (fun id _ -> not (Smap.mem id removed_edges)) g.g_edges in
+  (* A removed node survives as a dummy when a surviving edge still touches
+     it: the benchmark result must stay a well-formed graph (Section 3.5). *)
+  let needed id =
+    Smap.exists
+      (fun _ e -> String.equal e.edge_src id || String.equal e.edge_tgt id)
+      g_edges
+  in
+  let g_nodes =
+    Smap.filter_map
+      (fun id n ->
+        if not (Smap.mem id removed_nodes) then Some n
+        else if needed id then
+          Some { n with node_label = dummy_label; node_props = Props.empty }
+        else None)
+      g.g_nodes
+  in
+  { g_nodes; g_edges }
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun n -> Format.fprintf ppf "node %s [%s] %a@," n.node_id n.node_label Props.pp n.node_props)
+    (nodes g);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "edge %s: %s -> %s [%s] %a@," e.edge_id e.edge_src e.edge_tgt
+        e.edge_label Props.pp e.edge_props)
+    (edges g);
+  Format.fprintf ppf "@]"
+
+let summary g = Printf.sprintf "%d nodes, %d edges" (node_count g) (edge_count g)

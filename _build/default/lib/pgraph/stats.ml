@@ -1,0 +1,74 @@
+type t = {
+  nodes : int;
+  edges : int;
+  dummy_nodes : int;
+  node_labels : (string * int) list;
+  edge_labels : (string * int) list;
+  properties : int;
+  connected_components : int;
+}
+
+let histogram labels =
+  let module Smap = Map.Make (String) in
+  let m =
+    List.fold_left
+      (fun m l -> Smap.update l (function None -> Some 1 | Some n -> Some (n + 1)) m)
+      Smap.empty labels
+  in
+  Smap.bindings m
+
+(* Union-find over node identifiers for weak connectivity. *)
+let components g =
+  let module Smap = Map.Make (String) in
+  let parent = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None | Some "" -> x
+    | Some p when String.equal p x -> x
+    | Some p ->
+        let r = find p in
+        Hashtbl.replace parent x r;
+        r
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if not (String.equal ra rb) then Hashtbl.replace parent ra rb
+  in
+  List.iter (fun (n : Graph.node) -> Hashtbl.replace parent n.Graph.node_id n.Graph.node_id) (Graph.nodes g);
+  List.iter (fun (e : Graph.edge) -> union e.Graph.edge_src e.Graph.edge_tgt) (Graph.edges g);
+  let roots =
+    List.fold_left
+      (fun s (n : Graph.node) -> Smap.add (find n.Graph.node_id) () s)
+      Smap.empty (Graph.nodes g)
+  in
+  Smap.cardinal roots
+
+let of_graph g =
+  let ns = Graph.nodes g and es = Graph.edges g in
+  let properties =
+    List.fold_left (fun acc (n : Graph.node) -> acc + Props.cardinal n.Graph.node_props) 0 ns
+    + List.fold_left (fun acc (e : Graph.edge) -> acc + Props.cardinal e.Graph.edge_props) 0 es
+  in
+  {
+    nodes = List.length ns;
+    edges = List.length es;
+    dummy_nodes = List.length (List.filter Graph.is_dummy ns);
+    node_labels = histogram (Graph.node_label_multiset g);
+    edge_labels = histogram (Graph.edge_label_multiset g);
+    properties;
+    connected_components = components g;
+  }
+
+let shape_line s =
+  if s.connected_components <= 1 then Printf.sprintf "%dn/%de" s.nodes s.edges
+  else Printf.sprintf "%dn/%de (%d components)" s.nodes s.edges s.connected_components
+
+let pp ppf s =
+  let pp_hist ppf h =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+      (fun ppf (l, n) -> Format.fprintf ppf "%s:%d" l n)
+      ppf h
+  in
+  Format.fprintf ppf "@[<v>%s@,node labels: %a@,edge labels: %a@,properties: %d@]"
+    (shape_line s) pp_hist s.node_labels pp_hist s.edge_labels s.properties

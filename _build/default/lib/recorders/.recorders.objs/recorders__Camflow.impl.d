@@ -1,0 +1,1 @@
+lib/recorders/camflow.ml: Graph Hashtbl Int64 List Option Oskernel Pgraph Printf Props Provjson

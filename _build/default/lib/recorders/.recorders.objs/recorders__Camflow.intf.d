@@ -1,0 +1,1 @@
+lib/recorders/camflow.mli: Oskernel Pgraph

@@ -1,0 +1,1 @@
+lib/recorders/dot.ml: Buffer Graph List Option Pgraph Printf Props String

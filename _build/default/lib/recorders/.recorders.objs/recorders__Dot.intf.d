@@ -1,0 +1,1 @@
+lib/recorders/dot.mli: Pgraph

@@ -1,0 +1,1 @@
+lib/recorders/opus.ml: Graphstore Hashtbl List Option Oskernel Store_bridge

@@ -1,0 +1,1 @@
+lib/recorders/opus.mli: Graphstore Oskernel Pgraph

@@ -1,0 +1,1 @@
+lib/recorders/prov_constraints.ml: Graph List Pgraph Printf Provjson

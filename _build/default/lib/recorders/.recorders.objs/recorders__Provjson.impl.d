@@ -1,0 +1,1 @@
+lib/recorders/provjson.ml: Graph Hashtbl Json List Minijson Pgraph Printf Props String

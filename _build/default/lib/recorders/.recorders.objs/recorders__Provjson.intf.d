@@ -1,0 +1,1 @@
+lib/recorders/provjson.mli: Minijson Pgraph

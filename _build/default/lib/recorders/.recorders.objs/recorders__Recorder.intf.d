@@ -1,0 +1,1 @@
+lib/recorders/recorder.mli: Format

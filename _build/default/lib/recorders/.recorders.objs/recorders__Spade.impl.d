@@ -1,0 +1,1 @@
+lib/recorders/spade.ml: Dot Graph Hashtbl Int Int64 List Option Oskernel Pgraph Printf Props Store_bridge String

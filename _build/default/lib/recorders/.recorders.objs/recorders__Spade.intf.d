@@ -1,0 +1,1 @@
+lib/recorders/spade.mli: Graphstore Oskernel Pgraph

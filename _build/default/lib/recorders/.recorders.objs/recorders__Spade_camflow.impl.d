@@ -1,0 +1,1 @@
+lib/recorders/spade_camflow.ml: Dot Graph Hashtbl List Oskernel Pgraph Printf Props

@@ -1,0 +1,1 @@
+lib/recorders/spade_camflow.mli: Oskernel Pgraph

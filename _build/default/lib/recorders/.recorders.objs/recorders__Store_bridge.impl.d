@@ -1,0 +1,1 @@
+lib/recorders/store_bridge.ml: Graph Graphstore Hashtbl List Pgraph Printf Props

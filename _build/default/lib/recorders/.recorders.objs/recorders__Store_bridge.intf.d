@@ -1,0 +1,1 @@
+lib/recorders/store_bridge.mli: Graphstore Pgraph

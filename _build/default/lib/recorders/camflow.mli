@@ -1,0 +1,49 @@
+(** Simulation of CamFlow 0.4.5: whole-system provenance captured from
+    LSM hooks inside the kernel, reported as W3C PROV-JSON.
+
+    Behaviours reproduced from the paper:
+
+    - coverage follows the LSM hook set: [dup] and [pipe] never reach a
+      hook CamFlow serializes, and 0.4.5 does not serialize
+      [symlink]/[mknod] (NR rows of Table 2);
+    - [close] is only observed when the kernel frees the file structure,
+      which the benchmark cannot reliably catch (LP);
+    - failed permission checks are not recorded in this configuration
+      (the failed-call use case of Section 3.1);
+    - a [rename] adds a {e new path} entity associated with the file
+      object; the old path does not appear in the difference;
+    - entities and tasks are versioned; writes derive new versions;
+    - with [reserialize] off (the pre-0.4.5 behaviour), nodes already
+      serialized in the same {!session} are not emitted again, producing
+      inconsistent graphs across runs — the problem the paper reports
+      working around with the CamFlow developers;
+    - with [track_self] on, the recorder's own relay activity pollutes
+      the graph with a run-varying number of events (why ProvMark's
+      configuration excludes it). *)
+
+type config = {
+  reserialize : bool;  (** default true: the 0.4.5 workaround *)
+  track_self : bool;  (** default false: ProvMark excludes its own activity *)
+  filter_types : string list;
+      (** CamFlow capture filters: node types excluded from the report
+          (nodes of these types and their incident edges are not
+          serialized); default [[]] *)
+}
+
+val default_config : config
+
+(** Cross-run serialization state, used to emulate the pre-workaround
+    behaviour ([reserialize = false]).  With the default configuration a
+    session is unnecessary. *)
+type session
+
+val new_session : unit -> session
+
+val build :
+  ?config:config -> ?session:session -> ?drop_edge_index:int -> Oskernel.Trace.t -> Pgraph.Graph.t
+
+(** Render one run as PROV-JSON.  [drop_edge_index] removes the n-th
+    edge (modulo edge count), simulating the occasional small structural
+    variations the paper observed in CamFlow output. *)
+val record :
+  ?config:config -> ?session:session -> ?drop_edge_index:int -> Oskernel.Trace.t -> string

@@ -1,0 +1,241 @@
+type node = { n_id : string; n_attrs : (string * string) list }
+type edge = { e_src : string; e_tgt : string; e_attrs : (string * string) list }
+type graph = { g_name : string; g_nodes : node list; g_edges : edge list }
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let quote s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let attrs_to_string attrs =
+  match attrs with
+  | [] -> ""
+  | _ ->
+      " ["
+      ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%s" (quote k) (quote v)) attrs)
+      ^ "]"
+
+let to_string g =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "digraph %s {\n" (quote g.g_name));
+  List.iter
+    (fun n -> Buffer.add_string b (Printf.sprintf "  %s%s;\n" (quote n.n_id) (attrs_to_string n.n_attrs)))
+    g.g_nodes;
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s -> %s%s;\n" (quote e.e_src) (quote e.e_tgt) (attrs_to_string e.e_attrs)))
+    g.g_edges;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tid of string
+  | Tarrow
+  | Tlbracket
+  | Trbracket
+  | Tlbrace
+  | Trbrace
+  | Teq
+  | Tcomma
+  | Tsemi
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  while !pos < n do
+    match src.[!pos] with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '{' -> toks := Tlbrace :: !toks; incr pos
+    | '}' -> toks := Trbrace :: !toks; incr pos
+    | '[' -> toks := Tlbracket :: !toks; incr pos
+    | ']' -> toks := Trbracket :: !toks; incr pos
+    | '=' -> toks := Teq :: !toks; incr pos
+    | ',' -> toks := Tcomma :: !toks; incr pos
+    | ';' -> toks := Tsemi :: !toks; incr pos
+    | '-' ->
+        if !pos + 1 < n && src.[!pos + 1] = '>' then (
+          toks := Tarrow :: !toks;
+          pos := !pos + 2)
+        else fail "expected ->"
+    | '"' ->
+        incr pos;
+        let b = Buffer.create 16 in
+        let rec loop () =
+          if !pos >= n then fail "unterminated string"
+          else
+            match src.[!pos] with
+            | '"' -> incr pos
+            | '\\' ->
+                incr pos;
+                if !pos >= n then fail "unterminated escape";
+                (match src.[!pos] with
+                | 'n' -> Buffer.add_char b '\n'
+                | c -> Buffer.add_char b c);
+                incr pos;
+                loop ()
+            | c ->
+                Buffer.add_char b c;
+                incr pos;
+                loop ()
+        in
+        loop ();
+        toks := Tid (Buffer.contents b) :: !toks
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' ->
+        let start = !pos in
+        while
+          !pos < n
+          && match src.[!pos] with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> true | _ -> false
+        do
+          incr pos
+        done;
+        toks := Tid (String.sub src start (!pos - start)) :: !toks
+    | '/' ->
+        (* // comment *)
+        if !pos + 1 < n && src.[!pos + 1] = '/' then
+          while !pos < n && src.[!pos] <> '\n' do
+            incr pos
+          done
+        else fail "unexpected /"
+    | c -> fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !toks
+
+let of_string src =
+  let toks = ref (tokenize src) in
+  let fail msg = raise (Parse_error msg) in
+  let next () =
+    match !toks with
+    | [] -> fail "unexpected end of input"
+    | t :: rest ->
+        toks := rest;
+        t
+  in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let expect t = if next () <> t then fail "unexpected token" in
+  (match next () with
+  | Tid "digraph" -> ()
+  | _ -> fail "expected digraph");
+  let name = match next () with Tid s -> s | _ -> fail "expected graph name" in
+  expect Tlbrace;
+  let nodes = ref [] in
+  let edges = ref [] in
+  let parse_attrs () =
+    match peek () with
+    | Some Tlbracket ->
+        ignore (next ());
+        let rec loop acc =
+          match next () with
+          | Trbracket -> List.rev acc
+          | Tid k -> (
+              expect Teq;
+              match next () with
+              | Tid v -> (
+                  match peek () with
+                  | Some Tcomma ->
+                      ignore (next ());
+                      loop ((k, v) :: acc)
+                  | _ -> loop ((k, v) :: acc))
+              | _ -> fail "expected attribute value")
+          | Tcomma -> loop acc
+          | _ -> fail "expected attribute"
+        in
+        loop []
+    | _ -> []
+  in
+  let rec stmts () =
+    match next () with
+    | Trbrace -> ()
+    | Tid id -> (
+        match peek () with
+        | Some Tarrow ->
+            ignore (next ());
+            let tgt = match next () with Tid t -> t | _ -> fail "expected edge target" in
+            let attrs = parse_attrs () in
+            (match peek () with Some Tsemi -> ignore (next ()) | _ -> ());
+            edges := { e_src = id; e_tgt = tgt; e_attrs = attrs } :: !edges;
+            stmts ()
+        | _ ->
+            let attrs = parse_attrs () in
+            (match peek () with Some Tsemi -> ignore (next ()) | _ -> ());
+            nodes := { n_id = id; n_attrs = attrs } :: !nodes;
+            stmts ())
+    | Tsemi -> stmts ()
+    | _ -> fail "expected statement"
+  in
+  stmts ();
+  { g_name = name; g_nodes = List.rev !nodes; g_edges = List.rev !edges }
+
+(* ------------------------------------------------------------------ *)
+(* Property-graph conversion                                           *)
+(* ------------------------------------------------------------------ *)
+
+let type_attr = "type"
+
+let to_pgraph g =
+  let open Pgraph in
+  let graph =
+    List.fold_left
+      (fun acc n ->
+        let label = Option.value (List.assoc_opt type_attr n.n_attrs) ~default:"Unknown" in
+        let props = Props.of_list (List.remove_assoc type_attr n.n_attrs) in
+        Graph.add_node acc ~id:n.n_id ~label ~props)
+      Graph.empty g.g_nodes
+  in
+  let graph, _ =
+    List.fold_left
+      (fun (acc, i) e ->
+        let label = Option.value (List.assoc_opt type_attr e.e_attrs) ~default:"Unknown" in
+        let props = Props.of_list (List.remove_assoc type_attr e.e_attrs) in
+        if not (Graph.mem_node acc e.e_src) then
+          raise (Parse_error (Printf.sprintf "edge references undeclared node %s" e.e_src));
+        if not (Graph.mem_node acc e.e_tgt) then
+          raise (Parse_error (Printf.sprintf "edge references undeclared node %s" e.e_tgt));
+        (Graph.add_edge acc ~id:(Printf.sprintf "e%d" i) ~src:e.e_src ~tgt:e.e_tgt ~label ~props, i + 1))
+      (graph, 0) g.g_edges
+  in
+  graph
+
+let of_pgraph ~name g =
+  let open Pgraph in
+  {
+    g_name = name;
+    g_nodes =
+      List.map
+        (fun (n : Graph.node) ->
+          {
+            n_id = n.Graph.node_id;
+            n_attrs = (type_attr, n.Graph.node_label) :: Props.to_list n.Graph.node_props;
+          })
+        (Graph.nodes g);
+    g_edges =
+      List.map
+        (fun (e : Graph.edge) ->
+          {
+            e_src = e.Graph.edge_src;
+            e_tgt = e.Graph.edge_tgt;
+            e_attrs = (type_attr, e.Graph.edge_label) :: Props.to_list e.Graph.edge_props;
+          })
+        (Graph.edges g);
+  }

@@ -1,0 +1,26 @@
+(** Graphviz DOT reader/writer for the subset SPADE emits: a [digraph]
+    with quoted node statements and edge statements, each carrying an
+    attribute list.  The node/edge [type] attribute holds the
+    OPM/PROV-style label; remaining attributes are properties. *)
+
+type node = { n_id : string; n_attrs : (string * string) list }
+
+type edge = { e_src : string; e_tgt : string; e_attrs : (string * string) list }
+
+type graph = { g_name : string; g_nodes : node list; g_edges : edge list }
+
+exception Parse_error of string
+
+val to_string : graph -> string
+
+val of_string : string -> graph
+
+(** [to_pgraph g] converts to a property graph: the [type] attribute
+    becomes the label (defaulting to ["Unknown"]), other attributes
+    become properties, and edges get synthetic identifiers [e0], [e1],
+    ... in file order. *)
+val to_pgraph : graph -> Pgraph.Graph.t
+
+(** [of_pgraph ~name g] renders a property graph; edge identifiers are
+    dropped (DOT edges are anonymous). *)
+val of_pgraph : name:string -> Pgraph.Graph.t -> graph

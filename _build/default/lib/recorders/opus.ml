@@ -1,0 +1,264 @@
+module Event = Oskernel.Event
+module Trace = Oskernel.Trace
+module Store = Graphstore.Store
+module Query = Graphstore.Query
+
+type config = {
+  record_env : bool;
+  record_io : bool;
+}
+
+let default_config = { record_env = true; record_io = false }
+
+type builder = {
+  store : Store.t;
+  mutable proc : int;  (* current process node *)
+  locals : (int, int) Hashtbl.t;  (* fd -> Local node *)
+  bindings : (int, int) Hashtbl.t;  (* fd -> FileVersion node *)
+  globals : (string, int) Hashtbl.t;  (* path -> Global node *)
+  versions : (string, int) Hashtbl.t;  (* path -> current FileVersion node *)
+  version_nums : (string, int) Hashtbl.t;  (* path -> version counter *)
+  metas : int list ref;  (* environment Meta nodes *)
+}
+
+let node b ~label ~props = Store.create_node b.store ~labels:[ label ] ~props
+let rel b ~src ~tgt ~rel_type = ignore (Store.create_rel b.store ~src ~tgt ~rel_type ~props:[])
+
+let event_node b (l : Event.libc_record) =
+  let props =
+    [
+      ("op", l.Event.l_func);
+      ("ret", string_of_int l.Event.l_ret);
+      ("ts", string_of_int l.Event.l_time);
+    ]
+    @ (match l.Event.l_errno with Some e -> [ ("errno", Oskernel.Errno.to_string e) ] | None -> [])
+  in
+  let id = node b ~label:"Event" ~props in
+  rel b ~src:b.proc ~tgt:id ~rel_type:"EVENT";
+  id
+
+let ensure_global b path =
+  match Hashtbl.find_opt b.globals path with
+  | Some id -> id
+  | None ->
+      let id = node b ~label:"Global" ~props:[ ("name", path) ] in
+      Hashtbl.replace b.globals path id;
+      id
+
+let ensure_version b path =
+  match Hashtbl.find_opt b.versions path with
+  | Some id -> id
+  | None ->
+      let g = ensure_global b path in
+      let id = node b ~label:"FileVersion" ~props:[ ("version", "0") ] in
+      rel b ~src:id ~tgt:g ~rel_type:"NAMED";
+      Hashtbl.replace b.versions path id;
+      id
+
+let new_version b path =
+  let g = ensure_global b path in
+  let old = Hashtbl.find_opt b.versions path in
+  (* Version numbers are tracked in the builder: the store is
+     write-only during capture (reads require open_db, which only the
+     transformation stage pays for). *)
+  let v =
+    match Hashtbl.find_opt b.version_nums path with
+    | Some n -> n + 1
+    | None -> if old = None then 0 else 1
+  in
+  Hashtbl.replace b.version_nums path v;
+  let id = node b ~label:"FileVersion" ~props:[ ("version", string_of_int v) ] in
+  rel b ~src:id ~tgt:g ~rel_type:"NAMED";
+  (match old with Some o -> rel b ~src:id ~tgt:o ~rel_type:"VERSION" | None -> ());
+  Hashtbl.replace b.versions path id;
+  id
+
+let path_arg (l : Event.libc_record) key = List.assoc_opt key l.Event.l_args
+
+let fd_of (l : Event.libc_record) =
+  match l.Event.l_fds with { Event.fd; _ } :: _ -> Some fd | [] -> None
+
+let handle b ~config (l : Event.libc_record) =
+  let func = l.Event.l_func in
+  let failed = Option.is_some l.Event.l_errno in
+  match func with
+  | "open" | "openat" | "creat" -> (
+      match path_arg l "filename" with
+      | None -> ()
+      | Some path ->
+          let ev = event_node b l in
+          if failed then
+            (* The attempt is visible to the interposer: same structure,
+               negative return value (Section 3.1, failed calls). *)
+            rel b ~src:ev ~tgt:(ensure_global b path) ~rel_type:"TOUCH"
+          else (
+            let version = ensure_version b path in
+            match fd_of l with
+            | Some fd ->
+                let local = node b ~label:"Local" ~props:[ ("fd", string_of_int fd) ] in
+                Hashtbl.replace b.locals fd local;
+                Hashtbl.replace b.bindings fd version;
+                rel b ~src:ev ~tgt:local ~rel_type:"USES";
+                rel b ~src:local ~tgt:version ~rel_type:"BIND"
+            | None -> rel b ~src:ev ~tgt:version ~rel_type:"USES"))
+  | "close" -> (
+      let ev = event_node b l in
+      match Option.bind (fd_of l) (Hashtbl.find_opt b.locals) with
+      | Some local -> rel b ~src:ev ~tgt:local ~rel_type:"USES"
+      | None -> ())
+  | "dup" | "dup2" | "dup3" -> (
+      (* Two new nodes, connected to the process but not to each other
+         (Section 4.1). *)
+      let _ev = event_node b l in
+      match fd_of l with
+      | None -> ()
+      | Some oldfd -> (
+          match Hashtbl.find_opt b.bindings oldfd with
+          | None -> ()
+          | Some version -> (
+              match l.Event.l_fds with
+              | [ _; { Event.fd = newfd; _ } ] ->
+                  let local = node b ~label:"Local" ~props:[ ("fd", string_of_int newfd) ] in
+                  Hashtbl.replace b.locals newfd local;
+                  Hashtbl.replace b.bindings newfd version;
+                  rel b ~src:b.proc ~tgt:local ~rel_type:"OWNS";
+                  rel b ~src:local ~tgt:version ~rel_type:"BIND"
+              | _ -> ())))
+  | "link" | "linkat" | "symlink" | "symlinkat" -> (
+      let ev = event_node b l in
+      match (path_arg l "oldname", path_arg l "newname") with
+      | Some old_path, Some new_path ->
+          rel b ~src:ev ~tgt:(ensure_global b old_path) ~rel_type:"TOUCH";
+          if not failed then (
+            let nv = new_version b new_path in
+            rel b ~src:ev ~tgt:nv ~rel_type:"USES")
+          else rel b ~src:ev ~tgt:(ensure_global b new_path) ~rel_type:"TOUCH"
+      | _ -> ())
+  | "rename" | "renameat" -> (
+      let ev = event_node b l in
+      match (path_arg l "oldname", path_arg l "newname") with
+      | Some old_path, Some new_path ->
+          (* Identical structure whether or not the call succeeded; the
+             outcome lives in the event's ret/errno properties. *)
+          let old_v = ensure_version b old_path in
+          let new_v = new_version b new_path in
+          rel b ~src:ev ~tgt:old_v ~rel_type:"USES";
+          rel b ~src:ev ~tgt:new_v ~rel_type:"USES";
+          rel b ~src:new_v ~tgt:old_v ~rel_type:"VERSION"
+      | _ -> ())
+  | "mknod" -> (
+      let ev = event_node b l in
+      match path_arg l "filename" with
+      | Some path when not failed -> rel b ~src:ev ~tgt:(ensure_version b path) ~rel_type:"USES"
+      | Some path -> rel b ~src:ev ~tgt:(ensure_global b path) ~rel_type:"TOUCH"
+      | None -> ())
+  | "truncate" -> (
+      let ev = event_node b l in
+      match path_arg l "path" with
+      | Some path when not failed -> rel b ~src:ev ~tgt:(new_version b path) ~rel_type:"USES"
+      | Some path -> rel b ~src:ev ~tgt:(ensure_global b path) ~rel_type:"TOUCH"
+      | None -> ())
+  | "ftruncate" -> (
+      let ev = event_node b l in
+      match Option.bind (fd_of l) (Hashtbl.find_opt b.locals) with
+      | Some local -> rel b ~src:ev ~tgt:local ~rel_type:"USES"
+      | None -> ())
+  | "unlink" | "unlinkat" -> (
+      let ev = event_node b l in
+      match path_arg l "pathname" with
+      | Some path when not failed ->
+          let v = ensure_version b path in
+          rel b ~src:ev ~tgt:v ~rel_type:"DEL";
+          Hashtbl.remove b.versions path
+      | Some path -> rel b ~src:ev ~tgt:(ensure_global b path) ~rel_type:"TOUCH"
+      | None -> ())
+  | "read" | "pread" | "write" | "pwrite" ->
+      if config.record_io then (
+        let ev = event_node b l in
+        match Option.bind (fd_of l) (Hashtbl.find_opt b.locals) with
+        | Some local -> rel b ~src:ev ~tgt:local ~rel_type:"USES"
+        | None -> ())
+  | "fork" | "vfork" ->
+      let ev = event_node b l in
+      let child =
+        node b ~label:"Process"
+          ~props:[ ("pid", string_of_int l.Event.l_ret); ("ts", string_of_int l.Event.l_time) ]
+      in
+      rel b ~src:child ~tgt:b.proc ~rel_type:"CHILD";
+      rel b ~src:ev ~tgt:child ~rel_type:"USES";
+      (* The child inherits the parent's descriptor bindings: OPUS
+         duplicates the Local nodes, which is why fork graphs are large
+         for OPUS (Section 4.2). *)
+      Hashtbl.iter
+        (fun fd version ->
+          let local = node b ~label:"Local" ~props:[ ("fd", string_of_int fd) ] in
+          rel b ~src:child ~tgt:local ~rel_type:"OWNS";
+          rel b ~src:local ~tgt:version ~rel_type:"BIND")
+        b.bindings
+  | "execve" -> (
+      let ev = event_node b l in
+      match path_arg l "filename" with
+      | Some path -> rel b ~src:ev ~tgt:(ensure_global b path) ~rel_type:"TOUCH"
+      | None -> ())
+  | "chmod" | "fchmodat" | "chown" | "fchownat" -> (
+      let ev = event_node b l in
+      match path_arg l "filename" with
+      | Some path -> rel b ~src:ev ~tgt:(ensure_global b path) ~rel_type:"TOUCH"
+      | None -> ())
+  | "setuid" | "setreuid" | "setgid" | "setregid" -> ignore (event_node b l)
+  | "pipe" | "pipe2" -> (
+      let ev = event_node b l in
+      match l.Event.l_fds with
+      | [ { Event.fd = rfd; _ }; { Event.fd = wfd; _ } ] ->
+          let version = node b ~label:"FileVersion" ~props:[ ("version", "0"); ("kind", "pipe") ] in
+          List.iter
+            (fun fd ->
+              let local = node b ~label:"Local" ~props:[ ("fd", string_of_int fd) ] in
+              Hashtbl.replace b.locals fd local;
+              Hashtbl.replace b.bindings fd version;
+              rel b ~src:ev ~tgt:local ~rel_type:"USES";
+              rel b ~src:local ~tgt:version ~rel_type:"BIND")
+            [ rfd; wfd ]
+      | _ -> ())
+  (* Blind spots of the interposition approach (NR rows of Table 2):
+     clone does not go through the intercepted wrapper; mknodat and tee
+     are not wrapped in this OPUS version; fchmod/fchown and setres*id
+     only affect state OPUS does not track in its default config. *)
+  | "clone" | "mknodat" | "tee" | "fchmod" | "fchown" | "setresuid" | "setresgid" -> ()
+  | _ -> ()
+
+let record ?(config = default_config) (trace : Trace.t) =
+  let store = Store.create () in
+  let proc =
+    Store.create_node store ~labels:[ "Process" ]
+      ~props:
+        [
+          ("pid", string_of_int trace.Trace.monitored_pid);
+          ("exe", trace.Trace.exe_path);
+          ("user", "user");
+          ("ts", string_of_int trace.Trace.base_time);
+        ]
+  in
+  let b =
+    {
+      store;
+      proc;
+      locals = Hashtbl.create 8;
+      bindings = Hashtbl.create 8;
+      globals = Hashtbl.create 8;
+      versions = Hashtbl.create 8;
+      version_nums = Hashtbl.create 8;
+      metas = ref [];
+    }
+  in
+  if config.record_env then
+    List.iter
+      (fun (k, v) ->
+        let m = node b ~label:"Meta" ~props:[ ("name", k); ("value", v) ] in
+        b.metas := m :: !(b.metas);
+        rel b ~src:proc ~tgt:m ~rel_type:"META")
+      trace.Trace.env;
+  List.iter (fun l -> handle b ~config l) trace.Trace.libc;
+  store
+
+let store_to_pgraph = Store_bridge.of_store

@@ -1,0 +1,32 @@
+(** Simulation of OPUS (version 0.1.0.x): observational provenance in
+    user space via C-library interposition, stored in a Neo4j-style
+    database and organized by the Provenance Versioning Model (PVM).
+
+    Behaviours reproduced from the paper:
+
+    - OPUS sees {e library calls}, so it records failed attempts too
+      (the return value is a property) — the failed-rename use case;
+    - it is blind to anything that does not go through an intercepted
+      library call: [clone], [mknodat], [tee] (NR rows of Table 2);
+    - in its default configuration it does not record plain reads and
+      writes, nor [fchmod]/[fchown]/[setres*id];
+    - process start-up captures the whole environment, so every graph
+      carries a couple dozen extra nodes — the reason OPUS graphs are
+      larger and slower to transform (Figures 6 and 9);
+    - [dup] produces two new nodes that are not directly connected to
+      each other, only to the process (Section 4.1). *)
+
+type config = {
+  record_env : bool;  (** capture environment variables (default true) *)
+  record_io : bool;  (** record read/write (default false) *)
+}
+
+val default_config : config
+
+(** Build the PVM graph of one run into a fresh store. *)
+val record : ?config:config -> Oskernel.Trace.t -> Graphstore.Store.t
+
+(** [store_to_pgraph store] is the read side used by the transformation
+    stage: exports nodes and relationships through the query layer
+    (the store must be opened, paying the startup cost). *)
+val store_to_pgraph : Graphstore.Store.t -> Pgraph.Graph.t

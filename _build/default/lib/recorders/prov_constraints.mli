@@ -1,0 +1,24 @@
+(** Structural well-formedness checks for W3C PROV-style provenance
+    graphs: each relation must connect nodes of the right categories
+    (e.g. [used] goes from an activity to an entity, [wasInformedBy]
+    connects two activities).  The CamFlow simulator's output is checked
+    against these constraints in the test suite — a lightweight version
+    of the static analysis of Pasquier et al. the paper cites as related
+    work (CCS'18). *)
+
+type violation = {
+  edge_id : string;
+  rule : string;  (** human-readable constraint, e.g. ["used: activity -> entity"] *)
+}
+
+(** Node category according to {!Provjson.activity_labels} /
+    [agent_labels]: [`Activity], [`Agent] or [`Entity]. *)
+val category_of_label : string -> [ `Activity | `Agent | `Entity ]
+
+(** [check g] returns all violations; the empty list means the graph is
+    well-formed PROV.  Edges with labels outside the PROV-DM relation
+    vocabulary (e.g. CamFlow's [named]) are checked against CamFlow's
+    own conventions where known and ignored otherwise. *)
+val check : Pgraph.Graph.t -> violation list
+
+val violation_to_string : violation -> string

@@ -1,0 +1,25 @@
+(** W3C PROV-JSON serialization, the format CamFlow reports provenance
+    in.  Nodes are binned into the [entity] / [activity] / [agent]
+    sections according to their label; the specific CamFlow type (file,
+    path, task, ...) travels in the [prov:type] property.  Edges map to
+    the standard relation sections with their [prov:*] endpoint keys;
+    non-standard relation labels use a generic [relation] section. *)
+
+exception Format_error of string
+
+(** Labels serialized into the [activity] section; [agent_labels] into
+    [agent]; everything else is an [entity]. *)
+val activity_labels : string list
+
+val agent_labels : string list
+
+val of_pgraph : Pgraph.Graph.t -> Minijson.Json.t
+
+(** Raises {!Format_error} when the document does not follow the
+    PROV-JSON structure produced by {!of_pgraph} (unknown sections,
+    missing endpoint keys, dangling references). *)
+val to_pgraph : Minijson.Json.t -> Pgraph.Graph.t
+
+val to_string : Pgraph.Graph.t -> string
+
+val of_string : string -> Pgraph.Graph.t

@@ -1,0 +1,31 @@
+type tool = Spade | Opus | Camflow | Spade_camflow | Spade_neo4j
+
+type output =
+  | Dot_text of string
+  | Store_dump of string
+  | Prov_json of string
+
+let tool_name = function
+  | Spade -> "SPADE"
+  | Opus -> "OPUS"
+  | Camflow -> "CamFlow"
+  | Spade_camflow -> "SPADE+CamFlow"
+  | Spade_neo4j -> "SPADE+Neo4j"
+
+let tool_of_string s =
+  match String.lowercase_ascii s with
+  | "spg" | "spade" -> Ok Spade
+  | "opu" | "opus" -> Ok Opus
+  | "cam" | "camflow" -> Ok Camflow
+  | "spc" | "spade+camflow" | "spade_camflow" -> Ok Spade_camflow
+  | "spn" | "spade+neo4j" | "spade_neo4j" -> Ok Spade_neo4j
+  | _ -> Error (Printf.sprintf "unknown tool %S (expected spg, opu, cam, spc or spn)" s)
+
+let all_tools = [ Spade; Opus; Camflow ]
+
+let format_name = function
+  | Spade | Spade_camflow -> "DOT"
+  | Opus | Spade_neo4j -> "Neo4j"
+  | Camflow -> "PROV-JSON"
+
+let pp_tool ppf t = Format.pp_print_string ppf (tool_name t)

@@ -1,0 +1,39 @@
+(** Common recorder vocabulary: tool identifiers and the native output
+    formats the transformation stage must handle (paper Section 3.3). *)
+
+type tool =
+  | Spade
+  | Opus
+  | Camflow
+  | Spade_camflow
+      (** SPADE fed by the CamFlow reporter instead of Linux Audit — the
+          configuration the paper mentions but had not yet tried.  Not
+          part of {!all_tools} (the paper's Table 2 has no column for
+          it); exercised by the extension benchmark. *)
+  | Spade_neo4j
+      (** SPADE with the Neo4j storage backend instead of Graphviz — the
+          original ProvMark's [spn] profile.  Coverage is identical to
+          {!Spade}; only the transformation cost changes (database
+          startup), which the extension benchmark measures. *)
+
+(** Native provenance output of one recording session. *)
+type output =
+  | Dot_text of string  (** SPADE with the Graphviz storage *)
+  | Store_dump of string  (** OPUS: text dump of the embedded Neo4j substitute *)
+  | Prov_json of string  (** CamFlow: W3C PROV-JSON *)
+
+val tool_name : tool -> string
+
+(** Parses the CLI names used by the original ProvMark scripts:
+    ["spg"] (SPADE+Graphviz), ["opu"] (OPUS), ["cam"] (CamFlow), plus
+    the plain tool names, ["spc"] (SPADE with the CamFlow reporter) and
+    ["spn"] (SPADE with Neo4j storage). *)
+val tool_of_string : string -> (tool, string) result
+
+(** The three systems benchmarked in the paper. *)
+val all_tools : tool list
+
+(** Format name for reports, e.g. ["DOT"]. *)
+val format_name : tool -> string
+
+val pp_tool : Format.formatter -> tool -> unit

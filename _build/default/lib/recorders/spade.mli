@@ -1,0 +1,53 @@
+(** Simulation of SPADEv2 (tag tc-e3) with the Linux Audit reporter and
+    Graphviz storage.
+
+    SPADE consumes the audit stream and builds an OPM-style graph of
+    [Process] and [Artifact] vertices.  The simulation reproduces the
+    behaviours the paper reports for the real system:
+
+    - audit rules only report {e successful} calls by default, so failed
+      calls leave no trace (Section 3.1, "Tracking failed calls");
+    - [dup], [mknod], [chown], [pipe] and [tee] are not recorded
+      (Table 2 notes SC/NR);
+    - the [vfork] child appears as a {e disconnected} process node,
+      because Linux Audit logs calls at syscall exit and the suspended
+      parent's [vfork] record arrives after the child already appeared
+      (note DV);
+    - with [simplify] off, [setresuid]/[setresgid] are explicitly
+      monitored, and the tc-e3 bug is reproduced: the new process vertex
+      hangs off a spurious vertex through an edge carrying a
+      random-valued property (Section 3.1, "Configuration validation");
+    - the [IORuns] filter looks up the wrong property key ([op] instead
+      of the emitted [operation]), so enabling it has no effect unless
+      [io_runs_fixed] applies the upstream fix;
+    - [versioning] gives file artifacts explicit versions on writes. *)
+
+type config = {
+  simplify : bool;  (** default true *)
+  io_runs : bool;  (** coalesce runs of reads/writes (default false) *)
+  io_runs_fixed : bool;  (** use the fixed property key in the filter *)
+  versioning : bool;  (** default false *)
+  success_only : bool;  (** audit rules report only successful calls (default true) *)
+  use_procfs : bool;
+      (** enrich process vertices with procfs metadata (cwd, cmdline) —
+          one of the alternative configurations Section 2 mentions;
+          default false (the paper's baseline) *)
+}
+
+val default_config : config
+
+(** Build the provenance graph for one run. *)
+val build : ?config:config -> Oskernel.Trace.t -> Pgraph.Graph.t
+
+(** [record ?config ?truncate_edges trace] renders the graph in DOT.
+    [truncate_edges] drops that many trailing edges, simulating the
+    flushing race the paper describes (stopping SPADE before its graph
+    generation completed). *)
+val record : ?config:config -> ?truncate_edges:int -> Oskernel.Trace.t -> string
+
+(** Same graph, written to the Neo4j-substitute store instead of DOT —
+    the original ProvMark's [spn] profile. *)
+val record_to_store : ?config:config -> ?truncate_edges:int -> Oskernel.Trace.t -> Graphstore.Store.t
+
+(** Read side of the store path, used by the transformation stage. *)
+val store_to_pgraph : Graphstore.Store.t -> Pgraph.Graph.t

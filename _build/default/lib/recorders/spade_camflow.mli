@@ -1,0 +1,24 @@
+(** SPADE with CamFlow as its reporter — the configuration the paper
+    mentions but had "not yet experimented with" (Section 2): CamFlow
+    replaces Linux Audit as SPADE's event source, so the graph uses
+    SPADE's OPM vocabulary (Process/Artifact vertices, Used /
+    WasGeneratedBy / WasTriggeredBy edges, DOT output) while coverage
+    follows the LSM hook set.
+
+    The interesting expressiveness deltas versus SPADE+Audit, which the
+    extension benchmark in [bench/main.ml] measures:
+
+    - [chown]/[fchown]/[fchownat] become visible (the [inode_setattr]
+      hook fires, while SPADE's audit handler ignores chown);
+    - [read]/[write] and most file calls stay covered;
+    - [symlink]/[mknod]/[pipe]/[dup] become invisible (CamFlow 0.4.5
+      does not serialize those hooks), where Audit-based SPADE recorded
+      symlink;
+    - failed calls stay invisible (denied hooks are not reported);
+    - [vfork] is no longer disconnected: LSM's [task_alloc] fires at
+      fork time, not at syscall exit, so the DV quirk disappears. *)
+
+val build : Oskernel.Trace.t -> Pgraph.Graph.t
+
+(** DOT output, like SPADE's Graphviz storage. *)
+val record : Oskernel.Trace.t -> string

@@ -1,0 +1,45 @@
+open Pgraph
+module Store = Graphstore.Store
+module Query = Graphstore.Query
+
+let to_store g =
+  let store = Store.create () in
+  let ids = Hashtbl.create 32 in
+  List.iter
+    (fun (n : Graph.node) ->
+      let id =
+        Store.create_node store ~labels:[ n.Graph.node_label ]
+          ~props:(Props.to_list n.Graph.node_props)
+      in
+      Hashtbl.replace ids n.Graph.node_id id)
+    (Graph.nodes g);
+  List.iter
+    (fun (e : Graph.edge) ->
+      ignore
+        (Store.create_rel store
+           ~src:(Hashtbl.find ids e.Graph.edge_src)
+           ~tgt:(Hashtbl.find ids e.Graph.edge_tgt)
+           ~rel_type:e.Graph.edge_label
+           ~props:(Props.to_list e.Graph.edge_props)))
+    (Graph.edges g);
+  store
+
+let of_store store =
+  let nodes, rels = Query.export_all store in
+  let g =
+    List.fold_left
+      (fun acc (n : Store.node_record) ->
+        let label = match n.Store.n_labels with l :: _ -> l | [] -> "Node" in
+        Graph.add_node acc
+          ~id:(Printf.sprintf "n%d" n.Store.n_id)
+          ~label ~props:(Props.of_list n.Store.n_props))
+      Graph.empty nodes
+  in
+  List.fold_left
+    (fun acc (r : Store.rel_record) ->
+      Graph.add_edge acc
+        ~id:(Printf.sprintf "r%d" r.Store.r_id)
+        ~src:(Printf.sprintf "n%d" r.Store.r_src)
+        ~tgt:(Printf.sprintf "n%d" r.Store.r_tgt)
+        ~label:r.Store.r_type ~props:(Props.of_list r.Store.r_props))
+    g rels

@@ -1,0 +1,12 @@
+(** Conversion between property graphs and the Neo4j-substitute store,
+    shared by the recorders that use database storage (OPUS, and SPADE's
+    [spn] profile). *)
+
+(** [to_store g] writes nodes then edges into a fresh store; identifiers
+    are re-assigned (database ids), so conversion is identity only up to
+    renaming. *)
+val to_store : Pgraph.Graph.t -> Graphstore.Store.t
+
+(** [of_store store] reads the whole store back (requires it opened);
+    nodes become [n<id>], relationships [r<id>]. *)
+val of_store : Graphstore.Store.t -> Pgraph.Graph.t

@@ -1,0 +1,1 @@
+lib/vis/layout.ml: Array Float Graph Hashtbl List Pgraph String

@@ -1,0 +1,1 @@
+lib/vis/layout.mli: Pgraph

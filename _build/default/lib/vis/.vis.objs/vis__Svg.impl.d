@@ -1,0 +1,1 @@
+lib/vis/svg.ml: Buffer Graph Layout List Pgraph Printf Props String

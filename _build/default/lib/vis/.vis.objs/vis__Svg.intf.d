@@ -1,0 +1,1 @@
+lib/vis/svg.mli: Pgraph

@@ -1,0 +1,24 @@
+(** Layered (Sugiyama-style) layout for provenance graphs: nodes are
+    ranked by longest path along edge direction (cycles broken on DFS
+    back edges), ordered within each layer by iterated barycenter
+    passes, and placed on a grid.  Deterministic: the same graph always
+    yields the same drawing. *)
+
+type position = { x : float; y : float }
+
+type t
+
+(** [compute ?h_gap ?v_gap g] lays out [g].  [h_gap]/[v_gap] are the
+    horizontal/vertical grid spacings in pixels (defaults 160 and 90). *)
+val compute : ?h_gap:float -> ?v_gap:float -> Pgraph.Graph.t -> t
+
+(** Position of a node's centre.  Raises [Not_found] for unknown ids. *)
+val position : t -> string -> position
+
+(** Layer index (0 = top) of a node. *)
+val layer : t -> string -> int
+
+(** Drawing-area size as [(width, height)] in pixels. *)
+val extent : t -> float * float
+
+val node_ids : t -> string list

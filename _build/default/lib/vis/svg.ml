@@ -1,0 +1,123 @@
+open Pgraph
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | '\'' -> Buffer.add_string b "&#39;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+type shape = Rect | Oval
+
+(* The paper's colour code: blue rectangles are processes, yellow ovals
+   are artifacts/resources, green/grey ovals are dummy nodes. *)
+let style_of_label label =
+  match String.lowercase_ascii label with
+  | "process" | "task" | "activity" | "event" -> (Rect, "#a7c7e7", "#20496b")
+  | "dummy" -> (Oval, "#c8e6c9", "#56695a")
+  | "agent" | "machine" -> (Rect, "#e6ccf2", "#5b3f6b")
+  | _ -> (Oval, "#f7e39c", "#6b5c1e")
+
+let node_w = 120.
+let node_h = 42.
+
+let tooltip_of props =
+  match Props.to_list props with
+  | [] -> ""
+  | kvs ->
+      Printf.sprintf "<title>%s</title>"
+        (escape (String.concat "\n" (List.map (fun (k, v) -> k ^ " = " ^ v) kvs)))
+
+let truncate_label s = if String.length s <= 18 then s else String.sub s 0 17 ^ "…"
+
+let render_node buf layout (n : Graph.node) =
+  let { Layout.x; y } = Layout.position layout n.Graph.node_id in
+  let shape, fill, stroke = style_of_label n.Graph.node_label in
+  let tooltip = tooltip_of n.Graph.node_props in
+  (match shape with
+  | Rect ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" rx=\"6\" fill=\"%s\" \
+            stroke=\"%s\">%s</rect>\n"
+           (x -. (node_w /. 2.)) (y -. (node_h /. 2.)) node_w node_h fill stroke tooltip)
+  | Oval ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<ellipse cx=\"%.1f\" cy=\"%.1f\" rx=\"%.1f\" ry=\"%.1f\" fill=\"%s\" stroke=\"%s\">%s</ellipse>\n"
+           x y (node_w /. 2.) (node_h /. 2.) fill stroke tooltip));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" font-size=\"12\" fill=\"%s\">%s</text>\n"
+       x (y +. 4.) stroke
+       (escape (truncate_label n.Graph.node_label)))
+
+(* Clip the edge line against the elliptical/rectangular node boundary so
+   arrowheads end at the border rather than the centre. *)
+let clip_towards (from_ : Layout.position) (to_ : Layout.position) =
+  let dx = to_.Layout.x -. from_.Layout.x and dy = to_.Layout.y -. from_.Layout.y in
+  let len = sqrt ((dx *. dx) +. (dy *. dy)) in
+  if len < 1. then to_
+  else
+    let shrink = 30. in
+    {
+      Layout.x = to_.Layout.x -. (dx /. len *. shrink);
+      Layout.y = to_.Layout.y -. (dy /. len *. shrink);
+    }
+
+let render_edge buf layout (e : Graph.edge) =
+  let src = Layout.position layout e.Graph.edge_src in
+  let tgt = Layout.position layout e.Graph.edge_tgt in
+  if e.Graph.edge_src = e.Graph.edge_tgt then
+    (* Self loop: a small circular arc beside the node. *)
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<path d=\"M %.1f %.1f C %.1f %.1f, %.1f %.1f, %.1f %.1f\" fill=\"none\" \
+          stroke=\"#777\" marker-end=\"url(#arrow)\"/>\n"
+         (src.Layout.x +. 40.) (src.Layout.y -. 10.) (src.Layout.x +. 110.)
+         (src.Layout.y -. 40.) (src.Layout.x +. 110.) (src.Layout.y +. 40.)
+         (src.Layout.x +. 45.) (src.Layout.y +. 12.))
+  else begin
+    let tip = clip_towards src tgt in
+    let start = clip_towards tgt src in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#777\" \
+          marker-end=\"url(#arrow)\">%s</line>\n"
+         start.Layout.x start.Layout.y tip.Layout.x tip.Layout.y (tooltip_of e.Graph.edge_props));
+    let mx = (src.Layout.x +. tgt.Layout.x) /. 2. and my = (src.Layout.y +. tgt.Layout.y) /. 2. in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" font-size=\"10\" fill=\"#555\">%s</text>\n"
+         mx (my -. 4.)
+         (escape (truncate_label e.Graph.edge_label)))
+  end
+
+let render ?h_gap ?v_gap g =
+  let layout = Layout.compute ?h_gap ?v_gap g in
+  let width, height = Layout.extent layout in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+        viewBox=\"0 0 %.0f %.0f\" font-family=\"sans-serif\">\n"
+       width height width height);
+  Buffer.add_string buf
+    "<defs><marker id=\"arrow\" markerWidth=\"8\" markerHeight=\"8\" refX=\"7\" refY=\"3\" \
+     orient=\"auto\"><path d=\"M0,0 L7,3 L0,6 z\" fill=\"#777\"/></marker></defs>\n";
+  List.iter (render_edge buf layout) (Graph.edges g);
+  List.iter (render_node buf layout) (Graph.nodes g);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let render_titled ~title g =
+  Printf.sprintf
+    "<figure class=\"graph\"><figcaption>%s (%s)</figcaption>%s</figure>\n" (escape title)
+    (escape (Graph.summary g)) (render g)

@@ -1,0 +1,14 @@
+(** SVG rendering of provenance graphs, following the visual language of
+    the paper's figures: blue rectangles for processes/activities,
+    yellow ovals for artifacts/entities, green/grey ovals for the dummy
+    nodes that mark where a benchmark result attaches to the background
+    graph.  Properties are embedded as hover tooltips. *)
+
+(** [render g] draws the graph with the default layout. *)
+val render : ?h_gap:float -> ?v_gap:float -> Pgraph.Graph.t -> string
+
+(** A small legend + caption wrapper used by the HTML report. *)
+val render_titled : title:string -> Pgraph.Graph.t -> string
+
+(** XML-escape a string for use in attribute or text context. *)
+val escape : string -> string

@@ -1,0 +1,1 @@
+test/helpers.ml: Array Format Graph List Oskernel Pgraph Printf Props QCheck QCheck_alcotest Random String

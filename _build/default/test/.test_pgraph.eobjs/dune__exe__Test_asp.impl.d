@@ -1,0 +1,1 @@
+test/test_asp.ml: Alcotest Asp Datalog Graph Helpers List Pgraph Printf Props String

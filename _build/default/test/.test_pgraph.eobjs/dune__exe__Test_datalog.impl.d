@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Base Datalog Encode Fact Graph Helpers List Parser Pgraph Props Stats String

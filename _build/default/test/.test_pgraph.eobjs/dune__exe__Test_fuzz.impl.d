@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Gmatch Graph Graphstore Helpers List Oskernel Pgraph Props Provmark Recorders

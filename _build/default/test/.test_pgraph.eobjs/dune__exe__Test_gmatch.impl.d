@@ -1,0 +1,1 @@
+test/test_gmatch.ml: Alcotest Asp_backend Engine Gmatch Graph Helpers Incremental Matching Option Pgraph Props QCheck Random Result Vf2

@@ -1,0 +1,1 @@
+test/test_graphstore.ml: Alcotest Graphstore List Query Store String

@@ -1,0 +1,1 @@
+test/test_minijson.ml: Alcotest Helpers Json List Minijson Printf QCheck Random

@@ -1,0 +1,1 @@
+test/test_oskernel.ml: Alcotest Cred Errno Event Filename Fs Int Int64 Kernel List Option Oskernel Prng Process Program String Sys Syscall Trace Trace_io

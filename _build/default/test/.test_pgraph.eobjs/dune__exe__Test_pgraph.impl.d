@@ -1,0 +1,1 @@
+test/test_pgraph.ml: Alcotest Fingerprint Graph Helpers List Option Pgraph Props Stats

@@ -1,0 +1,1 @@
+test/test_provmark.ml: Alcotest Array Datalog Filename Gmatch Graph Helpers Int List Option Oskernel Pgraph Printf Props Provmark Recorders Set String Sys

@@ -1,0 +1,1 @@
+test/test_recorders.ml: Alcotest Gmatch Graph Graphstore Json List Minijson Option Oskernel Pgraph Props Recorders String

@@ -1,0 +1,1 @@
+test/test_vis.ml: Alcotest Graph Helpers List Pgraph Props String Vis

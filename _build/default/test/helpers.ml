@@ -1,0 +1,138 @@
+(* Shared test utilities: random property-graph generators and graph
+   transformations used by the property-based suites. *)
+
+open Pgraph
+
+let node_labels = [| "entity"; "activity"; "agent" |]
+let edge_labels = [| "used"; "wasGeneratedBy"; "wasInformedBy" |]
+let prop_keys = [| "type"; "name"; "pid"; "mode" |]
+let prop_values = [| "a"; "b"; "c" |]
+
+let pick arr st = arr.(Random.State.int st (Array.length arr))
+
+let random_props st =
+  let n = Random.State.int st 3 in
+  let rec go acc i =
+    if i = 0 then acc else go (Props.add (pick prop_keys st) (pick prop_values st) acc) (i - 1)
+  in
+  go Props.empty n
+
+(* A random graph with [n] nodes and roughly [e] edges. *)
+let random_graph ?(max_nodes = 6) ?(max_edges = 8) st =
+  let n = 1 + Random.State.int st max_nodes in
+  let g = ref Graph.empty in
+  for i = 0 to n - 1 do
+    g :=
+      Graph.add_node !g
+        ~id:(Printf.sprintf "n%d" i)
+        ~label:(pick node_labels st) ~props:(random_props st)
+  done;
+  let e = Random.State.int st (max_edges + 1) in
+  for j = 0 to e - 1 do
+    let src = Printf.sprintf "n%d" (Random.State.int st n) in
+    let tgt = Printf.sprintf "n%d" (Random.State.int st n) in
+    g :=
+      Graph.add_edge !g
+        ~id:(Printf.sprintf "e%d" j)
+        ~src ~tgt ~label:(pick edge_labels st) ~props:(random_props st)
+  done;
+  !g
+
+let graph_arbitrary ?max_nodes ?max_edges () =
+  QCheck.make
+    ~print:(fun g -> Format.asprintf "%a" Graph.pp g)
+    (fun st -> random_graph ?max_nodes ?max_edges st)
+
+(* Rename all identifiers with a prefix, yielding an isomorphic copy. *)
+let rename_with_prefix prefix g = Graph.map_ids (fun id -> prefix ^ id) g
+
+(* Shuffle identifiers deterministically: reverse the numeric suffix
+   ordering by mapping each id to a fresh one based on its rank. *)
+let permute_ids g =
+  let ids = Graph.node_ids g @ Graph.edge_ids g in
+  let ranked = List.mapi (fun i id -> (id, Printf.sprintf "x%d" (List.length ids - i))) ids in
+  Graph.map_ids (fun id -> List.assoc id ranked) g
+
+(* Drop a random subset of elements to get a subgraph (nodes kept only if
+   still used, edges dropped freely). *)
+let random_subgraph st g =
+  let g' =
+    List.fold_left
+      (fun acc (e : Graph.edge) ->
+        if Random.State.bool st then Graph.remove_edge acc e.Graph.edge_id else acc)
+      g (Graph.edges g)
+  in
+  List.fold_left
+    (fun acc (n : Graph.node) ->
+      if Random.State.bool st && Graph.incident_edges acc n.Graph.node_id = [] then
+        Graph.remove_node acc n.Graph.node_id
+      else acc)
+    g' (Graph.nodes g)
+
+let qcheck ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+(* ------------------------------------------------------------------ *)
+(* Random benchmark programs for fuzzing the kernel and the recorders  *)
+(* ------------------------------------------------------------------ *)
+
+module Syscall = Oskernel.Syscall
+module Program = Oskernel.Program
+
+(* A random, well-scoped benchmark program: staged files exist, fd
+   registers are only used after the call that binds them. *)
+let random_program st =
+  let file i = Printf.sprintf "/staging/f%d.txt" i in
+  let staged = Random.State.int st 3 in
+  let staging = List.init staged (fun i -> Program.staged_file (file i)) in
+  let open_regs = ref [] in
+  let fresh_reg =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      Printf.sprintf "fd%d" !n
+  in
+  let random_call () =
+    let staged_path () = if staged = 0 then file 9 (* missing *) else file (Random.State.int st staged) in
+    let with_fd f =
+      match !open_regs with
+      | [] -> None
+      | regs -> Some (f (List.nth regs (Random.State.int st (List.length regs))))
+    in
+    match Random.State.int st 12 with
+    | 0 ->
+        let r = fresh_reg () in
+        open_regs := r :: !open_regs;
+        Some (Syscall.Open { path = staged_path (); flags = [ Syscall.O_RDWR ]; ret = r })
+    | 1 ->
+        let r = fresh_reg () in
+        open_regs := r :: !open_regs;
+        Some (Syscall.Creat { path = file (10 + Random.State.int st 5); ret = r })
+    | 2 -> with_fd (fun r -> Syscall.Read { fd = r; count = 16 })
+    | 3 -> with_fd (fun r -> Syscall.Write { fd = r; count = 16 })
+    | 4 ->
+        with_fd (fun r ->
+            open_regs := List.filter (fun x -> x <> r) !open_regs;
+            Syscall.Close r)
+    | 5 -> Some (Syscall.Rename { old_path = staged_path (); new_path = file (20 + Random.State.int st 5) })
+    | 6 -> Some (Syscall.Unlink { path = staged_path () })
+    | 7 -> Some (Syscall.Chmod { path = staged_path (); mode = 0o600 })
+    | 8 -> Some Syscall.Fork
+    | 9 -> Some (Syscall.Link { old_path = staged_path (); new_path = file (30 + Random.State.int st 5) })
+    | 10 -> with_fd (fun r -> Syscall.Ftruncate { fd = r; length = 4 })
+    | 11 -> Some (Syscall.Setuid { uid = 1000 })
+    | _ -> None
+  in
+  let calls n = List.filter_map (fun _ -> random_call ()) (List.init n (fun i -> i)) in
+  let setup = calls (Random.State.int st 3) in
+  let target = calls (1 + Random.State.int st 3) in
+  Program.make ~name:"fuzz" ~syscall:"fuzz" ~staging ~setup ~target ()
+
+let program_arbitrary () =
+  QCheck.make
+    ~print:(fun (p : Program.t) ->
+      Printf.sprintf "staging=%d setup=[%s] target=[%s]"
+        (List.length p.Program.staging)
+        (String.concat ";" (List.map Syscall.name p.Program.setup))
+        (String.concat ";" (List.map Syscall.name p.Program.target)))
+    random_program

@@ -1,0 +1,142 @@
+open Datalog
+open Pgraph
+
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_fact_print () =
+  check_string "simple" "ng1(n1,\"File\")."
+    (Fact.to_string (Fact.make "ng1" [ Fact.Sym "n1"; Fact.Str "File" ]));
+  check_string "escaped" "p(x,\"a\\\"b\")."
+    (Fact.to_string (Fact.make "p" [ Fact.Sym "x"; Fact.Str "a\"b" ]));
+  check_string "int arg" "f(3)." (Fact.to_string (Fact.make "f" [ Fact.Int 3 ]))
+
+let test_sym_of_string () =
+  check_bool "bare" true (Fact.sym_of_string "n1" = Fact.Sym "n1");
+  check_bool "uppercase quoted" true (Fact.sym_of_string "N1" = Fact.Str "N1");
+  check_bool "dash quoted" true (Fact.sym_of_string "a-b" = Fact.Str "a-b");
+  check_bool "empty quoted" true (Fact.sym_of_string "" = Fact.Str "")
+
+let test_parse_listing2 () =
+  (* The exact fact text of the paper's Listing 2. *)
+  let text =
+    {|
+ng1(n1,"File").
+pg1(n1,"Userid","1").
+pg1(n1,"Name","text").
+ng2(n1,"File").
+ng2(n2,"Process").
+pg2(n1,"Userid","1").
+eg2(e1,n1,n2,"Used").
+pg2(n1,"Name","text").
+|}
+  in
+  let facts = Parser.parse_facts text in
+  check_int "fact count" 8 (List.length facts);
+  let base = Base.of_list facts in
+  check_int "ng2 facts" 2 (List.length (Base.facts_with_pred base "ng2"));
+  check_int "eg2 facts" 1 (List.length (Base.facts_with_pred base "eg2"))
+
+let test_parse_comments_and_ws () =
+  let facts = Parser.parse_facts "% a comment\n  f(a). % trailing\n\tg(b,\"c\")." in
+  check_int "two facts" 2 (List.length facts)
+
+let test_parse_errors () =
+  let expect_fail s =
+    match Parser.parse_facts s with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  List.iter expect_fail [ "f(a)"; "f(a,)."; "f(."; "(a)."; "f(a)) ." ]
+
+let test_base_dedup () =
+  let f = Fact.make "f" [ Fact.Sym "a" ] in
+  let b = Base.of_list [ f; f; f ] in
+  check_int "deduplicated" 1 (Base.cardinal b);
+  check_bool "mem" true (Base.mem f b)
+
+let sample_graph () =
+  let g = Graph.empty in
+  let g = Graph.add_node g ~id:"n1" ~label:"File" ~props:(Props.of_list [ ("Userid", "1"); ("Name", "text") ]) in
+  let g = Graph.add_node g ~id:"n2" ~label:"Process" ~props:Props.empty in
+  Graph.add_edge g ~id:"e1" ~src:"n1" ~tgt:"n2" ~label:"Used"
+    ~props:(Props.of_list [ ("t", "5") ])
+
+let test_encode_matches_listing_format () =
+  let g = sample_graph () in
+  let text = Encode.graph_to_string ~gid:"g2" g in
+  check_bool "node fact present" true
+    (String.length text > 0
+    && List.exists
+         (fun line -> String.equal line "ng2(n1,\"File\").")
+         (String.split_on_char '\n' text));
+  check_bool "edge fact present" true
+    (List.exists
+       (fun line -> String.equal line "eg2(e1,n1,n2,\"Used\").")
+       (String.split_on_char '\n' text))
+
+let test_roundtrip () =
+  let g = sample_graph () in
+  let g' = Encode.graph_of_string ~gid:"g2" (Encode.graph_to_string ~gid:"g2" g) in
+  check_bool "roundtrip equal" true (Graph.equal g g')
+
+let test_decode_errors () =
+  let expect_fail s =
+    match Encode.graph_of_string ~gid:"1" s with
+    | exception Encode.Decode_error _ -> ()
+    | _ -> Alcotest.failf "expected decode error for %S" s
+  in
+  (* Edge with missing endpoint; property on unknown element; bad arity. *)
+  List.iter expect_fail
+    [
+      "e1(e1,n1,n2,\"x\").";
+      "n1(n1,\"a\"). p1(zz,\"k\",\"v\").";
+      "n1(n1,\"a\",\"extra\",\"args\").";
+    ]
+
+let test_distinct_gids_do_not_mix () =
+  let g = sample_graph () in
+  let base =
+    Base.union (Encode.graph_to_base ~gid:"1" g) (Encode.graph_to_base ~gid:"2" Graph.empty)
+  in
+  let g1 = Encode.graph_of_base ~gid:"1" base in
+  let g2 = Encode.graph_of_base ~gid:"2" base in
+  check_bool "gid 1 intact" true (Graph.equal g g1);
+  check_int "gid 2 empty" 0 (Graph.size g2)
+
+let arb = Helpers.graph_arbitrary ()
+
+let prop_roundtrip =
+  Helpers.qcheck "datalog encode/decode roundtrip" arb (fun g ->
+      Graph.equal g (Encode.graph_of_string ~gid:"7" (Encode.graph_to_string ~gid:"7" g)))
+
+let prop_fact_count =
+  Helpers.qcheck "fact count = nodes + edges + properties" arb (fun g ->
+      let s = Stats.of_graph g in
+      List.length (Encode.graph_to_facts ~gid:"1" g) = s.Stats.nodes + s.Stats.edges + s.Stats.properties)
+
+let () =
+  Alcotest.run "datalog"
+    [
+      ( "fact",
+        [
+          Alcotest.test_case "printing" `Quick test_fact_print;
+          Alcotest.test_case "sym_of_string quoting" `Quick test_sym_of_string;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "paper listing 2" `Quick test_parse_listing2;
+          Alcotest.test_case "comments and whitespace" `Quick test_parse_comments_and_ws;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ("base", [ Alcotest.test_case "dedup and mem" `Quick test_base_dedup ]);
+      ( "encode",
+        [
+          Alcotest.test_case "matches listing format" `Quick test_encode_matches_listing_format;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "graph ids are independent" `Quick test_distinct_gids_do_not_mix;
+        ] );
+      ("properties", [ prop_roundtrip; prop_fact_count ]);
+    ]

@@ -1,0 +1,113 @@
+open Graphstore
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_store () =
+  let s = Store.create () in
+  let a = Store.create_node s ~labels:[ "Process" ] ~props:[ ("pid", "1") ] in
+  let b = Store.create_node s ~labels:[ "Global" ] ~props:[ ("name", "/tmp/x") ] in
+  let c = Store.create_node s ~labels:[ "Global"; "Deleted" ] ~props:[] in
+  let r1 = Store.create_rel s ~src:a ~tgt:b ~rel_type:"TOUCH" ~props:[ ("t", "1") ] in
+  let r2 = Store.create_rel s ~src:a ~tgt:c ~rel_type:"TOUCH" ~props:[] in
+  (s, a, b, c, r1, r2)
+
+let test_closed_raises () =
+  let s, a, _, _, _, _ = small_store () in
+  Alcotest.check_raises "query before open" Store.Closed (fun () -> ignore (Store.all_nodes s));
+  Alcotest.check_raises "find before open" Store.Closed (fun () -> ignore (Store.find_node s a))
+
+let test_open_idempotent () =
+  let s, _, _, _, _, _ = small_store () in
+  check_bool "not open initially" false (Store.is_open s);
+  Store.open_db s;
+  check_bool "open" true (Store.is_open s);
+  Store.open_db s;
+  check_bool "still open" true (Store.is_open s)
+
+let test_counts_and_queries () =
+  let s, a, b, _, r1, _ = small_store () in
+  Store.open_db s;
+  check_int "nodes" 3 (Store.node_count s);
+  check_int "rels" 2 (Store.rel_count s);
+  check_int "globals by label" 2 (List.length (Store.nodes_with_label s "Global"));
+  check_int "out of a" 2 (List.length (Store.rels_from s a));
+  check_int "into b" 1 (List.length (Store.rels_to s b));
+  (match Store.find_node s a with
+  | Some n -> check_bool "props" true (List.assoc "pid" n.Store.n_props = "1")
+  | None -> Alcotest.fail "node a missing");
+  ignore r1
+
+let test_rel_endpoint_checked () =
+  let s = Store.create () in
+  let a = Store.create_node s ~labels:[ "X" ] ~props:[] in
+  match Store.create_rel s ~src:a ~tgt:999 ~rel_type:"Y" ~props:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dangling relationship accepted"
+
+let test_query_layer () =
+  let s, a, b, c, _, _ = small_store () in
+  Store.open_db s;
+  check_int "match by label+prop" 1
+    (List.length (Query.match_nodes s ~label:"Global" ~props:[ ("name", "/tmp/x") ] ()));
+  let expanded = Query.expand s ~from:a ~rel_type:"TOUCH" `Out in
+  check_int "expansion" 2 (List.length expanded);
+  check_bool "far ends" true
+    (List.for_all (fun (_, (n : Store.node_record)) -> n.Store.n_id = b || n.Store.n_id = c) expanded);
+  check_int "degree" 2 (Query.degree s a);
+  let nodes, rels = Query.export_all s in
+  check_int "export nodes" 3 (List.length nodes);
+  check_int "export rels" 2 (List.length rels)
+
+let test_dump_load_roundtrip () =
+  let s, _, _, _, _, _ = small_store () in
+  let text = Store.dump s in
+  let s' = Store.load text in
+  Store.open_db s;
+  Store.open_db s';
+  check_int "nodes preserved" (Store.node_count s) (Store.node_count s');
+  check_int "rels preserved" (Store.rel_count s) (Store.rel_count s');
+  check_bool "same dump" true (String.equal (Store.dump s) (Store.dump s'))
+
+let test_dump_escaping () =
+  let s = Store.create () in
+  let a = Store.create_node s ~labels:[ "L" ] ~props:[ ("k", "line1\nline2\tweird\\chars") ] in
+  let s' = Store.load (Store.dump s) in
+  Store.open_db s';
+  match Store.find_node s' a with
+  | Some n -> Alcotest.(check string) "escaped value" "line1\nline2\tweird\\chars" (List.assoc "k" n.Store.n_props)
+  | None -> Alcotest.fail "node missing after roundtrip"
+
+let test_load_rejects_garbage () =
+  let expect_fail text =
+    match Store.load text with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "expected load failure for %S" text
+  in
+  List.iter expect_fail
+    [ "X\t1\n"; "R\t0\t1\t2\tTYPE\t\n"; "N\t0\tL\tnot-a-prop\n" ]
+
+let test_load_empty () =
+  let s = Store.load "" in
+  Store.open_db s;
+  check_int "empty store" 0 (Store.node_count s)
+
+let () =
+  Alcotest.run "graphstore"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "closed store raises" `Quick test_closed_raises;
+          Alcotest.test_case "open is idempotent" `Quick test_open_idempotent;
+          Alcotest.test_case "counts and lookups" `Quick test_counts_and_queries;
+          Alcotest.test_case "dangling relationship rejected" `Quick test_rel_endpoint_checked;
+        ] );
+      ("query", [ Alcotest.test_case "match/expand/export" `Quick test_query_layer ]);
+      ( "serialization",
+        [
+          Alcotest.test_case "dump/load roundtrip" `Quick test_dump_load_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_dump_escaping;
+          Alcotest.test_case "garbage rejected" `Quick test_load_rejects_garbage;
+          Alcotest.test_case "empty input" `Quick test_load_empty;
+        ] );
+    ]

@@ -1,0 +1,109 @@
+open Minijson
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let roundtrip j = Json.of_string (Json.to_string j)
+
+let test_print_atoms () =
+  check_string "null" "null" (Json.to_string Json.Null);
+  check_string "true" "true" (Json.to_string (Json.Bool true));
+  check_string "int-like number" "42" (Json.to_string (Json.Number 42.));
+  check_string "string" "\"hi\"" (Json.to_string (Json.String "hi"))
+
+let test_print_escapes () =
+  check_string "escapes" "\"a\\\"b\\\\c\\nd\\te\"" (Json.to_string (Json.String "a\"b\\c\nd\te"));
+  check_string "control char" "\"\\u0001\"" (Json.to_string (Json.String "\001"))
+
+let test_print_compound () =
+  let j = Json.Object [ ("a", Json.Array [ Json.Number 1.; Json.Null ]); ("b", Json.Bool false) ] in
+  check_string "object" "{\"a\":[1,null],\"b\":false}" (Json.to_string j)
+
+let test_parse_basic () =
+  check_bool "object roundtrip" true
+    (Json.equal
+       (Json.of_string "{ \"x\" : [1, 2.5, -3], \"y\": {\"z\": null} }")
+       (Json.Object
+          [
+            ("x", Json.Array [ Json.Number 1.; Json.Number 2.5; Json.Number (-3.) ]);
+            ("y", Json.Object [ ("z", Json.Null) ]);
+          ]))
+
+let test_parse_unicode_escape () =
+  check_string "bmp escape" "A" (Json.to_str (Json.of_string "\"\\u0041\""));
+  check_string "surrogate pair" "\xf0\x9f\x99\x82" (Json.to_str (Json.of_string "\"\\ud83d\\ude42\""))
+
+let test_parse_errors () =
+  let expect_fail s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  List.iter expect_fail
+    [ "{"; "[1,"; "\"unterminated"; "tru"; "{\"a\" 1}"; "[1 2]"; "1 2"; "{'a':1}"; "" ]
+
+let test_member () =
+  let j = Json.of_string "{\"a\": 1, \"b\": \"x\"}" in
+  check_bool "mem" true (Json.mem "a" j);
+  check_bool "not mem" false (Json.mem "c" j);
+  Alcotest.(check int) "to_int" 1 (Json.to_int (Json.member "a" j));
+  check_string "missing member is Null" "null" (Json.to_string (Json.member "zz" j))
+
+let test_pretty_roundtrip () =
+  let j =
+    Json.Object
+      [ ("list", Json.Array [ Json.String "a"; Json.Object [ ("k", Json.Number 1.) ] ]) ]
+  in
+  check_bool "pretty parses back" true (Json.equal j (Json.of_string (Json.to_string ~pretty:true j)))
+
+(* Random JSON generator for roundtrip property. *)
+let rec random_json depth st =
+  let open QCheck.Gen in
+  if depth = 0 then
+    generate1 ~rand:st
+      (oneof
+         [
+           return Json.Null;
+           map (fun b -> Json.Bool b) bool;
+           map (fun n -> Json.Number (float_of_int n)) (int_range (-1000) 1000);
+           map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 8));
+         ])
+  else
+    match Random.State.int st 3 with
+    | 0 ->
+        let n = Random.State.int st 4 in
+        Json.Array (List.init n (fun _ -> random_json (depth - 1) st))
+    | 1 ->
+        let n = Random.State.int st 4 in
+        Json.Object (List.init n (fun i -> (Printf.sprintf "k%d" i, random_json (depth - 1) st)))
+    | _ -> random_json 0 st
+
+let json_arb =
+  QCheck.make ~print:(fun j -> Json.to_string ~pretty:true j) (random_json 3)
+
+let prop_roundtrip =
+  Helpers.qcheck "print/parse roundtrip" json_arb (fun j -> Json.equal j (roundtrip j))
+
+let prop_pretty_equivalent =
+  Helpers.qcheck "pretty and compact parse to the same value" json_arb (fun j ->
+      Json.equal (Json.of_string (Json.to_string j)) (Json.of_string (Json.to_string ~pretty:true j)))
+
+let () =
+  Alcotest.run "minijson"
+    [
+      ( "print",
+        [
+          Alcotest.test_case "atoms" `Quick test_print_atoms;
+          Alcotest.test_case "escapes" `Quick test_print_escapes;
+          Alcotest.test_case "compound" `Quick test_print_compound;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "unicode escapes" `Quick test_parse_unicode_escape;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "member access" `Quick test_member;
+          Alcotest.test_case "pretty roundtrip" `Quick test_pretty_roundtrip;
+        ] );
+      ("properties", [ prop_roundtrip; prop_pretty_equivalent ]);
+    ]

@@ -1,0 +1,638 @@
+open Oskernel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42L and b = Prng.create ~seed:42L in
+  for _ = 1 to 10 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create ~seed:1L and b = Prng.create ~seed:2L in
+  check_bool "different streams" false (Int64.equal (Prng.next_int64 a) (Prng.next_int64 b))
+
+let test_prng_bounds () =
+  let p = Prng.create ~seed:7L in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 13 in
+    check_bool "in range" true (v >= 0 && v < 13)
+  done;
+  for _ = 1 to 1000 do
+    let f = Prng.float p in
+    check_bool "float in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_prng_split_independent () =
+  let parent = Prng.create ~seed:3L in
+  let child = Prng.split parent in
+  check_bool "split differs from parent continuation" false
+    (Int64.equal (Prng.next_int64 child) (Prng.next_int64 parent))
+
+let test_hex_token_shape () =
+  let p = Prng.create ~seed:11L in
+  let t = Prng.hex_token p in
+  check_int "eight chars" 8 (String.length t);
+  check_bool "hex digits" true
+    (String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) t)
+
+(* ------------------------------------------------------------------ *)
+(* Cred                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let unpriv = Cred.make ~uid:1000 ~gid:1000
+
+let test_cred_root_setuid () =
+  match Cred.setuid Cred.root 42 with
+  | Ok c ->
+      check_int "ruid" 42 c.Cred.ruid;
+      check_int "euid" 42 c.Cred.euid;
+      check_int "suid" 42 c.Cred.suid
+  | Error _ -> Alcotest.fail "root setuid must succeed"
+
+let test_cred_unpriv_setuid_denied () =
+  match Cred.setuid unpriv 0 with
+  | Error Errno.EPERM -> ()
+  | _ -> Alcotest.fail "unprivileged setuid(0) must fail with EPERM"
+
+let test_cred_unpriv_setuid_to_own () =
+  match Cred.setuid unpriv 1000 with
+  | Ok c -> check_int "euid unchanged" 1000 c.Cred.euid
+  | Error _ -> Alcotest.fail "setuid to own uid must succeed"
+
+let test_cred_setresuid_saved_id () =
+  (* A process with saved uid 2000 may switch its effective uid to it. *)
+  let c = { unpriv with Cred.suid = 2000 } in
+  match Cred.setresuid c (-1) 2000 (-1) with
+  | Ok c' ->
+      check_int "euid switched" 2000 c'.Cred.euid;
+      check_int "ruid kept" 1000 c'.Cred.ruid;
+      check_int "suid kept" 2000 c'.Cred.suid
+  | Error _ -> Alcotest.fail "setresuid to saved uid must succeed"
+
+let test_cred_setresuid_denied () =
+  match Cred.setresuid unpriv (-1) 3000 (-1) with
+  | Error Errno.EPERM -> ()
+  | _ -> Alcotest.fail "setresuid to foreign uid must fail"
+
+let test_cred_setresgid_noop () =
+  match Cred.setresgid unpriv (-1) 1000 (-1) with
+  | Ok c -> check_bool "no change" true (Cred.equal c unpriv)
+  | Error _ -> Alcotest.fail "no-op setresgid must succeed"
+
+let test_cred_setreuid_updates_saved () =
+  let c = { unpriv with Cred.suid = 2000 } in
+  match Cred.setreuid c 1000 2000 with
+  | Ok c' ->
+      check_int "euid" 2000 c'.Cred.euid;
+      check_int "suid follows euid" 2000 c'.Cred.suid
+  | Error _ -> Alcotest.fail "setreuid to permitted ids must succeed"
+
+(* ------------------------------------------------------------------ *)
+(* Fs                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fs_with_file () =
+  let fs = Fs.create () in
+  match Fs.mkfile fs ~path:"/tmp/a.txt" ~mode:0o644 ~uid:1000 ~gid:1000 with
+  | Ok inode -> (fs, inode)
+  | Error _ -> Alcotest.fail "mkfile failed"
+
+let test_fs_create_lookup () =
+  let fs, inode = fs_with_file () in
+  check_bool "path exists" true (Fs.path_exists fs "/tmp/a.txt");
+  check_bool "parent implicitly created" true (Fs.path_exists fs "/tmp");
+  (match Fs.lookup fs "/tmp/a.txt" with
+  | Some i -> check_int "same inode" inode.Fs.ino i.Fs.ino
+  | None -> Alcotest.fail "lookup failed");
+  check_int "nlink" 1 inode.Fs.nlink
+
+let test_fs_duplicate_rejected () =
+  let fs, _ = fs_with_file () in
+  match Fs.mkfile fs ~path:"/tmp/a.txt" ~mode:0o644 ~uid:0 ~gid:0 with
+  | Error Errno.EEXIST -> ()
+  | _ -> Alcotest.fail "duplicate creation must fail"
+
+let test_fs_link_unlink () =
+  let fs, inode = fs_with_file () in
+  (match Fs.link fs ~old_path:"/tmp/a.txt" ~new_path:"/tmp/b.txt" with
+  | Ok i ->
+      check_int "same inode" inode.Fs.ino i.Fs.ino;
+      check_int "nlink bumped" 2 i.Fs.nlink
+  | Error _ -> Alcotest.fail "link failed");
+  Alcotest.(check (list string))
+    "paths of inode" [ "/tmp/a.txt"; "/tmp/b.txt" ]
+    (Fs.paths_of_ino fs inode.Fs.ino);
+  (match Fs.unlink fs "/tmp/a.txt" with
+  | Ok i -> check_int "nlink back to one" 1 i.Fs.nlink
+  | Error _ -> Alcotest.fail "unlink failed");
+  check_bool "first path gone" false (Fs.path_exists fs "/tmp/a.txt");
+  check_bool "inode survives via second link" true (Fs.find_inode fs inode.Fs.ino <> None);
+  (match Fs.unlink fs "/tmp/b.txt" with Ok _ -> () | Error _ -> Alcotest.fail "unlink 2");
+  check_bool "inode reclaimed" true (Fs.find_inode fs inode.Fs.ino = None)
+
+let test_fs_unlink_missing () =
+  let fs = Fs.create () in
+  match Fs.unlink fs "/nope" with
+  | Error Errno.ENOENT -> ()
+  | _ -> Alcotest.fail "unlink of missing path must fail"
+
+let test_fs_rename () =
+  let fs, inode = fs_with_file () in
+  (match Fs.rename fs ~old_path:"/tmp/a.txt" ~new_path:"/tmp/z.txt" with
+  | Ok i -> check_int "inode preserved" inode.Fs.ino i.Fs.ino
+  | Error _ -> Alcotest.fail "rename failed");
+  check_bool "old gone" false (Fs.path_exists fs "/tmp/a.txt");
+  check_bool "new present" true (Fs.path_exists fs "/tmp/z.txt")
+
+let test_fs_rename_replaces_target () =
+  let fs, _ = fs_with_file () in
+  (match Fs.mkfile fs ~path:"/tmp/b.txt" ~mode:0o644 ~uid:1000 ~gid:1000 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "second file");
+  let victim = Option.get (Fs.lookup fs "/tmp/b.txt") in
+  (match Fs.rename fs ~old_path:"/tmp/a.txt" ~new_path:"/tmp/b.txt" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "rename onto existing failed");
+  check_bool "victim inode reclaimed" true (Fs.find_inode fs victim.Fs.ino = None)
+
+let test_fs_symlink_resolve () =
+  let fs, inode = fs_with_file () in
+  (match Fs.symlink fs ~target:"/tmp/a.txt" ~link_path:"/tmp/s" ~uid:1000 ~gid:1000 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "symlink failed");
+  match Fs.resolve fs "/tmp/s" with
+  | Some i -> check_int "resolves to target inode" inode.Fs.ino i.Fs.ino
+  | None -> Alcotest.fail "resolve failed"
+
+let test_fs_truncate_versions () =
+  let fs, inode = fs_with_file () in
+  let v0 = inode.Fs.version in
+  (match Fs.truncate fs "/tmp/a.txt" ~length:5 with
+  | Ok i ->
+      check_int "size" 5 i.Fs.size;
+      check_int "version bumped" (v0 + 1) i.Fs.version
+  | Error _ -> Alcotest.fail "truncate failed")
+
+let test_fs_permissions () =
+  let fs = Fs.create () in
+  let root_file =
+    match Fs.mkfile fs ~path:"/etc/passwd" ~mode:0o644 ~uid:0 ~gid:0 with
+    | Ok i -> i
+    | Error _ -> Alcotest.fail "mkfile"
+  in
+  let user = Cred.make ~uid:1000 ~gid:1000 in
+  check_bool "user may read 0644 root file" true (Fs.may_read root_file user);
+  check_bool "user may not write 0644 root file" false (Fs.may_write root_file user);
+  check_bool "root may write" true (Fs.may_write root_file Cred.root);
+  check_bool "user may not modify /etc" false (Fs.may_modify_dir_of fs "/etc/passwd" user)
+
+let test_fs_mkdir_ownership () =
+  let fs = Fs.create () in
+  (match Fs.mkdir fs ~path:"/staging" ~mode:0o755 ~uid:1000 ~gid:1000 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "mkdir failed");
+  let user = Cred.make ~uid:1000 ~gid:1000 in
+  check_bool "owner may create files there" true (Fs.may_modify_dir_of fs "/staging/x" user)
+
+let test_fs_pipe_anonymous () =
+  let fs = Fs.create () in
+  let p = Fs.make_pipe fs in
+  check_bool "fifo" true (p.Fs.ftype = Fs.Fifo);
+  Alcotest.(check (list string)) "no paths" [] (Fs.paths_of_ino fs p.Fs.ino)
+
+(* ------------------------------------------------------------------ *)
+(* Process                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_process_fd_alloc () =
+  let p = Process.create ~pid:100 ~ppid:1 ~comm:"x" ~exe:"/x" ~cred:unpriv in
+  let fd1 = Process.alloc_fd p ~ino:5 ~flags:[] in
+  let fd2 = Process.alloc_fd p ~ino:6 ~flags:[] in
+  check_int "first fd is 3" 3 fd1;
+  check_int "next fd is 4" 4 fd2;
+  check_bool "close" true (Process.close_fd p fd1);
+  check_bool "double close fails" false (Process.close_fd p fd1);
+  let fd3 = Process.alloc_fd p ~ino:7 ~flags:[] in
+  check_int "freed slot reused" 3 fd3
+
+let test_process_install_fd () =
+  let p = Process.create ~pid:100 ~ppid:1 ~comm:"x" ~exe:"/x" ~cred:unpriv in
+  Process.install_fd p 10 ~ino:5 ~flags:[];
+  Process.install_fd p 10 ~ino:6 ~flags:[];
+  match Process.find_fd p 10 with
+  | Some e -> check_int "replaced silently" 6 e.Process.ino
+  | None -> Alcotest.fail "fd 10 missing"
+
+let test_process_fork_copies_fds () =
+  let p = Process.create ~pid:100 ~ppid:1 ~comm:"x" ~exe:"/x" ~cred:unpriv in
+  let fd = Process.alloc_fd p ~ino:5 ~flags:[] in
+  let child = Process.fork_into p ~pid:101 in
+  check_int "ppid" 100 child.Process.ppid;
+  (match Process.find_fd child fd with
+  | Some e -> check_int "fd inherited" 5 e.Process.ino
+  | None -> Alcotest.fail "child lacks fd");
+  ignore (Process.close_fd child fd);
+  check_bool "parent unaffected by child close" true (Process.find_fd p fd <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Syscall metadata                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_syscall_names_complete () =
+  check_int "44 calls in Table 2 order" 44 (List.length Syscall.all_names);
+  check_int "no duplicates" 44 (List.length (List.sort_uniq String.compare Syscall.all_names))
+
+let test_syscall_groups () =
+  check_int "open in group 1" 1 (Syscall.group (Syscall.Open { path = "x"; flags = []; ret = "r" }));
+  check_int "fork in group 2" 2 (Syscall.group Syscall.Fork);
+  check_int "setuid in group 3" 3 (Syscall.group (Syscall.Setuid { uid = 0 }));
+  check_int "tee in group 4" 4
+    (Syscall.group (Syscall.Tee { fd_in = "a"; fd_out = "b" }))
+
+(* ------------------------------------------------------------------ *)
+(* Kernel runs                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let open_bench =
+  Program.make ~name:"t_open" ~syscall:"open"
+    ~staging:[ Program.staged_file "/staging/test.txt" ]
+    ~target:[ Syscall.Open { path = "/staging/test.txt"; flags = [ Syscall.O_RDWR ]; ret = "id" } ]
+    ()
+
+let test_kernel_deterministic () =
+  let t1 = Kernel.run ~run_id:5 open_bench Program.Foreground in
+  let t2 = Kernel.run ~run_id:5 open_bench Program.Foreground in
+  check_bool "same run id, identical traces" true (t1 = t2)
+
+let test_kernel_transients_vary () =
+  let t1 = Kernel.run ~run_id:5 open_bench Program.Foreground in
+  let t2 = Kernel.run ~run_id:6 open_bench Program.Foreground in
+  check_bool "boot ids differ" false (String.equal t1.Trace.boot_id t2.Trace.boot_id);
+  check_bool "pids differ" false (t1.Trace.monitored_pid = t2.Trace.monitored_pid);
+  check_int "same audit length" (Trace.audit_count t1) (Trace.audit_count t2)
+
+let test_kernel_boilerplate () =
+  let t = Kernel.run ~run_id:1 open_bench Program.Background in
+  let syscalls = List.map (fun (a : Event.audit_record) -> a.Event.a_syscall) t.Trace.audit in
+  check_bool "fork from shell" true (List.mem "fork" syscalls);
+  check_bool "execve of the binary" true (List.mem "execve" syscalls);
+  check_bool "loader opens libc" true (List.mem "openat" syscalls);
+  check_bool "loader mmap" true (List.mem "mmap" syscalls);
+  check_bool "implicit exit" true (List.mem "exit" syscalls)
+
+let test_kernel_fg_extends_bg () =
+  let bg = Kernel.run ~run_id:1 open_bench Program.Background in
+  let fg = Kernel.run ~run_id:1 open_bench Program.Foreground in
+  check_int "one extra audit record (open)" (Trace.audit_count bg + 1) (Trace.audit_count fg)
+
+let test_kernel_failed_rename () =
+  let prog =
+    Program.make ~name:"t_failren" ~syscall:"rename"
+      ~staging:[ Program.staged_file "/staging/test.txt" ]
+      ~target:[ Syscall.Rename { old_path = "/staging/test.txt"; new_path = "/etc/passwd" } ]
+      ()
+  in
+  let t = Kernel.run ~run_id:1 prog Program.Foreground in
+  let rename_audit =
+    List.find (fun (a : Event.audit_record) -> a.Event.a_syscall = "rename") t.Trace.audit
+  in
+  check_bool "audit marks failure" false rename_audit.Event.a_success;
+  check_int "audit exit is -EACCES" (-13) rename_audit.Event.a_exit;
+  let rename_libc =
+    List.find (fun (l : Event.libc_record) -> l.Event.l_func = "rename") t.Trace.libc
+  in
+  check_int "libc returns -1" (-1) rename_libc.Event.l_ret;
+  check_bool "libc errno EACCES" true (rename_libc.Event.l_errno = Some Errno.EACCES);
+  let denied =
+    List.find (fun (s : Event.lsm_record) -> s.Event.s_hook = "inode_rename") t.Trace.lsm
+  in
+  check_bool "LSM hook denied" false denied.Event.s_allowed
+
+let test_kernel_vfork_ordering () =
+  let prog = Program.make ~name:"t_vfork" ~syscall:"vfork" ~target:[ Syscall.Vfork ] () in
+  let t = Kernel.run ~run_id:1 prog Program.Foreground in
+  let audits = List.map (fun (a : Event.audit_record) -> (a.Event.a_syscall, a.Event.a_pid)) t.Trace.audit in
+  let rec find_positions i = function
+    | [] -> (None, None)
+    | ("vfork", _) :: rest ->
+        let e, _ = find_positions (i + 1) rest in
+        (e, Some i)
+    | ("exit", pid) :: rest when pid <> t.Trace.monitored_pid && pid <> t.Trace.shell_pid ->
+        let _, v = find_positions (i + 1) rest in
+        (Some i, v)
+    | _ :: rest -> find_positions (i + 1) rest
+  in
+  match find_positions 0 audits with
+  | Some exit_pos, Some vfork_pos ->
+      check_bool "child exit logged before parent vfork" true (exit_pos < vfork_pos)
+  | _ -> Alcotest.fail "expected both child exit and vfork records"
+
+let test_kernel_fork_ordering () =
+  let prog = Program.make ~name:"t_fork" ~syscall:"fork" ~target:[ Syscall.Fork ] () in
+  let t = Kernel.run ~run_id:1 prog Program.Foreground in
+  let names = List.map (fun (a : Event.audit_record) -> a.Event.a_syscall) t.Trace.audit in
+  let fork_pos = ref (-1) and child_exit_pos = ref (-1) in
+  List.iteri
+    (fun i (a : Event.audit_record) ->
+      if a.Event.a_syscall = "fork" && a.Event.a_pid = t.Trace.monitored_pid then fork_pos := i;
+      if a.Event.a_syscall = "exit" && a.Event.a_pid <> t.Trace.monitored_pid
+         && a.Event.a_pid <> t.Trace.shell_pid && !child_exit_pos < 0
+      then child_exit_pos := i)
+    t.Trace.audit;
+  ignore names;
+  check_bool "fork record precedes child exit" true (!fork_pos >= 0 && !fork_pos < !child_exit_pos)
+
+let test_kernel_kill_self_leaves_no_record () =
+  let prog = Program.make ~name:"t_kill" ~syscall:"kill" ~target:[ Syscall.Kill { signal = 9 } ] () in
+  let t = Kernel.run ~run_id:1 prog Program.Foreground in
+  check_bool "no kill audit record" false
+    (List.exists (fun (a : Event.audit_record) -> a.Event.a_syscall = "kill") t.Trace.audit);
+  check_bool "no exit record from the killed process" false
+    (List.exists
+       (fun (a : Event.audit_record) ->
+         a.Event.a_syscall = "exit" && a.Event.a_pid = t.Trace.monitored_pid)
+       t.Trace.audit)
+
+let test_kernel_bad_fd () =
+  let prog = Program.make ~name:"t_badfd" ~syscall:"close" ~target:[ Syscall.Close "nope" ] () in
+  let t = Kernel.run ~run_id:1 prog Program.Foreground in
+  let close_libc =
+    List.find (fun (l : Event.libc_record) -> l.Event.l_func = "close") t.Trace.libc
+  in
+  check_bool "EBADF" true (close_libc.Event.l_errno = Some Errno.EBADF)
+
+let test_kernel_pipe_and_tee () =
+  let prog =
+    Program.make ~name:"t_tee" ~syscall:"tee"
+      ~setup:
+        [
+          Syscall.Pipe { ret_read = "p1r"; ret_write = "p1w" };
+          Syscall.Pipe { ret_read = "p2r"; ret_write = "p2w" };
+          Syscall.Write { fd = "p1w"; count = 16 };
+        ]
+      ~target:[ Syscall.Tee { fd_in = "p1r"; fd_out = "p2w" } ]
+      ()
+  in
+  let t = Kernel.run ~run_id:1 prog Program.Foreground in
+  let tee = List.find (fun (l : Event.libc_record) -> l.Event.l_func = "tee") t.Trace.libc in
+  check_int "tee moved bytes" 16 tee.Event.l_ret;
+  let perm_hooks =
+    List.filter (fun (s : Event.lsm_record) -> s.Event.s_hook = "file_permission") t.Trace.lsm
+  in
+  check_bool "tee emitted fifo permission hooks" true (List.length perm_hooks >= 3)
+
+let test_kernel_setresuid_changes_euid () =
+  let cred = { (Cred.make ~uid:1000 ~gid:1000) with Cred.suid = 2000 } in
+  let prog =
+    Program.make ~name:"t_setres" ~syscall:"setresuid" ~cred
+      ~target:[ Syscall.Setresuid { ruid = -1; euid = 2000; suid = -1 } ]
+      ()
+  in
+  let t = Kernel.run ~run_id:1 prog Program.Foreground in
+  let exit_rec =
+    List.find
+      (fun (a : Event.audit_record) ->
+        a.Event.a_syscall = "exit" && a.Event.a_pid = t.Trace.monitored_pid)
+      t.Trace.audit
+  in
+  check_int "exit record carries new euid" 2000 exit_rec.Event.a_euid
+
+let test_kernel_env_has_transient () =
+  let t1 = Kernel.run ~run_id:1 open_bench Program.Foreground in
+  let t2 = Kernel.run ~run_id:2 open_bench Program.Foreground in
+  let session t = List.assoc "XDG_SESSION_ID" t.Trace.env in
+  check_bool "session id varies" false (String.equal (session t1) (session t2));
+  check_string "PATH stable" (List.assoc "PATH" t1.Trace.env) (List.assoc "PATH" t2.Trace.env)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel edge cases                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Last matching libc record: the boilerplate performs its own execve
+   (and loader activity), so target calls are the most recent ones. *)
+let libc_of t name =
+  match
+    List.filter (fun (l : Event.libc_record) -> l.Event.l_func = name) t.Trace.libc
+  with
+  | [] -> Alcotest.failf "no libc record for %s" name
+  | records -> List.nth records (List.length records - 1)
+
+let run_target ?(staging = [ Program.staged_file "/staging/test.txt" ]) ?setup ?cred target =
+  let prog = Program.make ~name:"t_edge" ~syscall:"edge" ~staging ?setup ?cred ~target () in
+  Kernel.run ~run_id:1 prog Program.Foreground
+
+let test_edge_open_missing_file () =
+  let t = run_target ~staging:[] [ Syscall.Open { path = "/staging/ghost"; flags = []; ret = "r" } ] in
+  check_bool "ENOENT" true ((libc_of t "open").Event.l_errno = Some Errno.ENOENT)
+
+let test_edge_open_creates_with_o_creat () =
+  let t =
+    run_target ~staging:[]
+      [
+        Syscall.Open { path = "/staging/new.txt"; flags = [ Syscall.O_CREAT; Syscall.O_RDWR ]; ret = "r" };
+        Syscall.Read { fd = "r"; count = 4 };
+      ]
+  in
+  check_bool "open ok" true ((libc_of t "open").Event.l_errno = None);
+  check_bool "read on created file ok" true ((libc_of t "read").Event.l_errno = None)
+
+let test_edge_open_write_denied () =
+  let t = run_target [ Syscall.Open { path = "/etc/passwd"; flags = [ Syscall.O_WRONLY ]; ret = "r" } ] in
+  check_bool "EACCES" true ((libc_of t "open").Event.l_errno = Some Errno.EACCES)
+
+let test_edge_open_readonly_root_file_ok () =
+  let t = run_target [ Syscall.Open { path = "/etc/passwd"; flags = [ Syscall.O_RDONLY ]; ret = "r" } ] in
+  check_bool "read-only open permitted" true ((libc_of t "open").Event.l_errno = None)
+
+let test_edge_dup2_names_specific_fd () =
+  let t =
+    run_target
+      ~setup:[ Syscall.Open { path = "/staging/test.txt"; flags = [ Syscall.O_RDWR ]; ret = "a" } ]
+      [ Syscall.Dup2 { fd = "a"; newfd = 42; ret = "b" }; Syscall.Write { fd = "b"; count = 3 } ]
+  in
+  check_int "dup2 returns requested fd" 42 (libc_of t "dup2").Event.l_ret;
+  check_bool "write through duplicate ok" true ((libc_of t "write").Event.l_errno = None)
+
+let test_edge_rename_missing_source () =
+  let t =
+    run_target ~staging:[]
+      [ Syscall.Rename { old_path = "/staging/ghost"; new_path = "/staging/x" } ]
+  in
+  check_bool "ENOENT" true ((libc_of t "rename").Event.l_errno = Some Errno.ENOENT)
+
+let test_edge_link_existing_target () =
+  let t =
+    run_target
+      [ Syscall.Link { old_path = "/staging/test.txt"; new_path = "/staging/test.txt" } ]
+  in
+  check_bool "EEXIST" true ((libc_of t "link").Event.l_errno = Some Errno.EEXIST)
+
+let test_edge_unlink_then_open_fails () =
+  let t =
+    run_target
+      [
+        Syscall.Unlink { path = "/staging/test.txt" };
+        Syscall.Open { path = "/staging/test.txt"; flags = []; ret = "r" };
+      ]
+  in
+  check_bool "unlink ok" true ((libc_of t "unlink").Event.l_errno = None);
+  check_bool "subsequent open fails" true ((libc_of t "open").Event.l_errno = Some Errno.ENOENT)
+
+let test_edge_chmod_not_owner () =
+  let t = run_target [ Syscall.Chmod { path = "/etc/passwd"; mode = 0o777 } ] in
+  check_bool "EPERM" true ((libc_of t "chmod").Event.l_errno = Some Errno.EPERM)
+
+let test_edge_chown_to_other_uid_denied () =
+  let t = run_target [ Syscall.Chown { path = "/staging/test.txt"; uid = 0; gid = 0 } ] in
+  check_bool "EPERM" true ((libc_of t "chown").Event.l_errno = Some Errno.EPERM)
+
+let test_edge_truncate_via_symlink () =
+  let t =
+    run_target
+      ~setup:[ Syscall.Symlink { target = "/staging/test.txt"; link_path = "/staging/ln" } ]
+      [ Syscall.Truncate { path = "/staging/ln"; length = 2 } ]
+  in
+  check_bool "truncate through symlink ok" true ((libc_of t "truncate").Event.l_errno = None)
+
+let test_edge_execve_missing_and_noexec () =
+  let t1 = run_target ~staging:[] [ Syscall.Execve { path = "/no/such/binary" } ] in
+  check_bool "ENOENT" true ((libc_of t1 "execve").Event.l_errno = Some Errno.ENOENT);
+  let t2 = run_target [ Syscall.Execve { path = "/staging/test.txt" } ] in
+  check_bool "EACCES for non-executable" true
+    ((libc_of t2 "execve").Event.l_errno = Some Errno.EACCES)
+
+let test_edge_two_pipes_are_distinct () =
+  let t =
+    run_target ~staging:[]
+      [
+        Syscall.Pipe { ret_read = "r1"; ret_write = "w1" };
+        Syscall.Pipe { ret_read = "r2"; ret_write = "w2" };
+        Syscall.Write { fd = "w2"; count = 8 };
+      ]
+  in
+  let pipes =
+    List.filter (fun (l : Event.libc_record) -> l.Event.l_func = "pipe") t.Trace.libc
+  in
+  check_int "two pipe calls" 2 (List.length pipes);
+  let inos =
+    List.concat_map (fun (l : Event.libc_record) -> List.map (fun (f : Event.fd_info) -> f.Event.ino) l.Event.l_fds) pipes
+  in
+  check_int "two distinct pipe inodes" 2 (List.length (List.sort_uniq Int.compare inos))
+
+(* ------------------------------------------------------------------ *)
+(* Trace serialization                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_io_roundtrip () =
+  let t = Kernel.run ~run_id:9 open_bench Program.Foreground in
+  let t' = Trace_io.of_string (Trace_io.to_string t) in
+  check_bool "roundtrip equal" true (t = t')
+
+let test_trace_io_rejects_garbage () =
+  let expect_fail s =
+    match Trace_io.of_string s with
+    | exception Trace_io.Format_error _ -> ()
+    | _ -> Alcotest.failf "expected format error for %S" s
+  in
+  List.iter expect_fail
+    [ "not json"; "{}"; "{\"run_id\": \"nope\"}"; "{\"run_id\": 1, \"audit\": [{}]}" ]
+
+let test_trace_io_file () =
+  let path = Filename.temp_file "provmark_trace" ".json" in
+  let t = Kernel.run ~run_id:3 open_bench Program.Background in
+  Trace_io.save path t;
+  let t' = Trace_io.load path in
+  Sys.remove path;
+  check_bool "file roundtrip" true (t = t')
+
+let () =
+  Alcotest.run "oskernel"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "hex token shape" `Quick test_hex_token_shape;
+        ] );
+      ( "cred",
+        [
+          Alcotest.test_case "root setuid" `Quick test_cred_root_setuid;
+          Alcotest.test_case "unprivileged setuid denied" `Quick test_cred_unpriv_setuid_denied;
+          Alcotest.test_case "setuid to own uid" `Quick test_cred_unpriv_setuid_to_own;
+          Alcotest.test_case "setresuid via saved id" `Quick test_cred_setresuid_saved_id;
+          Alcotest.test_case "setresuid denied" `Quick test_cred_setresuid_denied;
+          Alcotest.test_case "no-op setresgid" `Quick test_cred_setresgid_noop;
+          Alcotest.test_case "setreuid updates saved id" `Quick test_cred_setreuid_updates_saved;
+        ] );
+      ( "fs",
+        [
+          Alcotest.test_case "create and lookup" `Quick test_fs_create_lookup;
+          Alcotest.test_case "duplicate rejected" `Quick test_fs_duplicate_rejected;
+          Alcotest.test_case "link/unlink and nlink" `Quick test_fs_link_unlink;
+          Alcotest.test_case "unlink missing" `Quick test_fs_unlink_missing;
+          Alcotest.test_case "rename" `Quick test_fs_rename;
+          Alcotest.test_case "rename replaces target" `Quick test_fs_rename_replaces_target;
+          Alcotest.test_case "symlink resolution" `Quick test_fs_symlink_resolve;
+          Alcotest.test_case "truncate bumps version" `Quick test_fs_truncate_versions;
+          Alcotest.test_case "permission checks" `Quick test_fs_permissions;
+          Alcotest.test_case "mkdir ownership" `Quick test_fs_mkdir_ownership;
+          Alcotest.test_case "pipes are anonymous" `Quick test_fs_pipe_anonymous;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "fd allocation" `Quick test_process_fd_alloc;
+          Alcotest.test_case "install replaces" `Quick test_process_install_fd;
+          Alcotest.test_case "fork copies fds" `Quick test_process_fork_copies_fds;
+        ] );
+      ( "syscall",
+        [
+          Alcotest.test_case "44 names" `Quick test_syscall_names_complete;
+          Alcotest.test_case "groups" `Quick test_syscall_groups;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "deterministic per run id" `Quick test_kernel_deterministic;
+          Alcotest.test_case "transients vary across runs" `Quick test_kernel_transients_vary;
+          Alcotest.test_case "boilerplate present" `Quick test_kernel_boilerplate;
+          Alcotest.test_case "foreground extends background" `Quick test_kernel_fg_extends_bg;
+          Alcotest.test_case "failed rename observable per layer" `Quick test_kernel_failed_rename;
+          Alcotest.test_case "vfork child logged first" `Quick test_kernel_vfork_ordering;
+          Alcotest.test_case "fork logged before child exit" `Quick test_kernel_fork_ordering;
+          Alcotest.test_case "kill-self leaves no record" `Quick test_kernel_kill_self_leaves_no_record;
+          Alcotest.test_case "bad fd register" `Quick test_kernel_bad_fd;
+          Alcotest.test_case "pipes and tee" `Quick test_kernel_pipe_and_tee;
+          Alcotest.test_case "setresuid changes euid" `Quick test_kernel_setresuid_changes_euid;
+          Alcotest.test_case "env transient vs stable" `Quick test_kernel_env_has_transient;
+        ] );
+      ( "trace-io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_io_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_trace_io_rejects_garbage;
+          Alcotest.test_case "file save/load" `Quick test_trace_io_file;
+        ] );
+      ( "kernel-edges",
+        [
+          Alcotest.test_case "open missing file" `Quick test_edge_open_missing_file;
+          Alcotest.test_case "O_CREAT creates" `Quick test_edge_open_creates_with_o_creat;
+          Alcotest.test_case "write-open denied on root file" `Quick test_edge_open_write_denied;
+          Alcotest.test_case "read-open allowed on root file" `Quick test_edge_open_readonly_root_file_ok;
+          Alcotest.test_case "dup2 targets requested fd" `Quick test_edge_dup2_names_specific_fd;
+          Alcotest.test_case "rename missing source" `Quick test_edge_rename_missing_source;
+          Alcotest.test_case "link onto existing path" `Quick test_edge_link_existing_target;
+          Alcotest.test_case "unlink then open" `Quick test_edge_unlink_then_open_fails;
+          Alcotest.test_case "chmod needs ownership" `Quick test_edge_chmod_not_owner;
+          Alcotest.test_case "chown to foreign uid denied" `Quick test_edge_chown_to_other_uid_denied;
+          Alcotest.test_case "truncate through symlink" `Quick test_edge_truncate_via_symlink;
+          Alcotest.test_case "execve failure modes" `Quick test_edge_execve_missing_and_noexec;
+          Alcotest.test_case "distinct pipes" `Quick test_edge_two_pipes_are_distinct;
+        ] );
+    ]

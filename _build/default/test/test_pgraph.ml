@@ -1,0 +1,271 @@
+open Pgraph
+
+let props l = Props.of_list l
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Props                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_props_basic () =
+  let p = props [ ("a", "1"); ("b", "2") ] in
+  check_int "cardinal" 2 (Props.cardinal p);
+  check_bool "mem a" true (Props.mem "a" p);
+  Alcotest.(check (option string)) "find b" (Some "2") (Props.find "b" p);
+  Alcotest.(check (option string)) "find missing" None (Props.find "c" p);
+  let p' = Props.remove "a" p in
+  check_int "after remove" 1 (Props.cardinal p');
+  check_bool "empty" true (Props.is_empty Props.empty)
+
+let test_props_override () =
+  let p = props [ ("k", "old"); ("k", "new") ] in
+  Alcotest.(check (option string)) "later wins" (Some "new") (Props.find "k" p);
+  check_int "single binding" 1 (Props.cardinal p)
+
+let test_props_intersect () =
+  let p = props [ ("a", "1"); ("b", "2"); ("c", "3") ] in
+  let q = props [ ("a", "1"); ("b", "different"); ("d", "4") ] in
+  let i = Props.intersect p q in
+  Alcotest.(check (list (pair string string))) "keeps equal bindings" [ ("a", "1") ] (Props.to_list i)
+
+let test_props_mismatch_cost () =
+  let p = props [ ("a", "1"); ("b", "2"); ("c", "3") ] in
+  let q = props [ ("a", "1"); ("b", "x") ] in
+  check_int "cost p->q" 2 (Props.mismatch_cost p q);
+  check_int "cost q->p" 1 (Props.mismatch_cost q p);
+  check_int "symmetric" 3 (Props.symmetric_mismatch p q);
+  check_int "self cost" 0 (Props.mismatch_cost p p)
+
+let test_props_sorted () =
+  let p = props [ ("z", "1"); ("a", "2"); ("m", "3") ] in
+  Alcotest.(check (list string)) "keys sorted" [ "a"; "m"; "z" ] (Props.keys p)
+
+(* ------------------------------------------------------------------ *)
+(* Graph construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let two_node_graph () =
+  let g = Graph.empty in
+  let g = Graph.add_node g ~id:"n1" ~label:"entity" ~props:(props [ ("name", "f" ) ]) in
+  let g = Graph.add_node g ~id:"n2" ~label:"activity" ~props:Props.empty in
+  Graph.add_edge g ~id:"e1" ~src:"n2" ~tgt:"n1" ~label:"used" ~props:Props.empty
+
+let test_graph_basic () =
+  let g = two_node_graph () in
+  check_int "nodes" 2 (Graph.node_count g);
+  check_int "edges" 1 (Graph.edge_count g);
+  check_int "size" 3 (Graph.size g);
+  check_bool "mem n1" true (Graph.mem_node g "n1");
+  check_bool "no n3" false (Graph.mem_node g "n3");
+  check_string "summary" "2 nodes, 1 edges" (Graph.summary g)
+
+let test_graph_duplicate_node () =
+  let g = two_node_graph () in
+  Alcotest.check_raises "duplicate node id"
+    (Invalid_argument "Pgraph.Graph.add_node: duplicate identifier n1") (fun () ->
+      ignore (Graph.add_node g ~id:"n1" ~label:"x" ~props:Props.empty))
+
+let test_graph_dangling_edge () =
+  let g = two_node_graph () in
+  Alcotest.check_raises "unknown endpoint"
+    (Invalid_argument "Pgraph.Graph.add_edge: unknown source nope") (fun () ->
+      ignore (Graph.add_edge g ~id:"e2" ~src:"nope" ~tgt:"n1" ~label:"x" ~props:Props.empty))
+
+let test_graph_edge_id_clash_with_node () =
+  let g = two_node_graph () in
+  Alcotest.check_raises "edge id reuses node id"
+    (Invalid_argument "Pgraph.Graph.add_edge: duplicate identifier n1") (fun () ->
+      ignore (Graph.add_edge g ~id:"n1" ~src:"n2" ~tgt:"n1" ~label:"x" ~props:Props.empty))
+
+let test_incidence () =
+  let g = two_node_graph () in
+  check_int "out of n2" 1 (List.length (Graph.out_edges g "n2"));
+  check_int "in of n2" 0 (List.length (Graph.in_edges g "n2"));
+  check_int "incident n1" 1 (List.length (Graph.incident_edges g "n1"))
+
+let test_remove_node_cascades () =
+  let g = two_node_graph () in
+  let g = Graph.remove_node g "n1" in
+  check_int "node removed" 1 (Graph.node_count g);
+  check_int "incident edge removed" 0 (Graph.edge_count g)
+
+let test_map_ids () =
+  let g = two_node_graph () in
+  let g' = Graph.map_ids (fun id -> "p_" ^ id) g in
+  check_bool "renamed node" true (Graph.mem_node g' "p_n1");
+  check_bool "old id gone" false (Graph.mem_node g' "n1");
+  let e = Option.get (Graph.find_edge g' "p_e1") in
+  check_string "edge src renamed" "p_n2" e.Graph.edge_src
+
+let test_disjoint_union () =
+  let g = two_node_graph () in
+  let h = Graph.map_ids (fun id -> "h_" ^ id) g in
+  let u = Graph.disjoint_union g h in
+  check_int "union nodes" 4 (Graph.node_count u);
+  Alcotest.check_raises "clash rejected"
+    (Invalid_argument "Pgraph.Graph.disjoint_union: identifier clash") (fun () ->
+      ignore (Graph.disjoint_union g g))
+
+let test_equality () =
+  let g = two_node_graph () in
+  let h = two_node_graph () in
+  check_bool "equal" true (Graph.equal g h);
+  check_bool "equal structure" true (Graph.equal_structure g h);
+  let h' = Graph.set_node_props h "n1" (props [ ("name", "other") ]) in
+  check_bool "props differ" false (Graph.equal g h');
+  check_bool "structure same" true (Graph.equal_structure g h')
+
+(* ------------------------------------------------------------------ *)
+(* Subtraction with dummy nodes                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_subtract_keeps_dummies () =
+  (* n1 -> n2 -> n3; subtracting n1, n2 and the first edge must keep n2
+     as a dummy because the surviving edge e2 still points out of it. *)
+  let g = Graph.empty in
+  let g = Graph.add_node g ~id:"n1" ~label:"a" ~props:Props.empty in
+  let g = Graph.add_node g ~id:"n2" ~label:"b" ~props:(props [ ("k", "v") ]) in
+  let g = Graph.add_node g ~id:"n3" ~label:"c" ~props:Props.empty in
+  let g = Graph.add_edge g ~id:"e1" ~src:"n1" ~tgt:"n2" ~label:"x" ~props:Props.empty in
+  let g = Graph.add_edge g ~id:"e2" ~src:"n2" ~tgt:"n3" ~label:"y" ~props:Props.empty in
+  let d = Graph.subtract_matched g ~matched_nodes:[ "n1"; "n2" ] ~matched_edges:[ "e1" ] in
+  check_int "nodes left" 2 (Graph.node_count d);
+  check_int "edges left" 1 (Graph.edge_count d);
+  let n2 = Option.get (Graph.find_node d "n2") in
+  check_bool "n2 is dummy" true (Graph.is_dummy n2);
+  check_bool "dummy props cleared" true (Props.is_empty n2.Graph.node_props);
+  check_bool "n1 fully gone" false (Graph.mem_node d "n1")
+
+let test_subtract_all () =
+  let g = two_node_graph () in
+  let d =
+    Graph.subtract_matched g ~matched_nodes:[ "n1"; "n2" ] ~matched_edges:[ "e1" ]
+  in
+  check_int "empty result" 0 (Graph.size d)
+
+let test_subtract_nothing () =
+  let g = two_node_graph () in
+  let d = Graph.subtract_matched g ~matched_nodes:[] ~matched_edges:[] in
+  check_bool "unchanged" true (Graph.equal g d)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats () =
+  let g = two_node_graph () in
+  let s = Stats.of_graph g in
+  check_int "nodes" 2 s.Stats.nodes;
+  check_int "edges" 1 s.Stats.edges;
+  check_int "props" 1 s.Stats.properties;
+  check_int "components" 1 s.Stats.connected_components;
+  check_string "shape" "2n/1e" (Stats.shape_line s)
+
+let test_stats_components () =
+  let g = Graph.empty in
+  let g = Graph.add_node g ~id:"a" ~label:"x" ~props:Props.empty in
+  let g = Graph.add_node g ~id:"b" ~label:"x" ~props:Props.empty in
+  let s = Stats.of_graph g in
+  check_int "two components" 2 s.Stats.connected_components;
+  check_string "shape mentions components" "2n/0e (2 components)" (Stats.shape_line s)
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints (property-based)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let arb = Helpers.graph_arbitrary ()
+
+let prop_fingerprint_rename_invariant =
+  Helpers.qcheck "fingerprint invariant under id renaming" arb (fun g ->
+      Fingerprint.equal (Fingerprint.of_graph g)
+        (Fingerprint.of_graph (Helpers.rename_with_prefix "z" g)))
+
+let prop_fingerprint_permute_invariant =
+  Helpers.qcheck "fingerprint invariant under id permutation" arb (fun g ->
+      Fingerprint.equal (Fingerprint.of_graph g) (Fingerprint.of_graph (Helpers.permute_ids g)))
+
+let prop_fingerprint_ignores_props =
+  Helpers.qcheck "fingerprint ignores properties" arb (fun g ->
+      let stripped =
+        List.fold_left
+          (fun acc (n : Graph.node) -> Graph.set_node_props acc n.Graph.node_id Props.empty)
+          g (Graph.nodes g)
+      in
+      Fingerprint.equal (Fingerprint.of_graph g) (Fingerprint.of_graph stripped))
+
+let prop_fingerprint_detects_label_change =
+  Helpers.qcheck "fingerprint changes when a node label changes" arb (fun g ->
+      match Graph.nodes g with
+      | [] -> true
+      | (n : Graph.node) :: _ ->
+          let changed =
+            Graph.remove_node g n.Graph.node_id |> fun g' ->
+            Graph.add_node g' ~id:n.Graph.node_id ~label:"completely-fresh-label"
+              ~props:n.Graph.node_props
+          in
+          (* Removing the node also removes its incident edges, so only
+             compare when the node was isolated. *)
+          Graph.incident_edges g n.Graph.node_id <> []
+          || not (Fingerprint.equal (Fingerprint.of_graph g) (Fingerprint.of_graph changed)))
+
+let prop_subtract_never_raises =
+  Helpers.qcheck "subtract_matched total on arbitrary subsets" arb (fun g ->
+      let nodes = Graph.node_ids g in
+      let edges = Graph.edge_ids g in
+      let half l = List.filteri (fun i _ -> i mod 2 = 0) l in
+      let d = Graph.subtract_matched g ~matched_nodes:(half nodes) ~matched_edges:(half edges) in
+      Graph.size d <= Graph.size g)
+
+let prop_components_bounds =
+  Helpers.qcheck "component count is between 1 and node count" arb (fun g ->
+      let s = Stats.of_graph g in
+      s.Stats.connected_components >= min 1 s.Stats.nodes
+      && s.Stats.connected_components <= max 1 s.Stats.nodes)
+
+let () =
+  Alcotest.run "pgraph"
+    [
+      ( "props",
+        [
+          Alcotest.test_case "basic operations" `Quick test_props_basic;
+          Alcotest.test_case "later binding wins" `Quick test_props_override;
+          Alcotest.test_case "intersect keeps equal bindings" `Quick test_props_intersect;
+          Alcotest.test_case "mismatch cost" `Quick test_props_mismatch_cost;
+          Alcotest.test_case "keys sorted" `Quick test_props_sorted;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "construction and counts" `Quick test_graph_basic;
+          Alcotest.test_case "duplicate node rejected" `Quick test_graph_duplicate_node;
+          Alcotest.test_case "dangling edge rejected" `Quick test_graph_dangling_edge;
+          Alcotest.test_case "edge/node id clash rejected" `Quick test_graph_edge_id_clash_with_node;
+          Alcotest.test_case "incidence queries" `Quick test_incidence;
+          Alcotest.test_case "remove node cascades" `Quick test_remove_node_cascades;
+          Alcotest.test_case "map_ids renames consistently" `Quick test_map_ids;
+          Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
+          Alcotest.test_case "equality" `Quick test_equality;
+        ] );
+      ( "subtract",
+        [
+          Alcotest.test_case "keeps endpoints as dummies" `Quick test_subtract_keeps_dummies;
+          Alcotest.test_case "full subtraction empties graph" `Quick test_subtract_all;
+          Alcotest.test_case "empty subtraction is identity" `Quick test_subtract_nothing;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic stats" `Quick test_stats;
+          Alcotest.test_case "components" `Quick test_stats_components;
+        ] );
+      ( "properties",
+        [
+          prop_fingerprint_rename_invariant;
+          prop_fingerprint_permute_invariant;
+          prop_fingerprint_ignores_props;
+          prop_fingerprint_detects_label_change;
+          prop_subtract_never_raises;
+          prop_components_bounds;
+        ] );
+    ]

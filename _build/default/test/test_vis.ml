@@ -1,0 +1,175 @@
+open Pgraph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let props = Props.of_list
+
+let chain () =
+  let g = Graph.add_node Graph.empty ~id:"a" ~label:"Process" ~props:(props [ ("pid", "1") ]) in
+  let g = Graph.add_node g ~id:"b" ~label:"Artifact" ~props:Props.empty in
+  let g = Graph.add_node g ~id:"c" ~label:"Artifact" ~props:Props.empty in
+  let g = Graph.add_edge g ~id:"e1" ~src:"a" ~tgt:"b" ~label:"Used" ~props:Props.empty in
+  Graph.add_edge g ~id:"e2" ~src:"b" ~tgt:"c" ~label:"WasDerivedFrom" ~props:Props.empty
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_layout_all_nodes_placed () =
+  let g = chain () in
+  let l = Vis.Layout.compute g in
+  Alcotest.(check (list string)) "all ids" [ "a"; "b"; "c" ] (Vis.Layout.node_ids l);
+  List.iter (fun id -> ignore (Vis.Layout.position l id)) [ "a"; "b"; "c" ]
+
+let test_layout_layers_follow_edges () =
+  let g = chain () in
+  let l = Vis.Layout.compute g in
+  check_int "a on layer 0" 0 (Vis.Layout.layer l "a");
+  check_int "b below a" 1 (Vis.Layout.layer l "b");
+  check_int "c below b" 2 (Vis.Layout.layer l "c")
+
+let test_layout_within_extent () =
+  let g = chain () in
+  let l = Vis.Layout.compute g in
+  let w, h = Vis.Layout.extent l in
+  List.iter
+    (fun id ->
+      let { Vis.Layout.x; y } = Vis.Layout.position l id in
+      check_bool "x in range" true (x >= 0. && x <= w);
+      check_bool "y in range" true (y >= 0. && y <= h))
+    [ "a"; "b"; "c" ]
+
+let test_layout_deterministic () =
+  let g = chain () in
+  let l1 = Vis.Layout.compute g and l2 = Vis.Layout.compute g in
+  List.iter
+    (fun id ->
+      let p1 = Vis.Layout.position l1 id and p2 = Vis.Layout.position l2 id in
+      check_bool "same position" true (p1 = p2))
+    [ "a"; "b"; "c" ]
+
+let test_layout_handles_cycles () =
+  let g = Graph.add_node Graph.empty ~id:"x" ~label:"P" ~props:Props.empty in
+  let g = Graph.add_node g ~id:"y" ~label:"P" ~props:Props.empty in
+  let g = Graph.add_edge g ~id:"e1" ~src:"x" ~tgt:"y" ~label:"r" ~props:Props.empty in
+  let g = Graph.add_edge g ~id:"e2" ~src:"y" ~tgt:"x" ~label:"r" ~props:Props.empty in
+  let l = Vis.Layout.compute g in
+  check_int "two nodes placed" 2 (List.length (Vis.Layout.node_ids l))
+
+let test_layout_self_loop () =
+  let g = Graph.add_node Graph.empty ~id:"x" ~label:"P" ~props:Props.empty in
+  let g = Graph.add_edge g ~id:"e" ~src:"x" ~tgt:"x" ~label:"r" ~props:Props.empty in
+  ignore (Vis.Layout.compute g)
+
+let test_layout_unknown_raises () =
+  let l = Vis.Layout.compute (chain ()) in
+  Alcotest.check_raises "unknown id" Not_found (fun () -> ignore (Vis.Layout.position l "nope"))
+
+let test_layout_distinct_positions () =
+  let g = chain () in
+  let l = Vis.Layout.compute g in
+  let ps = List.map (Vis.Layout.position l) (Vis.Layout.node_ids l) in
+  check_int "distinct positions" (List.length ps) (List.length (List.sort_uniq compare ps))
+
+(* ------------------------------------------------------------------ *)
+(* SVG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let contains haystack needle =
+  let ln = String.length needle and lh = String.length haystack in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  ln > 0 && go 0
+
+let test_svg_escape () =
+  check_string "escaping" "&lt;a&gt; &amp; &quot;b&#39;&quot;" (Vis.Svg.escape "<a> & \"b'\"")
+
+let test_svg_shapes_by_label () =
+  let svg = Vis.Svg.render (chain ()) in
+  check_bool "process drawn as rect" true (contains svg "<rect");
+  check_bool "artifact drawn as ellipse" true (contains svg "<ellipse");
+  check_bool "arrowhead marker defined" true (contains svg "marker id=\"arrow\"");
+  check_bool "edge label present" true (contains svg "WasDerivedFrom")
+
+let test_svg_tooltips_carry_props () =
+  let svg = Vis.Svg.render (chain ()) in
+  check_bool "pid tooltip" true (contains svg "<title>pid = 1</title>")
+
+let test_svg_escapes_content () =
+  let g =
+    Graph.add_node Graph.empty ~id:"n" ~label:"bad<label>"
+      ~props:(props [ ("k", "a&b") ])
+  in
+  let svg = Vis.Svg.render g in
+  check_bool "label escaped" true (contains svg "bad&lt;label&gt;");
+  check_bool "prop escaped" true (contains svg "a&amp;b");
+  check_bool "no raw angle content" false (contains svg "bad<label>")
+
+let test_svg_balanced () =
+  let svg = Vis.Svg.render (chain ()) in
+  let count needle =
+    let rec go i acc =
+      if i + String.length needle > String.length svg then acc
+      else if String.sub svg i (String.length needle) = needle then
+        go (i + String.length needle) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  check_int "one svg open" 1 (count "<svg");
+  check_int "one svg close" 1 (count "</svg>");
+  check_int "texts balanced" (count "<text") (count "</text>")
+
+let test_svg_titled () =
+  let html = Vis.Svg.render_titled ~title:"benchmark <result>" (chain ()) in
+  check_bool "caption escaped" true (contains html "benchmark &lt;result&gt;");
+  check_bool "figure wrapper" true (contains html "<figure class=\"graph\">")
+
+(* ------------------------------------------------------------------ *)
+(* Properties on random graphs                                         *)
+(* ------------------------------------------------------------------ *)
+
+let arb = Helpers.graph_arbitrary ~max_nodes:8 ~max_edges:12 ()
+
+let prop_layout_total =
+  Helpers.qcheck ~count:100 "layout places every node inside the extent" arb (fun g ->
+      let l = Vis.Layout.compute g in
+      let w, h = Vis.Layout.extent l in
+      List.length (Vis.Layout.node_ids l) = Pgraph.Graph.node_count g
+      && List.for_all
+           (fun id ->
+             let { Vis.Layout.x; y } = Vis.Layout.position l id in
+             x >= 0. && x <= w && y >= 0. && y <= h)
+           (Vis.Layout.node_ids l))
+
+let prop_svg_renders =
+  Helpers.qcheck ~count:100 "svg renders any graph" arb (fun g ->
+      let svg = Vis.Svg.render g in
+      String.length svg > 0 && contains svg "</svg>")
+
+let () =
+  Alcotest.run "vis"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "all nodes placed" `Quick test_layout_all_nodes_placed;
+          Alcotest.test_case "layers follow edges" `Quick test_layout_layers_follow_edges;
+          Alcotest.test_case "within extent" `Quick test_layout_within_extent;
+          Alcotest.test_case "deterministic" `Quick test_layout_deterministic;
+          Alcotest.test_case "cycles" `Quick test_layout_handles_cycles;
+          Alcotest.test_case "self loops" `Quick test_layout_self_loop;
+          Alcotest.test_case "unknown id" `Quick test_layout_unknown_raises;
+          Alcotest.test_case "distinct positions" `Quick test_layout_distinct_positions;
+        ] );
+      ( "svg",
+        [
+          Alcotest.test_case "escape" `Quick test_svg_escape;
+          Alcotest.test_case "shapes by label" `Quick test_svg_shapes_by_label;
+          Alcotest.test_case "tooltips" `Quick test_svg_tooltips_carry_props;
+          Alcotest.test_case "content escaped" `Quick test_svg_escapes_content;
+          Alcotest.test_case "balanced tags" `Quick test_svg_balanced;
+          Alcotest.test_case "titled wrapper" `Quick test_svg_titled;
+        ] );
+      ("properties", [ prop_layout_total; prop_svg_renders ]);
+    ]
