@@ -483,21 +483,109 @@ let extension_nondet () =
         o.Provmark.Nondet.behaviours
 
 (* ------------------------------------------------------------------ *)
+(* Extension: parallel suite runner (domains) and the ASP solve cache   *)
+(* ------------------------------------------------------------------ *)
+
+let suite_parallel () =
+  section "Extension: parallel suite runner (OCaml domains) and ASP solve cache";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "recommended_domain_count: %d\n\n" cores;
+  (* Deterministic seeds mean every job count computes the same suite;
+     wall-clock scales with the cores actually available.  On a 1-core
+     host j>1 only measures scheduling overhead — say so rather than
+     pretending a speedup. *)
+  let config = config_for Recorder.Spade in
+  let progs = Provmark.Bench_registry.all in
+  let t1 = ref 0. in
+  Printf.printf "%-6s %-10s %s\n" "jobs" "wall (s)" "speedup vs j=1";
+  List.iter
+    (fun jobs ->
+      let _results, t =
+        timed (fun () -> Provmark.Parallel_runner.run_all ~jobs config progs)
+      in
+      if jobs = 1 then t1 := t;
+      Printf.printf "j=%-4d %-10.2f %.2fx%s\n" jobs t (!t1 /. t)
+        (if jobs > cores then "  (more jobs than cores)" else ""))
+    [ 1; 2; 4 ];
+  if cores = 1 then
+    print_endline "\n(1 core available: j>1 only adds domain scheduling overhead here;\n\
+                   \ the speedup column is meaningful on multi-core hosts only.)";
+  (* Determinism: j=1 and j=4 must produce identical suites. *)
+  let summaries jobs =
+    List.map Result_.summary (Provmark.Parallel_runner.run_all ~jobs config progs)
+  in
+  Printf.printf "\nj=1 and j=4 suites identical: %b\n" (summaries 1 = summaries 4);
+  (* The solve cache is the single-core lever: shape-only similarity
+     checks repeat across trials and benchmarks. *)
+  let asp_config = { config with Provmark.Config.backend = Gmatch.Engine.Asp } in
+  let asp_subset =
+    List.filter_map
+      (fun s -> List.find_opt (fun (p : Oskernel.Program.t) -> p.Oskernel.Program.name = s) progs)
+      [ "cmdOpen"; "cmdClose"; "cmdRead"; "cmdWrite"; "cmdDup" ]
+  in
+  let run_asp enabled =
+    Asp.Memo.set_enabled enabled;
+    Asp.Memo.clear ();
+    Asp.Memo.reset_stats ();
+    let _, t =
+      timed (fun () -> Provmark.Parallel_runner.run_all ~jobs:1 asp_config asp_subset)
+    in
+    t
+  in
+  let t_cold = run_asp false in
+  let t_warm = run_asp true in
+  Printf.printf "\nASP backend, %d benchmarks: cache off %.2fs, cache on %.2fs (%.2fx)\n"
+    (List.length asp_subset) t_cold t_warm (t_cold /. t_warm);
+  print_string
+    (Provmark.Report.cache_stats_lines
+       (List.map
+          (fun (tag, { Asp.Memo.hits; misses }) -> (tag, hits, misses))
+          (Asp.Memo.stats ())));
+  Asp.Memo.set_enabled true;
+  Asp.Memo.clear ();
+  Asp.Memo.reset_stats ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let t0 = Unix.gettimeofday () in
-  table1 ();
-  let matrix = run_matrix () in
-  table2 matrix;
-  table3 matrix;
-  figure1 matrix;
-  figures_5_to_7 matrix;
-  figures_8_to_10 ();
-  table4 ();
-  microbench ();
-  ablations ();
-  extension_spade_camflow ();
-  extension_config_sweep ();
-  extension_scalability_backends ();
-  extension_nondet ();
+  let full () =
+    table1 ();
+    let matrix = run_matrix () in
+    table2 matrix;
+    table3 matrix;
+    figure1 matrix;
+    figures_5_to_7 matrix;
+    figures_8_to_10 ();
+    table4 ();
+    microbench ();
+    ablations ();
+    suite_parallel ();
+    extension_spade_camflow ();
+    extension_config_sweep ();
+    extension_scalability_backends ();
+    extension_nondet ()
+  in
+  (* [bench/main.exe <section>...] runs just the named sections. *)
+  let sections =
+    [
+      ("suite-parallel", suite_parallel);
+      ("ablations", ablations);
+      ("microbench", microbench);
+      ("scalability", figures_8_to_10);
+      ("nondet", extension_nondet);
+    ]
+  in
+  (match List.tl (Array.to_list Sys.argv) with
+  | [] -> full ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name sections with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown bench section %S (known: %s)\n" name
+                (String.concat ", " (List.map fst sections));
+              exit 2)
+        names);
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -31,6 +31,43 @@ let seed_arg =
   let doc = "Base seed for transient-value derivation." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for suite execution. Benchmarks fan out over a fixed-size \
+     domain pool; results merge in registry order and are byte-identical to a \
+     sequential run for the same seed."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  let doc =
+    "Disable the ASP solve memo cache (repeated (program, facts) subproblems are \
+     re-grounded and re-solved instead of served from cache)."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let apply_cache_flag no_cache = Asp.Memo.set_enabled (not no_cache)
+
+let print_cache_stats () =
+  match Asp.Memo.stats () with
+  | [] -> ()
+  | stats ->
+      let rows =
+        List.map (fun (tag, s) -> (tag, s.Asp.Memo.hits, s.Asp.Memo.misses)) stats
+      in
+      Printf.printf "\nASP solve cache:\n%s" (Provmark.Report.cache_stats_lines rows)
+
+(* Progress lines may come from any worker domain; serialize them. *)
+let progress_mutex = Mutex.create ()
+
+let progress (r : Provmark.Result.t) =
+  Mutex.lock progress_mutex;
+  Printf.eprintf "%s %s: %s\n%!"
+    (Recorders.Recorder.tool_name r.Provmark.Result.tool)
+    r.Provmark.Result.syscall
+    (Provmark.Result.status_word r);
+  Mutex.unlock progress_mutex
+
 let result_type_arg =
   let doc = "Result type: rb (benchmark only), rg (benchmark plus generalized \
              foreground/background graphs), rh (HTML page with rendered graphs, \
@@ -94,7 +131,8 @@ let run_cmd =
     let doc = "Syscall benchmark to run (e.g. open, rename, vfork)." in
     Arg.(required & pos 1 (some string) None & info [] ~docv:"SYSCALL" ~doc)
   in
-  let run tool syscall trials backend seed result_type =
+  let run tool syscall trials backend seed no_cache result_type =
+    apply_cache_flag no_cache;
     match Provmark.Bench_registry.find_exn syscall with
     | exception Not_found ->
         Printf.eprintf "unknown syscall benchmark %S\n" syscall;
@@ -104,7 +142,9 @@ let run_cmd =
         print_result ~result_type (Provmark.Runner.run config prog)
   in
   let term =
-    Term.(const run $ tool_arg $ syscall_arg $ trials_arg $ backend_arg $ seed_arg $ result_type_arg)
+    Term.(
+      const run $ tool_arg $ syscall_arg $ trials_arg $ backend_arg $ seed_arg $ no_cache_arg
+      $ result_type_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Benchmark a single syscall (like fullAutomation.py).") term
 
@@ -121,25 +161,15 @@ let batch_cmd =
     let doc = "Also write per-stage timing CSV to this file (sampleResult format)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run tools trials backend seed csv =
-    let matrix =
-      List.map
-        (fun tool ->
-          let config = config_of tool trials backend seed in
-          ( tool,
-            List.map
-              (fun prog ->
-                let r = Provmark.Runner.run config prog in
-                append_time_log r;
-                Printf.eprintf "%s %s: %s\n%!" (Recorders.Recorder.tool_name tool)
-                  r.Provmark.Result.syscall (Provmark.Result.status_word r);
-                r)
-              Provmark.Bench_registry.all ))
-        tools
-    in
+  let run tools trials backend seed jobs no_cache csv =
+    apply_cache_flag no_cache;
+    let configs = List.map (fun tool -> config_of tool trials backend seed) tools in
+    let matrix = Provmark.Parallel_runner.run_matrix ~jobs ~on_result:progress configs in
+    List.iter (fun (_, results) -> List.iter append_time_log results) matrix;
     print_string (Provmark.Report.validation_matrix matrix);
     let ok, total = Provmark.Report.agreement matrix in
     Printf.printf "\nAgreement with paper Table 2: %d/%d\n" ok total;
+    print_cache_stats ();
     match csv with
     | None -> ()
     | Some file ->
@@ -148,7 +178,9 @@ let batch_cmd =
         close_out oc;
         Printf.printf "Timing CSV written to %s\n" file
   in
-  let term = Term.(const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ csv_arg) in
+  let term =
+    Term.(const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ jobs_arg $ no_cache_arg $ csv_arg)
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Benchmark every syscall and print the validation matrix (like runTests.sh).")
@@ -167,26 +199,17 @@ let report_cmd =
     let doc = "Output HTML file." in
     Arg.(value & opt string "finalResult/index.html" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run tools trials backend seed out =
-    let matrix =
-      List.map
-        (fun tool ->
-          let config = config_of tool trials backend seed in
-          ( tool,
-            List.map
-              (fun prog ->
-                let r = Provmark.Runner.run config prog in
-                append_time_log r;
-                Printf.eprintf "%s %s: %s\n%!" (Recorders.Recorder.tool_name tool)
-                  r.Provmark.Result.syscall (Provmark.Result.status_word r);
-                r)
-              Provmark.Bench_registry.all ))
-        tools
-    in
+  let run tools trials backend seed jobs no_cache out =
+    apply_cache_flag no_cache;
+    let configs = List.map (fun tool -> config_of tool trials backend seed) tools in
+    let matrix = Provmark.Parallel_runner.run_matrix ~jobs ~on_result:progress configs in
+    List.iter (fun (_, results) -> List.iter append_time_log results) matrix;
     Provmark.Html_report.write_file out (Provmark.Html_report.render matrix);
     Printf.printf "HTML report written to %s\n" out
   in
-  let term = Term.(const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ out_arg) in
+  let term =
+    Term.(const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ jobs_arg $ no_cache_arg $ out_arg)
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Benchmark every syscall and write the HTML results page (the rh result type).")

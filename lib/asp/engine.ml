@@ -5,8 +5,7 @@ type outcome = Solver.outcome =
   | Model of { cost : int; atoms : Fact.t list; optimal : bool }
   | Unknown
 
-let run ?max_steps ?find_optimal ~program ~facts () =
-  let rules = Parser.parse_program program in
+let compute_rules ?max_steps ?find_optimal ~rules ~facts () =
   let ground = Ground.ground rules facts in
   let shows =
     List.filter_map (function Rule.Show (p, n) -> Some (p, n) | _ -> None) rules
@@ -20,6 +19,24 @@ let run ?max_steps ?find_optimal ~program ~facts () =
       in
       Model { cost; atoms; optimal }
   | outcome -> outcome
+
+let run ?max_steps ?find_optimal ?memo ~program ~facts () =
+  let rules = Parser.parse_program program in
+  match memo with
+  | None -> compute_rules ?max_steps ?find_optimal ~rules ~facts ()
+  | Some tag ->
+      (* Key on the facts the program can actually read: transient
+         properties (pids, timestamps) vary between trials, but a
+         shape-only program like Listings.similarity never consults
+         them, so the restricted key lets those solves hit. *)
+      let relevant = Datalog.Base.restrict facts (Rule.referenced_predicates rules) in
+      let key =
+        Memo.key ~program ~facts:relevant
+          ~max_steps:(Option.value max_steps ~default:(-1))
+          ~find_optimal:(Option.value find_optimal ~default:true)
+      in
+      Memo.find_or_compute ~tag ~key (fun () ->
+          compute_rules ?max_steps ?find_optimal ~rules ~facts ())
 
 let matching_of_atoms atoms =
   List.filter_map

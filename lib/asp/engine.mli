@@ -8,9 +8,21 @@ type outcome = Solver.outcome =
 
 (** [run ~program ~facts ()] parses [program], grounds it against
     [facts] and solves.  Parse and grounding errors propagate as
-    {!Parser.Parse_error} / {!Ground.Ground_error}. *)
+    {!Parser.Parse_error} / {!Ground.Ground_error}.
+
+    With [?memo:tag], the outcome is served from {!Memo} when the same
+    (program, facts, parameters) subproblem was solved before; [tag]
+    names the per-stage hit counter.  Without it the call always
+    computes — one-off callers (the miniclingo CLI, ad-hoc analyses)
+    should not populate the cache. *)
 val run :
-  ?max_steps:int -> ?find_optimal:bool -> program:string -> facts:Datalog.Base.t -> unit -> outcome
+  ?max_steps:int ->
+  ?find_optimal:bool ->
+  ?memo:string ->
+  program:string ->
+  facts:Datalog.Base.t ->
+  unit ->
+  outcome
 
 (** [matching_of_atoms atoms] extracts the [h/2] matching pairs from the
     true atoms of a model, as [(left, right)] identifier pairs. *)

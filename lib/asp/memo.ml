@@ -1,0 +1,84 @@
+(* Memoization of ground-and-solve calls.
+
+   ProvMark's generalization stage asks the solver the same questions
+   over and over: every pair of trial graphs in a similarity class is
+   checked for similarity, and identical trials (same seed derivation)
+   encode to identical fact bases.  Keying on a canonical digest of the
+   whole subproblem lets repeated subproblems skip grounding and search
+   entirely.
+
+   The table is shared by every domain of the parallel suite runner, so
+   all access goes through one mutex; solving itself happens outside the
+   lock (two domains may race to compute the same entry — both get the
+   right answer, one write wins). *)
+
+type stats = { hits : int; misses : int }
+
+let enabled = Atomic.make true
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let mutex = Mutex.create ()
+
+(* Bounded wholesale: the suite's working set is far below the cap, and
+   a full reset is simpler than eviction bookkeeping under contention. *)
+let max_entries = 65_536
+
+let table : (string, Solver.outcome) Hashtbl.t = Hashtbl.create 1024
+let counters : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 8
+
+let with_lock f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let counter_of tag =
+  match Hashtbl.find_opt counters tag with
+  | Some c -> c
+  | None ->
+      let c = (ref 0, ref 0) in
+      Hashtbl.replace counters tag c;
+      c
+
+let key ~program ~facts ~max_steps ~find_optimal =
+  (* Base.to_string renders facts in sorted order, so structurally equal
+     fact bases produce the same digest regardless of insertion order. *)
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%d|%b|%s\x00%s" max_steps find_optimal program
+          (Datalog.Base.to_string facts)))
+
+let find_or_compute ~tag ~key compute =
+  if not (Atomic.get enabled) then compute ()
+  else
+    let cached =
+      with_lock (fun () ->
+          let hits, misses = counter_of tag in
+          match Hashtbl.find_opt table key with
+          | Some v ->
+              incr hits;
+              Some v
+          | None ->
+              incr misses;
+              None)
+    in
+    match cached with
+    | Some v -> v
+    | None ->
+        let v = compute () in
+        with_lock (fun () ->
+            if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+            Hashtbl.replace table key v);
+        v
+
+let clear () = with_lock (fun () -> Hashtbl.reset table)
+
+let reset_stats () = with_lock (fun () -> Hashtbl.reset counters)
+
+let stats () =
+  with_lock (fun () ->
+      List.sort compare
+        (Hashtbl.fold
+           (fun tag (h, m) acc -> (tag, { hits = !h; misses = !m }) :: acc)
+           counters []))
+
+let size () = with_lock (fun () -> Hashtbl.length table)

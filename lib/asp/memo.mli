@@ -1,0 +1,39 @@
+(** Memoization of ground-and-solve calls, keyed by a canonical digest
+    of (program, fact base, solver parameters).
+
+    The generalization stage re-solves identical matching subproblems
+    across trials and benchmarks; the memo table answers repeats without
+    grounding or search.  The table is safe to share across the domains
+    of the parallel suite runner, and caching never changes answers —
+    the key covers everything the solver's outcome depends on (this is
+    enforced by the cache-consistency test suite). *)
+
+type stats = { hits : int; misses : int }
+
+(** Caching is on by default; [set_enabled false] (the CLI's
+    [--no-cache]) makes {!find_or_compute} always recompute. *)
+val set_enabled : bool -> unit
+
+val is_enabled : unit -> bool
+
+(** Canonical cache key.  [facts] are rendered in sorted order, so the
+    key is invariant under fact insertion order. *)
+val key :
+  program:string -> facts:Datalog.Base.t -> max_steps:int -> find_optimal:bool -> string
+
+(** [find_or_compute ~tag ~key compute] returns the cached outcome for
+    [key], or runs [compute] and caches its result.  [tag] buckets the
+    hit/miss counters per pipeline stage ("similarity",
+    "generalization", "comparison"). *)
+val find_or_compute : tag:string -> key:string -> (unit -> Solver.outcome) -> Solver.outcome
+
+(** Drop all cached outcomes (counters are kept). *)
+val clear : unit -> unit
+
+val reset_stats : unit -> unit
+
+(** Per-tag counters, sorted by tag name. *)
+val stats : unit -> (string * stats) list
+
+(** Number of cached entries. *)
+val size : unit -> int

@@ -76,6 +76,22 @@ let open_predicates program =
          | Constraint _ | Minimize _ | Show _ -> acc)
        [] program)
 
+let referenced_predicates program =
+  let opens = open_predicates program in
+  let add acc p = if List.mem p acc || List.mem p opens then acc else p :: acc in
+  let literal acc = function Pos a | Neg a -> add acc a.pred | Builtin _ -> acc in
+  let literals = List.fold_left literal in
+  List.rev
+    (List.fold_left
+       (fun acc rule ->
+         match rule with
+         | Choice c -> literals (literals acc c.gen) c.body
+         | Constraint body -> literals acc body
+         | Define (_, body) -> literals acc body
+         | Minimize m -> literals acc m.cond
+         | Show _ -> acc)
+       [] program)
+
 let atom_vars a =
   let add acc v = if List.mem v acc then acc else v :: acc in
   List.rev

@@ -58,5 +58,11 @@ val pp : Format.formatter -> t -> unit
     fact base). *)
 val open_predicates : program -> string list
 
+(** Closed predicates the program reads from the fact base: predicates
+    occurring in some generator, body or minimize condition that are not
+    {!open_predicates}.  Facts outside this set cannot influence
+    grounding or solving — the solve memo keys on exactly these. *)
+val referenced_predicates : program -> string list
+
 (** Variables occurring in an atom, in order of first occurrence. *)
 val atom_vars : atom -> string list

@@ -1,0 +1,72 @@
+module Program = Oskernel.Program
+
+(* Per-benchmark seed derivation (FNV-1a over the benchmark name, mixed
+   with the configured base seed).  Every benchmark's transient values
+   are a pure function of (base seed, benchmark name) — never of the
+   position in the suite or of which domain picked the job up — so the
+   sequential runner and the parallel runner at any job count produce
+   identical results for identical configs. *)
+let seed_for ~base name =
+  let h = ref 0x811C9DC5 in
+  let mix c =
+    h := !h lxor c;
+    h := !h * 0x01000193 land 0x3FFFFFFF
+  in
+  String.iter (fun c -> mix (Char.code c)) name;
+  List.iter mix [ base land 0xFF; (base lsr 8) land 0xFF; (base lsr 16) land 0xFF ];
+  (!h land 0xFFFFF) + 1
+
+let config_for config (prog : Program.t) =
+  { config with Config.seed = seed_for ~base:config.Config.seed prog.Program.name }
+
+let run_all_sequential ?on_result config progs =
+  List.map
+    (fun prog ->
+      let r = Runner.run (config_for config prog) prog in
+      Option.iter (fun f -> f r) on_result;
+      r)
+    progs
+
+let run_all ?(jobs = 1) ?on_result config progs =
+  Pool.map ~jobs
+    (fun prog ->
+      let r = Runner.run (config_for config prog) prog in
+      Option.iter (fun f -> f r) on_result;
+      r)
+    progs
+
+let run_registry ?jobs ?on_result config = run_all ?jobs ?on_result config Bench_registry.all
+
+let run_matrix ?(jobs = 1) ?on_result configs =
+  (* One flat task list across every (tool, benchmark) cell keeps all
+     domains busy even when one tool's column is slower than another's;
+     the merge then regroups per config, benchmarks in registry order. *)
+  let tasks =
+    List.concat_map (fun config -> List.map (fun p -> (config, p)) Bench_registry.all) configs
+  in
+  let results =
+    Pool.map ~jobs
+      (fun (config, prog) ->
+        let r = Runner.run (config_for config prog) prog in
+        Option.iter (fun f -> f r) on_result;
+        r)
+      tasks
+  in
+  let rec split n xs =
+    if n = 0 then ([], xs)
+    else
+      match xs with
+      | [] -> ([], [])
+      | x :: rest ->
+          let a, b = split (n - 1) rest in
+          (x :: a, b)
+  in
+  let per_tool = List.length Bench_registry.all in
+  let rec regroup configs results =
+    match configs with
+    | [] -> []
+    | config :: rest ->
+        let mine, others = split per_tool results in
+        (config.Config.tool, mine) :: regroup rest others
+  in
+  regroup configs results

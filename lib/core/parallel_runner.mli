@@ -1,0 +1,48 @@
+(** Parallel suite execution on OCaml 5 domains.
+
+    ProvMark's pipeline is embarrassingly parallel across benchmarks:
+    each run is a pure function of (config, benchmark), so the registry
+    fans out over a {!Pool} and the results merge back in registry
+    order.  Determinism is guaranteed by {!seed_for}: every benchmark's
+    effective seed depends only on the configured base seed and the
+    benchmark name, never on scheduling, so output is byte-identical to
+    the sequential path for the same config — asserted for j = 1, 2, 4
+    by the determinism test suite.
+
+    The [on_result] callbacks exist for progress reporting; they run on
+    the worker domain that finished the benchmark (in completion order,
+    not registry order), so they must be thread-safe. *)
+
+(** Deterministic per-benchmark seed: FNV-1a over the benchmark name
+    mixed with the base seed, folded to a small positive int. *)
+val seed_for : base:int -> string -> int
+
+(** The effective config a benchmark runs under: the given config with
+    its seed replaced by [seed_for ~base:config.seed name]. *)
+val config_for : Config.t -> Oskernel.Program.t -> Config.t
+
+(** Reference implementation: {!Runner.run} over the list, in order, on
+    the calling domain.  [run_all] with any job count must produce equal
+    results. *)
+val run_all_sequential :
+  ?on_result:(Result.t -> unit) -> Config.t -> Oskernel.Program.t list -> Result.t list
+
+(** [run_all ~jobs config progs] fans the benchmarks over a pool of
+    [jobs] domains; results come back in input order. *)
+val run_all :
+  ?jobs:int ->
+  ?on_result:(Result.t -> unit) ->
+  Config.t ->
+  Oskernel.Program.t list ->
+  Result.t list
+
+(** The full registry (Table 2 order). *)
+val run_registry : ?jobs:int -> ?on_result:(Result.t -> unit) -> Config.t -> Result.t list
+
+(** [run_matrix ~jobs configs] runs the full registry under every config
+    through one shared pool — the (tool, benchmark) cells form a single
+    flat task list, so slow columns do not serialize the suite — and
+    regroups the results per tool in registry order, ready for
+    {!Report.validation_matrix}. *)
+val run_matrix :
+  ?jobs:int -> ?on_result:(Result.t -> unit) -> Config.t list -> Report.matrix

@@ -1,0 +1,121 @@
+(* Fixed-size pool of OCaml 5 domains draining a shared work queue.
+
+   Domains are expensive to spawn (each carries its own minor heap), so
+   the suite runner creates one pool per batch rather than one domain
+   per benchmark.  Jobs are closures; each runs in isolation on some
+   worker domain, and anything it raises is captured in its promise and
+   re-raised (with the original backtrace) at [await] time in the
+   submitting domain — a crashing benchmark cannot take a worker down or
+   get lost silently. *)
+
+type job = unit -> unit
+
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;
+  queue : job Queue.t;
+  mutable shutting_down : bool;
+  mutable domains : unit Domain.t list;
+}
+
+type 'a state =
+  | Pending
+  | Resolved of 'a
+  | Rejected of exn * Printexc.raw_backtrace
+
+type 'a promise = {
+  p_mutex : Mutex.t;
+  p_done : Condition.t;
+  mutable state : 'a state;
+}
+
+let size t = List.length t.domains
+
+let create ~size:n =
+  let n = max 1 n in
+  let t =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      shutting_down = false;
+      domains = [];
+    }
+  in
+  let worker () =
+    let rec next () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if t.shutting_down then None
+      else begin
+        Condition.wait t.work t.mutex;
+        next ()
+      end
+    in
+    let rec loop () =
+      Mutex.lock t.mutex;
+      let job = next () in
+      Mutex.unlock t.mutex;
+      match job with
+      | None -> ()
+      | Some job ->
+          job ();
+          loop ()
+    in
+    loop ()
+  in
+  t.domains <- List.init n (fun _ -> Domain.spawn worker);
+  t
+
+let async t f =
+  let p = { p_mutex = Mutex.create (); p_done = Condition.create (); state = Pending } in
+  let job () =
+    let outcome =
+      match f () with
+      | v -> Resolved v
+      | exception e -> Rejected (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock p.p_mutex;
+    p.state <- outcome;
+    Condition.broadcast p.p_done;
+    Mutex.unlock p.p_mutex
+  in
+  Mutex.lock t.mutex;
+  if t.shutting_down then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.async: pool is shut down"
+  end;
+  Queue.push job t.queue;
+  Condition.signal t.work;
+  Mutex.unlock t.mutex;
+  p
+
+let await p =
+  Mutex.lock p.p_mutex;
+  while p.state = Pending do
+    Condition.wait p.p_done p.p_mutex
+  done;
+  let s = p.state in
+  Mutex.unlock p.p_mutex;
+  match s with
+  | Resolved v -> v
+  | Rejected (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutting_down <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let map ~jobs f xs =
+  let pool = create ~size:jobs in
+  Fun.protect
+    ~finally:(fun () -> shutdown pool)
+    (fun () ->
+      (* Submit everything first, then collect in submission order: the
+         result list order is the input order regardless of which domain
+         finishes first. *)
+      let promises = List.map (fun x -> async pool (fun () -> f x)) xs in
+      List.map await promises)

@@ -1,0 +1,33 @@
+(** Fixed-size pool of OCaml 5 domains with a shared work queue.
+
+    The parallel suite runner fans benchmarks out over a pool; each job
+    runs isolated on a worker domain, with exceptions captured per job
+    and re-raised at {!await} in the submitting domain. *)
+
+type t
+
+type 'a promise
+
+(** [create ~size] spawns [max 1 size] worker domains. *)
+val create : size:int -> t
+
+(** Number of worker domains (0 after {!shutdown}). *)
+val size : t -> int
+
+(** [async pool f] queues [f] and returns its promise.  Raises
+    [Invalid_argument] after {!shutdown}. *)
+val async : t -> (unit -> 'a) -> 'a promise
+
+(** [await p] blocks until the job finishes.  If the job raised, the
+    exception is re-raised here with its original backtrace. *)
+val await : 'a promise -> 'a
+
+(** Drain the queue, then stop and join every worker.  Idempotent in
+    effect; jobs already queued still run. *)
+val shutdown : t -> unit
+
+(** [map ~jobs f xs] runs [f] over [xs] on a temporary pool of [jobs]
+    domains and returns the results in input order (the completion order
+    does not matter).  The first captured exception, if any, is
+    re-raised after the pool is shut down. *)
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -118,6 +118,20 @@ let timing_lines results =
     results;
   Buffer.contents buf
 
+let cache_stats_lines stats =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-16s %8s %8s %9s\n" "solve stage" "hits" "misses" "hit-rate");
+  List.iter
+    (fun (stage, hits, misses) ->
+      let rate =
+        if hits + misses = 0 then "-"
+        else Printf.sprintf "%.1f%%" (100. *. float_of_int hits /. float_of_int (hits + misses))
+      in
+      Buffer.add_string buf (Printf.sprintf "%-16s %8d %8d %9s\n" stage hits misses rate))
+    stats;
+  Buffer.contents buf
+
 let timing_csv results =
   let buf = Buffer.create 1024 in
   List.iter

@@ -22,3 +22,7 @@ val timing_lines : Result.t list -> string
 (** CSV in the sampleResult format: tool, syscall, then the four stage
     times in seconds. *)
 val timing_csv : Result.t list -> string
+
+(** Render per-stage solve-cache counters as a small table.  Rows are
+    [(stage, hits, misses)] — the shape of [Asp.Memo.stats], flattened. *)
+val cache_stats_lines : (string * int * int) list -> string

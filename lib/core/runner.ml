@@ -5,7 +5,10 @@ let timed f =
   let v = f () in
   (v, Unix.gettimeofday () -. start)
 
-let run_once config (prog : Program.t) =
+type recorder =
+  Config.t -> Program.t -> Recording.recorded list * Recording.recorded list
+
+let run_once_with ~(record : recorder) config (prog : Program.t) =
   let tool = config.Config.tool in
   let finish status times bg fg =
     {
@@ -20,7 +23,7 @@ let run_once config (prog : Program.t) =
     }
   in
   (* Stage 1: recording. *)
-  let (bg_recs, fg_recs), recording_s = timed (fun () -> Recording.record_all config prog) in
+  let (bg_recs, fg_recs), recording_s = timed (fun () -> record config prog) in
   (* Stage 2: transformation. *)
   match timed (fun () -> (Transform.batch bg_recs, Transform.batch fg_recs)) with
   | exception Transform.Transform_error m ->
@@ -92,7 +95,7 @@ let add_times (a : Result.stage_times) (b : Result.stage_times) =
     comparison_s = a.Result.comparison_s +. b.Result.comparison_s;
   }
 
-let run config prog =
+let run_with ~record config prog =
   let rec attempt i acc_times =
     let config' =
       {
@@ -101,7 +104,7 @@ let run config prog =
         seed = config.Config.seed + (101 * i);
       }
     in
-    let r = run_once config' prog in
+    let r = run_once_with ~record config' prog in
     let times =
       match acc_times with None -> r.Result.times | Some t -> add_times t r.Result.times
     in
@@ -110,5 +113,8 @@ let run config prog =
     | _ -> { r with Result.times }
   in
   attempt 0 None
+
+let run_once config prog = run_once_with ~record:Recording.record_all config prog
+let run config prog = run_with ~record:Recording.record_all config prog
 
 let run_syscall config name = run config (Bench_registry.find_exn name)

@@ -2,14 +2,29 @@
     generalization → comparison, with wall-clock timing of each stage
     (the quantities behind the paper's Figures 5–10). *)
 
+(** The recording stage as a function, so tests can swap
+    {!Recording.record_all} for an instrumented or deliberately flaky
+    recorder and exercise the retry policy directly. *)
+type recorder =
+  Config.t -> Oskernel.Program.t -> Recording.recorded list * Recording.recorded list
+
 (** [run_once config program] executes the four stages exactly once. *)
 val run_once : Config.t -> Oskernel.Program.t -> Result.t
+
+(** [run_once_with ~record config program] is {!run_once} with the
+    recording stage replaced by [record]. *)
+val run_once_with : record:recorder -> Config.t -> Oskernel.Program.t -> Result.t
 
 (** [run config program] is {!run_once} with ProvMark's retry policy:
     when flaky recorder runs leave no usable trial pair, the benchmark
     is re-recorded with a growing number of trials (Section 3.2), up to
     three attempts.  Stage times accumulate across attempts. *)
 val run : Config.t -> Oskernel.Program.t -> Result.t
+
+(** [run_with ~record config program] is {!run} (attempt escalation,
+    trial-count growth, seed perturbation, accumulated stage times) over
+    an injected recording stage. *)
+val run_with : record:recorder -> Config.t -> Oskernel.Program.t -> Result.t
 
 (** [run_syscall config name] looks the benchmark up in
     {!Bench_registry} by syscall name.  Raises [Not_found] for unknown

@@ -26,6 +26,8 @@ let union a b = Smap.union (fun _ x y -> Some (Fset.union x y)) a b
 
 let predicates b = List.map fst (Smap.bindings b)
 
+let restrict b preds = Smap.filter (fun p _ -> List.mem p preds) b
+
 let to_string b = String.concat "\n" (List.map Fact.to_string (to_list b)) ^ "\n"
 
 let pp ppf b = Format.pp_print_string ppf (to_string b)

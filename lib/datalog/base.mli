@@ -24,6 +24,9 @@ val union : t -> t -> t
 
 val predicates : t -> string list
 
+(** [restrict b preds] keeps only the facts whose predicate is listed. *)
+val restrict : t -> string list -> t
+
 (** Render one fact per line, parseable back with {!Parser.parse_facts}. *)
 val to_string : t -> string
 

@@ -5,12 +5,17 @@ let encode g1 g2 =
     (Datalog.Encode.graph_to_base ~gid:"1" g1)
     (Datalog.Encode.graph_to_base ~gid:"2" g2)
 
-let run ?(max_steps = default_max_steps) ~program ~find_optimal g1 g2 =
+(* Each entry point carries the pipeline stage it serves as its memo
+   tag, so the solve cache reports hits per stage. *)
+let run ?(max_steps = default_max_steps) ~program ~memo ~find_optimal g1 g2 =
   let facts = encode g1 g2 in
-  Asp.Engine.run ~max_steps ~find_optimal ~program ~facts ()
+  Asp.Engine.run ~max_steps ~find_optimal ~memo ~program ~facts ()
 
 let similar ?max_steps g1 g2 =
-  match run ?max_steps ~program:Asp.Listings.similarity ~find_optimal:false g1 g2 with
+  match
+    run ?max_steps ~program:Asp.Listings.similarity ~memo:"similarity" ~find_optimal:false g1
+      g2
+  with
   | Asp.Engine.Model _ -> true
   | Asp.Engine.Unsat | Asp.Engine.Unknown -> false
 
@@ -21,7 +26,10 @@ let decode g1 outcome =
   | Asp.Engine.Unsat | Asp.Engine.Unknown -> None
 
 let iso_min_cost ?max_steps g1 g2 =
-  decode g1 (run ?max_steps ~program:Asp.Listings.similarity_min_cost ~find_optimal:true g1 g2)
+  decode g1
+    (run ?max_steps ~program:Asp.Listings.similarity_min_cost ~memo:"generalization"
+       ~find_optimal:true g1 g2)
 
 let sub_iso_min_cost ?max_steps g1 g2 =
-  decode g1 (run ?max_steps ~program:Asp.Listings.subgraph ~find_optimal:true g1 g2)
+  decode g1
+    (run ?max_steps ~program:Asp.Listings.subgraph ~memo:"comparison" ~find_optimal:true g1 g2)

@@ -1,13 +1,15 @@
 open Pgraph
 
-let certified = ref 0
-let fallbacks = ref 0
+(* Atomic so the counters stay coherent when the parallel suite runner
+   matches on several domains at once. *)
+let certified = Atomic.make 0
+let fallbacks = Atomic.make 0
 
-let stats () = (!certified, !fallbacks)
+let stats () = (Atomic.get certified, Atomic.get fallbacks)
 
 let reset_stats () =
-  certified := 0;
-  fallbacks := 0
+  Atomic.set certified 0;
+  Atomic.set fallbacks 0
 
 (* Creation order: recorders assign identifiers with increasing numeric
    suffixes (v1, r2, n3, cf:boot:17, ...), which stand in for the
@@ -110,10 +112,10 @@ let greedy ~sub g1 g2 =
 let attempt ~sub g1 g2 =
   match greedy ~sub g1 g2 with
   | Some m when m.Matching.cost = cost_lower_bound g1 g2 ->
-      incr certified;
+      Atomic.incr certified;
       Some m
   | _ ->
-      incr fallbacks;
+      Atomic.incr fallbacks;
       None
 
 (* Similarity ignores properties, so any verified bijection certifies it
@@ -121,10 +123,10 @@ let attempt ~sub g1 g2 =
 let similar g1 g2 =
   match greedy ~sub:false g1 g2 with
   | Some _ ->
-      incr certified;
+      Atomic.incr certified;
       true
   | None ->
-      incr fallbacks;
+      Atomic.incr fallbacks;
       Vf2.similar g1 g2
 
 let iso_min_cost g1 g2 =
