@@ -546,6 +546,127 @@ let suite_parallel () =
   Asp.Memo.reset_stats ()
 
 (* ------------------------------------------------------------------ *)
+(* match-scale: the matching pipeline on synthetic graph pairs          *)
+(* ------------------------------------------------------------------ *)
+
+(* Sweeps Bench_gen.match_pair over node counts and, for each prune
+   setting, grounds and solves the similarity and generalization
+   instances with per-stage timing, grounded-atom counts and solver
+   effort counters.  Writes BENCH_match_scale.json next to the cwd so
+   CI can archive the trend. *)
+let match_scale_rows ~sizes =
+  let tasks =
+    [
+      ("similarity", Gmatch.Asp_backend.Similarity, false);
+      ("generalization", Gmatch.Asp_backend.Generalization, true);
+    ]
+  in
+  List.concat_map
+    (fun nodes ->
+      let g1, g2 = Provmark.Bench_gen.match_pair ~nodes ~seed:(41 + nodes) in
+      List.concat_map
+        (fun (task_name, task, find_optimal) ->
+          List.map
+            (fun pruned ->
+              Gmatch.Asp_backend.set_prune pruned;
+              let (program, facts), t_prepare =
+                timed (fun () -> Gmatch.Asp_backend.instance task g1 g2)
+              in
+              let rules = Asp.Parser.parse_program program in
+              let ground, t_ground = timed (fun () -> Asp.Ground.ground rules facts) in
+              let h_atoms =
+                List.length (Asp.Ground.atoms_with_pred ground Asp.Listings.matching_predicate)
+              in
+              Asp.Solver.reset_stats ();
+              let outcome, t_solve = timed (fun () -> Asp.Solver.solve ~find_optimal ground) in
+              let stats = Asp.Solver.stats () in
+              let status, cost =
+                match outcome with
+                | Asp.Solver.Model { cost; _ } -> ("model", cost)
+                | Asp.Solver.Unsat -> ("unsat", -1)
+                | Asp.Solver.Unknown -> ("unknown", -1)
+              in
+              ( nodes,
+                task_name,
+                pruned,
+                t_prepare +. t_ground,
+                t_solve,
+                ground.Asp.Ground.atom_count,
+                h_atoms,
+                stats.Asp.Solver.propagations,
+                stats.Asp.Solver.decisions,
+                status,
+                cost ))
+            [ false; true ])
+        tasks)
+    sizes
+
+let match_scale_run ~sizes =
+  section "match-scale: matching pipeline on synthetic graph pairs (pruned vs unpruned)";
+  let prune0 = Gmatch.Asp_backend.prune_enabled () in
+  let rows =
+    Fun.protect
+      ~finally:(fun () -> Gmatch.Asp_backend.set_prune prune0)
+      (fun () -> match_scale_rows ~sizes)
+  in
+  Printf.printf "%-6s %-15s %-8s %10s %10s %8s %8s %12s %10s %-8s %s\n" "nodes" "task" "pruned"
+    "ground(s)" "solve(s)" "atoms" "h-atoms" "propagations" "decisions" "status" "cost";
+  List.iter
+    (fun (nodes, task, pruned, tg, ts, atoms, h, props, decs, status, cost) ->
+      Printf.printf "%-6d %-15s %-8b %10.4f %10.4f %8d %8d %12d %10d %-8s %d\n" nodes task
+        pruned tg ts atoms h props decs status cost)
+    rows;
+  (* The headline acceptance number: pruning must shrink the grounded
+     h/2 search space at every size. *)
+  List.iter
+    (fun (nodes, task, pruned, _, _, _, h, _, _, _, _) ->
+      if (not pruned) && task = "generalization" then
+        let pruned_h =
+          List.find_map
+            (fun (n', t', p', _, _, _, h', _, _, _, _) ->
+              if n' = nodes && t' = task && p' then Some h' else None)
+            rows
+        in
+        match pruned_h with
+        | Some h' ->
+            Printf.printf "h-atom reduction at %d nodes: %d -> %d (%.1fx)\n" nodes h h'
+              (float_of_int h /. float_of_int (max 1 h'))
+        | None -> ())
+    rows;
+  let json =
+    Minijson.Json.Object
+      [
+        ( "rows",
+          Minijson.Json.Array
+            (List.map
+               (fun (nodes, task, pruned, tg, ts, atoms, h, props, decs, status, cost) ->
+                 Minijson.Json.Object
+                   [
+                     ("nodes", Minijson.Json.Number (float_of_int nodes));
+                     ("task", Minijson.Json.String task);
+                     ("pruned", Minijson.Json.Bool pruned);
+                     ("ground_s", Minijson.Json.Number tg);
+                     ("solve_s", Minijson.Json.Number ts);
+                     ("atoms", Minijson.Json.Number (float_of_int atoms));
+                     ("h_atoms", Minijson.Json.Number (float_of_int h));
+                     ("propagations", Minijson.Json.Number (float_of_int props));
+                     ("decisions", Minijson.Json.Number (float_of_int decs));
+                     ("status", Minijson.Json.String status);
+                     ("cost", Minijson.Json.Number (float_of_int cost));
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_match_scale.json" in
+  output_string oc (Minijson.Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_match_scale.json (%d rows)\n" (List.length rows)
+
+let match_scale () = match_scale_run ~sizes:[ 4; 6; 8; 10; 12 ]
+let match_scale_quick () = match_scale_run ~sizes:[ 4; 6; 8 ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let t0 = Unix.gettimeofday () in
@@ -564,7 +685,8 @@ let () =
     extension_spade_camflow ();
     extension_config_sweep ();
     extension_scalability_backends ();
-    extension_nondet ()
+    extension_nondet ();
+    match_scale ()
   in
   (* [bench/main.exe <section>...] runs just the named sections. *)
   let sections =
@@ -574,6 +696,8 @@ let () =
       ("microbench", microbench);
       ("scalability", figures_8_to_10);
       ("nondet", extension_nondet);
+      ("match-scale", match_scale);
+      ("match-scale-quick", match_scale_quick);
     ]
   in
   (match List.tl (Array.to_list Sys.argv) with

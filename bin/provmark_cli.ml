@@ -48,6 +48,16 @@ let no_cache_arg =
 
 let apply_cache_flag no_cache = Asp.Memo.set_enabled (not no_cache)
 
+let no_prune_arg =
+  let doc =
+    "Disable candidate pruning in the ASP matching backend (run the paper's \
+     Listing 3/4 encodings verbatim, with choice generators over the full \
+     node/edge cross product instead of colour-compatible pairs)."
+  in
+  Arg.(value & flag & info [ "no-prune" ] ~doc)
+
+let apply_prune_flag no_prune = Gmatch.Asp_backend.set_prune (not no_prune)
+
 let print_cache_stats () =
   match Asp.Memo.stats () with
   | [] -> ()
@@ -131,8 +141,9 @@ let run_cmd =
     let doc = "Syscall benchmark to run (e.g. open, rename, vfork)." in
     Arg.(required & pos 1 (some string) None & info [] ~docv:"SYSCALL" ~doc)
   in
-  let run tool syscall trials backend seed no_cache result_type =
+  let run tool syscall trials backend seed no_cache no_prune result_type =
     apply_cache_flag no_cache;
+    apply_prune_flag no_prune;
     match Provmark.Bench_registry.find_exn syscall with
     | exception Not_found ->
         Printf.eprintf "unknown syscall benchmark %S\n" syscall;
@@ -144,7 +155,7 @@ let run_cmd =
   let term =
     Term.(
       const run $ tool_arg $ syscall_arg $ trials_arg $ backend_arg $ seed_arg $ no_cache_arg
-      $ result_type_arg)
+      $ no_prune_arg $ result_type_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Benchmark a single syscall (like fullAutomation.py).") term
 
@@ -161,8 +172,9 @@ let batch_cmd =
     let doc = "Also write per-stage timing CSV to this file (sampleResult format)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run tools trials backend seed jobs no_cache csv =
+  let run tools trials backend seed jobs no_cache no_prune csv =
     apply_cache_flag no_cache;
+    apply_prune_flag no_prune;
     let configs = List.map (fun tool -> config_of tool trials backend seed) tools in
     let matrix = Provmark.Parallel_runner.run_matrix ~jobs ~on_result:progress configs in
     List.iter (fun (_, results) -> List.iter append_time_log results) matrix;
@@ -179,7 +191,9 @@ let batch_cmd =
         Printf.printf "Timing CSV written to %s\n" file
   in
   let term =
-    Term.(const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ jobs_arg $ no_cache_arg $ csv_arg)
+    Term.(
+      const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ jobs_arg $ no_cache_arg
+      $ no_prune_arg $ csv_arg)
   in
   Cmd.v
     (Cmd.info "batch"
@@ -199,8 +213,9 @@ let report_cmd =
     let doc = "Output HTML file." in
     Arg.(value & opt string "finalResult/index.html" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run tools trials backend seed jobs no_cache out =
+  let run tools trials backend seed jobs no_cache no_prune out =
     apply_cache_flag no_cache;
+    apply_prune_flag no_prune;
     let configs = List.map (fun tool -> config_of tool trials backend seed) tools in
     let matrix = Provmark.Parallel_runner.run_matrix ~jobs ~on_result:progress configs in
     List.iter (fun (_, results) -> List.iter append_time_log results) matrix;
@@ -208,7 +223,9 @@ let report_cmd =
     Printf.printf "HTML report written to %s\n" out
   in
   let term =
-    Term.(const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ jobs_arg $ no_cache_arg $ out_arg)
+    Term.(
+      const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ jobs_arg $ no_cache_arg
+      $ no_prune_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "report"

@@ -11,6 +11,7 @@ type cost_group = { weight : int; level : int; disj : int list }
 type t = {
   atom_count : int;
   atom_names : Fact.t array;
+  atoms_by_pred : (string, (int * Fact.t) list) Hashtbl.t;
   clauses : clause list;
   groups : group list;
   costs : cost_group list;
@@ -33,18 +34,27 @@ end
 
 module Fact_tbl = Hashtbl.Make (Fact_key)
 
+(* Counted bucket: candidate selection reads [count] instead of walking
+   the list with [List.length]. *)
+type bucket = { mutable count : int; mutable facts : Fact.t list }
+
+type open_bucket = { mutable ocount : int; mutable oatoms : (int * Fact.t) list }
+
 type state = {
   base : Base.t;
-  open_preds : string list;
+  open_set : (string, unit) Hashtbl.t;
   mutable atoms : Fact.t list;  (* reversed *)
   mutable next_id : int;
   ids : int Fact_tbl.t;
-  by_pred : (string, (int * Fact.t) list ref) Hashtbl.t;  (* open atoms by predicate *)
-  (* first-argument index over closed facts, built lazily per predicate *)
-  closed_index : (string, (Fact.term, Fact.t list ref) Hashtbl.t) Hashtbl.t;
+  by_pred : (string, open_bucket) Hashtbl.t;  (* open atoms by predicate *)
+  (* per-(predicate, argument position) index over closed facts, built
+     lazily; any ground position of a pattern can drive the lookup *)
+  closed_index : (string * int, (Fact.term, bucket) Hashtbl.t) Hashtbl.t;
+  (* total closed fact count per predicate, cached *)
+  closed_counts : (string, int) Hashtbl.t;
 }
 
-let is_open st p = List.mem p st.open_preds
+let is_open st p = Hashtbl.mem st.open_set p
 
 let register_atom st fact =
   match Fact_tbl.find_opt st.ids fact with
@@ -56,54 +66,90 @@ let register_atom st fact =
       Fact_tbl.add st.ids fact id;
       let bucket =
         match Hashtbl.find_opt st.by_pred fact.Fact.pred with
-        | Some r -> r
+        | Some b -> b
         | None ->
-            let r = ref [] in
-            Hashtbl.add st.by_pred fact.Fact.pred r;
-            r
+            let b = { ocount = 0; oatoms = [] } in
+            Hashtbl.add st.by_pred fact.Fact.pred b;
+            b
       in
-      bucket := (id, fact) :: !bucket;
+      bucket.ocount <- bucket.ocount + 1;
+      bucket.oatoms <- (id, fact) :: bucket.oatoms;
       id
 
 let find_atom st fact = Fact_tbl.find_opt st.ids fact
 
 let open_atoms_with_pred st p =
-  match Hashtbl.find_opt st.by_pred p with Some r -> !r | None -> []
+  match Hashtbl.find_opt st.by_pred p with Some b -> b.oatoms | None -> []
 
-let closed_first_arg_index st pred =
-  match Hashtbl.find_opt st.closed_index pred with
+let open_count st p =
+  match Hashtbl.find_opt st.by_pred p with Some b -> b.ocount | None -> 0
+
+let closed_count st pred =
+  match Hashtbl.find_opt st.closed_counts pred with
+  | Some n -> n
+  | None ->
+      let n = List.length (Base.facts_with_pred st.base pred) in
+      Hashtbl.add st.closed_counts pred n;
+      n
+
+let closed_pos_index st pred pos =
+  match Hashtbl.find_opt st.closed_index (pred, pos) with
   | Some idx -> idx
   | None ->
       let idx = Hashtbl.create 64 in
       List.iter
         (fun (f : Fact.t) ->
-          match f.Fact.args with
-          | first :: _ ->
+          match List.nth_opt f.Fact.args pos with
+          | Some key ->
               let bucket =
-                match Hashtbl.find_opt idx first with
-                | Some r -> r
+                match Hashtbl.find_opt idx key with
+                | Some b -> b
                 | None ->
-                    let r = ref [] in
-                    Hashtbl.add idx first r;
-                    r
+                    let b = { count = 0; facts = [] } in
+                    Hashtbl.add idx key b;
+                    b
               in
-              bucket := f :: !bucket
-          | [] -> ())
+              bucket.count <- bucket.count + 1;
+              bucket.facts <- f :: bucket.facts
+          | None -> ())
         (Base.facts_with_pred st.base pred);
-      Hashtbl.add st.closed_index pred idx;
+      Hashtbl.add st.closed_index (pred, pos) idx;
       idx
 
-(* Candidate closed facts for an atom pattern under a substitution; uses
-   the first-argument index when the first argument is already ground. *)
+(* The most selective index bucket for an atom pattern under a
+   substitution: of the argument positions that are already ground, the
+   one whose bucket holds the fewest closed facts.  [None] when no
+   position is ground (fall back to the full per-predicate list). *)
+let closed_best_bucket st subst (a : Rule.atom) =
+  let best = ref None in
+  List.iteri
+    (fun pos t ->
+      match Term.Subst.apply subst t with
+      | Term.Con c ->
+          let idx = closed_pos_index st a.Rule.pred pos in
+          let count, facts =
+            match Hashtbl.find_opt idx c with
+            | Some b -> (b.count, b.facts)
+            | None -> (0, [])
+          in
+          (match !best with
+          | Some (bc, _) when bc <= count -> ()
+          | _ -> best := Some (count, facts))
+      | Term.Var _ | Term.Any -> ())
+    a.Rule.args;
+  !best
+
 let closed_candidates st subst (a : Rule.atom) =
-  match a.Rule.args with
-  | first :: _ -> (
-      match Term.Subst.apply subst first with
-      | Term.Con c -> (
-          let idx = closed_first_arg_index st a.Rule.pred in
-          match Hashtbl.find_opt idx c with Some r -> !r | None -> [])
-      | Term.Var _ | Term.Any -> Base.facts_with_pred st.base a.Rule.pred)
-  | [] -> Base.facts_with_pred st.base a.Rule.pred
+  match closed_best_bucket st subst a with
+  | Some (_, facts) -> facts
+  | None -> Base.facts_with_pred st.base a.Rule.pred
+
+(* Upper bound on the number of facts [closed_candidates] returns,
+   without materializing or measuring any list. *)
+let closed_candidate_count st subst (a : Rule.atom) =
+  match closed_best_bucket st subst a with
+  | Some (count, _) -> count
+  | None -> closed_count st a.Rule.pred
 
 (* ------------------------------------------------------------------ *)
 (* Matching atoms against ground facts                                 *)
@@ -234,51 +280,59 @@ let enumerate_body st body ~on_solution =
       if !progress then solve subst conds pending
       else
         (* No literal is decidable: bind variables through some positive
-           literal.  Choose the positive literal with the fewest candidate
-           facts to keep the join narrow. *)
+           literal.  Choose the positive literal whose candidate bucket is
+           smallest (counted buckets, no List.length) to keep the join
+           narrow. *)
         match pending with
         | [] -> on_solution subst conds
         | _ ->
-            let candidates_for a =
-              if is_open st a.Rule.pred then
-                List.filter_map
-                  (fun (_, f) -> match match_atom subst a f with Some _ -> Some f | None -> None)
-                  (open_atoms_with_pred st a.Rule.pred)
-              else
-                List.filter_map
-                  (fun f -> match match_atom subst a f with Some _ -> Some f | None -> None)
-                  (closed_candidates st subst a)
+            let estimate a =
+              if is_open st a.Rule.pred then open_count st a.Rule.pred
+              else closed_candidate_count st subst a
             in
-            let pos =
-              List.filter_map (fun l -> match l with Rule.Pos a -> Some a | _ -> None) pending
-            in
-            (match pos with
-            | [] ->
+            let best = ref None in
+            List.iteri
+              (fun i lit ->
+                match lit with
+                | Rule.Pos a -> (
+                    let e = estimate a in
+                    match !best with
+                    | Some (_, _, be) when be <= e -> ()
+                    | _ -> best := Some (i, a, e))
+                | Rule.Neg _ | Rule.Builtin _ -> ())
+              pending;
+            (match !best with
+            | None ->
                 fail "unsafe rule body: cannot instantiate %s"
                   (String.concat ", " (List.map Rule.literal_to_string pending))
-            | _ ->
-                let scored = List.map (fun a -> (a, candidates_for a)) pos in
-                let best, facts =
-                  List.fold_left
-                    (fun (ba, bf) (a, f) -> if List.length f < List.length bf then (a, f) else (ba, bf))
-                    (List.hd scored |> fun (a, f) -> (a, f))
-                    (List.tl scored)
+            | Some (best_idx, best, _) ->
+                (* Remove exactly the chosen occurrence (by position):
+                   structural filtering would also drop duplicates of the
+                   same literal elsewhere in the body. *)
+                let rest = List.filteri (fun i _ -> i <> best_idx) pending in
+                let candidates =
+                  if is_open st best.Rule.pred then
+                    List.filter_map
+                      (fun (_, f) ->
+                        match match_atom subst best f with Some _ -> Some f | None -> None)
+                      (open_atoms_with_pred st best.Rule.pred)
+                  else closed_candidates st subst best
                 in
-                let rest = List.filter (fun l -> l <> Rule.Pos best) pending in
                 List.iter
                   (fun f ->
                     match match_atom subst best f with
                     | None -> ()
                     | Some subst' ->
                         let conds' =
-                          if is_open st best.Rule.pred then
+                          if not (is_open st best.Rule.pred) then conds
+                          else
+                            (* [None] unreachable: facts come from the registry. *)
                             match find_atom st f with
                             | Some id -> (id, true) :: conds
-                            | None -> conds  (* unreachable: facts come from the registry *)
-                          else conds
+                            | None -> conds
                         in
                         solve subst' conds' rest)
-                  facts)
+                  candidates)
   in
   solve Term.Subst.empty [] body
 
@@ -287,16 +341,18 @@ let enumerate_body st body ~on_solution =
 (* ------------------------------------------------------------------ *)
 
 let ground program base =
-  let open_preds = Rule.open_predicates program in
+  let open_set = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace open_set p ()) (Rule.open_predicates program);
   let st =
     {
       base;
-      open_preds;
+      open_set;
       atoms = [];
       next_id = 0;
       ids = Fact_tbl.create 256;
       by_pred = Hashtbl.create 8;
-      closed_index = Hashtbl.create 8;
+      closed_index = Hashtbl.create 16;
+      closed_counts = Hashtbl.create 8;
     }
   in
   let groups = ref [] in
@@ -469,9 +525,14 @@ let ground program base =
     program;
 
   let atom_names = Array.of_list (List.rev st.atoms) in
+  let atoms_by_pred = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun pred (b : open_bucket) -> Hashtbl.replace atoms_by_pred pred (List.rev b.oatoms))
+    st.by_pred;
   {
     atom_count = Array.length atom_names;
     atom_names;
+    atoms_by_pred;
     clauses = List.rev !clauses;
     groups = List.rev !groups;
     costs = List.rev !costs;
@@ -480,8 +541,4 @@ let ground program base =
   }
 
 let atoms_with_pred g p =
-  let out = ref [] in
-  Array.iteri
-    (fun id (f : Fact.t) -> if String.equal f.Fact.pred p then out := (id, f) :: !out)
-    g.atom_names;
-  List.rev !out
+  match Hashtbl.find_opt g.atoms_by_pred p with Some l -> l | None -> []

@@ -28,6 +28,9 @@ type cost_group = {
 type t = {
   atom_count : int;
   atom_names : Datalog.Fact.t array;  (** ground fact for each atom id *)
+  atoms_by_pred : (string, (int * Datalog.Fact.t) list) Hashtbl.t;
+      (** open atoms grouped by predicate, ids ascending — precomputed so
+          {!atoms_with_pred} is a lookup, not a scan *)
   clauses : clause list;
   groups : group list;
   costs : cost_group list;

@@ -42,4 +42,57 @@ cost(X,K,1) :- p1(X,K,V), h(X,Y), not p2(Y,K,_).
 #minimize { PC,X,K : cost(X,K,PC) }.
 |}
 
+(* Pruned variants: same constraints, but the choice generators range
+   over precomputed [candn/2] (node pairs) and [cande/2] (edge pairs)
+   relations of colour-compatible candidates instead of the full cross
+   product.  The hard constraints are unchanged, so any model of the
+   pruned program is a model of the original; completeness holds as long
+   as the cand relations contain every pair an optimal matching could
+   use (see Gmatch.Asp_backend). *)
+
+let similarity_constraints =
+  {|
+:- X <> Y, h(X,Z), h(Y,Z).
+:- X <> Y, h(Z,Y), h(Z,X).
+:- n1(X,L), h(X,Y), not n2(Y,L).
+:- n2(Y,L), h(X,Y), not n1(X,L).
+:- e1(E1,_,_,L), h(E1,E2), not e2(E2,_,_,L).
+:- e2(E2,_,_,L), h(E1,E2), not e1(E1,_,_,L).
+:- e1(E1,X,_,_), h(E1,E2), e2(E2,Y,_,_), not h(X,Y).
+:- e1(E1,_,X,_), h(E1,E2), e2(E2,_,Y,_), not h(X,Y).
+|}
+
+let cost_rules =
+  {|
+cost(X,K,0) :- p1(X,K,V), h(X,Y), p2(Y,K,V).
+cost(X,K,1) :- p1(X,K,V), h(X,Y), p2(Y,K,W), V <> W.
+cost(X,K,1) :- p1(X,K,V), h(X,Y), not p2(Y,K,_).
+#minimize { PC,X,K : cost(X,K,PC) }.
+|}
+
+let similarity_pruned =
+  {|
+{h(X,Y) : candn(X,Y)} = 1 :- n1(X,_).
+{h(X,Y) : candn(X,Y)} = 1 :- n2(Y,_).
+{h(X,Y) : cande(X,Y)} = 1 :- e1(X,_,_,_).
+{h(X,Y) : cande(X,Y)} = 1 :- e2(Y,_,_,_).
+|}
+  ^ similarity_constraints
+
+let subgraph_pruned =
+  {|
+{h(X,Y) : candn(X,Y)} = 1 :- n1(X,_).
+{h(X,Y) : cande(X,Y)} = 1 :- e1(X,_,_,_).
+:- X <> Y, h(X,Z), h(Y,Z).
+:- X <> Y, h(Z,Y), h(Z,X).
+:- n1(X,L), h(X,Y), not n2(Y,L).
+:- e1(E1,_,_,L), h(E1,E2), not e2(E2,_,_,L).
+:- e1(E1,X,_,_), h(E1,E2), e2(E2,Y,_,_), not h(X,Y).
+:- e1(E1,_,X,_), h(E1,E2), e2(E2,_,Y,_), not h(X,Y).
+|}
+  ^ cost_rules
+
+let similarity_min_cost_pruned = similarity_pruned ^ cost_rules
 let matching_predicate = "h"
+let node_cand_predicate = "candn"
+let edge_cand_predicate = "cande"

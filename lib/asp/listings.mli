@@ -21,5 +21,25 @@ val subgraph : string
     properties. *)
 val similarity_min_cost : string
 
+(** Pruned variants of the three programs: identical hard constraints
+    and cost model, but every choice generator ranges over closed
+    [candn/2] (node-pair) and [cande/2] (edge-pair) relations supplied
+    in the fact base instead of the full node/edge cross product.
+    Sound whenever the cand relations contain every pair some optimal
+    matching could use; {!Gmatch.Asp_backend} computes them from
+    {!Pgraph.Fingerprint} colour classes (label-only for the
+    cost-minimizing programs, refined colours for the exact
+    [similarity] check). *)
+
+val similarity_pruned : string
+val subgraph_pruned : string
+val similarity_min_cost_pruned : string
+
 (** Name of the matching predicate, ["h"]. *)
 val matching_predicate : string
+
+(** Candidate-pair predicates of the pruned programs: ["candn"] for
+    node pairs, ["cande"] for edge pairs. *)
+val node_cand_predicate : string
+
+val edge_cand_predicate : string

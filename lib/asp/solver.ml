@@ -5,39 +5,66 @@ type outcome =
   | Model of { cost : int; atoms : Fact.t list; optimal : bool }
   | Unknown
 
+type stats = { decisions : int; propagations : int }
+
+let decisions_total = Atomic.make 0
+let propagations_total = Atomic.make 0
+
+let stats () =
+  { decisions = Atomic.get decisions_total; propagations = Atomic.get propagations_total }
+
+let reset_stats () =
+  Atomic.set decisions_total 0;
+  Atomic.set propagations_total 0
+
 exception Step_limit
 exception Done
+
+(* A clause under two-watched-literal propagation: the watch slots [w1]
+   and [w2] index into [lits].  The invariant is that a clause is only
+   revisited when one of its two watched literals is falsified; watches
+   never need undoing on backtrack. *)
+type watched = { lits : Ground.lit array; mutable w1 : int; mutable w2 : int }
+
+(* Watch-list key of a literal: a clause watching [(a, want)] must be
+   revisited when that literal becomes false. *)
+let lit_key (a, want) = (2 * a) + Bool.to_int want
 
 let solve ?(max_steps = 10_000_000) ?(find_optimal = true) (g : Ground.t) =
   if g.Ground.statically_unsat then Unsat
   else
     let n = g.Ground.atom_count in
     let groups = Array.of_list g.Ground.groups in
-    let clauses = Array.of_list (List.map Array.of_list g.Ground.clauses) in
     let costs = Array.of_list g.Ground.costs in
     let ngroups = Array.length groups in
+    let group_atoms = Array.map (fun (grp : Ground.group) -> Array.of_list grp.Ground.atoms) groups in
 
-    (* Occurrence lists. *)
-    let atom_groups = Array.make n [] in
-    Array.iteri
-      (fun gi (grp : Ground.group) ->
-        List.iter (fun a -> atom_groups.(a) <- gi :: atom_groups.(a)) grp.Ground.atoms)
-      groups;
-    let atom_clauses = Array.make n [] in
-    Array.iteri
-      (fun ci lits ->
-        Array.iter (fun (a, _) -> atom_clauses.(a) <- ci :: atom_clauses.(a)) lits)
-      clauses;
-    let atom_costs = Array.make n [] in
-    Array.iteri
-      (fun ki (c : Ground.cost_group) ->
-        List.iter (fun a -> atom_costs.(a) <- ki :: atom_costs.(a)) c.Ground.disj)
-      costs;
+    (* Occurrence lists as int arrays: two-pass counting fill. *)
+    let occurrences of_row rows =
+      let counts = Array.make n 0 in
+      Array.iter (fun row -> Array.iter (fun a -> counts.(a) <- counts.(a) + 1) (of_row row)) rows;
+      let out = Array.init n (fun a -> Array.make counts.(a) 0) in
+      let fill = Array.make n 0 in
+      Array.iteri
+        (fun i row ->
+          Array.iter
+            (fun a ->
+              out.(a).(fill.(a)) <- i;
+              fill.(a) <- fill.(a) + 1)
+            (of_row row))
+        rows;
+      out
+    in
+    let atom_groups = occurrences Fun.id group_atoms in
+    let cost_atoms =
+      Array.map (fun (c : Ground.cost_group) -> Array.of_list c.Ground.disj) costs
+    in
+    let atom_costs = occurrences Fun.id cost_atoms in
 
     (* Assignment state: -1 unassigned, 0 false, 1 true. *)
     let value = Array.make n (-1) in
     let group_true = Array.make ngroups 0 in
-    let group_unassigned = Array.map (fun (grp : Ground.group) -> List.length grp.Ground.atoms) groups in
+    let group_unassigned = Array.map Array.length group_atoms in
     (* #minimize levels, highest priority first; costs are compared
        lexicographically across levels (clingo's W@P semantics). *)
     let levels =
@@ -74,19 +101,22 @@ let solve ?(max_steps = 10_000_000) ?(find_optimal = true) (g : Ground.t) =
 
     let trail = ref [] in
     let pending = Queue.create () in
+    let propagations = ref 0 in
+    let decisions = ref 0 in
 
     let assign a v =
       if value.(a) >= 0 then value.(a) = v
       else (
         value.(a) <- v;
+        incr propagations;
         trail := a :: !trail;
-        List.iter
+        Array.iter
           (fun gi ->
             group_unassigned.(gi) <- group_unassigned.(gi) - 1;
             if v = 1 then group_true.(gi) <- group_true.(gi) + 1)
           atom_groups.(a);
         if v = 1 then
-          List.iter
+          Array.iter
             (fun ki ->
               if cost_true.(ki) = 0 then
                 lower_bound.(level_of ki) <- lower_bound.(level_of ki) + costs.(ki).Ground.weight;
@@ -99,13 +129,13 @@ let solve ?(max_steps = 10_000_000) ?(find_optimal = true) (g : Ground.t) =
     let unassign a =
       let v = value.(a) in
       value.(a) <- -1;
-      List.iter
+      Array.iter
         (fun gi ->
           group_unassigned.(gi) <- group_unassigned.(gi) + 1;
           if v = 1 then group_true.(gi) <- group_true.(gi) - 1)
         atom_groups.(a);
       if v = 1 then
-        List.iter
+        Array.iter
           (fun ki ->
             cost_true.(ki) <- cost_true.(ki) - 1;
             if cost_true.(ki) = 0 then
@@ -127,58 +157,136 @@ let solve ?(max_steps = 10_000_000) ?(find_optimal = true) (g : Ground.t) =
       pop ()
     in
 
+    (* --------------------------------------------------------------- *)
+    (* Clause setup: dedup, drop tautologies, watch two literals        *)
+    (* --------------------------------------------------------------- *)
+
+    let empty_clause = ref false in
+    let unit_lits = ref [] in
+    let watched = ref [] in
+    List.iter
+      (fun clause ->
+        let lits =
+          List.sort_uniq
+            (fun (a, wa) (b, wb) ->
+              let c = Int.compare a b in
+              if c <> 0 then c else Bool.compare wa wb)
+            clause
+        in
+        let tautology =
+          let rec dup = function
+            | (a, _) :: ((b, _) :: _ as rest) -> a = b || dup rest
+            | _ -> false
+          in
+          dup lits
+        in
+        if not tautology then
+          match lits with
+          | [] -> empty_clause := true
+          | [ l ] -> unit_lits := l :: !unit_lits
+          | _ -> watched := { lits = Array.of_list lits; w1 = 0; w2 = 1 } :: !watched)
+      g.Ground.clauses;
+    let cls = Array.of_list !watched in
+    let watches = Array.make (2 * max n 1) [] in
+    Array.iteri
+      (fun ci c ->
+        let k1 = lit_key c.lits.(c.w1) and k2 = lit_key c.lits.(c.w2) in
+        watches.(k1) <- ci :: watches.(k1);
+        watches.(k2) <- ci :: watches.(k2))
+      cls;
+
+    let lit_false (a, want) =
+      match value.(a) with -1 -> false | v -> (v = 1) <> want
+    in
+    let lit_true (a, want) =
+      match value.(a) with -1 -> false | v -> (v = 1) = want
+    in
+
+    (* Visit the clauses watching the literal falsified by [a := v]:
+       either move the watch to a non-false literal, observe the other
+       watch satisfied, propagate a unit, or report a conflict. *)
+    let propagate_watches a v =
+      let key = (2 * a) + if v = 1 then 0 else 1 in
+      let pendinglist = watches.(key) in
+      watches.(key) <- [];
+      let rec go = function
+        | [] -> true
+        | ci :: rest -> (
+            let c = cls.(ci) in
+            if lit_key c.lits.(c.w1) <> key then (
+              let t = c.w1 in
+              c.w1 <- c.w2;
+              c.w2 <- t);
+            let other = c.lits.(c.w2) in
+            if lit_true other then (
+              watches.(key) <- ci :: watches.(key);
+              go rest)
+            else
+              let len = Array.length c.lits in
+              let moved = ref false in
+              let j = ref 0 in
+              while (not !moved) && !j < len do
+                if !j <> c.w1 && !j <> c.w2 && not (lit_false c.lits.(!j)) then (
+                  c.w1 <- !j;
+                  let k = lit_key c.lits.(!j) in
+                  watches.(k) <- ci :: watches.(k);
+                  moved := true);
+                incr j
+              done;
+              if !moved then go rest
+              else (
+                (* No replacement: the clause keeps watching [key]. *)
+                watches.(key) <- ci :: watches.(key);
+                let ob, ow = other in
+                match value.(ob) with
+                | -1 ->
+                    ignore (assign ob (if ow then 1 else 0));
+                    go rest
+                | _ ->
+                    (* [other] is false too: conflict.  Restore the
+                       unvisited suffix so the watch invariant survives
+                       backtracking. *)
+                    watches.(key) <- List.rev_append rest watches.(key);
+                    false))
+      in
+      go pendinglist
+    in
+
     let check_group gi =
       let grp = groups.(gi) in
       let t = group_true.(gi) and u = group_unassigned.(gi) in
       if t > grp.Ground.bound then false
       else if t + u < grp.Ground.bound then false
       else if t = grp.Ground.bound && u > 0 then
-        List.for_all
+        Array.for_all
           (fun a -> if value.(a) = -1 then assign a 0 else true)
-          grp.Ground.atoms
+          group_atoms.(gi)
       else if t + u = grp.Ground.bound && u > 0 then
-        List.for_all
+        Array.for_all
           (fun a -> if value.(a) = -1 then assign a 1 else true)
-          grp.Ground.atoms
+          group_atoms.(gi)
       else true
-    in
-
-    let check_clause ci =
-      let lits = clauses.(ci) in
-      let satisfied = ref false in
-      let unassigned = ref [] in
-      Array.iter
-        (fun (a, want) ->
-          match value.(a) with
-          | -1 -> unassigned := (a, want) :: !unassigned
-          | v -> if (v = 1) = want then satisfied := true)
-        lits;
-      if !satisfied then true
-      else
-        match !unassigned with
-        | [] -> false
-        | [ (a, want) ] -> assign a (if want then 1 else 0)
-        | _ :: _ -> true
     in
 
     let propagate () =
       let ok = ref true in
       while !ok && not (Queue.is_empty pending) do
         let a = Queue.pop pending in
-        ok := List.for_all check_group atom_groups.(a);
-        if !ok then ok := List.for_all check_clause atom_clauses.(a)
+        ok := Array.for_all check_group atom_groups.(a);
+        if !ok then ok := propagate_watches a value.(a)
       done;
       if not !ok then Queue.clear pending;
       !ok
     in
 
-    (* Initial propagation: groups that are already forced (e.g. a single
-       candidate) and unit clauses. *)
+    (* Initial propagation: unit clauses, groups that are already forced
+       (e.g. a single candidate), and their consequences. *)
     let initial_ok =
-      (let ok = ref true in
-       Array.iteri (fun gi _ -> if !ok then ok := check_group gi) groups;
-       Array.iteri (fun ci _ -> if !ok then ok := check_clause ci) clauses;
-       !ok)
+      (not !empty_clause)
+      && List.for_all (fun (a, want) -> assign a (if want then 1 else 0)) !unit_lits
+      && (let ok = ref true in
+          Array.iteri (fun gi _ -> if !ok then ok := check_group gi) groups;
+          !ok)
       && propagate ()
     in
 
@@ -211,10 +319,23 @@ let solve ?(max_steps = 10_000_000) ?(find_optimal = true) (g : Ground.t) =
       !best
     in
 
+    (* [marginal_cost a] is the additional cost of setting [a] true right
+       now.  It is queried O(group size) times per decision while the
+       assignment is unchanged, so memoize per decision epoch. *)
+    let marg_epoch = ref 0 in
+    let marg_stamp = Array.make n (-1) in
+    let marg_value = Array.make n 0 in
     let marginal_cost a =
-      List.fold_left
-        (fun acc ki -> if cost_true.(ki) = 0 then acc + costs.(ki).Ground.weight else acc)
-        0 atom_costs.(a)
+      if marg_stamp.(a) = !marg_epoch then marg_value.(a)
+      else
+        let m =
+          Array.fold_left
+            (fun acc ki -> if cost_true.(ki) = 0 then acc + costs.(ki).Ground.weight else acc)
+            0 atom_costs.(a)
+        in
+        marg_stamp.(a) <- !marg_epoch;
+        marg_value.(a) <- m;
+        m
     in
 
     let rec search () =
@@ -233,20 +354,20 @@ let solve ?(max_steps = 10_000_000) ?(find_optimal = true) (g : Ground.t) =
           | _ -> ())
         else (
           incr steps;
+          incr decisions;
           if !steps > max_steps then raise Step_limit;
-          let candidates =
-            List.filter (fun a -> value.(a) = -1) groups.(gi).Ground.atoms
-          in
           (* Binary branching on one candidate: include it or exclude it.
              The exclusion branch recurses, so propagation-forced choices
              of sibling candidates are explored too. *)
-          let a =
-            if find_optimal then
-              List.fold_left
-                (fun best c -> if marginal_cost c < marginal_cost best then c else best)
-                (List.hd candidates) (List.tl candidates)
-            else List.hd candidates
-          in
+          incr marg_epoch;
+          let a = ref (-1) in
+          Array.iter
+            (fun c ->
+              if value.(c) = -1 then
+                if !a < 0 then a := c
+                else if find_optimal && marginal_cost c < marginal_cost !a then a := c)
+            group_atoms.(gi);
+          let a = !a in
           let mark = !trail in
           if assign a 1 && propagate () then search ();
           undo_to mark;
@@ -259,6 +380,8 @@ let solve ?(max_steps = 10_000_000) ?(find_optimal = true) (g : Ground.t) =
        try search () with
        | Done -> ()
        | Step_limit -> limited := true);
+    ignore (Atomic.fetch_and_add decisions_total !decisions);
+    ignore (Atomic.fetch_and_add propagations_total !propagations);
     match !best_model with
     | Some (cost, atoms) -> Model { cost; atoms; optimal = not !limited }
     | None -> if !limited then Unknown else Unsat

@@ -17,6 +17,15 @@ type outcome =
           the sum across levels. *)
   | Unknown  (** step limit reached before any model was found *)
 
+(** Cumulative search-effort counters, summed across every [solve] call
+    in the process (all domains).  [decisions] counts branching choices;
+    [propagations] counts assignments made (decisions included), i.e.
+    the work done by unit/cardinality propagation. *)
+type stats = { decisions : int; propagations : int }
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
 (** [solve ?max_steps ?find_optimal g] searches for a model of [g].
 
     [max_steps] bounds the number of branching decisions (default

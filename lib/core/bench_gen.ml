@@ -132,3 +132,85 @@ let pair_sequences names =
     | _ -> []
   in
   pairs names
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic matching workloads                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Prng = Oskernel.Prng
+module Graph = Pgraph.Graph
+module Props = Pgraph.Props
+
+let node_label_pool = [| "process"; "file"; "socket"; "pipe" |]
+let edge_label_pool = [| "used"; "wasGeneratedBy"; "wasInformedBy" |]
+
+(* A provenance-shaped random DAG: node [i] points back at earlier
+   nodes, so every graph is connected and acyclic like a real trace. *)
+let random_graph rng nodes =
+  let g = ref Graph.empty in
+  for i = 0 to nodes - 1 do
+    let label = node_label_pool.(Prng.int rng (Array.length node_label_pool)) in
+    let props =
+      Props.of_list
+        [ ("seq", string_of_int i); ("token", Prng.hex_token rng) ]
+    in
+    g := Graph.add_node !g ~id:(Printf.sprintf "n%d" i) ~label ~props
+  done;
+  let edge = ref 0 in
+  for i = 1 to nodes - 1 do
+    let fan = 1 + Prng.int rng 2 in
+    for _ = 1 to fan do
+      let tgt = Prng.int rng i in
+      let label = edge_label_pool.(Prng.int rng (Array.length edge_label_pool)) in
+      let props = Props.of_list [ ("op", Prng.hex_token rng) ] in
+      g :=
+        Graph.add_edge !g
+          ~id:(Printf.sprintf "e%d" !edge)
+          ~src:(Printf.sprintf "n%d" i)
+          ~tgt:(Printf.sprintf "n%d" tgt)
+          ~label ~props;
+      incr edge
+    done
+  done;
+  !g
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done
+
+let match_pair ~nodes ~seed =
+  let rng = Prng.create ~seed:(Int64.of_int seed) in
+  let g1 = random_graph rng nodes in
+  (* Isomorphic copy under a random identifier permutation... *)
+  let rename ids prefix =
+    let arr = Array.of_list ids in
+    shuffle rng arr;
+    let tbl = Hashtbl.create (Array.length arr) in
+    Array.iteri (fun i id -> Hashtbl.add tbl id (Printf.sprintf "%s%d" prefix i)) arr;
+    tbl
+  in
+  let node_map = rename (Graph.node_ids g1) "m" in
+  let edge_map = rename (Graph.edge_ids g1) "f" in
+  let lookup tbl id = match Hashtbl.find_opt tbl id with Some x -> x | None -> id in
+  let g2 =
+    Graph.map_ids (fun id -> lookup node_map (lookup edge_map id)) g1
+  in
+  (* ...with a sprinkle of perturbed transient properties, so the
+     cost-minimizing matchings have real work to do. *)
+  let perturbed = ref g2 in
+  let victims = max 1 (nodes / 8) in
+  let node_ids = Array.of_list (Graph.node_ids g2) in
+  for _ = 1 to victims do
+    let id = node_ids.(Prng.int rng (Array.length node_ids)) in
+    match Graph.find_node !perturbed id with
+    | Some n ->
+        perturbed :=
+          Graph.set_node_props !perturbed id
+            (Props.add "token" (Prng.hex_token rng) n.Graph.node_props)
+    | None -> ()
+  done;
+  (g1, !perturbed)

@@ -24,3 +24,12 @@ val sequence_benchmark : string list -> Oskernel.Program.t
 (** All adjacent pairs of a syscall-name list, e.g. for smoke-testing
     composed coverage. *)
 val pair_sequences : string list -> Oskernel.Program.t list
+
+(** [match_pair ~nodes ~seed] generates a deterministic synthetic
+    matching workload: a provenance-shaped random DAG with [nodes]
+    nodes and an isomorphic copy of it under a random identifier
+    permutation with a few transient property values perturbed.  The
+    pair is similar by construction with a small nonzero optimal
+    alignment cost — the worst case for the matching pipeline, used by
+    the [match-scale] benchmark section. *)
+val match_pair : nodes:int -> seed:int -> Pgraph.Graph.t * Pgraph.Graph.t

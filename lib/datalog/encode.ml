@@ -9,7 +9,7 @@ let graph_to_facts ~gid g =
   let node_facts =
     List.map
       (fun (n : Graph.node) ->
-        Fact.make (node_pred gid) [ Fact.sym_of_string n.Graph.node_id; Fact.Str n.Graph.node_label ])
+        Fact.make (node_pred gid) [ Fact.sym_of_string n.Graph.node_id; Fact.str n.Graph.node_label ])
       (Graph.nodes g)
   in
   let edge_facts =
@@ -20,13 +20,13 @@ let graph_to_facts ~gid g =
             Fact.sym_of_string e.Graph.edge_id;
             Fact.sym_of_string e.Graph.edge_src;
             Fact.sym_of_string e.Graph.edge_tgt;
-            Fact.Str e.Graph.edge_label;
+            Fact.str e.Graph.edge_label;
           ])
       (Graph.edges g)
   in
   let props_of id props =
     Props.fold
-      (fun k v acc -> Fact.make (prop_pred gid) [ Fact.sym_of_string id; Fact.Str k; Fact.Str v ] :: acc)
+      (fun k v acc -> Fact.make (prop_pred gid) [ Fact.sym_of_string id; Fact.str k; Fact.str v ] :: acc)
       props []
   in
   let prop_facts =

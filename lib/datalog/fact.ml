@@ -1,22 +1,27 @@
 type term =
-  | Sym of string
-  | Str of string
+  | Sym of Symtab.id
+  | Str of Symtab.id
   | Int of int
 
 type t = { pred : string; args : term list }
 
 let make pred args = { pred; args }
 
+let sym s = Sym (Symtab.intern s)
+let str s = Str (Symtab.intern s)
+
 let equal_term a b =
   match (a, b) with
-  | Sym x, Sym y | Str x, Str y -> String.equal x y
-  | Int x, Int y -> Int.equal x y
+  | Sym x, Sym y | Str x, Str y | Int x, Int y -> Int.equal x y
   | (Sym _ | Str _ | Int _), _ -> false
 
+(* Ordering compares the interned strings, not the ids: interning order
+   depends on evaluation order (and differs across parallel runs), while
+   fact bases must render identically for memo keys and reports. *)
 let compare_term a b =
   let rank = function Sym _ -> 0 | Str _ -> 1 | Int _ -> 2 in
   match (a, b) with
-  | Sym x, Sym y | Str x, Str y -> String.compare x y
+  | Sym x, Sym y | Str x, Str y -> Symtab.compare_payloads x y
   | Int x, Int y -> Int.compare x y
   | _ -> Int.compare (rank a) (rank b)
 
@@ -53,8 +58,8 @@ let escape s =
   Buffer.contents b
 
 let term_to_string = function
-  | Sym s -> s
-  | Str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Sym s -> Symtab.to_string s
+  | Str s -> Printf.sprintf "\"%s\"" (escape (Symtab.to_string s))
   | Int n -> string_of_int n
 
 let to_string f =
@@ -69,6 +74,8 @@ let is_bare s =
        (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
        s
 
-let sym_of_string s = if is_bare s then Sym s else Str s
+let sym_of_string s = if is_bare s then sym s else str s
 
-let string_of_term = function Sym s | Str s -> s | Int n -> string_of_int n
+let string_of_term = function
+  | Sym s | Str s -> Symtab.to_string s
+  | Int n -> string_of_int n

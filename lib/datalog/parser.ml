@@ -83,9 +83,9 @@ let parse_facts src =
   let tokens = tokenize src in
   let fail msg = raise (Parse_error msg) in
   let rec parse_args acc = function
-    | Tstring s :: rest -> after_arg (Fact.Str s :: acc) rest
+    | Tstring s :: rest -> after_arg (Fact.str s :: acc) rest
     | Tint v :: rest -> after_arg (Fact.Int v :: acc) rest
-    | Tident s :: rest -> after_arg (Fact.Sym s :: acc) rest
+    | Tident s :: rest -> after_arg (Fact.sym s :: acc) rest
     | _ -> fail "expected argument"
   and after_arg acc = function
     | Tcomma :: rest -> parse_args acc rest

@@ -1,0 +1,57 @@
+(* Global string intern table.
+
+   Fact terms carry interned integer ids instead of string payloads, so
+   the grounder's inner loops (substitution matching, atom hashing) are
+   integer comparisons; the strings themselves live here.
+
+   The table is shared by every domain of the parallel suite runner.
+   Interning takes a mutex; readers go through an atomically published
+   snapshot so [to_string] never locks.  Slots are append-only: an id is
+   handed out only after its string is stored, and published snapshots
+   are never mutated at or below their published length, so a reader
+   holding a valid id always finds its string in any later snapshot. *)
+
+type id = int
+
+type snapshot = { strings : string array; len : int }
+
+let mutex = Mutex.create ()
+let ids : (string, int) Hashtbl.t = Hashtbl.create 1024
+let state = Atomic.make { strings = Array.make 1024 ""; len = 0 }
+
+let intern s =
+  (* Fast path: already interned (Hashtbl reads race with writes under
+     the OCaml memory model only if a writer is active; re-check under
+     the lock before deciding to add). *)
+  Mutex.lock mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mutex)
+    (fun () ->
+      match Hashtbl.find_opt ids s with
+      | Some i -> i
+      | None ->
+          let snap = Atomic.get state in
+          let strings =
+            if snap.len < Array.length snap.strings then snap.strings
+            else begin
+              let bigger = Array.make (2 * Array.length snap.strings) "" in
+              Array.blit snap.strings 0 bigger 0 snap.len;
+              bigger
+            end
+          in
+          let i = snap.len in
+          strings.(i) <- s;
+          Atomic.set state { strings; len = i + 1 };
+          Hashtbl.add ids s i;
+          i)
+
+let to_string i =
+  let snap = Atomic.get state in
+  if i < 0 || i >= snap.len then
+    invalid_arg (Printf.sprintf "Datalog.Symtab.to_string: unknown id %d" i)
+  else snap.strings.(i)
+
+let compare_payloads a b =
+  if Int.equal a b then 0 else String.compare (to_string a) (to_string b)
+
+let size () = (Atomic.get state).len

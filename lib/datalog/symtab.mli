@@ -1,0 +1,23 @@
+(** Global, thread-safe string intern table backing {!Fact.term}.
+
+    Interned ids give O(1) term equality and hashing in the grounder's
+    inner loops; ordering-sensitive consumers compare the underlying
+    strings (see {!compare_payloads}) so observable fact order does not
+    depend on interning order, which varies across parallel runs. *)
+
+type id = int
+
+(** [intern s] returns the id for [s], allocating one on first sight.
+    Safe to call from any domain. *)
+val intern : string -> id
+
+(** [to_string i] is the string interned as [i].  Lock-free.
+    @raise Invalid_argument on an id never returned by {!intern}. *)
+val to_string : id -> string
+
+(** [compare_payloads a b] orders ids by their underlying strings, with
+    an O(1) fast path when [a = b]. *)
+val compare_payloads : id -> id -> int
+
+(** Number of distinct strings interned so far. *)
+val size : unit -> int

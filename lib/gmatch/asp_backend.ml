@@ -1,21 +1,86 @@
 let default_max_steps = 10_000_000
 
+(* Candidate pruning is on by default and togglable process-wide (the
+   CLI exposes --no-prune); reads are lock-free so parallel suite
+   workers can consult it freely. *)
+let prune_flag = Atomic.make true
+let set_prune b = Atomic.set prune_flag b
+let prune_enabled () = Atomic.get prune_flag
+
+type task = Similarity | Generalization | Comparison
+
 let encode g1 g2 =
   Datalog.Base.union
     (Datalog.Encode.graph_to_base ~gid:"1" g1)
     (Datalog.Encode.graph_to_base ~gid:"2" g2)
 
+(* Colour-compatible candidate pairs.  The exact similarity check may
+   use refined Weisfeiler-Leman colours: any label- and
+   incidence-preserving bijection maps each element to an equally
+   coloured one at every refinement round.  The cost-minimizing
+   programs stay at round 0 (labels only) — their hard constraints
+   guarantee no more than label and endpoint agreement, so deeper
+   rounds could prune pairs an optimal approximate matching uses. *)
+let cand_rounds = function Similarity -> 3 | Generalization | Comparison -> 0
+
+let cand_pairs pred colours1 colours2 =
+  let by_colour = Hashtbl.create 64 in
+  List.iter
+    (fun (id, c) ->
+      let ids = Option.value ~default:[] (Hashtbl.find_opt by_colour c) in
+      Hashtbl.replace by_colour c (id :: ids))
+    colours2;
+  List.concat_map
+    (fun (id1, c) ->
+      match Hashtbl.find_opt by_colour c with
+      | None -> []
+      | Some ids ->
+          List.map
+            (fun id2 ->
+              Datalog.Fact.make pred
+                [ Datalog.Fact.sym_of_string id1; Datalog.Fact.sym_of_string id2 ])
+            ids)
+    colours1
+
+let cand_facts task g1 g2 =
+  let rounds = cand_rounds task in
+  let open Pgraph in
+  cand_pairs Asp.Listings.node_cand_predicate
+    (Fingerprint.node_colours ~rounds g1)
+    (Fingerprint.node_colours ~rounds g2)
+  @ cand_pairs Asp.Listings.edge_cand_predicate
+      (Fingerprint.edge_colours ~rounds g1)
+      (Fingerprint.edge_colours ~rounds g2)
+
+let instance task g1 g2 =
+  let base = encode g1 g2 in
+  if prune_enabled () then
+    let program =
+      match task with
+      | Similarity -> Asp.Listings.similarity_pruned
+      | Generalization -> Asp.Listings.similarity_min_cost_pruned
+      | Comparison -> Asp.Listings.subgraph_pruned
+    in
+    (program, Datalog.Base.union base (Datalog.Base.of_list (cand_facts task g1 g2)))
+  else
+    let program =
+      match task with
+      | Similarity -> Asp.Listings.similarity
+      | Generalization -> Asp.Listings.similarity_min_cost
+      | Comparison -> Asp.Listings.subgraph
+    in
+    (program, base)
+
 (* Each entry point carries the pipeline stage it serves as its memo
-   tag, so the solve cache reports hits per stage. *)
-let run ?(max_steps = default_max_steps) ~program ~memo ~find_optimal g1 g2 =
-  let facts = encode g1 g2 in
+   tag, so the solve cache reports hits per stage.  Pruned and unpruned
+   instances differ in both program text and cand facts, so they memoize
+   under distinct keys automatically. *)
+let run_task ?(max_steps = default_max_steps) ~memo ~find_optimal task g1 g2 =
+  let program, facts = instance task g1 g2 in
   Asp.Engine.run ~max_steps ~find_optimal ~memo ~program ~facts ()
 
 let similar ?max_steps g1 g2 =
-  match
-    run ?max_steps ~program:Asp.Listings.similarity ~memo:"similarity" ~find_optimal:false g1
-      g2
-  with
+  match run_task ?max_steps ~memo:"similarity" ~find_optimal:false Similarity g1 g2 with
   | Asp.Engine.Model _ -> true
   | Asp.Engine.Unsat | Asp.Engine.Unknown -> false
 
@@ -26,10 +91,7 @@ let decode g1 outcome =
   | Asp.Engine.Unsat | Asp.Engine.Unknown -> None
 
 let iso_min_cost ?max_steps g1 g2 =
-  decode g1
-    (run ?max_steps ~program:Asp.Listings.similarity_min_cost ~memo:"generalization"
-       ~find_optimal:true g1 g2)
+  decode g1 (run_task ?max_steps ~memo:"generalization" ~find_optimal:true Generalization g1 g2)
 
 let sub_iso_min_cost ?max_steps g1 g2 =
-  decode g1
-    (run ?max_steps ~program:Asp.Listings.subgraph ~memo:"comparison" ~find_optimal:true g1 g2)
+  decode g1 (run_task ?max_steps ~memo:"comparison" ~find_optimal:true Comparison g1 g2)

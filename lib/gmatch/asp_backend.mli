@@ -1,11 +1,34 @@
 (** Graph matching through the mini-ASP solver, using the paper's
-    Listing 3 / Listing 4 specifications verbatim: the two graphs are
-    encoded as Datalog facts under graph ids [1] and [2], the program is
-    parsed, grounded and solved, and the [h/2] atoms of the optimal model
-    are decoded back into a {!Matching.t}. *)
+    Listing 3 / Listing 4 specifications: the two graphs are encoded as
+    Datalog facts under graph ids [1] and [2], the program is parsed,
+    grounded and solved, and the [h/2] atoms of the optimal model are
+    decoded back into a {!Matching.t}.
+
+    By default the choice generators are restricted to colour-compatible
+    candidate pairs computed from {!Pgraph.Fingerprint} colour classes
+    (the pruned Listings variants), which shrinks the grounded [h]
+    search space without changing any verdict or optimal cost.  Disable
+    with {!set_prune} to run the verbatim paper encodings. *)
 
 (** Step budget handed to the solver; raise for very large graphs. *)
 val default_max_steps : int
+
+(** Process-wide toggle for candidate pruning (default [true]).
+    Thread-safe; the CLI surfaces it as [--no-prune]. *)
+val set_prune : bool -> unit
+
+val prune_enabled : unit -> bool
+
+(** The three matching subproblems of the pipeline: exact similarity
+    (Listing 3, any model), bijective min-cost alignment for
+    generalization (Listing 3 + cost), approximate subgraph isomorphism
+    for comparison (Listing 4). *)
+type task = Similarity | Generalization | Comparison
+
+(** [instance task g1 g2] builds the (program, facts) pair that [task]
+    would solve, honouring the current prune setting — exposed for
+    benchmarks that need to ground without solving. *)
+val instance : task -> Pgraph.Graph.t -> Pgraph.Graph.t -> string * Datalog.Base.t
 
 val similar : ?max_steps:int -> Pgraph.Graph.t -> Pgraph.Graph.t -> bool
 

@@ -25,8 +25,12 @@ let combine_sorted hashes =
 
 let refinement_rounds = 3
 
-let of_graph g =
-  let module Smap = Map.Make (String) in
+module Smap = Map.Make (String)
+
+(* Round 0 colours a node by its label alone; each further round folds in
+   the sorted multisets of (edge label, neighbour colour) pairs over
+   incoming and outgoing edges — standard Weisfeiler–Leman refinement. *)
+let node_colour_map g rounds =
   let initial =
     List.fold_left
       (fun m (n : Graph.node) ->
@@ -54,7 +58,21 @@ let of_graph g =
       colours
   in
   let rec loop i colours = if i = 0 then colours else loop (i - 1) (refine colours) in
-  let final = loop refinement_rounds initial in
+  loop rounds initial
+
+let node_colours ?(rounds = 0) g = Smap.bindings (node_colour_map g rounds)
+
+let edge_colours ?(rounds = 0) g =
+  let colours = node_colour_map g rounds in
+  List.map
+    (fun (e : Graph.edge) ->
+      let c = hash_string fnv_offset e.Graph.edge_label in
+      let c = hash_int64 c (Smap.find e.Graph.edge_src colours) in
+      (e.Graph.edge_id, hash_int64 c (Smap.find e.Graph.edge_tgt colours)))
+    (Graph.edges g)
+
+let of_graph g =
+  let final = node_colour_map g refinement_rounds in
   let node_part = combine_sorted (List.map snd (Smap.bindings final)) in
   let edge_part =
     combine_sorted

@@ -15,6 +15,23 @@ type t
     shape-only, per Section 3.4). *)
 val of_graph : Graph.t -> t
 
+(** [node_colours ?rounds g] lists [(node_id, colour)] for every node,
+    where colours are isomorphism-invariant equivalence-class hashes.
+    [rounds = 0] (the default) colours by node label alone; each further
+    round applies one Weisfeiler–Leman refinement step over incoming and
+    outgoing labelled edges.  Two nodes matched by any label-respecting
+    isomorphism necessarily share colours at every round; at round 0 the
+    guarantee weakens to label equality, which is what the approximate
+    (cost-minimizing) matchings in Listing 3/4 require. *)
+val node_colours : ?rounds:int -> Graph.t -> (string * int64) list
+
+(** [edge_colours ?rounds g] lists [(edge_id, colour)] where an edge's
+    colour combines its label with the round-[rounds] colours of its
+    endpoints.  At round 0 this is (label, src label, tgt label), which
+    is sound for all matching encodings: the hard constraints force
+    matched edges to agree on label and on matched endpoints. *)
+val edge_colours : ?rounds:int -> Graph.t -> (string * int64) list
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 

@@ -287,7 +287,9 @@ penalty(V,W) :- cover(V,yes), vertex(V,W).
         List.filter_map
           (fun f ->
             match f.Datalog.Fact.args with
-            | [ v; Datalog.Fact.Sym "yes" ] when f.Datalog.Fact.pred = "cover" ->
+            | [ v; yes ]
+              when f.Datalog.Fact.pred = "cover"
+                   && Datalog.Fact.equal_term yes (Datalog.Fact.sym "yes") ->
                 Some (Datalog.Fact.string_of_term v)
             | _ -> None)
           atoms
@@ -439,6 +441,142 @@ let test_subgraph_structure_respected () =
   | Asp.Engine.Unsat -> ()
   | _ -> Alcotest.fail "reversed edge must not embed"
 
+(* ------------------------------------------------------------------ *)
+(* Randomized reference check of the watched-literal solver            *)
+(* ------------------------------------------------------------------ *)
+
+(* Builds a random ground instance directly, respecting the invariant
+   {!Asp.Ground.ground} establishes: every atom belongs to a cardinality
+   group (choice heads are the only open atoms). *)
+let random_instance seed =
+  let st = Random.State.make [| seed; 0x9e3779b9 |] in
+  let n = 1 + Random.State.int st 7 in
+  let atom_names = Array.init n (fun i -> Datalog.Fact.make "a" [ Datalog.Fact.Int i ]) in
+  let perm = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  let rec chunks i =
+    if i >= n then []
+    else
+      let size = min (n - i) (1 + Random.State.int st 3) in
+      let atoms = List.init size (fun k -> perm.(i + k)) in
+      { Asp.Ground.atoms; bound = Random.State.int st (size + 1) } :: chunks (i + size)
+  in
+  let groups = chunks 0 in
+  let rand_lit () = (Random.State.int st n, Random.State.bool st) in
+  let clauses =
+    List.init (Random.State.int st 5) (fun _ ->
+        List.init (1 + Random.State.int st 3) (fun _ -> rand_lit ()))
+  in
+  let costs =
+    List.init (Random.State.int st 4) (fun _ ->
+        {
+          Asp.Ground.weight = 1 + Random.State.int st 3;
+          level = Random.State.int st 2;
+          disj = List.init (1 + Random.State.int st 2) (fun _ -> Random.State.int st n);
+        })
+  in
+  let atoms_by_pred = Hashtbl.create 1 in
+  Hashtbl.replace atoms_by_pred "a"
+    (List.init n (fun i -> (i, atom_names.(i))));
+  {
+    Asp.Ground.atom_count = n;
+    atom_names;
+    atoms_by_pred;
+    clauses;
+    groups;
+    costs;
+    base_costs = (if Random.State.bool st then [ (0, 1) ] else []);
+    statically_unsat = false;
+  }
+
+let assignment_valid (g : Asp.Ground.t) value =
+  List.for_all (List.exists (fun (a, want) -> value.(a) = want)) g.Asp.Ground.clauses
+  && List.for_all
+       (fun (grp : Asp.Ground.group) ->
+         List.length (List.filter (fun a -> value.(a)) grp.Asp.Ground.atoms)
+         = grp.Asp.Ground.bound)
+       g.Asp.Ground.groups
+
+(* Brute-force optimum: the lexicographically minimal cost vector over
+   descending #minimize levels, as an int list (so polymorphic compare
+   is the lexicographic order the solver uses). *)
+let reference_solve (g : Asp.Ground.t) =
+  let n = g.Asp.Ground.atom_count in
+  let levels =
+    List.sort_uniq
+      (fun a b -> compare b a)
+      (List.map (fun (c : Asp.Ground.cost_group) -> c.Asp.Ground.level) g.Asp.Ground.costs
+      @ List.map fst g.Asp.Ground.base_costs)
+  in
+  let cost_vector value =
+    List.map
+      (fun l ->
+        let base =
+          List.fold_left
+            (fun acc (l', w) -> if l' = l then acc + w else acc)
+            0 g.Asp.Ground.base_costs
+        in
+        List.fold_left
+          (fun acc (c : Asp.Ground.cost_group) ->
+            if c.Asp.Ground.level = l && List.exists (fun a -> value.(a)) c.Asp.Ground.disj
+            then acc + c.Asp.Ground.weight
+            else acc)
+          base g.Asp.Ground.costs)
+      levels
+  in
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let value = Array.init n (fun i -> mask land (1 lsl i) <> 0) in
+    if assignment_valid g value then
+      let cv = cost_vector value in
+      match !best with Some b when compare b cv <= 0 -> () | _ -> best := Some cv
+  done;
+  !best
+
+let value_of_model (g : Asp.Ground.t) atoms =
+  let value = Array.make g.Asp.Ground.atom_count false in
+  List.iter
+    (fun f ->
+      match f.Datalog.Fact.args with
+      | [ Datalog.Fact.Int i ] -> value.(i) <- true
+      | _ -> ())
+    atoms;
+  value
+
+let prop_solver_matches_reference =
+  Helpers.qcheck ~count:300 "watched-literal solver matches brute force"
+    QCheck.(small_nat)
+    (fun seed ->
+      let g = random_instance seed in
+      let expected = reference_solve g in
+      let optimal_ok =
+        match (Asp.Solver.solve g, expected) with
+        | Asp.Solver.Unsat, None -> true
+        | Asp.Solver.Model { cost; atoms; optimal = true }, Some cv ->
+            cost = List.fold_left ( + ) 0 cv && assignment_valid g (value_of_model g atoms)
+        | _ -> false
+      in
+      let first_model_ok =
+        match (Asp.Solver.solve ~find_optimal:false g, expected) with
+        | Asp.Solver.Unsat, None -> true
+        | Asp.Solver.Model { atoms; _ }, Some _ -> assignment_valid g (value_of_model g atoms)
+        | _ -> false
+      in
+      optimal_ok && first_model_ok)
+
+let test_solver_stats_count () =
+  Asp.Solver.reset_stats ();
+  (match run "{pick(X) : item(X)} = 1. :- pick(a)." "item(a). item(b)." with
+  | Asp.Engine.Model _ -> ()
+  | _ -> Alcotest.fail "expected model");
+  let s = Asp.Solver.stats () in
+  check_bool "propagations counted" true (s.Asp.Solver.propagations > 0)
+
 let () =
   Alcotest.run "asp"
     [
@@ -467,6 +605,8 @@ let () =
           Alcotest.test_case "#show parse roundtrip" `Quick test_show_roundtrip;
           Alcotest.test_case "step limit stops early" `Quick test_step_limit;
           Alcotest.test_case "ground introspection" `Quick test_ground_introspection;
+          Alcotest.test_case "search stats counted" `Quick test_solver_stats_count;
+          prop_solver_matches_reference;
         ] );
       ( "optimization",
         [

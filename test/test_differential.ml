@@ -126,6 +126,44 @@ let prop_compare_stage_agrees =
       | Ok _, Error _ | Error _, Ok _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Candidate pruning: pruned and unpruned ASP encodings, and VF2, must
+   agree on every verdict and every optimal cost                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_prune enabled f =
+  let prev = Asp_backend.prune_enabled () in
+  Asp_backend.set_prune enabled;
+  Fun.protect ~finally:(fun () -> Asp_backend.set_prune prev) f
+
+let cost_opt = function None -> None | Some m -> Some m.Matching.cost
+
+let prop_pruning_similar =
+  Helpers.qcheck ~count:60 "pruned, unpruned and VF2 agree on similarity" pair_arb
+    (fun (o1, o2) ->
+      let g1 = graph_of_ops o1 and g2 = graph_of_ops o2 in
+      let pruned = with_prune true (fun () -> Asp_backend.similar g1 g2) in
+      let unpruned = with_prune false (fun () -> Asp_backend.similar g1 g2) in
+      pruned = unpruned && pruned = Vf2.similar g1 g2)
+
+let prop_pruning_generalization =
+  Helpers.qcheck ~count:40 "pruned, unpruned and VF2 agree on generalization cost" pair_arb
+    (fun (o1, o2) ->
+      let g1 = graph_of_ops o1 and g2 = graph_of_ops o2 in
+      let pruned = with_prune true (fun () -> cost_opt (Asp_backend.iso_min_cost g1 g2)) in
+      let unpruned = with_prune false (fun () -> cost_opt (Asp_backend.iso_min_cost g1 g2)) in
+      pruned = unpruned && pruned = cost_opt (Vf2.iso_min_cost g1 g2))
+
+let prop_pruning_comparison =
+  Helpers.qcheck ~count:40 "pruned, unpruned and VF2 agree on embedding cost" pair_arb
+    (fun (o1, o2) ->
+      let g1 = graph_of_ops o1 and g2 = graph_of_ops o2 in
+      let pruned = with_prune true (fun () -> cost_opt (Asp_backend.sub_iso_min_cost g1 g2)) in
+      let unpruned =
+        with_prune false (fun () -> cost_opt (Asp_backend.sub_iso_min_cost g1 g2))
+      in
+      pruned = unpruned && pruned = cost_opt (Vf2.sub_iso_min_cost g1 g2))
+
+(* ------------------------------------------------------------------ *)
 (* Engine dispatch: all three public backends, one verdict             *)
 (* ------------------------------------------------------------------ *)
 
@@ -144,4 +182,6 @@ let () =
       ( "generalization",
         [ prop_generalization_cost_agrees; prop_generalization_matchings_verify ] );
       ("comparison", [ prop_comparison_cost_agrees; prop_compare_stage_agrees ]);
+      ( "pruning",
+        [ prop_pruning_similar; prop_pruning_generalization; prop_pruning_comparison ] );
     ]
