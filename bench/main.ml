@@ -245,9 +245,9 @@ let microbench () =
 (* ------------------------------------------------------------------ *)
 
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Provmark.Trace_span.now_s () in
   let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+  (v, Provmark.Trace_span.now_s () -. t0)
 
 let ablations () =
   section "Ablations: design choices of the pipeline";
@@ -288,14 +288,14 @@ let ablations () =
   Printf.printf "\n--- incremental matching (full SPADE benchmark suite) ---\n";
   Gmatch.Incremental.reset_stats ();
   let t_direct =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Provmark.Trace_span.now_s () in
     List.iter
       (fun p -> ignore (Provmark.Runner.run (config_for Recorder.Spade) p))
       Provmark.Bench_registry.all;
-    Unix.gettimeofday () -. t0
+    Provmark.Trace_span.now_s () -. t0
   in
   let t_inc =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Provmark.Trace_span.now_s () in
     List.iter
       (fun p ->
         ignore
@@ -303,7 +303,7 @@ let ablations () =
              { (config_for Recorder.Spade) with Provmark.Config.backend = Gmatch.Engine.Incremental }
              p))
       Provmark.Bench_registry.all;
-    Unix.gettimeofday () -. t0
+    Provmark.Trace_span.now_s () -. t0
   in
   let cert, fb = Gmatch.Incremental.stats () in
   Printf.printf "direct backend: %.2fs   incremental: %.2fs   fast path: %d certified, %d fallbacks\n"
@@ -376,7 +376,7 @@ let extension_spade_camflow () =
     (fun tool ->
       let r = Provmark.Runner.run (config_for tool) (Provmark.Bench_registry.find_exn "rename") in
       Printf.printf "%-14s %-8s transform %.4fs\n" (Recorder.tool_name tool)
-        (Result_.status_word r) r.Result_.times.Result_.transformation_s)
+        (Result_.status_word r) (Result_.times r).Result_.transformation_s)
     [ Recorder.Spade; Recorder.Spade_neo4j ]
 
 (* ------------------------------------------------------------------ *)
@@ -391,7 +391,7 @@ let extension_scalability_backends () =
     (fun backend ->
       List.iter
         (fun n ->
-          let t0 = Unix.gettimeofday () in
+          let t0 = Provmark.Trace_span.now_s () in
           let config =
             { (config_for Recorder.Camflow) with Provmark.Config.backend }
           in
@@ -399,7 +399,7 @@ let extension_scalability_backends () =
           Printf.printf "%-13s scale%-4d %-10s %7.3fs\n"
             (Gmatch.Engine.backend_to_string backend)
             n (Result_.status_word r)
-            (Unix.gettimeofday () -. t0))
+            (Provmark.Trace_span.now_s () -. t0))
         [ 8; 16; 32 ])
     [ Gmatch.Engine.Direct; Gmatch.Engine.Incremental ];
   print_endline
@@ -669,7 +669,7 @@ let match_scale_quick () = match_scale_run ~sizes:[ 4; 6; 8 ]
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Provmark.Trace_span.now_s () in
   let full () =
     table1 ();
     let matrix = run_matrix () in
@@ -712,4 +712,4 @@ let () =
                 (String.concat ", " (List.map fst sections));
               exit 2)
         names);
-  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\nTotal bench time: %.1fs\n" (Provmark.Trace_span.now_s () -. t0)

@@ -58,6 +58,53 @@ let no_prune_arg =
 
 let apply_prune_flag no_prune = Gmatch.Asp_backend.set_prune (not no_prune)
 
+let store_arg =
+  let doc =
+    "Artifact store directory. Every pipeline stage is keyed by its configuration \
+     fingerprint and input digests and its artifact cached here, so re-runs replay \
+     cached stages and only recompute downstream of what changed."
+  in
+  Arg.(value & opt string ".provmark/store" & info [ "store" ] ~docv:"DIR" ~doc)
+
+let no_store_arg =
+  let doc = "Disable the artifact store (every stage recomputes)." in
+  Arg.(value & flag & info [ "no-store" ] ~doc)
+
+let store_of ~store ~no_store =
+  if no_store then None else Some (Provmark.Artifact_store.create ~dir:store)
+
+let trace_arg =
+  let doc =
+    "Write the span tree of every run (per-stage durations, cache hit/miss tags, \
+     solver effort counters) as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Store statistics and trace confirmations go to stderr: stdout must
+   stay byte-identical between cold and warm runs (CI diffs it). *)
+let print_store_stats = function
+  | None -> ()
+  | Some store ->
+      let t = Provmark.Artifact_store.totals store in
+      let total = t.Provmark.Artifact_store.hits + t.Provmark.Artifact_store.misses in
+      if total > 0 then
+        Printf.eprintf "Artifact store: %d/%d stage executions replayed (%d%%)\n%!"
+          t.Provmark.Artifact_store.hits total
+          (100 * t.Provmark.Artifact_store.hits / total)
+
+let write_trace trace (results : Provmark.Result.t list) =
+  match trace with
+  | None -> ()
+  | Some file ->
+      let json =
+        Minijson.Json.Array
+          (List.map (fun r -> Provmark.Trace_span.to_json r.Provmark.Result.span) results)
+      in
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc (Minijson.Json.to_string ~pretty:true json);
+          Out_channel.output_char oc '\n');
+      Printf.eprintf "Trace written to %s\n%!" file
+
 let print_cache_stats () =
   match Asp.Memo.stats () with
   | [] -> ()
@@ -84,13 +131,14 @@ let result_type_arg =
              written to finalResult/)." in
   Arg.(value & opt string "rb" & info [ "result-type"; "r" ] ~docv:"TYPE" ~doc)
 
-let config_of tool trials backend seed =
+let config_of ?store tool trials backend seed =
   let base = Provmark.Config.default tool in
   {
     base with
     Provmark.Config.trials = Option.value trials ~default:base.Provmark.Config.trials;
     backend;
     seed;
+    store;
   }
 
 (* The original ProvMark appends a line of timing to /tmp/time.log for
@@ -141,7 +189,7 @@ let run_cmd =
     let doc = "Syscall benchmark to run (e.g. open, rename, vfork)." in
     Arg.(required & pos 1 (some string) None & info [] ~docv:"SYSCALL" ~doc)
   in
-  let run tool syscall trials backend seed no_cache no_prune result_type =
+  let run tool syscall trials backend seed no_cache no_prune result_type store no_store trace =
     apply_cache_flag no_cache;
     apply_prune_flag no_prune;
     match Provmark.Bench_registry.find_exn syscall with
@@ -149,13 +197,17 @@ let run_cmd =
         Printf.eprintf "unknown syscall benchmark %S\n" syscall;
         exit 1
     | prog ->
-        let config = config_of tool trials backend seed in
-        print_result ~result_type (Provmark.Runner.run config prog)
+        let store = store_of ~store ~no_store in
+        let config = config_of ?store tool trials backend seed in
+        let r = Provmark.Runner.run config prog in
+        print_result ~result_type r;
+        write_trace trace [ r ];
+        print_store_stats store
   in
   let term =
     Term.(
       const run $ tool_arg $ syscall_arg $ trials_arg $ backend_arg $ seed_arg $ no_cache_arg
-      $ no_prune_arg $ result_type_arg)
+      $ no_prune_arg $ result_type_arg $ store_arg $ no_store_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Benchmark a single syscall (like fullAutomation.py).") term
 
@@ -172,16 +224,19 @@ let batch_cmd =
     let doc = "Also write per-stage timing CSV to this file (sampleResult format)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run tools trials backend seed jobs no_cache no_prune csv =
+  let run tools trials backend seed jobs no_cache no_prune csv store no_store trace =
     apply_cache_flag no_cache;
     apply_prune_flag no_prune;
-    let configs = List.map (fun tool -> config_of tool trials backend seed) tools in
+    let store = store_of ~store ~no_store in
+    let configs = List.map (fun tool -> config_of ?store tool trials backend seed) tools in
     let matrix = Provmark.Parallel_runner.run_matrix ~jobs ~on_result:progress configs in
     List.iter (fun (_, results) -> List.iter append_time_log results) matrix;
     print_string (Provmark.Report.validation_matrix matrix);
     let ok, total = Provmark.Report.agreement matrix in
     Printf.printf "\nAgreement with paper Table 2: %d/%d\n" ok total;
     print_cache_stats ();
+    write_trace trace (List.concat_map snd matrix);
+    print_store_stats store;
     match csv with
     | None -> ()
     | Some file ->
@@ -193,7 +248,7 @@ let batch_cmd =
   let term =
     Term.(
       const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ jobs_arg $ no_cache_arg
-      $ no_prune_arg $ csv_arg)
+      $ no_prune_arg $ csv_arg $ store_arg $ no_store_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "batch"
@@ -213,19 +268,21 @@ let report_cmd =
     let doc = "Output HTML file." in
     Arg.(value & opt string "finalResult/index.html" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run tools trials backend seed jobs no_cache no_prune out =
+  let run tools trials backend seed jobs no_cache no_prune out store no_store =
     apply_cache_flag no_cache;
     apply_prune_flag no_prune;
-    let configs = List.map (fun tool -> config_of tool trials backend seed) tools in
+    let store = store_of ~store ~no_store in
+    let configs = List.map (fun tool -> config_of ?store tool trials backend seed) tools in
     let matrix = Provmark.Parallel_runner.run_matrix ~jobs ~on_result:progress configs in
     List.iter (fun (_, results) -> List.iter append_time_log results) matrix;
     Provmark.Html_report.write_file out (Provmark.Html_report.render matrix);
-    Printf.printf "HTML report written to %s\n" out
+    Printf.printf "HTML report written to %s\n" out;
+    print_store_stats store
   in
   let term =
     Term.(
       const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ jobs_arg $ no_cache_arg
-      $ no_prune_arg $ out_arg)
+      $ no_prune_arg $ out_arg $ store_arg $ no_store_arg)
   in
   Cmd.v
     (Cmd.info "report"

@@ -22,7 +22,8 @@ let describe tool (prog : Oskernel.Program.t) =
     | Provmark.Result.Target g ->
         Printf.sprintf "recorded: %s" (Pgraph.Stats.shape_line (Pgraph.Stats.of_graph g))
     | Provmark.Result.Empty -> "not recorded"
-    | Provmark.Result.Failed m -> "benchmarking failed: " ^ m
+    | Provmark.Result.Failed e ->
+        "benchmarking failed: " ^ Provmark.Result.stage_error_to_string e
   in
   Printf.printf "  %-8s %s\n%!" (Recorders.Recorder.tool_name tool) verdict;
   result

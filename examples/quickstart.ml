@@ -23,10 +23,11 @@ let () =
       Format.printf "(%s)@." (Pgraph.Stats.shape_line (Pgraph.Stats.of_graph graph))
   | Provmark.Result.Empty ->
       print_endline "SPADE did not record the target activity (empty benchmark)."
-  | Provmark.Result.Failed reason -> Printf.printf "benchmarking failed: %s\n" reason);
+  | Provmark.Result.Failed e ->
+      Printf.printf "benchmarking failed: %s\n" (Provmark.Result.stage_error_to_string e));
 
   (* 4. Stage timings — the quantities behind the paper's Figures 5-7. *)
-  let t = result.Provmark.Result.times in
+  let t = Provmark.Result.times result in
   Format.printf "stage times: recording %.4fs, transformation %.4fs, %s@."
     t.Provmark.Result.recording_s t.Provmark.Result.transformation_s
     (Printf.sprintf "generalization %.4fs, comparison %.4fs"

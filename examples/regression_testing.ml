@@ -27,7 +27,8 @@ let benchmark_graph ?(spade = Recorders.Spade.default_config) ?(seed = 1) syscal
   match (Provmark.Runner.run config (Provmark.Bench_registry.find_exn syscall)).Provmark.Result.status with
   | Provmark.Result.Target g -> g
   | Provmark.Result.Empty -> Pgraph.Graph.empty
-  | Provmark.Result.Failed m -> failwith ("benchmarking failed: " ^ m)
+  | Provmark.Result.Failed e ->
+      failwith ("benchmarking failed: " ^ Provmark.Result.stage_error_to_string e)
 
 let () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "provmark_regression_demo" in

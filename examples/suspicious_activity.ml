@@ -27,7 +27,9 @@ let () =
             Pgraph.Graph.pp g
       | Provmark.Result.Empty ->
           print_endline "this recorder leaves NO trace of the escalation — a blind spot"
-      | Provmark.Result.Failed m -> Printf.printf "benchmarking failed: %s\n" m);
+      | Provmark.Result.Failed e ->
+          Printf.printf "benchmarking failed: %s\n"
+            (Provmark.Result.stage_error_to_string e));
       print_newline ())
     Recorders.Recorder.all_tools;
   print_endline

@@ -81,4 +81,9 @@ let stats () =
            (fun tag (h, m) acc -> (tag, { hits = !h; misses = !m }) :: acc)
            counters []))
 
+let totals () =
+  List.fold_left
+    (fun acc (_, s) -> { hits = acc.hits + s.hits; misses = acc.misses + s.misses })
+    { hits = 0; misses = 0 } (stats ())
+
 let size () = with_lock (fun () -> Hashtbl.length table)

@@ -35,5 +35,8 @@ val reset_stats : unit -> unit
 (** Per-tag counters, sorted by tag name. *)
 val stats : unit -> (string * stats) list
 
+(** Counters summed over all tags. *)
+val totals : unit -> stats
+
 (** Number of cached entries. *)
 val size : unit -> int

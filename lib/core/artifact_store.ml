@@ -1,0 +1,99 @@
+(* Bump when the artifact encoding or key construction changes shape:
+   stale entries then miss instead of decoding garbage. *)
+let format_version = "1"
+
+type stats = { hits : int; misses : int; stored : int }
+
+type t = {
+  dir : string;
+  mutex : Mutex.t;
+  counters : (string, int ref * int ref * int ref) Hashtbl.t;
+}
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    let parent = Filename.dirname path in
+    if String.length parent < String.length path then mkdir_p parent;
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (Printf.sprintf "Artifact_store.create: %s is not a directory" dir));
+  { dir; mutex = Mutex.create (); counters = Hashtbl.create 8 }
+
+let dir t = t.dir
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let key ~stage ~fingerprint ~inputs =
+  digest (String.concat "\x00" (("provmark-artifact-v" ^ format_version) :: stage :: fingerprint :: inputs))
+
+let graph_digest g =
+  digest
+    (Pgraph.Fingerprint.to_hex (Pgraph.Fingerprint.of_graph g)
+    ^ "\x00"
+    ^ Datalog.Encode.graph_to_string ~gid:"d" g)
+
+(* <dir>/<stage>/<key prefix>/<key>.art keeps directories small without
+   hashing twice; the key is already a uniform hex digest. *)
+let path_of t ~stage ~key =
+  let prefix = if String.length key >= 2 then String.sub key 0 2 else key in
+  Filename.concat (Filename.concat (Filename.concat t.dir stage) prefix) (key ^ ".art")
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let counter_of t stage =
+  match Hashtbl.find_opt t.counters stage with
+  | Some c -> c
+  | None ->
+      let c = (ref 0, ref 0, ref 0) in
+      Hashtbl.replace t.counters stage c;
+      c
+
+let read t ~stage ~key =
+  let path = path_of t ~stage ~key in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> Some contents
+  | exception Sys_error _ -> None
+
+let write t ~stage ~key contents =
+  let path = path_of t ~stage ~key in
+  mkdir_p (Filename.dirname path);
+  let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) ".art" ".tmp" in
+  (try
+     Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc contents);
+     Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  with_lock t (fun () ->
+      let _, _, stored = counter_of t stage in
+      incr stored)
+
+let record t ~stage ~hit =
+  with_lock t (fun () ->
+      let hits, misses, _ = counter_of t stage in
+      incr (if hit then hits else misses))
+
+let stats t =
+  with_lock t (fun () ->
+      List.sort compare
+        (Hashtbl.fold
+           (fun stage (h, m, s) acc -> (stage, { hits = !h; misses = !m; stored = !s }) :: acc)
+           t.counters []))
+
+let totals t =
+  List.fold_left
+    (fun acc (_, s) ->
+      { hits = acc.hits + s.hits; misses = acc.misses + s.misses; stored = acc.stored + s.stored })
+    { hits = 0; misses = 0; stored = 0 } (stats t)
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then None else Some (float_of_int s.hits /. float_of_int total)
+
+let reset_stats t = with_lock t (fun () -> Hashtbl.reset t.counters)

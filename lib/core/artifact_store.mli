@@ -1,0 +1,69 @@
+(** Content-addressed on-disk store for pipeline stage artifacts.
+
+    Every stage execution is addressed by a key derived from the stage
+    name, a fingerprint of the configuration fields that stage reads,
+    and digests of its inputs (chained: a stage's input digest is
+    computed from the upstream stage's typed output).  Because the
+    whole pipeline is a pure function of [(config, program)], replaying
+    a stored artifact is indistinguishable from recomputing it — a warm
+    suite re-run is byte-identical to the cold run and an edited
+    benchmark program invalidates exactly its own downstream artifacts.
+
+    The store is shared by all worker domains of the parallel runner:
+    reads are plain file reads, writes go through a unique temp file
+    plus atomic [rename], and the stat counters take a mutex.  Losing a
+    race (two domains computing the same artifact) is harmless — both
+    values are identical and one write wins. *)
+
+type t
+
+(** [create ~dir] opens (creating directories as needed) a store rooted
+    at [dir].  Raises [Sys_error] if [dir] cannot be created. *)
+val create : dir:string -> t
+
+val dir : t -> string
+
+(** {2 Keys and digests} *)
+
+(** Hex content digest of a string (the store's addressing hash). *)
+val digest : string -> string
+
+(** [key ~stage ~fingerprint ~inputs] is the artifact key for one stage
+    execution.  [fingerprint] covers the config fields the stage reads;
+    [inputs] are digests of its inputs.  A store format version is
+    baked in, so incompatible layout changes never alias. *)
+val key : stage:string -> fingerprint:string -> inputs:string list -> string
+
+(** Digest of a property graph, combining its Weisfeiler–Leman
+    fingerprint colours with the canonical Listing-1 fact rendering
+    (the fingerprint alone ignores property values). *)
+val graph_digest : Pgraph.Graph.t -> string
+
+(** {2 Artifact IO}
+
+    [read]/[write] do not touch the hit/miss counters: the caller
+    decides whether a read artifact was usable (it may fail to decode)
+    and reports the verdict through {!record}. *)
+
+val read : t -> stage:string -> key:string -> string option
+val write : t -> stage:string -> key:string -> string -> unit
+
+(** [record t ~stage ~hit] counts one stage execution as replayed
+    ([hit:true]) or computed ([hit:false]). *)
+val record : t -> stage:string -> hit:bool -> unit
+
+(** {2 Statistics} *)
+
+type stats = { hits : int; misses : int; stored : int }
+
+(** Per-stage counters, sorted by stage name. *)
+val stats : t -> (string * stats) list
+
+(** Counters summed across stages. *)
+val totals : t -> stats
+
+(** Replayed fraction of all recorded stage executions; [None] when
+    nothing was recorded. *)
+val hit_rate : stats -> float option
+
+val reset_stats : t -> unit

@@ -11,6 +11,7 @@ type t = {
   spade : Recorders.Spade.config;
   opus : Recorders.Opus.config;
   camflow : Recorders.Camflow.config;
+  store : Artifact_store.t option;
 }
 
 let default_trials = function
@@ -31,6 +32,44 @@ let default tool =
     spade = Recorders.Spade.default_config;
     opus = Recorders.Opus.default_config;
     camflow = Recorders.Camflow.default_config;
+    store = None;
   }
 
 let tool_name t = Recorders.Recorder.tool_name t.tool
+
+(* Fingerprints enumerate fields explicitly (no Marshal, no derived
+   show): the rendering is part of the on-disk cache contract and must
+   not silently change when an unrelated field is added. *)
+
+let spade_fp (c : Recorders.Spade.config) =
+  Printf.sprintf "simplify=%b,io_runs=%b,io_runs_fixed=%b,versioning=%b,success_only=%b,procfs=%b"
+    c.Recorders.Spade.simplify c.Recorders.Spade.io_runs c.Recorders.Spade.io_runs_fixed
+    c.Recorders.Spade.versioning c.Recorders.Spade.success_only c.Recorders.Spade.use_procfs
+
+let opus_fp (c : Recorders.Opus.config) =
+  Printf.sprintf "env=%b,io=%b" c.Recorders.Opus.record_env c.Recorders.Opus.record_io
+
+let camflow_fp (c : Recorders.Camflow.config) =
+  Printf.sprintf "reserialize=%b,track_self=%b,filters=%s" c.Recorders.Camflow.reserialize
+    c.Recorders.Camflow.track_self
+    (String.concat "+" c.Recorders.Camflow.filter_types)
+
+let recording_fingerprint t =
+  Printf.sprintf "tool=%s;trials=%d;seed=%d;flakiness=%h;spade{%s};opus{%s};camflow{%s}"
+    (tool_name t) t.trials t.seed t.flakiness (spade_fp t.spade) (opus_fp t.opus)
+    (camflow_fp t.camflow)
+
+(* Pruned and unpruned ASP encodings are pinned to the same verdicts
+   and optimal costs, but not to the same optimal *witness*, and the
+   generalized graph depends on which witness the solver returns — so
+   the prune toggle is part of the matching fingerprint. *)
+let backend_fp t =
+  Printf.sprintf "%s,prune=%b"
+    (Gmatch.Engine.backend_to_string t.backend)
+    (Gmatch.Asp_backend.prune_enabled ())
+
+let generalization_fingerprint t =
+  Printf.sprintf "backend=%s;filter=%b;pair=%s" (backend_fp t) t.filter_graphs
+    (match t.pair_choice with Smallest -> "smallest" | Largest -> "largest")
+
+let comparison_fingerprint t = Printf.sprintf "backend=%s" (backend_fp t)

@@ -20,13 +20,37 @@ type t = {
   spade : Recorders.Spade.config;
   opus : Recorders.Opus.config;
   camflow : Recorders.Camflow.config;
+  store : Artifact_store.t option;
+      (** when set, every pipeline stage consults the content-addressed
+          artifact store before computing (CLI: [--store]/[--no-store]) *)
 }
 
 (** Per-tool defaults: 3 trials for SPADE, 2 for OPUS, 5 for CamFlow
     (the appendix batch runs used more trials for CamFlow than the
-    others), [filter_graphs] on for CamFlow only. *)
+    others), [filter_graphs] on for CamFlow only.  [store] is [None]. *)
 val default : Recorders.Recorder.tool -> t
 
 val default_trials : Recorders.Recorder.tool -> int
 
 val tool_name : t -> string
+
+(** {2 Cache-key fingerprints}
+
+    Stable renderings of exactly the configuration fields each pipeline
+    stage reads, used in artifact-store keys.  Splitting them per stage
+    is what makes one flipped knob recompute only downstream of the
+    stage that reads it: changing [backend] leaves recording and
+    transformation artifacts valid; changing [seed] invalidates
+    everything.  The [store] handle itself never participates. *)
+
+(** Fields the recording stage reads: tool, trials, seed, flakiness and
+    the per-tool recorder settings. *)
+val recording_fingerprint : t -> string
+
+(** Fields the generalization stage reads: backend (including the
+    global ASP prune toggle), [filter_graphs], [pair_choice]. *)
+val generalization_fingerprint : t -> string
+
+(** Fields the comparison stage reads: backend (including the global
+    ASP prune toggle). *)
+val comparison_fingerprint : t -> string

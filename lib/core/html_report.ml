@@ -64,7 +64,7 @@ let benchmark_section buf tool (r : Result.t) =
   | Result.Target g -> Buffer.add_string buf (Vis.Svg.render_titled ~title:"benchmark result" g)
   | Result.Empty ->
       Buffer.add_string buf "<p>Foreground and background were indistinguishable.</p>\n"
-  | Result.Failed m -> Buffer.add_string buf (Printf.sprintf "<p>Failed: %s</p>\n" (esc m)));
+  | Result.Failed m -> Buffer.add_string buf (Printf.sprintf "<p>Failed: %s</p>\n" (esc (Result.stage_error_to_string m))));
   (match r.Result.bg_general with
   | Some g when Pgraph.Graph.size g > 0 ->
       Buffer.add_string buf (Vis.Svg.render_titled ~title:"generalized background" g)
@@ -73,7 +73,7 @@ let benchmark_section buf tool (r : Result.t) =
   | Some g when Pgraph.Graph.size g > 0 ->
       Buffer.add_string buf (Vis.Svg.render_titled ~title:"generalized foreground" g)
   | _ -> ());
-  let t = r.Result.times in
+  let t = Result.times r in
   Buffer.add_string buf
     (Printf.sprintf
        "<p>recording %.4fs · transformation %.4fs · generalization %.4fs · comparison %.4fs</p>\n"

@@ -11,7 +11,13 @@
 
     The [on_result] callbacks exist for progress reporting; they run on
     the worker domain that finished the benchmark (in completion order,
-    not registry order), so they must be thread-safe. *)
+    not registry order), so they must be thread-safe.
+
+    When [config.store] is set, all workers share the one
+    {!Artifact_store.t}: its counters are mutex-protected and writes
+    are atomic rename, and since cache keys determine content, the
+    worst concurrent case is two domains computing the same artifact
+    once each — results stay byte-identical at every job count. *)
 
 (** Deterministic per-benchmark seed: FNV-1a over the benchmark name
     mixed with the base seed, folded to a small positive int. *)

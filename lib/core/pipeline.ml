@@ -1,0 +1,331 @@
+module J = Minijson.Json
+module Program = Oskernel.Program
+
+type recorder =
+  Config.t -> Program.t -> Recording.recorded list * Recording.recorded list
+
+type outcome = {
+  status : Result.status;
+  bg_general : Pgraph.Graph.t option;
+  fg_general : Pgraph.Graph.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Program digest                                                      *)
+
+let program_text (p : Program.t) =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "name=%s@.syscall=%s@." p.Program.name p.Program.syscall;
+  List.iter
+    (fun (f : Program.staged_file) ->
+      Format.fprintf fmt "staged=%s mode=%o uid=%d gid=%d kind=%s@." f.Program.sf_path
+        f.Program.sf_mode f.Program.sf_uid f.Program.sf_gid
+        (match f.Program.sf_kind with `File -> "file" | `Fifo -> "fifo"))
+    p.Program.staging;
+  (match p.Program.cred with
+  | None -> ()
+  | Some c -> Format.fprintf fmt "cred=%a@." Oskernel.Cred.pp c);
+  List.iter (fun s -> Format.fprintf fmt "setup %a@." Oskernel.Syscall.pp s) p.Program.setup;
+  List.iter (fun s -> Format.fprintf fmt "target %a@." Oskernel.Syscall.pp s) p.Program.target;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let program_digest p = Artifact_store.digest (program_text p)
+
+(* ------------------------------------------------------------------ *)
+(* Artifact encodings                                                  *)
+
+exception Decode of string
+
+let decode_fail fmt = Printf.ksprintf (fun m -> raise (Decode m)) fmt
+
+let int_j n = J.Number (float_of_int n)
+
+let reason_to_json = function
+  | Result.Malformed_output m -> ("malformed_output", Some m)
+  | Result.No_trials -> ("no_trials", None)
+  | Result.No_consistent_pair -> ("no_consistent_pair", None)
+  | Result.Alignment_failed m -> ("alignment_failed", Some m)
+  | Result.Background_not_embeddable -> ("not_embeddable", None)
+  | Result.Stage_exception m -> ("exception", Some m)
+
+let reason_of_json kind msg =
+  match (kind, msg) with
+  | "malformed_output", Some m -> Result.Malformed_output m
+  | "no_trials", None -> Result.No_trials
+  | "no_consistent_pair", None -> Result.No_consistent_pair
+  | "alignment_failed", Some m -> Result.Alignment_failed m
+  | "not_embeddable", None -> Result.Background_not_embeddable
+  | "exception", Some m -> Result.Stage_exception m
+  | k, _ -> decode_fail "unknown failure reason %S" k
+
+let error_to_json (e : Result.stage_error) =
+  let kind, msg = reason_to_json e.Result.reason in
+  J.Object
+    [
+      ("stage", J.String e.Result.stage);
+      ("variant", match e.Result.variant with None -> J.Null | Some v -> J.String v);
+      ("reason", J.String kind);
+      ("msg", match msg with None -> J.Null | Some m -> J.String m);
+    ]
+
+let error_of_json j =
+  {
+    Result.stage = J.to_str (J.member "stage" j);
+    variant =
+      (match J.member "variant" j with J.Null -> None | v -> Some (J.to_str v));
+    reason =
+      reason_of_json
+        (J.to_str (J.member "reason" j))
+        (match J.member "msg" j with J.Null -> None | m -> Some (J.to_str m));
+  }
+
+(* Every artifact is a one-member object: {"ok": <value>} or
+   {"err": <stage_error>} — failures cache like successes, so a
+   deterministically failing stage replays warm too. *)
+let wrap value_to_json = function
+  | Ok v -> J.to_string (J.Object [ ("ok", value_to_json v) ])
+  | Error e -> J.to_string (J.Object [ ("err", error_to_json e) ])
+
+let unwrap value_of_json s =
+  match J.of_string s with
+  | exception J.Parse_error m -> raise (Decode m)
+  | j ->
+      if J.mem "ok" j then Ok (value_of_json (J.member "ok" j))
+      else if J.mem "err" j then Error (error_of_json (J.member "err" j))
+      else decode_fail "artifact is neither ok nor err"
+
+let output_to_json = function
+  | Recorders.Recorder.Dot_text s -> J.Object [ ("dot", J.String s) ]
+  | Recorders.Recorder.Store_dump s -> J.Object [ ("store", J.String s) ]
+  | Recorders.Recorder.Prov_json s -> J.Object [ ("prov", J.String s) ]
+
+let output_of_json j =
+  match J.to_assoc j with
+  | [ ("dot", J.String s) ] -> Recorders.Recorder.Dot_text s
+  | [ ("store", J.String s) ] -> Recorders.Recorder.Store_dump s
+  | [ ("prov", J.String s) ] -> Recorders.Recorder.Prov_json s
+  | _ -> decode_fail "bad recorder output"
+
+(* Each record carries its own variant tag: the bg/fg grouping reflects
+   which list it came from, but injected recorders may (and tests do)
+   put, say, Background-tagged records in the foreground list. *)
+let recorded_to_json (r : Recording.recorded) =
+  J.Object
+    [
+      ( "variant",
+        J.String
+          (match r.Recording.variant with Program.Background -> "bg" | Program.Foreground -> "fg")
+      );
+      ("trial", int_j r.Recording.trial);
+      ("run_id", int_j r.Recording.run_id);
+      ("output", output_to_json r.Recording.output);
+    ]
+
+let recorded_of_json j =
+  {
+    Recording.variant =
+      (match J.to_str (J.member "variant" j) with
+      | "bg" -> Program.Background
+      | "fg" -> Program.Foreground
+      | v -> decode_fail "unknown variant %S" v);
+    trial = J.to_int (J.member "trial" j);
+    run_id = J.to_int (J.member "run_id" j);
+    output = output_of_json (J.member "output" j);
+  }
+
+let recordings_to_json (bg, fg) =
+  J.Object
+    [
+      ("bg", J.Array (List.map recorded_to_json bg));
+      ("fg", J.Array (List.map recorded_to_json fg));
+    ]
+
+let recordings_of_json j =
+  ( List.map recorded_of_json (J.to_list (J.member "bg" j)),
+    List.map recorded_of_json (J.to_list (J.member "fg" j)) )
+
+let graph_to_json g = J.String (Datalog.Encode.graph_to_string ~gid:"d" g)
+
+let graph_of_json j =
+  match Datalog.Encode.graph_of_string ~gid:"d" (J.to_str j) with
+  | g -> g
+  | exception Datalog.Encode.Decode_error m -> raise (Decode m)
+
+let graphs_to_json (bg, fg) =
+  J.Object
+    [ ("bg", J.Array (List.map graph_to_json bg)); ("fg", J.Array (List.map graph_to_json fg)) ]
+
+let graphs_of_json j =
+  ( List.map graph_of_json (J.to_list (J.member "bg" j)),
+    List.map graph_of_json (J.to_list (J.member "fg" j)) )
+
+let gen_outcome_to_json (o : Generalize.outcome) =
+  J.Object
+    [
+      ("general", graph_to_json o.Generalize.general);
+      ("class_size", int_j o.Generalize.class_size);
+      ("classes", int_j o.Generalize.classes);
+      ("discarded", int_j o.Generalize.discarded);
+    ]
+
+let gen_outcome_of_json j =
+  {
+    Generalize.general = graph_of_json (J.member "general" j);
+    class_size = J.to_int (J.member "class_size" j);
+    classes = J.to_int (J.member "classes" j);
+    discarded = J.to_int (J.member "discarded" j);
+  }
+
+type compared = Similar | Target of Compare.outcome
+
+let compared_to_json = function
+  | Similar -> J.Object [ ("similar", J.Bool true) ]
+  | Target o ->
+      J.Object
+        [
+          ("target", graph_to_json o.Compare.target);
+          ("cost", int_j o.Compare.matching_cost);
+        ]
+
+let compared_of_json j =
+  if J.mem "similar" j then Similar
+  else
+    Target
+      {
+        Compare.target = graph_of_json (J.member "target" j);
+        matching_cost = J.to_int (J.member "cost" j);
+      }
+
+(* ------------------------------------------------------------------ *)
+(* The four stages                                                     *)
+
+let recording_stage (record : recorder) : (Config.t * Program.t, _) Stage.t =
+  {
+    Stage.name = "recording";
+    run = (fun _ctx (config, prog) -> Ok (record config prog));
+    encode = wrap recordings_to_json;
+    decode = unwrap recordings_of_json;
+  }
+
+let transformation_stage : (Recording.recorded list * Recording.recorded list, _) Stage.t =
+  {
+    Stage.name = "transformation";
+    run =
+      (fun _ctx (bg_recs, fg_recs) ->
+        match (Transform.batch bg_recs, Transform.batch fg_recs) with
+        | graphs -> Ok graphs
+        | exception Transform.Transform_error m ->
+            Error
+              { Result.stage = "transformation"; variant = None; reason = Result.Malformed_output m });
+    encode = wrap graphs_to_json;
+    decode = unwrap graphs_of_json;
+  }
+
+let generalization_failure variant f =
+  let reason =
+    match f with
+    | Generalize.No_trials -> Result.No_trials
+    | Generalize.No_consistent_pair -> Result.No_consistent_pair
+    | Generalize.Alignment_failed m -> Result.Alignment_failed m
+  in
+  { Result.stage = "generalization"; variant = Some variant; reason }
+
+let generalization_stage config ~variant : (Pgraph.Graph.t list, Generalize.outcome) Stage.t =
+  {
+    Stage.name = "generalization";
+    run =
+      (fun _ctx graphs ->
+        match
+          Generalize.generalize ~backend:config.Config.backend
+            ~filter:config.Config.filter_graphs ~pair_choice:config.Config.pair_choice graphs
+        with
+        | Ok o -> Ok o
+        | Error f -> Error (generalization_failure variant f));
+    encode = wrap gen_outcome_to_json;
+    decode = unwrap gen_outcome_of_json;
+  }
+
+let comparison_stage config : (Pgraph.Graph.t * Pgraph.Graph.t, compared) Stage.t =
+  {
+    Stage.name = "comparison";
+    run =
+      (fun _ctx (bg, fg) ->
+        if Gmatch.Engine.similar ~backend:config.Config.backend bg fg then Ok Similar
+        else
+          match Compare.compare ~backend:config.Config.backend ~bg ~fg with
+          | Ok o -> Ok (Target o)
+          | Error Compare.Background_not_embeddable ->
+              Error
+                {
+                  Result.stage = "comparison";
+                  variant = None;
+                  reason = Result.Background_not_embeddable;
+                });
+    encode = wrap compared_to_json;
+    decode = unwrap compared_of_json;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Composition                                                         *)
+
+let json_digest to_json v = Artifact_store.digest (J.to_string (to_json v))
+
+let graphs_digest graphs =
+  Artifact_store.digest (String.concat "\x00" (List.map Artifact_store.graph_digest graphs))
+
+let run_once ~record ~ctx config prog =
+  let store = config.Config.store in
+  (* Recordings from an injected recorder must not poison the shared
+     cache (nor be served from it): only the real recorder is keyed. *)
+  let rec_store = if record == Recording.record_all then store else None in
+  let d_prog = program_digest prog in
+  let fail ?(bg = None) ?(fg = None) e =
+    { status = Result.Failed e; bg_general = bg; fg_general = fg }
+  in
+  match
+    Stage.execute ?store:rec_store ~ctx
+      ~fingerprint:(Config.recording_fingerprint config) ~inputs:[ d_prog ]
+      (recording_stage record) (config, prog)
+  with
+  | Error e -> fail e
+  | Ok recs -> (
+      let d_recs = json_digest recordings_to_json recs in
+      match
+        Stage.execute ?store ~ctx ~fingerprint:"" ~inputs:[ d_recs ] transformation_stage recs
+      with
+      | Error e -> fail e
+      | Ok (bg_graphs, fg_graphs) -> (
+          let gen_fp = Config.generalization_fingerprint config in
+          let generalize variant graphs =
+            Stage.execute ?store ~ctx ~fingerprint:gen_fp
+              ~inputs:[ variant; graphs_digest graphs ]
+              (generalization_stage config ~variant)
+              graphs
+          in
+          (* Both variants always run (matching the pre-staged pipeline,
+             and keeping the foreground artifact warm even when the
+             background fails first). *)
+          let bg_out = generalize "background" bg_graphs in
+          let fg_out = generalize "foreground" fg_graphs in
+          match (bg_out, fg_out) with
+          | Error e, _ | _, Error e -> fail e
+          | Ok bg, Ok fg -> (
+              let bg_g = bg.Generalize.general and fg_g = fg.Generalize.general in
+              let bg_general = Some bg_g and fg_general = Some fg_g in
+              match
+                Stage.execute ?store ~ctx
+                  ~fingerprint:(Config.comparison_fingerprint config)
+                  ~inputs:[ Artifact_store.graph_digest bg_g; Artifact_store.graph_digest fg_g ]
+                  (comparison_stage config) (bg_g, fg_g)
+              with
+              | Error e -> fail ~bg:bg_general ~fg:fg_general e
+              | Ok Similar -> { status = Result.Empty; bg_general; fg_general }
+              | Ok (Target o) ->
+                  let target = o.Compare.target in
+                  let status =
+                    if Pgraph.Graph.size target = 0 then Result.Empty
+                    else Result.Target target
+                  in
+                  { status; bg_general; fg_general })))

@@ -1,0 +1,45 @@
+(** The four ProvMark stages composed as a typed dataflow (paper
+    Sections 3.2–3.5): recording → transformation → generalization
+    (per variant) → comparison.
+
+    Each stage is a {!Stage.t} value, so one attempt of the pipeline is
+    a chain of {!Stage.execute} calls threading a trace context and an
+    optional {!Artifact_store.t}.  Cache keys chain digests:
+
+    {v
+    program text ─d_prog─▶ recording ─d_recs─▶ transformation
+      ─d_graphs(variant)─▶ generalization ─graph digest─▶ comparison
+    v}
+
+    together with the per-stage configuration fingerprints from
+    {!Config}.  Editing a benchmark therefore invalidates exactly its
+    own chain; flipping a knob (say [backend]) re-keys only the stages
+    that read it and everything downstream. *)
+
+(** The recording stage as a function, so tests can swap
+    {!Recording.record_all} for an instrumented or deliberately flaky
+    recorder and exercise the retry policy directly.  The store is
+    consulted for the recording stage only when the recorder is
+    (physically) {!Recording.record_all} — cached artifacts of an
+    injected recorder would poison later real runs. *)
+type recorder =
+  Config.t -> Oskernel.Program.t -> Recording.recorded list * Recording.recorded list
+
+(** What one attempt produces; {!Runner} wraps this into a {!Result.t}
+    with the span tree and retry bookkeeping. *)
+type outcome = {
+  status : Result.status;
+  bg_general : Pgraph.Graph.t option;
+  fg_general : Pgraph.Graph.t option;
+}
+
+(** Canonical digest of everything a benchmark program contributes to
+    its recordings: name, syscall, staging, credentials, setup and
+    target bodies.  The root of each benchmark's cache-key chain. *)
+val program_digest : Oskernel.Program.t -> string
+
+(** [run_once ~record ~ctx config prog] executes the four stages once
+    inside [ctx] (one child span per stage execution, tagged with cache
+    disposition), consulting [config.store] when present. *)
+val run_once :
+  record:recorder -> ctx:Trace_span.ctx -> Config.t -> Oskernel.Program.t -> outcome

@@ -111,7 +111,7 @@ let timing_lines results =
        "compare(s)");
   List.iter
     (fun (r : Result.t) ->
-      let t = r.Result.times in
+      let t = Result.times r in
       Buffer.add_string buf
         (Printf.sprintf "%-12s %14.4f %14.4f %14.4f\n" r.Result.syscall
            t.Result.transformation_s t.Result.generalization_s t.Result.comparison_s))
@@ -136,7 +136,7 @@ let timing_csv results =
   let buf = Buffer.create 1024 in
   List.iter
     (fun (r : Result.t) ->
-      let t = r.Result.times in
+      let t = Result.times r in
       Buffer.add_string buf
         (Printf.sprintf "%s,%s,%.4f,%.4f,%.4f,%.4f\n"
            (String.lowercase_ascii (Recorder.tool_name r.Result.tool))

@@ -2,10 +2,38 @@ type note = Nr | Sc | Lp | Dv
 
 let note_to_string = function Nr -> "NR" | Sc -> "SC" | Lp -> "LP" | Dv -> "DV"
 
+type failure_reason =
+  | Malformed_output of string
+  | No_trials
+  | No_consistent_pair
+  | Alignment_failed of string
+  | Background_not_embeddable
+  | Stage_exception of string
+
+type stage_error = {
+  stage : string;
+  variant : string option;
+  reason : failure_reason;
+}
+
+let failure_reason_to_string = function
+  | Malformed_output m -> m
+  | No_trials -> "no trial graphs recorded"
+  | No_consistent_pair -> "no two trial runs produced similar graphs"
+  | Alignment_failed m -> "alignment failed: " ^ m
+  | Background_not_embeddable -> "background graph does not embed into the foreground graph"
+  | Stage_exception m -> "exception: " ^ m
+
+let stage_error_to_string e =
+  let prefix =
+    match e.variant with Some v -> v ^ " " ^ e.stage | None -> e.stage
+  in
+  prefix ^ ": " ^ failure_reason_to_string e.reason
+
 type status =
   | Target of Pgraph.Graph.t
   | Empty
-  | Failed of string
+  | Failed of stage_error
 
 type stage_times = {
   recording_s : float;
@@ -21,11 +49,20 @@ type t = {
   syscall : string;
   tool : Recorders.Recorder.tool;
   status : status;
-  times : stage_times;
+  span : Trace_span.t;
   bg_general : Pgraph.Graph.t option;
   fg_general : Pgraph.Graph.t option;
   trials : int;
 }
+
+let times r =
+  let sum name = Trace_span.sum_duration_s r.span name in
+  {
+    recording_s = sum "recording";
+    transformation_s = sum "transformation";
+    generalization_s = sum "generalization";
+    comparison_s = sum "comparison";
+  }
 
 let status_word r =
   match r.status with Target _ -> "ok" | Empty -> "empty" | Failed _ -> "failed"
@@ -73,4 +110,4 @@ let summary r =
   match r.status with
   | Target g -> Printf.sprintf "ok (%s)" (Pgraph.Stats.shape_line (Pgraph.Stats.of_graph g))
   | Empty -> "empty"
-  | Failed m -> Printf.sprintf "failed (%s)" m
+  | Failed e -> Printf.sprintf "failed (%s)" (stage_error_to_string e)

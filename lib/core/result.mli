@@ -10,11 +10,41 @@ type note =
 
 val note_to_string : note -> string
 
+(** Why a pipeline stage could not produce its output.  The vocabulary
+    is shared by every stage so failures serialize uniformly into the
+    artifact store and render stably in reports. *)
+type failure_reason =
+  | Malformed_output of string
+      (** the transformation stage rejected a recorder's native output *)
+  | No_trials  (** no trial graphs recorded *)
+  | No_consistent_pair  (** no two trial runs produced similar graphs *)
+  | Alignment_failed of string  (** similar graphs failed to align *)
+  | Background_not_embeddable
+      (** background graph does not embed into the foreground graph *)
+  | Stage_exception of string  (** unexpected exception, rendered *)
+
+(** A structured per-stage failure: which stage, optionally which
+    variant ("background"/"foreground"), and why. *)
+type stage_error = {
+  stage : string;  (** "recording", "transformation", "generalization" or "comparison" *)
+  variant : string option;
+  reason : failure_reason;
+}
+
+val failure_reason_to_string : failure_reason -> string
+
+(** Stable one-line rendering, e.g.
+    ["background generalization: no two trial runs produced similar graphs"].
+    Reports and HTML output depend on this being deterministic. *)
+val stage_error_to_string : stage_error -> string
+
 type status =
   | Target of Pgraph.Graph.t  (** non-empty target graph *)
   | Empty  (** foreground and background were indistinguishable *)
-  | Failed of string  (** the pipeline could not produce a benchmark *)
+  | Failed of stage_error  (** the pipeline could not produce a benchmark *)
 
+(** The classic four per-stage wall-clock figures, derived from the
+    span tree (see {!times}). *)
 type stage_times = {
   recording_s : float;
   transformation_s : float;
@@ -29,11 +59,17 @@ type t = {
   syscall : string;
   tool : Recorders.Recorder.tool;
   status : status;
-  times : stage_times;
+  span : Trace_span.t;
+      (** the run's full trace: one root span, per-attempt children,
+          per-stage grandchildren with durations and cache tags *)
   bg_general : Pgraph.Graph.t option;
   fg_general : Pgraph.Graph.t option;
   trials : int;
 }
+
+(** Per-stage seconds, summed over every attempt's spans — the
+    quantities behind the paper's Figures 5–10. *)
+val times : t -> stage_times
 
 (** "ok" / "empty" / "failed", as printed in the validation matrix. *)
 val status_word : t -> string

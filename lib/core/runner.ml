@@ -1,85 +1,11 @@
 module Program = Oskernel.Program
 
 let timed f =
-  let start = Unix.gettimeofday () in
+  let start = Trace_span.now_s () in
   let v = f () in
-  (v, Unix.gettimeofday () -. start)
+  (v, Trace_span.now_s () -. start)
 
-type recorder =
-  Config.t -> Program.t -> Recording.recorded list * Recording.recorded list
-
-let run_once_with ~(record : recorder) config (prog : Program.t) =
-  let tool = config.Config.tool in
-  let finish status times bg fg =
-    {
-      Result.benchmark = prog.Program.name;
-      syscall = prog.Program.syscall;
-      tool;
-      status;
-      times;
-      bg_general = bg;
-      fg_general = fg;
-      trials = config.Config.trials;
-    }
-  in
-  (* Stage 1: recording. *)
-  let (bg_recs, fg_recs), recording_s = timed (fun () -> record config prog) in
-  (* Stage 2: transformation. *)
-  match timed (fun () -> (Transform.batch bg_recs, Transform.batch fg_recs)) with
-  | exception Transform.Transform_error m ->
-      finish (Result.Failed ("transformation: " ^ m))
-        {
-          Result.recording_s;
-          transformation_s = 0.;
-          generalization_s = 0.;
-          comparison_s = 0.;
-        }
-        None None
-  | (bg_graphs, fg_graphs), transformation_s -> (
-      (* Stage 3: generalization, independently per variant. *)
-      let generalize graphs =
-        Generalize.generalize ~backend:config.Config.backend ~filter:config.Config.filter_graphs
-          ~pair_choice:config.Config.pair_choice graphs
-      in
-      let (bg_out, fg_out), generalization_s =
-        timed (fun () -> (generalize bg_graphs, generalize fg_graphs))
-      in
-      match (bg_out, fg_out) with
-      | Error e, _ ->
-          finish
-            (Result.Failed ("background generalization: " ^ Generalize.failure_to_string e))
-            { Result.recording_s; transformation_s; generalization_s; comparison_s = 0. }
-            None None
-      | _, Error e ->
-          finish
-            (Result.Failed ("foreground generalization: " ^ Generalize.failure_to_string e))
-            { Result.recording_s; transformation_s; generalization_s; comparison_s = 0. }
-            None None
-      | Ok bg, Ok fg -> (
-          (* Stage 4: comparison. *)
-          let compared, comparison_s =
-            timed (fun () ->
-                if Gmatch.Engine.similar ~backend:config.Config.backend bg.Generalize.general fg.Generalize.general
-                then `Similar
-                else
-                  match
-                    Compare.compare ~backend:config.Config.backend ~bg:bg.Generalize.general
-                      ~fg:fg.Generalize.general
-                  with
-                  | Ok outcome -> `Target outcome
-                  | Error e -> `Failed (Compare.failure_to_string e))
-          in
-          let times =
-            { Result.recording_s; transformation_s; generalization_s; comparison_s }
-          in
-          let bg_g = Some bg.Generalize.general and fg_g = Some fg.Generalize.general in
-          match compared with
-          | `Similar -> finish Result.Empty times bg_g fg_g
-          | `Failed m -> finish (Result.Failed m) times bg_g fg_g
-          | `Target outcome ->
-              let target = outcome.Compare.target in
-              if Pgraph.Graph.size target = 0 then finish Result.Empty times bg_g fg_g
-              else finish (Result.Target target) times bg_g fg_g))
+type recorder = Pipeline.recorder
 
 (* Flaky recorder runs occasionally leave no usable pair of trials (or a
    truncated pair wins the class selection).  ProvMark's answer is to
@@ -87,32 +13,60 @@ let run_once_with ~(record : recorder) config (prog : Program.t) =
    growing trial count make the pipeline deterministic in practice. *)
 let max_attempts = 3
 
-let add_times (a : Result.stage_times) (b : Result.stage_times) =
+let root_tags config (prog : Program.t) =
+  [
+    ("benchmark", prog.Program.name);
+    ("syscall", prog.Program.syscall);
+    ("tool", Config.tool_name config);
+  ]
+
+let finish config (prog : Program.t) ~trials (outcome : Pipeline.outcome) span =
   {
-    Result.recording_s = a.Result.recording_s +. b.Result.recording_s;
-    transformation_s = a.Result.transformation_s +. b.Result.transformation_s;
-    generalization_s = a.Result.generalization_s +. b.Result.generalization_s;
-    comparison_s = a.Result.comparison_s +. b.Result.comparison_s;
+    Result.benchmark = prog.Program.name;
+    syscall = prog.Program.syscall;
+    tool = config.Config.tool;
+    status = outcome.Pipeline.status;
+    span;
+    bg_general = outcome.Pipeline.bg_general;
+    fg_general = outcome.Pipeline.fg_general;
+    trials;
   }
 
-let run_with ~record config prog =
-  let rec attempt i acc_times =
-    let config' =
-      {
-        config with
-        Config.trials = config.Config.trials + (2 * i);
-        seed = config.Config.seed + (101 * i);
-      }
-    in
-    let r = run_once_with ~record config' prog in
-    let times =
-      match acc_times with None -> r.Result.times | Some t -> add_times t r.Result.times
-    in
-    match r.Result.status with
-    | Result.Failed _ when i + 1 < max_attempts -> attempt (i + 1) (Some times)
-    | _ -> { r with Result.times }
+let attempt_config config i =
+  {
+    config with
+    Config.trials = config.Config.trials + (2 * i);
+    seed = config.Config.seed + (101 * i);
+  }
+
+let one_attempt ~record ~ctx config prog i =
+  let config' = attempt_config config i in
+  let outcome =
+    Trace_span.with_span ctx "attempt"
+      ~tags:[ ("attempt", string_of_int (i + 1)); ("trials", string_of_int config'.Config.trials) ]
+      (fun ctx -> Pipeline.run_once ~record ~ctx config' prog)
   in
-  attempt 0 None
+  (outcome, config'.Config.trials)
+
+let run_once_with ~(record : recorder) config (prog : Program.t) =
+  let (outcome, trials), span =
+    Trace_span.collect "run" ~tags:(root_tags config prog) (fun ctx ->
+        one_attempt ~record ~ctx config prog 0)
+  in
+  finish config prog ~trials outcome span
+
+let run_with ~record config prog =
+  let (outcome, trials), span =
+    Trace_span.collect "run" ~tags:(root_tags config prog) (fun ctx ->
+        let rec attempt i =
+          let outcome, trials = one_attempt ~record ~ctx config prog i in
+          match outcome.Pipeline.status with
+          | Result.Failed _ when i + 1 < max_attempts -> attempt (i + 1)
+          | _ -> (outcome, trials)
+        in
+        attempt 0)
+  in
+  finish config prog ~trials outcome span
 
 let run_once config prog = run_once_with ~record:Recording.record_all config prog
 let run config prog = run_with ~record:Recording.record_all config prog

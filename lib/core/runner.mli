@@ -1,12 +1,24 @@
 (** Full pipeline orchestration: recording → transformation →
-    generalization → comparison, with wall-clock timing of each stage
-    (the quantities behind the paper's Figures 5–10). *)
+    generalization → comparison, delegated stage-by-stage to
+    {!Pipeline} with tracing, retries and (optional) artifact-store
+    caching.
+
+    Every run produces a {!Trace_span} tree: a root ["run"] span tagged
+    with benchmark/syscall/tool, one ["attempt"] child per (re)try and
+    one grandchild per stage execution, tagged with its cache
+    disposition.  {!Result.times} sums those stage spans, so the classic
+    per-stage figures (paper Figures 5–10) are a view of the trace. *)
+
+(** Monotonic-clock timing of a thunk, as [(value, seconds)].  Kept for
+    benchmark harnesses; pipeline stages are timed by their spans. *)
+val timed : (unit -> 'a) -> 'a * float
 
 (** The recording stage as a function, so tests can swap
     {!Recording.record_all} for an instrumented or deliberately flaky
-    recorder and exercise the retry policy directly. *)
-type recorder =
-  Config.t -> Oskernel.Program.t -> Recording.recorded list * Recording.recorded list
+    recorder and exercise the retry policy directly.  (An injected
+    recorder bypasses the artifact store for the recording stage; see
+    {!Pipeline.recorder}.) *)
+type recorder = Pipeline.recorder
 
 (** [run_once config program] executes the four stages exactly once. *)
 val run_once : Config.t -> Oskernel.Program.t -> Result.t
@@ -18,12 +30,13 @@ val run_once_with : record:recorder -> Config.t -> Oskernel.Program.t -> Result.
 (** [run config program] is {!run_once} with ProvMark's retry policy:
     when flaky recorder runs leave no usable trial pair, the benchmark
     is re-recorded with a growing number of trials (Section 3.2), up to
-    three attempts.  Stage times accumulate across attempts. *)
+    three attempts.  Each attempt contributes its own span subtree, so
+    stage times still accumulate across attempts. *)
 val run : Config.t -> Oskernel.Program.t -> Result.t
 
 (** [run_with ~record config program] is {!run} (attempt escalation,
-    trial-count growth, seed perturbation, accumulated stage times) over
-    an injected recording stage. *)
+    trial-count growth, seed perturbation) over an injected recording
+    stage. *)
 val run_with : record:recorder -> Config.t -> Oskernel.Program.t -> Result.t
 
 (** [run_syscall config name] looks the benchmark up in

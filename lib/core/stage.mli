@@ -1,0 +1,48 @@
+(** One typed step of the benchmark pipeline.
+
+    A [('a, 'b) t] maps a stage input to either an output or a
+    structured {!Result.stage_error}; {!execute} wraps the step with a
+    trace span and, when a store is supplied, content-addressed
+    caching.  Failures are first-class values here — they are encoded
+    into the store exactly like successes, so a deterministic failure
+    (e.g. a non-embeddable background) also replays warm instead of
+    re-running the solver just to fail again. *)
+
+type ('a, 'b) t = {
+  name : string;
+      (** "recording" / "transformation" / "generalization" /
+          "comparison" — also the span name and the store subdirectory *)
+  run : Trace_span.ctx -> 'a -> ('b, Result.stage_error) result;
+  encode : ('b, Result.stage_error) result -> string;
+  decode : string -> ('b, Result.stage_error) result;
+      (** may raise on corrupt input; {!execute} treats that as a miss *)
+}
+
+(** The artifact-store key for one execution of [stage]:
+    [fingerprint] is the stage's configuration fingerprint (see
+    {!Config.recording_fingerprint} etc.), [inputs] the digests of the
+    upstream artifacts it consumes.  Chaining input digests is what
+    gives precise invalidation: an edited benchmark changes the program
+    digest, which changes this stage's key and every downstream key,
+    while unrelated benchmarks keep hitting. *)
+val cache_key : ('a, 'b) t -> fingerprint:string -> inputs:string list -> string
+
+(** [execute ?store ~ctx ~fingerprint ~inputs stage input] runs the
+    stage inside a child span of [ctx] named [stage.name].
+
+    The span is tagged ["cache"] = ["off"] (no store), ["hit"] (artifact
+    replayed, [stage.run] never called) or ["miss"] (computed, then
+    stored).  On compute, nonzero deltas of the solver effort counters
+    (ASP decisions/propagations, matching-memo hits/misses, incremental
+    matcher certified/fallback counts) are attached as additional
+    tags.  Exceptions escaping [stage.run] (other than [Stack_overflow]
+    and [Out_of_memory]) are converted to [Error] with
+    {!Result.Stage_exception}. *)
+val execute :
+  ?store:Artifact_store.t ->
+  ctx:Trace_span.ctx ->
+  fingerprint:string ->
+  inputs:string list ->
+  ('a, 'b) t ->
+  'a ->
+  ('b, Result.stage_error) result

@@ -1,0 +1,84 @@
+type t = {
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  tags : (string * string) list;
+  children : t list;
+}
+
+(* CLOCK_MONOTONIC through bechamel's stub.  The clamp makes the
+   guarantee local too: concurrent readers on different cores can in
+   principle observe the clock out of order; durations computed from
+   [now_ns] pairs on one domain are still non-negative because a span's
+   start and end are read by the same domain. *)
+let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+let duration_s t = Int64.to_float t.dur_ns /. 1e9
+
+type ctx = {
+  mutable ctags : (string * string) list;  (* reversed *)
+  mutable rev_children : t list;
+}
+
+let new_ctx () = { ctags = []; rev_children = [] }
+let add_tag ctx k v = ctx.ctags <- (k, v) :: ctx.ctags
+
+let close ~name ~start_ns ctx =
+  let dur = Int64.sub (now_ns ()) start_ns in
+  {
+    name;
+    start_ns;
+    dur_ns = (if Int64.compare dur 0L < 0 then 0L else dur);
+    tags = List.rev ctx.ctags;
+    children = List.rev ctx.rev_children;
+  }
+
+let open_ctx tags =
+  let ctx = new_ctx () in
+  List.iter (fun (k, v) -> add_tag ctx k v) tags;
+  ctx
+
+let with_span parent ?(tags = []) name f =
+  let start_ns = now_ns () in
+  let ctx = open_ctx tags in
+  match f ctx with
+  | v ->
+      parent.rev_children <- close ~name ~start_ns ctx :: parent.rev_children;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      add_tag ctx "exception" (Printexc.to_string e);
+      parent.rev_children <- close ~name ~start_ns ctx :: parent.rev_children;
+      Printexc.raise_with_backtrace e bt
+
+let collect ?(tags = []) name f =
+  let start_ns = now_ns () in
+  let ctx = open_ctx tags in
+  let v = f ctx in
+  (v, close ~name ~start_ns ctx)
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) t.children
+
+let find_all t name =
+  List.rev (fold (fun acc s -> if String.equal s.name name then s :: acc else acc) [] t)
+
+let sum_duration_s t name =
+  fold (fun acc s -> if String.equal s.name name then acc +. duration_s s else acc) 0. t
+
+let tag t k = List.assoc_opt k t.tags
+
+let null = { name = "none"; start_ns = 0L; dur_ns = 0L; tags = []; children = [] }
+
+let to_json t =
+  let base = t.start_ns in
+  let rec go s =
+    Minijson.Json.Object
+      [
+        ("name", Minijson.Json.String s.name);
+        ("start_ns", Minijson.Json.Number (Int64.to_float (Int64.sub s.start_ns base)));
+        ("dur_ns", Minijson.Json.Number (Int64.to_float s.dur_ns));
+        ("tags", Minijson.Json.Object (List.map (fun (k, v) -> (k, Minijson.Json.String v)) s.tags));
+        ("children", Minijson.Json.Array (List.map go s.children));
+      ]
+  in
+  go t

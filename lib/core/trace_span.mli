@@ -1,0 +1,72 @@
+(** Per-stage tracing: nested spans on a monotonic clock.
+
+    Every pipeline run produces a span tree instead of four loose
+    floats: the runner opens a root span, each retry attempt and each
+    stage nests inside it, and stages attach tags (cache hit/miss,
+    solver effort counters).  {!Result.times} derives the classic
+    per-stage seconds by summing spans by name, so the timing figures
+    keep working while the full tree is available for [--trace].
+
+    Timestamps come from [CLOCK_MONOTONIC] (via bechamel's clock stub),
+    not [Unix.gettimeofday]: wall clock can jump backwards under NTP
+    adjustment, which used to yield negative stage times. *)
+
+(** A closed span.  [start_ns] is an absolute monotonic timestamp
+    (nanoseconds since an arbitrary origin — only differences are
+    meaningful); [dur_ns] is never negative. *)
+type t = {
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  tags : (string * string) list;
+  children : t list;
+}
+
+(** Monotonic nanoseconds.  Never decreases within a process. *)
+val now_ns : unit -> int64
+
+(** Monotonic seconds as a float — the drop-in replacement for
+    [Unix.gettimeofday]-based duration measurement. *)
+val now_s : unit -> float
+
+val duration_s : t -> float
+
+(** {2 Building span trees}
+
+    A [ctx] is the mutable builder for one open span: tags accumulate
+    on it and child spans close into it.  Contexts are not shared
+    between domains — each pipeline run builds its own tree. *)
+
+type ctx
+
+(** [collect name f] runs [f] inside a fresh root span and returns the
+    result together with the closed tree. *)
+val collect : ?tags:(string * string) list -> string -> (ctx -> 'a) -> 'a * t
+
+(** [with_span parent name f] runs [f] in a child span of [parent].
+    The child is closed (and attached) whether [f] returns or raises;
+    an exception is recorded as an ["exception"] tag and re-raised. *)
+val with_span : ctx -> ?tags:(string * string) list -> string -> (ctx -> 'a) -> 'a
+
+(** Attach a tag to the currently open span. *)
+val add_tag : ctx -> string -> string -> unit
+
+(** {2 Querying} *)
+
+(** Depth-first fold over the tree (root first). *)
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+(** All spans (anywhere in the tree) with the given name. *)
+val find_all : t -> string -> t list
+
+(** Sum of [duration_s] over {!find_all} — zero when absent. *)
+val sum_duration_s : t -> string -> float
+
+val tag : t -> string -> string option
+
+(** A zero-duration placeholder, for synthesizing results in tests. *)
+val null : t
+
+(** JSON export ([--trace]): start offsets are rebased on the root span
+    so the tree is readable without knowing the clock origin. *)
+val to_json : t -> Minijson.Json.t

@@ -67,7 +67,7 @@ let view (r : Result_.t) =
     match r.Result_.status with
     | Result_.Target g -> Pgraph.Fingerprint.to_hex (Pgraph.Fingerprint.of_graph g)
     | Result_.Empty -> "-"
-    | Result_.Failed m -> "failed: " ^ m
+    | Result_.Failed e -> "failed: " ^ Result_.stage_error_to_string e
   in
   Printf.sprintf "%s %s %s trials=%d" r.Result_.benchmark (Result_.status_word r) fingerprint
     r.Result_.trials

@@ -207,7 +207,7 @@ let test_pipeline_backends_agree () =
 
 let test_pipeline_stage_times_populated () =
   let r = Provmark.Runner.run (config_for Recorder.Opus) open_bench in
-  let t = r.Provmark.Result.times in
+  let t = Provmark.Result.times r in
   check_bool "recording time" true (t.Provmark.Result.recording_s >= 0.);
   check_bool "opus transformation dominated by db startup" true
     (t.Provmark.Result.transformation_s > 0.001);
@@ -285,7 +285,8 @@ let test_priv_esc_detected () =
             (match s with
             | Provmark.Result.Target _ -> "target"
             | Provmark.Result.Empty -> "empty"
-            | Provmark.Result.Failed m -> "failed: " ^ m))
+            | Provmark.Result.Failed e ->
+                "failed: " ^ Provmark.Result.stage_error_to_string e))
     [ (Recorder.Spade, true); (Recorder.Camflow, true); (Recorder.Opus, true) ]
 
 let test_scalability_targets_grow () =
@@ -353,8 +354,7 @@ let report_result syscall status =
     syscall;
     tool = Recorder.Spade;
     status;
-    times =
-      { Provmark.Result.recording_s = 0.; transformation_s = 0.; generalization_s = 0.; comparison_s = 0. };
+    span = Provmark.Trace_span.null;
     bg_general = None;
     fg_general = None;
     trials = 2;
@@ -448,8 +448,7 @@ let fake_result syscall status =
     syscall;
     tool = Recorder.Spade;
     status;
-    times =
-      { Provmark.Result.recording_s = 0.; transformation_s = 0.; generalization_s = 0.; comparison_s = 0. };
+    span = Provmark.Trace_span.null;
     bg_general = None;
     fg_general = None;
     trials = 2;
@@ -509,7 +508,7 @@ let test_spn_matches_spade_coverage () =
 
 let test_spn_pays_database_cost () =
   let transform tool =
-    (Provmark.Runner.run (config_for tool) open_bench).Provmark.Result.times
+    (Provmark.Result.times (Provmark.Runner.run (config_for tool) open_bench))
       .Provmark.Result.transformation_s
   in
   check_bool "spn transform far above spg" true

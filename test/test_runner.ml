@@ -62,7 +62,7 @@ let test_retry_accumulates_times () =
   (* Each attempt's recording stage slept 5ms; the reported recording
      time spans all three attempts, not just the successful one. *)
   check_bool "recording time spans all attempts" true
-    (r.Result_.times.Result_.recording_s >= 0.015)
+    ((Result_.times r).Result_.recording_s >= 0.015)
 
 let test_gives_up_after_max_attempts () =
   let log = ref [] in
@@ -70,7 +70,7 @@ let test_gives_up_after_max_attempts () =
   check_int "stops at three attempts" 3 (List.length !log);
   check_bool "reports the failure" true
     (match r.Result_.status with
-    | Result_.Failed m -> String.length m > 0
+    | Result_.Failed e -> String.length (Result_.stage_error_to_string e) > 0
     | _ -> false)
 
 let test_run_once_does_not_retry () =
