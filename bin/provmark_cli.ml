@@ -58,6 +58,76 @@ let no_prune_arg =
 
 let apply_prune_flag no_prune = Gmatch.Asp_backend.set_prune (not no_prune)
 
+let plan_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Faults.Plan.of_string s) in
+  let print ppf p = Format.pp_print_string ppf (Faults.Plan.to_string p) in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  let doc =
+    "Deterministic fault plan, as comma-separated key=value pairs: seed=N plus \
+     per-tap-point rates recorder.{drop,dup,truncate,garble}, \
+     store.{corrupt,partial,eio} and solver.exhaust (e.g. \
+     'seed=7,recorder.truncate=0.2,store.eio=0.1,solver.exhaust=0.3'). Every \
+     injection decision is a pure function of the plan seed and the site it \
+     perturbs, so a plan reproduces exactly at any $(b,--jobs) level."
+  in
+  Arg.(value & opt (some plan_conv) None & info [ "faults" ] ~docv:"PLAN" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Per-stage deadline in seconds (monotonic clock). A stage that overruns its \
+     budget fails with a deadline-exceeded diagnosis and is retried like any \
+     other stage failure; deadline failures are never cached."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let retries_arg =
+  let doc =
+    "Attempts per benchmark before it is quarantined (default 3). Each retry \
+     grows the trial count and perturbs the derivation seed, then the suite \
+     moves on; quarantined benchmarks are reported at the end and reflected in \
+     the exit code."
+  in
+  Arg.(value & opt (some int) None & info [ "retries" ] ~docv:"N" ~doc)
+
+let fallback_arg =
+  let doc =
+    "Automatic fallback to the native VF2 matcher when the ASP solver exhausts \
+     its step budget: $(b,on) (default) or $(b,off). Results produced through \
+     the fallback are tagged degraded."
+  in
+  Arg.(value & opt (enum [ ("on", true); ("off", false) ]) true & info [ "fallback" ] ~docv:"on|off" ~doc)
+
+let apply_fault_flags faults fallback =
+  Faults.Injector.set_plan faults;
+  Gmatch.Engine.set_fallback fallback
+
+(* Suite epilogue for robustness accounting.  The fault-outcome line and
+   quarantine report go to stdout (both are deterministic for a fixed
+   plan and -j level; the CI chaos job diffs them); injection counters
+   go to stderr with the other operator-facing statistics.  Exit code 3
+   reports quarantined benchmarks without having aborted the suite. *)
+let finish_run (results : Provmark.Result.t list) =
+  if Faults.Injector.active () then
+    Printf.printf "\n%s\n" (Provmark.Report.fault_outcome_line results);
+  (match Provmark.Report.quarantine_lines results with
+  | "" -> ()
+  | lines ->
+      print_newline ();
+      print_string lines);
+  (match Faults.Injector.injected () with
+  | [] -> ()
+  | counts ->
+      Printf.eprintf "Faults injected: %s\n%!"
+        (String.concat ", " (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) counts)));
+  if List.exists Provmark.Result.quarantined results then exit 3
+
+let unknown_benchmark syscall known =
+  Printf.eprintf "unknown syscall benchmark %S\nknown benchmarks: %s\n" syscall
+    (String.concat " " known);
+  exit 2
+
 let store_arg =
   let doc =
     "Artifact store directory. Every pipeline stage is keyed by its configuration \
@@ -70,8 +140,17 @@ let no_store_arg =
   let doc = "Disable the artifact store (every stage recomputes)." in
   Arg.(value & flag & info [ "no-store" ] ~doc)
 
+(* The store directory is validated up front (creatable, a directory,
+   writable), so a bad --store is one clear error before any benchmark
+   runs rather than a failure halfway through the suite. *)
 let store_of ~store ~no_store =
-  if no_store then None else Some (Provmark.Artifact_store.create ~dir:store)
+  if no_store then None
+  else
+    match Provmark.Artifact_store.create ~dir:store with
+    | s -> Some s
+    | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
 
 let trace_arg =
   let doc =
@@ -131,14 +210,21 @@ let result_type_arg =
              written to finalResult/)." in
   Arg.(value & opt string "rb" & info [ "result-type"; "r" ] ~docv:"TYPE" ~doc)
 
-let config_of ?store tool trials backend seed =
+let config_of ?store ?deadline ?retries tool trials backend seed =
   let base = Provmark.Config.default tool in
+  let retry =
+    match retries with
+    | None -> base.Provmark.Config.retry
+    | Some attempts -> { base.Provmark.Config.retry with Provmark.Config.attempts }
+  in
   {
     base with
     Provmark.Config.trials = Option.value trials ~default:base.Provmark.Config.trials;
     backend;
     seed;
     store;
+    retry;
+    deadline_s = deadline;
   }
 
 (* The original ProvMark appends a line of timing to /tmp/time.log for
@@ -189,25 +275,26 @@ let run_cmd =
     let doc = "Syscall benchmark to run (e.g. open, rename, vfork)." in
     Arg.(required & pos 1 (some string) None & info [] ~docv:"SYSCALL" ~doc)
   in
-  let run tool syscall trials backend seed no_cache no_prune result_type store no_store trace =
+  let run tool syscall trials backend seed no_cache no_prune result_type store no_store trace
+      faults deadline retries fallback =
     apply_cache_flag no_cache;
     apply_prune_flag no_prune;
-    match Provmark.Bench_registry.find_exn syscall with
-    | exception Not_found ->
-        Printf.eprintf "unknown syscall benchmark %S\n" syscall;
-        exit 1
-    | prog ->
-        let store = store_of ~store ~no_store in
-        let config = config_of ?store tool trials backend seed in
-        let r = Provmark.Runner.run config prog in
+    apply_fault_flags faults fallback;
+    let store = store_of ~store ~no_store in
+    let config = config_of ?store ?deadline ?retries tool trials backend seed in
+    match Provmark.Runner.run_syscall config syscall with
+    | Error known -> unknown_benchmark syscall known
+    | Ok r ->
         print_result ~result_type r;
         write_trace trace [ r ];
-        print_store_stats store
+        print_store_stats store;
+        finish_run [ r ]
   in
   let term =
     Term.(
       const run $ tool_arg $ syscall_arg $ trials_arg $ backend_arg $ seed_arg $ no_cache_arg
-      $ no_prune_arg $ result_type_arg $ store_arg $ no_store_arg $ trace_arg)
+      $ no_prune_arg $ result_type_arg $ store_arg $ no_store_arg $ trace_arg $ faults_arg
+      $ deadline_arg $ retries_arg $ fallback_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Benchmark a single syscall (like fullAutomation.py).") term
 
@@ -224,11 +311,15 @@ let batch_cmd =
     let doc = "Also write per-stage timing CSV to this file (sampleResult format)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run tools trials backend seed jobs no_cache no_prune csv store no_store trace =
+  let run tools trials backend seed jobs no_cache no_prune csv store no_store trace faults
+      deadline retries fallback =
     apply_cache_flag no_cache;
     apply_prune_flag no_prune;
+    apply_fault_flags faults fallback;
     let store = store_of ~store ~no_store in
-    let configs = List.map (fun tool -> config_of ?store tool trials backend seed) tools in
+    let configs =
+      List.map (fun tool -> config_of ?store ?deadline ?retries tool trials backend seed) tools
+    in
     let matrix = Provmark.Parallel_runner.run_matrix ~jobs ~on_result:progress configs in
     List.iter (fun (_, results) -> List.iter append_time_log results) matrix;
     print_string (Provmark.Report.validation_matrix matrix);
@@ -237,18 +328,20 @@ let batch_cmd =
     print_cache_stats ();
     write_trace trace (List.concat_map snd matrix);
     print_store_stats store;
-    match csv with
+    (match csv with
     | None -> ()
     | Some file ->
         let oc = open_out file in
         List.iter (fun (_, results) -> output_string oc (Provmark.Report.timing_csv results)) matrix;
         close_out oc;
-        Printf.printf "Timing CSV written to %s\n" file
+        Printf.printf "Timing CSV written to %s\n" file);
+    finish_run (List.concat_map snd matrix)
   in
   let term =
     Term.(
       const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ jobs_arg $ no_cache_arg
-      $ no_prune_arg $ csv_arg $ store_arg $ no_store_arg $ trace_arg)
+      $ no_prune_arg $ csv_arg $ store_arg $ no_store_arg $ trace_arg $ faults_arg
+      $ deadline_arg $ retries_arg $ fallback_arg)
   in
   Cmd.v
     (Cmd.info "batch"
@@ -268,21 +361,27 @@ let report_cmd =
     let doc = "Output HTML file." in
     Arg.(value & opt string "finalResult/index.html" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run tools trials backend seed jobs no_cache no_prune out store no_store =
+  let run tools trials backend seed jobs no_cache no_prune out store no_store faults deadline
+      retries fallback =
     apply_cache_flag no_cache;
     apply_prune_flag no_prune;
+    apply_fault_flags faults fallback;
     let store = store_of ~store ~no_store in
-    let configs = List.map (fun tool -> config_of ?store tool trials backend seed) tools in
+    let configs =
+      List.map (fun tool -> config_of ?store ?deadline ?retries tool trials backend seed) tools
+    in
     let matrix = Provmark.Parallel_runner.run_matrix ~jobs ~on_result:progress configs in
     List.iter (fun (_, results) -> List.iter append_time_log results) matrix;
     Provmark.Html_report.write_file out (Provmark.Html_report.render matrix);
     Printf.printf "HTML report written to %s\n" out;
-    print_store_stats store
+    print_store_stats store;
+    finish_run (List.concat_map snd matrix)
   in
   let term =
     Term.(
       const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ jobs_arg $ no_cache_arg
-      $ no_prune_arg $ out_arg $ store_arg $ no_store_arg)
+      $ no_prune_arg $ out_arg $ store_arg $ no_store_arg $ faults_arg $ deadline_arg
+      $ retries_arg $ fallback_arg)
   in
   Cmd.v
     (Cmd.info "report"
@@ -347,11 +446,9 @@ let trace_cmd =
     Arg.(value & opt string "all" & info [ "stream" ] ~docv:"S" ~doc)
   in
   let run syscall seed variant stream =
-    match Provmark.Bench_registry.find_exn syscall with
-    | exception Not_found ->
-        Printf.eprintf "unknown syscall benchmark %S\n" syscall;
-        exit 1
-    | prog ->
+    match Provmark.Bench_registry.find syscall with
+    | None -> unknown_benchmark syscall (Provmark.Bench_registry.names ())
+    | Some prog ->
         let variant =
           if String.equal variant "bg" then Oskernel.Program.Background
           else Oskernel.Program.Foreground

@@ -1,13 +1,13 @@
 (* Bump when the artifact encoding or key construction changes shape:
    stale entries then miss instead of decoding garbage. *)
-let format_version = "1"
+let format_version = "3"
 
-type stats = { hits : int; misses : int; stored : int }
+type stats = { hits : int; misses : int; stored : int; errors : int }
 
 type t = {
   dir : string;
   mutex : Mutex.t;
-  counters : (string, int ref * int ref * int ref) Hashtbl.t;
+  counters : (string, int ref * int ref * int ref * int ref) Hashtbl.t;
 }
 
 let rec mkdir_p path =
@@ -17,10 +17,22 @@ let rec mkdir_p path =
     try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+let invalid_store fmt = Printf.ksprintf (fun m -> raise (Sys_error m)) fmt
+
+(* Validate the directory up front — one clear error at startup beats a
+   per-stage write failure deep inside the suite.  Probing with a real
+   temp file catches read-only mounts and permission problems that a
+   successful mkdir would hide. *)
 let create ~dir =
-  mkdir_p dir;
-  if not (Sys.is_directory dir) then
-    raise (Sys_error (Printf.sprintf "Artifact_store.create: %s is not a directory" dir));
+  (try mkdir_p dir with
+  | Unix.Unix_error (e, _, path) ->
+      invalid_store "artifact store %s: cannot create %s (%s)" dir path (Unix.error_message e)
+  | Sys_error m -> invalid_store "artifact store %s: %s" dir m);
+  if not (Sys.file_exists dir) then invalid_store "artifact store %s: could not be created" dir;
+  if not (Sys.is_directory dir) then invalid_store "artifact store %s is not a directory" dir;
+  (match Filename.temp_file ~temp_dir:dir ".probe" ".tmp" with
+  | probe -> ( try Sys.remove probe with Sys_error _ -> ())
+  | exception Sys_error m -> invalid_store "artifact store %s is not writable (%s)" dir m);
   { dir; mutex = Mutex.create (); counters = Hashtbl.create 8 }
 
 let dir t = t.dir
@@ -28,7 +40,15 @@ let dir t = t.dir
 let digest s = Digest.to_hex (Digest.string s)
 
 let key ~stage ~fingerprint ~inputs =
-  digest (String.concat "\x00" (("provmark-artifact-v" ^ format_version) :: stage :: fingerprint :: inputs))
+  (* The fault-plan fingerprint participates in every key: a run under
+     an active fault plan reads and writes a disjoint key space, so
+     injected faults can neither poison the clean cache nor be papered
+     over by it — and a faulted re-run still replays its own artifacts
+     byte-identically. *)
+  digest
+    (String.concat "\x00"
+       (("provmark-artifact-v" ^ format_version)
+       :: Faults.Injector.fingerprint () :: stage :: fingerprint :: inputs))
 
 let graph_digest g =
   digest
@@ -50,47 +70,118 @@ let counter_of t stage =
   match Hashtbl.find_opt t.counters stage with
   | Some c -> c
   | None ->
-      let c = (ref 0, ref 0, ref 0) in
+      let c = (ref 0, ref 0, ref 0, ref 0) in
       Hashtbl.replace t.counters stage c;
       c
 
+let record_error t stage =
+  with_lock t (fun () ->
+      let _, _, _, errors = counter_of t stage in
+      incr errors)
+
+(* Entries are sealed with a leading checksum line (MD5 of the payload).
+   Flipped bytes or a torn write cannot be left to the JSON decoder to
+   notice — garbled JSON often still parses, just to a *different*
+   value, which would silently change a warm run's output.  A checksum
+   mismatch is a detected miss: the stage recomputes and the rewrite
+   heals the entry. *)
+let seal payload = digest payload ^ "\n" ^ payload
+
+let unseal contents =
+  let n = String.length contents in
+  if n < 33 || contents.[32] <> '\n' then None
+  else
+    let payload = String.sub contents 33 (n - 33) in
+    if String.equal (String.sub contents 0 32) (digest payload) then Some payload else None
+
 let read t ~stage ~key =
-  let path = path_of t ~stage ~key in
-  match In_channel.with_open_bin path In_channel.input_all with
-  | contents -> Some contents
-  | exception Sys_error _ -> None
+  match Faults.Injector.store_fault ~site:(Printf.sprintf "store:read:%s:%s" stage key) with
+  | Some Faults.Plan.Eio ->
+      (* Transient read error: degrade to a miss and recompute. *)
+      record_error t stage;
+      None
+  | fault -> (
+      let path = path_of t ~stage ~key in
+      match In_channel.with_open_bin path In_channel.input_all with
+      | exception Sys_error _ -> None
+      | contents -> (
+          let contents =
+            match (fault, Faults.Injector.plan ()) with
+            (* At-rest corruption, applied to the sealed bytes: the
+               checksum rejects the entry below. *)
+            | Some Faults.Plan.Corrupt, Some plan ->
+                Faults.Injector.garble plan ~site:("store:entry:" ^ key) contents
+            | _ -> contents
+          in
+          match unseal contents with
+          | Some payload -> Some payload
+          | None ->
+              record_error t stage;
+              None))
 
 let write t ~stage ~key contents =
-  let path = path_of t ~stage ~key in
-  mkdir_p (Filename.dirname path);
-  let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) ".art" ".tmp" in
-  (try
-     Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc contents);
-     Sys.rename tmp path
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  with_lock t (fun () ->
-      let _, _, stored = counter_of t stage in
-      incr stored)
+  let site op = Printf.sprintf "store:%s:%s:%s" op stage key in
+  match Faults.Injector.store_fault ~site:(site "write") with
+  | Some Faults.Plan.Eio ->
+      (* Write dropped on the floor: the entry stays cold, later runs
+         miss and recompute.  Caching is best-effort by contract. *)
+      record_error t stage
+  | fault -> (
+      let contents =
+        let sealed = seal contents in
+        match (fault, Faults.Injector.plan ()) with
+        (* A torn write truncates the sealed bytes, exactly as a torn
+           file would look on disk; the read side's checksum rejects
+           what remains. *)
+        | Some Faults.Plan.Partial_write, Some plan ->
+            Faults.Injector.truncate plan ~site:(site "partial") sealed
+        | _ -> sealed
+      in
+      let path = path_of t ~stage ~key in
+      match
+        mkdir_p (Filename.dirname path);
+        let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) ".art" ".tmp" in
+        (try
+           Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc contents);
+           Sys.rename tmp path
+         with e ->
+           (try Sys.remove tmp with Sys_error _ -> ());
+           raise e)
+      with
+      | () ->
+          with_lock t (fun () ->
+              let _, _, stored, _ = counter_of t stage in
+              incr stored)
+      | exception (Sys_error _ | Unix.Unix_error _) ->
+          (* A store that stops accepting writes must not take the
+             pipeline down with it: count the error and move on
+             uncached. *)
+          record_error t stage)
 
 let record t ~stage ~hit =
   with_lock t (fun () ->
-      let hits, misses, _ = counter_of t stage in
+      let hits, misses, _, _ = counter_of t stage in
       incr (if hit then hits else misses))
 
 let stats t =
   with_lock t (fun () ->
       List.sort compare
         (Hashtbl.fold
-           (fun stage (h, m, s) acc -> (stage, { hits = !h; misses = !m; stored = !s }) :: acc)
+           (fun stage (h, m, s, e) acc ->
+             (stage, { hits = !h; misses = !m; stored = !s; errors = !e }) :: acc)
            t.counters []))
 
 let totals t =
   List.fold_left
     (fun acc (_, s) ->
-      { hits = acc.hits + s.hits; misses = acc.misses + s.misses; stored = acc.stored + s.stored })
-    { hits = 0; misses = 0; stored = 0 } (stats t)
+      {
+        hits = acc.hits + s.hits;
+        misses = acc.misses + s.misses;
+        stored = acc.stored + s.stored;
+        errors = acc.errors + s.errors;
+      })
+    { hits = 0; misses = 0; stored = 0; errors = 0 }
+    (stats t)
 
 let hit_rate s =
   let total = s.hits + s.misses in

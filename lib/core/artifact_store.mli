@@ -18,7 +18,9 @@
 type t
 
 (** [create ~dir] opens (creating directories as needed) a store rooted
-    at [dir].  Raises [Sys_error] if [dir] cannot be created. *)
+    at [dir] and probes it for writability up front, so a misconfigured
+    [--store] produces one clear [Sys_error] at startup instead of a
+    write failure inside every stage. *)
 val create : dir:string -> t
 
 val dir : t -> string
@@ -30,8 +32,10 @@ val digest : string -> string
 
 (** [key ~stage ~fingerprint ~inputs] is the artifact key for one stage
     execution.  [fingerprint] covers the config fields the stage reads;
-    [inputs] are digests of its inputs.  A store format version is
-    baked in, so incompatible layout changes never alias. *)
+    [inputs] are digests of its inputs.  A store format version and the
+    active fault-plan fingerprint (see {!Faults.Injector.fingerprint})
+    are baked in, so incompatible layout changes never alias and
+    fault-injected runs occupy a key space disjoint from clean runs. *)
 val key : stage:string -> fingerprint:string -> inputs:string list -> string
 
 (** Digest of a property graph, combining its Weisfeiler–Leman
@@ -43,7 +47,21 @@ val graph_digest : Pgraph.Graph.t -> string
 
     [read]/[write] do not touch the hit/miss counters: the caller
     decides whether a read artifact was usable (it may fail to decode)
-    and reports the verdict through {!record}. *)
+    and reports the verdict through {!record}.
+
+    Both operations are fault-injection tap points (transient EIO,
+    at-rest corruption, torn writes — see {!Faults.Plan.store_kind})
+    and both degrade rather than raise: a failed or injected-away read
+    is a miss, a failed or injected-away write leaves the entry cold
+    and bumps the [errors] counter.  Caching is best-effort by
+    contract, so the pipeline never dies because the store did.
+
+    Entries are sealed on disk with a checksum of their payload,
+    verified by [read]: flipped bytes or a truncated tail are a
+    *detected* miss (counted under [errors]), never handed to the
+    decoder — garbled JSON can parse to a different value, which would
+    silently change a warm run's output.  The mismatching entry is
+    healed by the recompute's rewrite. *)
 
 val read : t -> stage:string -> key:string -> string option
 val write : t -> stage:string -> key:string -> string -> unit
@@ -54,7 +72,12 @@ val record : t -> stage:string -> hit:bool -> unit
 
 (** {2 Statistics} *)
 
-type stats = { hits : int; misses : int; stored : int }
+type stats = {
+  hits : int;
+  misses : int;
+  stored : int;
+  errors : int;  (** I/O failures (real or injected) degraded to uncached computes *)
+}
 
 (** Per-stage counters, sorted by stage name. *)
 val stats : t -> (string * stats) list

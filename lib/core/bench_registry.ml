@@ -145,10 +145,12 @@ let group_of name =
   | Some p -> ( match p.Program.target with call :: _ -> Syscall.group call | [] -> 0)
   | None -> 0
 
-let find_exn name =
-  match List.find_opt (fun (p : Program.t) -> String.equal p.Program.syscall name) all with
-  | Some p -> p
-  | None -> raise Not_found
+let find name =
+  List.find_opt (fun (p : Program.t) -> String.equal p.Program.syscall name) all
+
+let find_exn name = match find name with Some p -> p | None -> raise Not_found
+
+let names () = List.map (fun (p : Program.t) -> p.Program.syscall) all
 
 (* ------------------------------------------------------------------ *)
 (* Expected validation matrix (paper Table 2)                          *)

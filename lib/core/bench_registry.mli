@@ -25,8 +25,15 @@ val all : Oskernel.Program.t list
 (** Benchmark group number (Table 1) per syscall name. *)
 val group_of : string -> int
 
-(** [find_exn name] returns the benchmark for a syscall name. *)
+(** [find name] returns the benchmark for a syscall name, if any. *)
+val find : string -> Oskernel.Program.t option
+
+(** [find_exn name] is [find], raising [Not_found] on unknown names. *)
 val find_exn : string -> Oskernel.Program.t
+
+(** Known syscall names, in Table 2 order — what the CLI prints when
+    asked for an unknown benchmark. *)
+val names : unit -> string list
 
 (** Expected Table 2 cell for (tool, syscall). *)
 val expected : Recorders.Recorder.tool -> string -> expected

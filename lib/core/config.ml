@@ -1,5 +1,17 @@
 type pair_choice = Smallest | Largest
 
+type retry = {
+  attempts : int;
+  trial_growth : int;
+  backoff_s : float;
+  seed_stride : int;
+}
+
+(* The historical hardcoded escalation (3 attempts, +2 trials, +101
+   seed, no backoff) becomes the default policy; test_runner pins these
+   numbers, so changing them is an observable break. *)
+let default_retry = { attempts = 3; trial_growth = 2; backoff_s = 0.; seed_stride = 101 }
+
 type t = {
   tool : Recorders.Recorder.tool;
   trials : int;
@@ -12,6 +24,8 @@ type t = {
   opus : Recorders.Opus.config;
   camflow : Recorders.Camflow.config;
   store : Artifact_store.t option;
+  retry : retry;
+  deadline_s : float option;
 }
 
 let default_trials = function
@@ -33,6 +47,8 @@ let default tool =
     opus = Recorders.Opus.default_config;
     camflow = Recorders.Camflow.default_config;
     store = None;
+    retry = default_retry;
+    deadline_s = None;
   }
 
 let tool_name t = Recorders.Recorder.tool_name t.tool
@@ -64,9 +80,10 @@ let recording_fingerprint t =
    generalized graph depends on which witness the solver returns — so
    the prune toggle is part of the matching fingerprint. *)
 let backend_fp t =
-  Printf.sprintf "%s,prune=%b"
+  Printf.sprintf "%s,prune=%b,fallback=%b"
     (Gmatch.Engine.backend_to_string t.backend)
     (Gmatch.Asp_backend.prune_enabled ())
+    (Gmatch.Engine.fallback_enabled ())
 
 let generalization_fingerprint t =
   Printf.sprintf "backend=%s;filter=%b;pair=%s" (backend_fp t) t.filter_graphs

@@ -7,6 +7,25 @@ type pair_choice =
   | Smallest  (** pick the similarity class with the smallest graphs (paper default) *)
   | Largest  (** also works, per Section 3.4 *)
 
+(** The retry policy {!Runner} applies when an attempt fails: up to
+    [attempts] tries, each recording [trial_growth] more trials than
+    the last (Section 3.2's answer to flaky capture runs), sleeping
+    [backoff_s] seconds between attempts and perturbing the seed by
+    [seed_stride] so a retry re-records rather than replaying the same
+    flaky trace.  The seed perturbation also moves the recorder
+    fault-injection sites, so an injected fault does not deterministically
+    re-fire on every retry. *)
+type retry = {
+  attempts : int;  (** total attempts, including the first (>= 1) *)
+  trial_growth : int;  (** extra trials added per retry *)
+  backoff_s : float;  (** sleep between attempts (0 = immediate) *)
+  seed_stride : int;  (** seed increment per retry *)
+}
+
+(** 3 attempts, +2 trials, +101 seed, no backoff — the historical
+    hardcoded escalation. *)
+val default_retry : retry
+
 type t = {
   tool : Recorders.Recorder.tool;
   trials : int;
@@ -23,6 +42,13 @@ type t = {
   store : Artifact_store.t option;
       (** when set, every pipeline stage consults the content-addressed
           artifact store before computing (CLI: [--store]/[--no-store]) *)
+  retry : retry;  (** attempt escalation policy (CLI: [--retries]) *)
+  deadline_s : float option;
+      (** per-stage wall-clock budget (CLI: [--deadline]).  Checked
+          post hoc: a stage that overruns fails with
+          {!Result.Deadline_exceeded} instead of being cancelled
+          mid-flight, and the failure is never cached (it depends on
+          timing, not content). *)
 }
 
 (** Per-tool defaults: 3 trials for SPADE, 2 for OPUS, 5 for CamFlow
@@ -48,9 +74,10 @@ val tool_name : t -> string
 val recording_fingerprint : t -> string
 
 (** Fields the generalization stage reads: backend (including the
-    global ASP prune toggle), [filter_graphs], [pair_choice]. *)
+    global ASP prune and VF2-fallback toggles), [filter_graphs],
+    [pair_choice]. *)
 val generalization_fingerprint : t -> string
 
 (** Fields the comparison stage reads: backend (including the global
-    ASP prune toggle). *)
+    ASP prune and VF2-fallback toggles). *)
 val comparison_fingerprint : t -> string

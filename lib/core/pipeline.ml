@@ -8,6 +8,7 @@ type outcome = {
   status : Result.status;
   bg_general : Pgraph.Graph.t option;
   fg_general : Pgraph.Graph.t option;
+  degraded : string list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -49,6 +50,7 @@ let reason_to_json = function
   | Result.Alignment_failed m -> ("alignment_failed", Some m)
   | Result.Background_not_embeddable -> ("not_embeddable", None)
   | Result.Stage_exception m -> ("exception", Some m)
+  | Result.Deadline_exceeded b -> ("deadline", Some b)
 
 let reason_of_json kind msg =
   match (kind, msg) with
@@ -58,6 +60,7 @@ let reason_of_json kind msg =
   | "alignment_failed", Some m -> Result.Alignment_failed m
   | "not_embeddable", None -> Result.Background_not_embeddable
   | "exception", Some m -> Result.Stage_exception m
+  | "deadline", Some b -> Result.Deadline_exceeded b
   | k, _ -> decode_fail "unknown failure reason %S" k
 
 let error_to_json (e : Result.stage_error) =
@@ -178,6 +181,30 @@ let gen_outcome_of_json j =
     discarded = J.to_int (J.member "discarded" j);
   }
 
+(* Stages whose compute may gracefully degrade (ASP step-limit →
+   VF2 fallback) carry their degradation notes inside the artifact:
+   a warm replay of a degraded stage reports the same reduced
+   guarantees as the cold run that produced it. *)
+let noted_to_json value_to_json (v, notes) =
+  J.Object
+    [
+      ("value", value_to_json v);
+      ("degraded", J.Array (List.map (fun n -> J.String n) notes));
+    ]
+
+let noted_of_json value_of_json j =
+  ( value_of_json (J.member "value" j),
+    List.map J.to_str (J.to_list (J.member "degraded" j)) )
+
+(* Engine degradation notes are per-domain; draining before the compute
+   discards anything a previous stage on this domain left behind, so
+   the post-compute drain is exactly this stage's notes. *)
+let with_notes f =
+  ignore (Gmatch.Engine.drain_notes ());
+  match f () with
+  | Ok v -> Ok (v, Gmatch.Engine.drain_notes ())
+  | Error e -> Error e
+
 type compared = Similar | Target of Compare.outcome
 
 let compared_to_json = function
@@ -232,39 +259,42 @@ let generalization_failure variant f =
   in
   { Result.stage = "generalization"; variant = Some variant; reason }
 
-let generalization_stage config ~variant : (Pgraph.Graph.t list, Generalize.outcome) Stage.t =
+let generalization_stage config ~variant :
+    (Pgraph.Graph.t list, Generalize.outcome * string list) Stage.t =
   {
     Stage.name = "generalization";
     run =
       (fun _ctx graphs ->
-        match
-          Generalize.generalize ~backend:config.Config.backend
-            ~filter:config.Config.filter_graphs ~pair_choice:config.Config.pair_choice graphs
-        with
-        | Ok o -> Ok o
-        | Error f -> Error (generalization_failure variant f));
-    encode = wrap gen_outcome_to_json;
-    decode = unwrap gen_outcome_of_json;
+        with_notes (fun () ->
+            match
+              Generalize.generalize ~backend:config.Config.backend
+                ~filter:config.Config.filter_graphs ~pair_choice:config.Config.pair_choice graphs
+            with
+            | Ok o -> Ok o
+            | Error f -> Error (generalization_failure variant f)));
+    encode = wrap (noted_to_json gen_outcome_to_json);
+    decode = unwrap (noted_of_json gen_outcome_of_json);
   }
 
-let comparison_stage config : (Pgraph.Graph.t * Pgraph.Graph.t, compared) Stage.t =
+let comparison_stage config : (Pgraph.Graph.t * Pgraph.Graph.t, compared * string list) Stage.t =
   {
     Stage.name = "comparison";
     run =
       (fun _ctx (bg, fg) ->
-        if Gmatch.Engine.similar ~backend:config.Config.backend bg fg then Ok Similar
-        else
-          match Compare.compare ~backend:config.Config.backend ~bg ~fg with
-          | Ok o -> Ok (Target o)
-          | Error Compare.Background_not_embeddable ->
-              Error
-                {
-                  Result.stage = "comparison";
-                  variant = None;
-                  reason = Result.Background_not_embeddable;
-                });
-    encode = wrap compared_to_json;
-    decode = unwrap compared_of_json;
+        with_notes (fun () ->
+            if Gmatch.Engine.similar ~backend:config.Config.backend bg fg then Ok Similar
+            else
+              match Compare.compare ~backend:config.Config.backend ~bg ~fg with
+              | Ok o -> Ok (Target o)
+              | Error Compare.Background_not_embeddable ->
+                  Error
+                    {
+                      Result.stage = "comparison";
+                      variant = None;
+                      reason = Result.Background_not_embeddable;
+                    }));
+    encode = wrap (noted_to_json compared_to_json);
+    decode = unwrap (noted_of_json compared_of_json);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -275,17 +305,31 @@ let json_digest to_json v = Artifact_store.digest (J.to_string (to_json v))
 let graphs_digest graphs =
   Artifact_store.digest (String.concat "\x00" (List.map Artifact_store.graph_digest graphs))
 
+(* Degradation notes accumulate in stage order, each prefixed with
+   where it happened; duplicates (e.g. the same fallback in both
+   variants' artifacts) collapse to the first occurrence. *)
+let merge_notes chunks =
+  List.fold_left
+    (fun acc (where, notes) ->
+      List.fold_left
+        (fun acc n ->
+          let entry = where ^ ": " ^ n in
+          if List.mem entry acc then acc else acc @ [ entry ])
+        acc notes)
+    [] chunks
+
 let run_once ~record ~ctx config prog =
   let store = config.Config.store in
+  let deadline_s = config.Config.deadline_s in
   (* Recordings from an injected recorder must not poison the shared
      cache (nor be served from it): only the real recorder is keyed. *)
   let rec_store = if record == Recording.record_all then store else None in
   let d_prog = program_digest prog in
-  let fail ?(bg = None) ?(fg = None) e =
-    { status = Result.Failed e; bg_general = bg; fg_general = fg }
+  let fail ?(bg = None) ?(fg = None) ?(degraded = []) e =
+    { status = Result.Failed e; bg_general = bg; fg_general = fg; degraded }
   in
   match
-    Stage.execute ?store:rec_store ~ctx
+    Stage.execute ?store:rec_store ?deadline_s ~ctx
       ~fingerprint:(Config.recording_fingerprint config) ~inputs:[ d_prog ]
       (recording_stage record) (config, prog)
   with
@@ -293,13 +337,14 @@ let run_once ~record ~ctx config prog =
   | Ok recs -> (
       let d_recs = json_digest recordings_to_json recs in
       match
-        Stage.execute ?store ~ctx ~fingerprint:"" ~inputs:[ d_recs ] transformation_stage recs
+        Stage.execute ?store ?deadline_s ~ctx ~fingerprint:"" ~inputs:[ d_recs ]
+          transformation_stage recs
       with
       | Error e -> fail e
       | Ok (bg_graphs, fg_graphs) -> (
           let gen_fp = Config.generalization_fingerprint config in
           let generalize variant graphs =
-            Stage.execute ?store ~ctx ~fingerprint:gen_fp
+            Stage.execute ?store ?deadline_s ~ctx ~fingerprint:gen_fp
               ~inputs:[ variant; graphs_digest graphs ]
               (generalization_stage config ~variant)
               graphs
@@ -309,23 +354,43 @@ let run_once ~record ~ctx config prog =
              background fails first). *)
           let bg_out = generalize "background" bg_graphs in
           let fg_out = generalize "foreground" fg_graphs in
+          let gen_notes out_opt variant =
+            match out_opt with Ok (_, notes) -> [ (variant, notes) ] | Error _ -> []
+          in
+          let notes_so_far =
+            merge_notes (gen_notes bg_out "background" @ gen_notes fg_out "foreground")
+          in
           match (bg_out, fg_out) with
-          | Error e, _ | _, Error e -> fail e
-          | Ok bg, Ok fg -> (
+          | Error e, _ | _, Error e -> fail ~degraded:notes_so_far e
+          | Ok (bg, bg_notes), Ok (fg, fg_notes) -> (
               let bg_g = bg.Generalize.general and fg_g = fg.Generalize.general in
               let bg_general = Some bg_g and fg_general = Some fg_g in
+              let degraded_with cmp_notes =
+                merge_notes
+                  [
+                    ("background", bg_notes);
+                    ("foreground", fg_notes);
+                    ("comparison", cmp_notes);
+                  ]
+              in
               match
-                Stage.execute ?store ~ctx
+                Stage.execute ?store ?deadline_s ~ctx
                   ~fingerprint:(Config.comparison_fingerprint config)
                   ~inputs:[ Artifact_store.graph_digest bg_g; Artifact_store.graph_digest fg_g ]
                   (comparison_stage config) (bg_g, fg_g)
               with
-              | Error e -> fail ~bg:bg_general ~fg:fg_general e
-              | Ok Similar -> { status = Result.Empty; bg_general; fg_general }
-              | Ok (Target o) ->
+              | Error e -> fail ~bg:bg_general ~fg:fg_general ~degraded:(degraded_with []) e
+              | Ok (Similar, cmp_notes) ->
+                  {
+                    status = Result.Empty;
+                    bg_general;
+                    fg_general;
+                    degraded = degraded_with cmp_notes;
+                  }
+              | Ok (Target o, cmp_notes) ->
                   let target = o.Compare.target in
                   let status =
                     if Pgraph.Graph.size target = 0 then Result.Empty
                     else Result.Target target
                   in
-                  { status; bg_general; fg_general })))
+                  { status; bg_general; fg_general; degraded = degraded_with cmp_notes })))

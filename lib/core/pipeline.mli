@@ -31,6 +31,12 @@ type outcome = {
   status : Result.status;
   bg_general : Pgraph.Graph.t option;
   fg_general : Pgraph.Graph.t option;
+  degraded : string list;
+      (** degradation notes in stage order, each prefixed with where it
+          happened ("background"/"foreground"/"comparison"), dedup'd.
+          Notes ride inside the generalization/comparison artifacts, so
+          a warm replay of a degraded stage reports the same reduced
+          guarantees as the cold run that computed it. *)
 }
 
 (** Canonical digest of everything a benchmark program contributes to
@@ -40,6 +46,7 @@ val program_digest : Oskernel.Program.t -> string
 
 (** [run_once ~record ~ctx config prog] executes the four stages once
     inside [ctx] (one child span per stage execution, tagged with cache
-    disposition), consulting [config.store] when present. *)
+    disposition), consulting [config.store] when present and enforcing
+    [config.deadline_s] per stage when set. *)
 val run_once :
   record:recorder -> ctx:Trace_span.ctx -> Config.t -> Oskernel.Program.t -> outcome

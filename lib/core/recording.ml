@@ -20,6 +20,33 @@ let run_id_of config (prog : Program.t) variant trial =
   let v = match variant with Program.Background -> 0 | Program.Foreground -> 1 in
   (config.Config.seed * 1_000_000) + (hash_name prog.Program.name * 64) + (trial * 2) + v
 
+(* Fault tap: perturb the serialized recorder output exactly the way
+   real capture tools fail — truncated graphs, torn reads, dropped or
+   repeated rows.  The site names (tool, benchmark, variant, trial,
+   run id), all pure functions of the config, so a retry's perturbed
+   seed lands on a fresh site and the fault plan stays deterministic
+   at any [-j]. *)
+let fault_site config (prog : Program.t) variant ~trial ~run_id =
+  Printf.sprintf "recorder:%s:%s:%s:%d:%d"
+    (Recorder.tool_name config.Config.tool)
+    prog.Program.name
+    (match variant with Program.Background -> "bg" | Program.Foreground -> "fg")
+    trial run_id
+
+let inject_fault config prog variant ~trial ~run_id output =
+  match Faults.Injector.plan () with
+  | None -> output
+  | Some plan -> (
+      let site = fault_site config prog variant ~trial ~run_id in
+      match Faults.Injector.recorder_fault ~site with
+      | None -> output
+      | Some kind ->
+          let apply = Faults.Injector.perturb plan ~site kind in
+          (match output with
+          | Recorder.Dot_text s -> Recorder.Dot_text (apply s)
+          | Recorder.Store_dump s -> Recorder.Store_dump (apply s)
+          | Recorder.Prov_json s -> Recorder.Prov_json (apply s)))
+
 let record_one config (prog : Program.t) variant ~trial ~session =
   let run_id = run_id_of config prog variant trial in
   let trace = Kernel.run ~run_id prog variant in
@@ -53,6 +80,7 @@ let record_one config (prog : Program.t) variant ~trial ~session =
           (Graphstore.Store.dump
              (Recorders.Spade.record_to_store ~config:config.Config.spade ~truncate_edges trace))
   in
+  let output = inject_fault config prog variant ~trial ~run_id output in
   { variant; trial; run_id; output }
 
 let record_variant config prog variant =

@@ -21,7 +21,8 @@ let cell expected (r : Result.t) =
     | Result.Failed _ -> "failed"
   in
   let marker = if Bench_registry.matches expected r then "" else " *" in
-  measured ^ marker
+  let degraded = if r.Result.degraded = [] then "" else " ~" in
+  measured ^ marker ^ degraded
 
 let find_result results syscall =
   List.find_opt (fun (r : Result.t) -> String.equal r.Result.syscall syscall) results
@@ -61,7 +62,8 @@ let validation_matrix (matrix : matrix) =
   Buffer.add_string buf
     "\nNotes: NR = not recorded (default config), SC = only state changes monitored,\n\
      \       LP = limitation in ProvMark, DV = disconnected vforked process.\n\
-     \       * marks disagreement with the paper's Table 2.\n";
+     \       * marks disagreement with the paper's Table 2.\n\
+     \       ~ marks a degraded result (produced through a fallback path).\n";
   Buffer.contents buf
 
 let agreement (matrix : matrix) =
@@ -131,6 +133,45 @@ let cache_stats_lines stats =
       Buffer.add_string buf (Printf.sprintf "%-16s %8d %8d %9s\n" stage hits misses rate))
     stats;
   Buffer.contents buf
+
+(* Quarantine report: one line per benchmark whose every attempt
+   failed.  The suite completed anyway — these lines (and the exit
+   code) are how the failure surfaces.  Everything printed is
+   deterministic: stage diagnosis and attempt count, never timings. *)
+let quarantine_lines results =
+  let quarantined = List.filter Result.quarantined results in
+  if quarantined = [] then ""
+  else begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "quarantined benchmarks:\n";
+    List.iter
+      (fun (r : Result.t) ->
+        let diagnosis =
+          match r.Result.status with
+          | Result.Failed e -> Result.stage_error_to_string e
+          | Result.Target _ | Result.Empty -> assert false
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-12s %s (after %d attempt%s)\n" r.Result.syscall diagnosis
+             (Result.attempts r)
+             (if Result.attempts r = 1 then "" else "s")))
+      quarantined;
+    Buffer.contents buf
+  end
+
+(* The chaos-job contract line: every fault-plan run must account for
+   its injected faults as retried, degraded or quarantined outcomes.
+   All four counters are pure functions of the result list, so two runs
+   of the same plan print the same line at any [-j]. *)
+let fault_outcome_line results =
+  let n = List.length results in
+  let quarantined = List.length (List.filter Result.quarantined results) in
+  let degraded =
+    List.length (List.filter (fun (r : Result.t) -> r.Result.degraded <> []) results)
+  in
+  let retried = List.length (List.filter (fun r -> Result.attempts r > 1) results) in
+  Printf.sprintf "fault outcomes: %d benchmarks, %d retried, %d degraded, %d quarantined" n
+    retried degraded quarantined
 
 let timing_csv results =
   let buf = Buffer.create 1024 in

@@ -7,7 +7,8 @@ type matrix = (Recorders.Recorder.tool * Result.t list) list
 
 (** Render the Table 2 matrix.  Each cell shows the measured status
     annotated with the paper's note, plus a [*] marker when the measured
-    result disagrees with the paper's expected cell. *)
+    result disagrees with the paper's expected cell and a [~] marker
+    when the result is degraded (produced through a fallback path). *)
 val validation_matrix : matrix -> string
 
 (** [agreement matrix] is [(agreeing cells, total cells)]. *)
@@ -26,3 +27,14 @@ val timing_csv : Result.t list -> string
 (** Render per-stage solve-cache counters as a small table.  Rows are
     [(stage, hits, misses)] — the shape of [Asp.Memo.stats], flattened. *)
 val cache_stats_lines : (string * int * int) list -> string
+
+(** One line per quarantined benchmark (all attempts failed): syscall,
+    stage diagnosis, attempt count.  Empty string when nothing was
+    quarantined.  The suite completes despite quarantines; these lines
+    plus the CLI exit code are how they surface. *)
+val quarantine_lines : Result.t list -> string
+
+(** Deterministic accounting line for fault-injected runs: how many
+    benchmarks were retried, degraded, or quarantined.  Byte-identical
+    across [-j] levels and reruns — the CI chaos job diffs it. *)
+val fault_outcome_line : Result.t list -> string

@@ -9,6 +9,7 @@ type failure_reason =
   | Alignment_failed of string
   | Background_not_embeddable
   | Stage_exception of string
+  | Deadline_exceeded of string
 
 type stage_error = {
   stage : string;
@@ -23,6 +24,7 @@ let failure_reason_to_string = function
   | Alignment_failed m -> "alignment failed: " ^ m
   | Background_not_embeddable -> "background graph does not embed into the foreground graph"
   | Stage_exception m -> "exception: " ^ m
+  | Deadline_exceeded budget -> "deadline exceeded: stage overran its " ^ budget ^ " budget"
 
 let stage_error_to_string e =
   let prefix =
@@ -53,7 +55,12 @@ type t = {
   bg_general : Pgraph.Graph.t option;
   fg_general : Pgraph.Graph.t option;
   trials : int;
+  degraded : string list;
 }
+
+let attempts r = List.length (Trace_span.find_all r.span "attempt")
+
+let quarantined r = match r.status with Failed _ -> true | Target _ | Empty -> false
 
 let times r =
   let sum name = Trace_span.sum_duration_s r.span name in
@@ -107,7 +114,11 @@ let has_disconnected_node g =
   end
 
 let summary r =
-  match r.status with
-  | Target g -> Printf.sprintf "ok (%s)" (Pgraph.Stats.shape_line (Pgraph.Stats.of_graph g))
-  | Empty -> "empty"
-  | Failed e -> Printf.sprintf "failed (%s)" (stage_error_to_string e)
+  let base =
+    match r.status with
+    | Target g -> Printf.sprintf "ok (%s)" (Pgraph.Stats.shape_line (Pgraph.Stats.of_graph g))
+    | Empty -> "empty"
+    | Failed e -> Printf.sprintf "failed (%s)" (stage_error_to_string e)
+  in
+  if r.degraded = [] then base
+  else Printf.sprintf "%s [degraded: %s]" base (String.concat "; " r.degraded)

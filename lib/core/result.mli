@@ -22,6 +22,11 @@ type failure_reason =
   | Background_not_embeddable
       (** background graph does not embed into the foreground graph *)
   | Stage_exception of string  (** unexpected exception, rendered *)
+  | Deadline_exceeded of string
+      (** the stage overran its wall-clock budget
+          ([Config.deadline_s]).  Carries the configured budget string
+          ("0.5s"), never the measured duration — the rendering must be
+          identical at any [-j] and across reruns. *)
 
 (** A structured per-stage failure: which stage, optionally which
     variant ("background"/"foreground"), and why. *)
@@ -65,7 +70,23 @@ type t = {
   bg_general : Pgraph.Graph.t option;
   fg_general : Pgraph.Graph.t option;
   trials : int;
+  degraded : string list;
+      (** degradation notes, deduplicated and in occurrence order: each
+          records a graceful fallback taken while producing the status
+          (e.g. ASP step-limit exhaustion answered by the VF2 backend).
+          A degraded result is still a result — the notes mark it as
+          produced under reduced guarantees. *)
 }
+
+(** Number of pipeline attempts recorded in the span tree (>= 1; more
+    than one means the retry policy kicked in). *)
+val attempts : t -> int
+
+(** A quarantined result: every attempt failed, so the suite carries
+    the benchmark as [Failed] with its stage diagnosis instead of
+    aborting.  (Exactly [status = Failed _]; named for the suite-level
+    reporting role.) *)
+val quarantined : t -> bool
 
 (** Per-stage seconds, summed over every attempt's spans — the
     quantities behind the paper's Figures 5–10. *)
@@ -78,5 +99,6 @@ val status_word : t -> string
     how the disconnected-vfork quirk (DV) manifests. *)
 val has_disconnected_node : Pgraph.Graph.t -> bool
 
-(** One-line human summary, e.g. ["ok (3n/2e)"]. *)
+(** One-line human summary, e.g. ["ok (3n/2e)"]; degraded results get a
+    [" [degraded: ...]"] suffix listing the notes. *)
 val summary : t -> string

@@ -7,12 +7,6 @@ let timed f =
 
 type recorder = Pipeline.recorder
 
-(* Flaky recorder runs occasionally leave no usable pair of trials (or a
-   truncated pair wins the class selection).  ProvMark's answer is to
-   record more trials and try again (Section 3.2); two retries with a
-   growing trial count make the pipeline deterministic in practice. *)
-let max_attempts = 3
-
 let root_tags config (prog : Program.t) =
   [
     ("benchmark", prog.Program.name);
@@ -30,21 +24,41 @@ let finish config (prog : Program.t) ~trials (outcome : Pipeline.outcome) span =
     bg_general = outcome.Pipeline.bg_general;
     fg_general = outcome.Pipeline.fg_general;
     trials;
+    degraded = outcome.Pipeline.degraded;
   }
 
+(* Flaky recorder runs occasionally leave no usable pair of trials (or a
+   truncated pair wins the class selection).  ProvMark's answer is to
+   record more trials and try again (Section 3.2); the escalation
+   schedule comes from [config.retry].  The seed stride also moves the
+   recorder's fault-injection sites, so a retry under a fault plan
+   re-rolls the dice instead of deterministically re-hitting the same
+   fault. *)
 let attempt_config config i =
+  let r = config.Config.retry in
   {
     config with
-    Config.trials = config.Config.trials + (2 * i);
-    seed = config.Config.seed + (101 * i);
+    Config.trials = config.Config.trials + (r.Config.trial_growth * i);
+    seed = config.Config.seed + (r.Config.seed_stride * i);
   }
 
 let one_attempt ~record ~ctx config prog i =
   let config' = attempt_config config i in
+  let backoff = config.Config.retry.Config.backoff_s in
+  let tags =
+    [ ("attempt", string_of_int (i + 1)); ("trials", string_of_int config'.Config.trials) ]
+    @ (if i > 0 && backoff > 0. then [ ("backoff_s", Printf.sprintf "%g" backoff) ] else [])
+  in
   let outcome =
-    Trace_span.with_span ctx "attempt"
-      ~tags:[ ("attempt", string_of_int (i + 1)); ("trials", string_of_int config'.Config.trials) ]
-      (fun ctx -> Pipeline.run_once ~record ~ctx config' prog)
+    Trace_span.with_span ctx "attempt" ~tags (fun ctx ->
+        let o = Pipeline.run_once ~record ~ctx config' prog in
+        (match o.Pipeline.status with
+        | Result.Failed e -> Trace_span.add_tag ctx "failed" (Result.stage_error_to_string e)
+        | Result.Target _ | Result.Empty -> ());
+        (match o.Pipeline.degraded with
+        | [] -> ()
+        | notes -> Trace_span.add_tag ctx "degraded" (String.concat "; " notes));
+        o)
   in
   (outcome, config'.Config.trials)
 
@@ -56,12 +70,16 @@ let run_once_with ~(record : recorder) config (prog : Program.t) =
   finish config prog ~trials outcome span
 
 let run_with ~record config prog =
+  let retry = config.Config.retry in
+  let max_attempts = max 1 retry.Config.attempts in
   let (outcome, trials), span =
     Trace_span.collect "run" ~tags:(root_tags config prog) (fun ctx ->
         let rec attempt i =
           let outcome, trials = one_attempt ~record ~ctx config prog i in
           match outcome.Pipeline.status with
-          | Result.Failed _ when i + 1 < max_attempts -> attempt (i + 1)
+          | Result.Failed _ when i + 1 < max_attempts ->
+              if retry.Config.backoff_s > 0. then Unix.sleepf retry.Config.backoff_s;
+              attempt (i + 1)
           | _ -> (outcome, trials)
         in
         attempt 0)
@@ -71,4 +89,7 @@ let run_with ~record config prog =
 let run_once config prog = run_once_with ~record:Recording.record_all config prog
 let run config prog = run_with ~record:Recording.record_all config prog
 
-let run_syscall config name = run config (Bench_registry.find_exn name)
+let run_syscall config name =
+  match Bench_registry.find name with
+  | Some prog -> Ok (run config prog)
+  | None -> Error (Bench_registry.names ())

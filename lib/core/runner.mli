@@ -27,11 +27,17 @@ val run_once : Config.t -> Oskernel.Program.t -> Result.t
     recording stage replaced by [record]. *)
 val run_once_with : record:recorder -> Config.t -> Oskernel.Program.t -> Result.t
 
-(** [run config program] is {!run_once} with ProvMark's retry policy:
-    when flaky recorder runs leave no usable trial pair, the benchmark
-    is re-recorded with a growing number of trials (Section 3.2), up to
-    three attempts.  Each attempt contributes its own span subtree, so
-    stage times still accumulate across attempts. *)
+(** [run config program] is {!run_once} with ProvMark's retry policy
+    ([config.retry]): when flaky recorder runs leave no usable trial
+    pair, the benchmark is re-recorded with a growing number of trials
+    (Section 3.2) and a perturbed seed, sleeping [backoff_s] between
+    attempts.  Each attempt contributes its own span subtree (tagged
+    with its trial count, its failure rendering when it failed, the
+    configured backoff when one preceded it, and any degradation
+    notes), so stage times still accumulate across attempts.  A run
+    whose final attempt still fails is the quarantined case: the
+    benchmark is reported [Failed] with its stage diagnosis and the
+    suite goes on. *)
 val run : Config.t -> Oskernel.Program.t -> Result.t
 
 (** [run_with ~record config program] is {!run} (attempt escalation,
@@ -40,6 +46,7 @@ val run : Config.t -> Oskernel.Program.t -> Result.t
 val run_with : record:recorder -> Config.t -> Oskernel.Program.t -> Result.t
 
 (** [run_syscall config name] looks the benchmark up in
-    {!Bench_registry} by syscall name.  Raises [Not_found] for unknown
-    names. *)
-val run_syscall : Config.t -> string -> Result.t
+    {!Bench_registry} by syscall name; for unknown names it returns
+    [Error] with the known-name list (what the CLI prints before
+    exiting with code 2). *)
+val run_syscall : Config.t -> string -> (Result.t, string list) result

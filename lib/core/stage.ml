@@ -49,12 +49,32 @@ let compute stage ctx input =
   tag_effort ctx before;
   r
 
-let execute ?store ~ctx ~fingerprint ~inputs stage input =
+(* The deadline is checked post hoc on the monotonic clock: the stage
+   runs to completion and the overrun then replaces its result.  No
+   cancellation means no torn state, and the failure carries only the
+   configured budget string — the measured duration varies run to run
+   and must not leak into deterministic output.  Deadline failures are
+   timing-dependent, so they are never written to the store (a warm
+   machine should not inherit a slow machine's verdict). *)
+let check_deadline stage ctx ~deadline_s ~start r =
+  match deadline_s with
+  | Some budget when Trace_span.now_s () -. start > budget ->
+      Trace_span.add_tag ctx "deadline" "exceeded";
+      Error
+        {
+          Result.stage;
+          variant = None;
+          reason = Result.Deadline_exceeded (Printf.sprintf "%gs" budget);
+        }
+  | _ -> r
+
+let execute ?store ?deadline_s ~ctx ~fingerprint ~inputs stage input =
   Trace_span.with_span ctx stage.name (fun ctx ->
       match store with
       | None ->
           Trace_span.add_tag ctx "cache" "off";
-          compute stage ctx input
+          let start = Trace_span.now_s () in
+          check_deadline stage.name ctx ~deadline_s ~start (compute stage ctx input)
       | Some s -> (
           let key = cache_key stage ~fingerprint ~inputs in
           let cached =
@@ -74,8 +94,12 @@ let execute ?store ~ctx ~fingerprint ~inputs stage input =
           | Some r ->
               Trace_span.add_tag ctx "cache" "hit";
               r
-          | None ->
+          | None -> (
               Trace_span.add_tag ctx "cache" "miss";
+              let start = Trace_span.now_s () in
               let r = compute stage ctx input in
-              Artifact_store.write s ~stage:stage.name ~key (stage.encode r);
-              r))
+              match check_deadline stage.name ctx ~deadline_s ~start r with
+              | Error { Result.reason = Result.Deadline_exceeded _; _ } as overrun -> overrun
+              | r ->
+                  Artifact_store.write s ~stage:stage.name ~key (stage.encode r);
+                  r)))

@@ -27,8 +27,8 @@ type ('a, 'b) t = {
     while unrelated benchmarks keep hitting. *)
 val cache_key : ('a, 'b) t -> fingerprint:string -> inputs:string list -> string
 
-(** [execute ?store ~ctx ~fingerprint ~inputs stage input] runs the
-    stage inside a child span of [ctx] named [stage.name].
+(** [execute ?store ?deadline_s ~ctx ~fingerprint ~inputs stage input]
+    runs the stage inside a child span of [ctx] named [stage.name].
 
     The span is tagged ["cache"] = ["off"] (no store), ["hit"] (artifact
     replayed, [stage.run] never called) or ["miss"] (computed, then
@@ -37,9 +37,19 @@ val cache_key : ('a, 'b) t -> fingerprint:string -> inputs:string list -> string
     matcher certified/fallback counts) are attached as additional
     tags.  Exceptions escaping [stage.run] (other than [Stack_overflow]
     and [Out_of_memory]) are converted to [Error] with
-    {!Result.Stage_exception}. *)
+    {!Result.Stage_exception}.
+
+    When [deadline_s] is given and a computed stage overruns it (checked
+    post hoc on the monotonic clock; nothing is cancelled mid-flight),
+    the result is replaced by [Error] with {!Result.Deadline_exceeded}
+    carrying the configured budget string, the span gains a
+    ["deadline"] = ["exceeded"] tag, and nothing is written to the
+    store — deadline verdicts are timing-dependent and must not replay
+    on a machine that would have met the budget.  Cache hits are exempt
+    (replay is not the work being budgeted). *)
 val execute :
   ?store:Artifact_store.t ->
+  ?deadline_s:float ->
   ctx:Trace_span.ctx ->
   fingerprint:string ->
   inputs:string list ->

@@ -2,24 +2,33 @@ module Recorder = Recorders.Recorder
 
 exception Transform_error of string
 
+(* Each parser rejects malformed input with its own structured error
+   (offset / line + reason); render them uniformly here so the stage
+   boundary sees exactly one exception type.  The [match ... with g ->
+   g | exception ...] shape guards the whole parse *and* conversion:
+   a graph that tokenizes but references undeclared nodes must land
+   here too, not escape as a generic stage exception. *)
 let to_pgraph output =
   match output with
   | Recorder.Dot_text text -> (
-      match Recorders.Dot.of_string text with
-      | exception Recorders.Dot.Parse_error m -> raise (Transform_error ("DOT: " ^ m))
-      | dot -> Recorders.Dot.to_pgraph dot)
+      match Recorders.Dot.to_pgraph (Recorders.Dot.of_string text) with
+      | g -> g
+      | exception Recorders.Dot.Parse_error { offset; reason } ->
+          raise (Transform_error (Printf.sprintf "DOT: %s at offset %d" reason offset)))
   | Recorder.Store_dump dump -> (
-      match Graphstore.Store.load dump with
-      | exception Failure m -> raise (Transform_error ("store: " ^ m))
-      | store ->
-          (* Pay the database startup cost before querying, as ProvMark
-             does when extracting OPUS graphs from Neo4j. *)
-          Graphstore.Store.open_db store;
-          Recorders.Opus.store_to_pgraph store)
+      match Recorders.Opus.of_dump dump with
+      | g -> g
+      | exception Graphstore.Store.Load_error { line; reason } ->
+          raise (Transform_error (Printf.sprintf "store: %s at line %d" reason line)))
   | Recorder.Prov_json text -> (
       match Recorders.Provjson.of_string text with
-      | exception Recorders.Provjson.Format_error m -> raise (Transform_error ("PROV-JSON: " ^ m))
-      | g -> g)
+      | g -> g
+      | exception Recorders.Provjson.Format_error { offset; reason } ->
+          raise
+            (Transform_error
+               (match offset with
+               | Some off -> Printf.sprintf "PROV-JSON: %s at offset %d" reason off
+               | None -> "PROV-JSON: " ^ reason)))
 
 let to_datalog ~gid g = Datalog.Encode.graph_to_string ~gid g
 

@@ -1,0 +1,141 @@
+(* Site-keyed decisions through splitmix64: hash the seed and the site
+   string into a 64-bit state, then draw from the output stream.  The
+   same (seed, site, kind) always draws the same values, so fault
+   placement is a pure function of the plan — the property every
+   byte-identity guarantee in this repo leans on. *)
+
+let current : Plan.t option Atomic.t = Atomic.make None
+let set_plan p = Atomic.set current p
+let plan () = Atomic.get current
+let active () = Option.is_some (plan ())
+let fingerprint () = match plan () with None -> "" | Some p -> Plan.to_string p
+
+(* splitmix64 step. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let state seed key =
+  let h = ref (Int64.add (Int64.of_int seed) 0x9E3779B97F4A7C15L) in
+  String.iter
+    (fun c -> h := mix (Int64.add !h (Int64.of_int (Char.code c))))
+    key;
+  mix !h
+
+(* Uniform draw in [0, 1) from a state, advancing by index so one site
+   can consume several independent values. *)
+let unit_float seed key i =
+  let v = mix (Int64.add (state seed key) (Int64.of_int (i * 0x5851F42D))) in
+  Int64.to_float (Int64.shift_right_logical v 11) /. 9007199254740992.
+
+let draw_int seed key i bound =
+  if bound <= 0 then 0 else int_of_float (unit_float seed key i *. float_of_int bound)
+
+let decide p ~site ~kind rate =
+  rate > 0. && unit_float p.Plan.seed (site ^ "\x00" ^ kind) 0 < rate
+
+(* ------------------------------------------------------------------ *)
+(* Accounting                                                          *)
+
+let counters = [ ("recorder", Atomic.make 0); ("store", Atomic.make 0); ("solver", Atomic.make 0) ]
+
+let count tap =
+  match List.assoc_opt tap counters with
+  | Some c -> ignore (Atomic.fetch_and_add c 1)
+  | None -> ()
+
+let injected () =
+  List.filter_map
+    (fun (tap, c) -> match Atomic.get c with 0 -> None | n -> Some (tap, n))
+    counters
+
+let reset_counters () = List.iter (fun (_, c) -> Atomic.set c 0) counters
+
+(* ------------------------------------------------------------------ *)
+(* Per-tap decisions                                                   *)
+
+let first_firing p ~site ~tap kind_name kinds =
+  match
+    List.find_opt (fun (k, rate) -> decide p ~site ~kind:(kind_name k) rate) kinds
+  with
+  | Some (k, _) ->
+      count tap;
+      Some k
+  | None -> None
+
+let recorder_fault ~site =
+  match plan () with
+  | None -> None
+  | Some p -> first_firing p ~site ~tap:"recorder" Plan.recorder_kind_name p.Plan.recorder
+
+let store_fault ~site =
+  match plan () with
+  | None -> None
+  | Some p -> first_firing p ~site ~tap:"store" Plan.store_kind_name p.Plan.store
+
+let solver_exhaust ~site =
+  match plan () with
+  | None -> false
+  | Some p ->
+      let hit = decide p ~site ~kind:"exhaust" p.Plan.solver_exhaust in
+      if hit then count "solver";
+      hit
+
+(* ------------------------------------------------------------------ *)
+(* Text perturbations                                                  *)
+
+(* Cut somewhere in the middle: always removes at least one byte of a
+   non-empty text, never the whole thing (offset >= 1), biased away
+   from the trivial near-full cut by drawing over the first 90%. *)
+let truncate p ~site text =
+  let n = String.length text in
+  if n <= 1 then text
+  else
+    let keep = 1 + draw_int p.Plan.seed (site ^ "\x00truncate") 0 (n * 9 / 10) in
+    String.sub text 0 (min keep (n - 1))
+
+(* Flip up to three bytes.  XOR with a nonzero mask guarantees each
+   touched byte really changes. *)
+let garble p ~site text =
+  let n = String.length text in
+  if n = 0 then text
+  else begin
+    let b = Bytes.of_string text in
+    let flips = 1 + draw_int p.Plan.seed (site ^ "\x00garble") 0 3 in
+    for i = 1 to flips do
+      let pos = draw_int p.Plan.seed (site ^ "\x00garble") i n in
+      let mask = 1 + draw_int p.Plan.seed (site ^ "\x00garble-mask") i 255 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask))
+    done;
+    Bytes.to_string b
+  end
+
+let split_lines text = String.split_on_char '\n' text
+
+let join_lines lines = String.concat "\n" lines
+
+let pick_line p ~site ~kind lines =
+  let eligible = List.length lines in
+  if eligible = 0 then -1 else draw_int p.Plan.seed (site ^ "\x00" ^ kind) 0 eligible
+
+let drop_line p ~site text =
+  let lines = split_lines text in
+  match pick_line p ~site ~kind:"drop" lines with
+  | -1 -> text
+  | i -> join_lines (List.filteri (fun j _ -> j <> i) lines)
+
+let duplicate_line p ~site text =
+  let lines = split_lines text in
+  match pick_line p ~site ~kind:"dup" lines with
+  | -1 -> text
+  | i ->
+      join_lines
+        (List.concat (List.mapi (fun j l -> if j = i then [ l; l ] else [ l ]) lines))
+
+let perturb p ~site kind text =
+  match kind with
+  | Plan.Truncate -> truncate p ~site text
+  | Plan.Garble -> garble p ~site text
+  | Plan.Drop_event -> drop_line p ~site text
+  | Plan.Duplicate_event -> duplicate_line p ~site text

@@ -1,0 +1,66 @@
+(** Seeded, site-keyed fault injection.
+
+    Every tap point asks the injector one question: "is this site
+    perturbed under the current plan, and how?".  A {e site} is a
+    stable string naming the execution point independently of
+    scheduling — a recorder site names (tool, benchmark, variant,
+    trial, run id), a store site names (operation, stage, artifact
+    key), a solver site names the instance's graph fingerprints.
+    Decisions hash [(plan seed, site, kind)] through splitmix64, so
+    they are reproducible across processes and across [-j] levels, and
+    independent between sites and kinds. *)
+
+(** {2 The process-wide plan}
+
+    Mirrors the ASP prune toggle: set once at startup (CLI [--faults])
+    or per-test, read lock-free from any domain. *)
+
+val set_plan : Plan.t option -> unit
+val plan : unit -> Plan.t option
+val active : unit -> bool
+
+(** Canonical rendering of the current plan, [""] when none — folded
+    into every artifact-store key so faulted runs can never poison (or
+    be served from) a clean run's cache. *)
+val fingerprint : unit -> string
+
+(** {2 Decisions} *)
+
+(** [decide plan ~site ~kind rate] — true with probability [rate],
+    deterministically per [(seed, site, kind)]. *)
+val decide : Plan.t -> site:string -> kind:string -> float -> bool
+
+(** First recorder fault that fires for this site under the current
+    plan, in [Plan.t] declaration order; [None] when no plan is set.
+    Increments the ["recorder"] injection counter. *)
+val recorder_fault : site:string -> Plan.recorder_kind option
+
+(** Same, for store I/O sites (["store"] counter). *)
+val store_fault : site:string -> Plan.store_kind option
+
+(** Whether the solver's step budget is forced to exhaustion at this
+    site (["solver"] counter). *)
+val solver_exhaust : site:string -> bool
+
+(** {2 Deterministic text perturbations}
+
+    All offsets derive from [(plan seed, site)], never from randomness
+    or clock state. *)
+
+val truncate : Plan.t -> site:string -> string -> string
+val garble : Plan.t -> site:string -> string -> string
+val drop_line : Plan.t -> site:string -> string -> string
+val duplicate_line : Plan.t -> site:string -> string -> string
+
+(** Apply a recorder fault to serialized recorder output. *)
+val perturb : Plan.t -> site:string -> Plan.recorder_kind -> string -> string
+
+(** {2 Accounting}
+
+    Process-wide injection counts per tap point (["recorder"],
+    ["store"], ["solver"]), for operator-facing summaries.  Counts are
+    deterministic for a fixed plan and suite because every decision
+    is. *)
+
+val injected : unit -> (string * int) list
+val reset_counters : unit -> unit

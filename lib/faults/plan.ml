@@ -1,0 +1,97 @@
+type recorder_kind = Drop_event | Duplicate_event | Truncate | Garble
+type store_kind = Corrupt | Partial_write | Eio
+
+type t = {
+  seed : int;
+  recorder : (recorder_kind * float) list;
+  store : (store_kind * float) list;
+  solver_exhaust : float;
+}
+
+let recorder_kind_name = function
+  | Drop_event -> "drop"
+  | Duplicate_event -> "dup"
+  | Truncate -> "truncate"
+  | Garble -> "garble"
+
+let store_kind_name = function
+  | Corrupt -> "corrupt"
+  | Partial_write -> "partial"
+  | Eio -> "eio"
+
+let recorder_kinds = [ Drop_event; Duplicate_event; Truncate; Garble ]
+let store_kinds = [ Corrupt; Partial_write; Eio ]
+
+let empty = { seed = 1; recorder = []; store = []; solver_exhaust = 0. }
+
+(* Canonical key order: seed first, then tap points in pipeline order.
+   The rendering is part of the artifact-store key contract (a faulted
+   run must never share cache entries with a clean one), so it is
+   enumerated explicitly rather than derived. *)
+let to_string t =
+  let entry prefix name rate =
+    if rate <= 0. then None else Some (Printf.sprintf "%s.%s=%g" prefix name rate)
+  in
+  let rate_of kinds k = Option.value (List.assoc_opt k kinds) ~default:0. in
+  String.concat ","
+    (List.filter_map Fun.id
+       (Some (Printf.sprintf "seed=%d" t.seed)
+       :: List.map
+            (fun k -> entry "recorder" (recorder_kind_name k) (rate_of t.recorder k))
+            recorder_kinds
+       @ List.map (fun k -> entry "store" (store_kind_name k) (rate_of t.store k)) store_kinds
+       @ [ entry "solver" "exhaust" t.solver_exhaust ]))
+
+let of_string spec =
+  let ( let* ) = Result.bind in
+  let rate key v =
+    match float_of_string_opt v with
+    | Some r when r >= 0. && r <= 1. -> Ok r
+    | Some _ -> Error (Printf.sprintf "fault plan: %s rate %s is outside [0, 1]" key v)
+    | None -> Error (Printf.sprintf "fault plan: %s expects a probability, got %S" key v)
+  in
+  let apply plan item =
+    match String.index_opt item '=' with
+    | None -> Error (Printf.sprintf "fault plan: expected key=value, got %S" item)
+    | Some i -> (
+        let key = String.trim (String.sub item 0 i) in
+        let v = String.trim (String.sub item (i + 1) (String.length item - i - 1)) in
+        match key with
+        | "seed" -> (
+            match int_of_string_opt v with
+            | Some seed -> Ok { plan with seed }
+            | None -> Error (Printf.sprintf "fault plan: seed expects an integer, got %S" v))
+        | "recorder.drop" | "recorder.dup" | "recorder.truncate" | "recorder.garble" ->
+            let* r = rate key v in
+            let kind =
+              match key with
+              | "recorder.drop" -> Drop_event
+              | "recorder.dup" -> Duplicate_event
+              | "recorder.truncate" -> Truncate
+              | _ -> Garble
+            in
+            Ok { plan with recorder = plan.recorder @ [ (kind, r) ] }
+        | "store.corrupt" | "store.partial" | "store.eio" ->
+            let* r = rate key v in
+            let kind =
+              match key with
+              | "store.corrupt" -> Corrupt
+              | "store.partial" -> Partial_write
+              | _ -> Eio
+            in
+            Ok { plan with store = plan.store @ [ (kind, r) ] }
+        | "solver.exhaust" ->
+            let* r = rate key v in
+            Ok { plan with solver_exhaust = r }
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "fault plan: unknown key %S (expected seed, recorder.{drop,dup,truncate,garble}, \
+                  store.{corrupt,partial,eio} or solver.exhaust)"
+                 key))
+  in
+  let items =
+    List.filter (fun s -> String.trim s <> "") (String.split_on_char ',' spec)
+  in
+  if items = [] then Error "fault plan: empty spec"
+  else List.fold_left (fun acc item -> Result.bind acc (fun p -> apply p item)) (Ok empty) items

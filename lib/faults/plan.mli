@@ -1,0 +1,48 @@
+(** Deterministic fault plans.
+
+    A plan names the faults to inject at each pipeline boundary ("tap
+    point") together with a per-site probability, plus the seed every
+    injection decision derives from.  A plan carries no mutable state:
+    whether a given site is perturbed is a pure function of
+    [(seed, site, kind)], so two runs of the same plan — at any [-j] —
+    inject exactly the same faults (see {!Injector}). *)
+
+(** Perturbations of a recorder's native output (the text of a DOT
+    graph, an OPUS store dump, or a CamFlow PROV-JSON document). *)
+type recorder_kind =
+  | Drop_event  (** delete one line/row of the output *)
+  | Duplicate_event  (** repeat one line/row of the output *)
+  | Truncate  (** cut the output short, as a killed recorder would *)
+  | Garble  (** flip bytes in place, as a torn read would *)
+
+(** Artifact-store I/O faults. *)
+type store_kind =
+  | Corrupt  (** entry bytes flipped at rest; decodes as a miss *)
+  | Partial_write  (** entry persisted truncated, as a torn write *)
+  | Eio  (** transient I/O error: reads miss, writes are dropped *)
+
+type t = {
+  seed : int;
+  recorder : (recorder_kind * float) list;  (** kind, per-site probability *)
+  store : (store_kind * float) list;
+  solver_exhaust : float;
+      (** probability a solve runs with its step budget exhausted,
+          forcing the ASP backend's [Unknown] path *)
+}
+
+val recorder_kind_name : recorder_kind -> string
+val store_kind_name : store_kind -> string
+
+(** [of_string spec] parses a comma-separated [key=value] plan spec,
+    e.g. ["seed=7,recorder.truncate=0.2,store.eio=0.1,solver.exhaust=0.3"].
+    Keys: [seed], [recorder.{drop,dup,truncate,garble}],
+    [store.{corrupt,partial,eio}], [solver.exhaust].  Probabilities
+    must lie in [[0, 1]].  Unknown keys and malformed values are
+    reported, not ignored. *)
+val of_string : string -> (t, string) result
+
+(** Canonical rendering: fixed key order, [%g] floats, zero-rate
+    entries omitted.  [of_string (to_string p)] is [p] up to rate
+    normalization; the rendering participates in artifact-store keys,
+    so it must stay stable. *)
+val to_string : t -> string

@@ -71,27 +71,61 @@ let instance task g1 g2 =
     in
     (program, base)
 
+(* Fault tap: a solve site is named by the memo tag and the two graphs'
+   Weisfeiler-Leman fingerprints — content, not identity or schedule —
+   so forced step-limit exhaustion is reproducible at any [-j].  A
+   faulted solve keys the memo under its tiny [max_steps], never
+   aliasing an honest solve of the same instance. *)
+let solve_site memo g1 g2 =
+  Printf.sprintf "solver:%s:%s:%s" memo
+    (Pgraph.Fingerprint.to_hex (Pgraph.Fingerprint.of_graph g1))
+    (Pgraph.Fingerprint.to_hex (Pgraph.Fingerprint.of_graph g2))
+
 (* Each entry point carries the pipeline stage it serves as its memo
    tag, so the solve cache reports hits per stage.  Pruned and unpruned
    instances differ in both program text and cand facts, so they memoize
    under distinct keys automatically. *)
 let run_task ?(max_steps = default_max_steps) ~memo ~find_optimal task g1 g2 =
+  let max_steps =
+    if Faults.Injector.solver_exhaust ~site:(solve_site memo g1 g2) then 0 else max_steps
+  in
   let program, facts = instance task g1 g2 in
   Asp.Engine.run ~max_steps ~find_optimal ~memo ~program ~facts ()
 
-let similar ?max_steps g1 g2 =
+(* [Unknown] (step limit before any model) and non-optimal models (step
+   limit before the optimality proof) both mean the solver ran out of
+   budget: surface that so {!Engine} can fall back to VF2 instead of
+   reporting a wrong verdict or a suboptimal witness. *)
+let similar_checked ?max_steps g1 g2 =
   match run_task ?max_steps ~memo:"similarity" ~find_optimal:false Similarity g1 g2 with
-  | Asp.Engine.Model _ -> true
-  | Asp.Engine.Unsat | Asp.Engine.Unknown -> false
+  | Asp.Engine.Model _ -> Ok true
+  | Asp.Engine.Unsat -> Ok false
+  | Asp.Engine.Unknown -> Error `Step_limit
+
+let similar ?max_steps g1 g2 =
+  match similar_checked ?max_steps g1 g2 with Ok b -> b | Error `Step_limit -> false
 
 let decode g1 outcome =
   match outcome with
+  | Asp.Engine.Model { cost; atoms; optimal = true } ->
+      Ok (Some (Matching.of_pairs g1 (Asp.Engine.matching_of_atoms atoms) cost))
+  | Asp.Engine.Model { optimal = false; _ } | Asp.Engine.Unknown -> Error `Step_limit
+  | Asp.Engine.Unsat -> Ok None
+
+let iso_min_cost_checked ?max_steps g1 g2 =
+  decode g1 (run_task ?max_steps ~memo:"generalization" ~find_optimal:true Generalization g1 g2)
+
+let sub_iso_min_cost_checked ?max_steps g1 g2 =
+  decode g1 (run_task ?max_steps ~memo:"comparison" ~find_optimal:true Comparison g1 g2)
+
+(* The unchecked entry points keep the historical behaviour (a limited
+   non-optimal model is still returned; [Unknown] maps to [None]). *)
+let unchecked ?max_steps memo task g1 g2 =
+  match run_task ?max_steps ~memo ~find_optimal:true task g1 g2 with
   | Asp.Engine.Model { cost; atoms; optimal = _ } ->
       Some (Matching.of_pairs g1 (Asp.Engine.matching_of_atoms atoms) cost)
   | Asp.Engine.Unsat | Asp.Engine.Unknown -> None
 
-let iso_min_cost ?max_steps g1 g2 =
-  decode g1 (run_task ?max_steps ~memo:"generalization" ~find_optimal:true Generalization g1 g2)
+let iso_min_cost ?max_steps g1 g2 = unchecked ?max_steps "generalization" Generalization g1 g2
 
-let sub_iso_min_cost ?max_steps g1 g2 =
-  decode g1 (run_task ?max_steps ~memo:"comparison" ~find_optimal:true Comparison g1 g2)
+let sub_iso_min_cost ?max_steps g1 g2 = unchecked ?max_steps "comparison" Comparison g1 g2

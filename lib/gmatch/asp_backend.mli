@@ -35,3 +35,24 @@ val similar : ?max_steps:int -> Pgraph.Graph.t -> Pgraph.Graph.t -> bool
 val iso_min_cost : ?max_steps:int -> Pgraph.Graph.t -> Pgraph.Graph.t -> Matching.t option
 
 val sub_iso_min_cost : ?max_steps:int -> Pgraph.Graph.t -> Pgraph.Graph.t -> Matching.t option
+
+(** {2 Step-limit-aware variants}
+
+    The plain entry points above fold solver exhaustion into their
+    answer ([Unknown] reads as "not similar" / "no matching"), which is
+    the historical behaviour but conflates "proved absent" with "ran
+    out of budget".  The [_checked] variants separate the two so
+    {!Engine} can fall back to the VF2 backend when the solver gives up
+    — including when a min-cost solve returns a model it could not
+    prove optimal.  Solver exhaustion is also a fault-injection tap
+    point ([solver.exhaust] in {!Faults.Plan.t}): an injected site runs
+    with a zero step budget and reports [`Step_limit]. *)
+
+val similar_checked :
+  ?max_steps:int -> Pgraph.Graph.t -> Pgraph.Graph.t -> (bool, [ `Step_limit ]) result
+
+val iso_min_cost_checked :
+  ?max_steps:int -> Pgraph.Graph.t -> Pgraph.Graph.t -> (Matching.t option, [ `Step_limit ]) result
+
+val sub_iso_min_cost_checked :
+  ?max_steps:int -> Pgraph.Graph.t -> Pgraph.Graph.t -> (Matching.t option, [ `Step_limit ]) result

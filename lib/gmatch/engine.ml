@@ -13,20 +13,70 @@ let backend_to_string = function
   | Direct -> "direct"
   | Incremental -> "incremental"
 
+(* Process-wide toggle, same discipline as Asp_backend.prune_flag: it
+   changes answers only when the ASP solver exhausts its budget, and it
+   participates in Config.backend_fp so cached artifacts key on it. *)
+let fallback_flag = Atomic.make true
+let set_fallback b = Atomic.set fallback_flag b
+let fallback_enabled () = Atomic.get fallback_flag
+
+(* Degradation notes are collected per domain.  A benchmark's pipeline
+   runs sequentially on one worker domain, so the notes drained after a
+   stage are exactly that stage's — deterministic at any [-j].  Notes
+   are recorded in emission order and deduplicated on drain. *)
+let notes_key : string list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let note msg =
+  let r = Domain.DLS.get notes_key in
+  r := msg :: !r
+
+let drain_notes () =
+  let r = Domain.DLS.get notes_key in
+  let notes = List.rev !r in
+  r := [];
+  List.fold_left (fun acc n -> if List.mem n acc then acc else acc @ [ n ]) [] notes
+
+let degraded op =
+  note (Printf.sprintf "asp %s hit its step limit; fell back to vf2" op)
+
 let similar ?(backend = default_backend) g1 g2 =
   match backend with
-  | Asp -> Asp_backend.similar g1 g2
+  | Asp -> (
+      match Asp_backend.similar_checked g1 g2 with
+      | Ok b -> b
+      | Error `Step_limit ->
+          if fallback_enabled () then begin
+            degraded "similarity";
+            Vf2.similar g1 g2
+          end
+          else false)
   | Direct -> Vf2.similar g1 g2
   | Incremental -> Incremental.similar g1 g2
 
 let generalization_matching ?(backend = default_backend) g1 g2 =
   match backend with
-  | Asp -> Asp_backend.iso_min_cost g1 g2
+  | Asp -> (
+      match Asp_backend.iso_min_cost_checked g1 g2 with
+      | Ok m -> m
+      | Error `Step_limit ->
+          if fallback_enabled () then begin
+            degraded "generalization";
+            Vf2.iso_min_cost g1 g2
+          end
+          else Asp_backend.iso_min_cost g1 g2)
   | Direct -> Vf2.iso_min_cost g1 g2
   | Incremental -> Incremental.iso_min_cost g1 g2
 
 let subgraph_matching ?(backend = default_backend) g1 g2 =
   match backend with
-  | Asp -> Asp_backend.sub_iso_min_cost g1 g2
+  | Asp -> (
+      match Asp_backend.sub_iso_min_cost_checked g1 g2 with
+      | Ok m -> m
+      | Error `Step_limit ->
+          if fallback_enabled () then begin
+            degraded "comparison";
+            Vf2.sub_iso_min_cost g1 g2
+          end
+          else Asp_backend.sub_iso_min_cost g1 g2)
   | Direct -> Vf2.sub_iso_min_cost g1 g2
   | Incremental -> Incremental.sub_iso_min_cost g1 g2

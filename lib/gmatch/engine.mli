@@ -18,6 +18,26 @@ val default_backend : backend
 val backend_of_string : string -> (backend, string) result
 val backend_to_string : backend -> string
 
+(** {2 Graceful degradation}
+
+    When the [Asp] backend exhausts its step budget (genuinely, or
+    through an injected [solver.exhaust] fault), the engine falls back
+    to the VF2 matcher instead of reporting a wrong verdict, and leaves
+    a degradation note behind.  Fallback is on by default and togglable
+    process-wide (the CLI exposes [--fallback]); the flag participates
+    in the pipeline's backend fingerprint so cached artifacts never mix
+    fallback and non-fallback answers. *)
+
+val set_fallback : bool -> unit
+val fallback_enabled : unit -> bool
+
+(** [drain_notes ()] returns and clears the degradation notes recorded
+    on the calling domain since the last drain, in emission order and
+    deduplicated.  A benchmark's pipeline runs sequentially on one
+    worker domain, so draining after a stage yields exactly that
+    stage's notes — deterministic at any [-j]. *)
+val drain_notes : unit -> string list
+
 (** Shape similarity (Section 3.4): do the two graphs admit a label- and
     structure-preserving bijection? *)
 val similar : ?backend:backend -> Pgraph.Graph.t -> Pgraph.Graph.t -> bool

@@ -146,11 +146,16 @@ let unescape s =
 let props_to_string props =
   String.concat "\t" (List.map (fun (k, v) -> escape k ^ "=" ^ escape v) props)
 
-let props_of_fields fields =
+exception Load_error of { line : int; reason : string }
+
+let load_fail line fmt =
+  Printf.ksprintf (fun reason -> raise (Load_error { line; reason })) fmt
+
+let props_of_fields ~line fields =
   List.map
     (fun f ->
       match String.index_opt f '=' with
-      | None -> failwith ("Store.load: malformed property " ^ f)
+      | None -> load_fail line "malformed property %S (expected key=value)" f
       | Some i -> (unescape (String.sub f 0 i), unescape (String.sub f (i + 1) (String.length f - i - 1))))
     (List.filter (fun f -> String.length f > 0) fields)
 
@@ -171,36 +176,46 @@ let dump t =
     (List.sort (fun a b -> Int.compare a.r_id b.r_id) (sorted_values t.rels));
   Buffer.contents b
 
+(* Truncated or garbled dumps (torn writes, injected recorder faults)
+   must fail with a located diagnosis, not a bare [Failure
+   "int_of_string"]: every reject carries the 1-based line number and a
+   reason, and no other exception escapes. *)
 let load text =
   let t = create () in
   let lines = String.split_on_char '\n' text in
-  List.iter
-    (fun line ->
+  let int_field ln what s =
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> load_fail ln "malformed %s %S (expected an integer)" what s
+  in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
       if String.length line > 0 then
         match String.split_on_char '\t' line with
         | "N" :: id :: labels :: props ->
-            let n_id = int_of_string id in
+            let n_id = int_field ln "node id" id in
             let n_labels =
               List.filter (fun l -> l <> "") (List.map unescape (String.split_on_char ',' labels))
             in
-            Hashtbl.replace t.nodes n_id { n_id; n_labels; n_props = props_of_fields props };
+            Hashtbl.replace t.nodes n_id { n_id; n_labels; n_props = props_of_fields ~line:ln props };
             List.iter (fun l -> index_add t.label_index l n_id) n_labels;
             t.next_id <- max t.next_id (n_id + 1)
         | "R" :: id :: src :: tgt :: rtype :: props ->
-            let r_id = int_of_string id in
+            let r_id = int_field ln "relationship id" id in
             let r = {
               r_id;
-              r_src = int_of_string src;
-              r_tgt = int_of_string tgt;
+              r_src = int_field ln "relationship source" src;
+              r_tgt = int_field ln "relationship target" tgt;
               r_type = unescape rtype;
-              r_props = props_of_fields props;
+              r_props = props_of_fields ~line:ln props;
             } in
             if not (Hashtbl.mem t.nodes r.r_src && Hashtbl.mem t.nodes r.r_tgt) then
-              failwith "Store.load: relationship references missing node";
+              load_fail ln "relationship %d references missing node" r_id;
             Hashtbl.replace t.rels r_id r;
             index_add t.out_index r.r_src r_id;
             index_add t.in_index r.r_tgt r_id;
             t.next_id <- max t.next_id (r_id + 1)
-        | _ -> failwith ("Store.load: malformed line " ^ line))
+        | _ -> load_fail ln "malformed line %S (expected an N or R record)" line)
     lines;
   t

@@ -52,8 +52,12 @@ val nodes_with_label : t -> string -> node_record list
 val rels_from : t -> int -> rel_record list
 val rels_to : t -> int -> rel_record list
 
+(** Structured load failure: 1-based line number of the offending dump
+    line plus a reason.  The only exception {!load} raises. *)
+exception Load_error of { line : int; reason : string }
+
 (** Serialize to a line-oriented text format; [load] parses it back.
-    Raises [Failure] on malformed input. *)
+    Raises {!Load_error} on truncated or garbled input. *)
 val dump : t -> string
 
 val load : string -> t

@@ -2,7 +2,10 @@ type node = { n_id : string; n_attrs : (string * string) list }
 type edge = { e_src : string; e_tgt : string; e_attrs : (string * string) list }
 type graph = { g_name : string; g_nodes : node list; g_edges : edge list }
 
-exception Parse_error of string
+exception Parse_error of { offset : int; reason : string }
+
+let parse_fail offset fmt =
+  Printf.ksprintf (fun reason -> raise (Parse_error { offset; reason })) fmt
 
 (* ------------------------------------------------------------------ *)
 (* Writer                                                              *)
@@ -59,24 +62,31 @@ type token =
   | Tcomma
   | Tsemi
 
+(* Tokens carry the byte offset they start at, so both lexical failures
+   here and grammar failures in [of_string] locate themselves in the
+   input — truncated or garbled DOT (a killed SPADE, an injected
+   recorder fault) diagnoses as "reason at offset N", never as an
+   unlocated exception. *)
 let tokenize src =
   let n = String.length src in
   let toks = ref [] in
   let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let fail fmt = parse_fail !pos fmt in
+  let emit start t = toks := (t, start) :: !toks in
   while !pos < n do
+    let start = !pos in
     match src.[!pos] with
     | ' ' | '\t' | '\n' | '\r' -> incr pos
-    | '{' -> toks := Tlbrace :: !toks; incr pos
-    | '}' -> toks := Trbrace :: !toks; incr pos
-    | '[' -> toks := Tlbracket :: !toks; incr pos
-    | ']' -> toks := Trbracket :: !toks; incr pos
-    | '=' -> toks := Teq :: !toks; incr pos
-    | ',' -> toks := Tcomma :: !toks; incr pos
-    | ';' -> toks := Tsemi :: !toks; incr pos
+    | '{' -> emit start Tlbrace; incr pos
+    | '}' -> emit start Trbrace; incr pos
+    | '[' -> emit start Tlbracket; incr pos
+    | ']' -> emit start Trbracket; incr pos
+    | '=' -> emit start Teq; incr pos
+    | ',' -> emit start Tcomma; incr pos
+    | ';' -> emit start Tsemi; incr pos
     | '-' ->
         if !pos + 1 < n && src.[!pos + 1] = '>' then (
-          toks := Tarrow :: !toks;
+          emit start Tarrow;
           pos := !pos + 2)
         else fail "expected ->"
     | '"' ->
@@ -101,16 +111,15 @@ let tokenize src =
                 loop ()
         in
         loop ();
-        toks := Tid (Buffer.contents b) :: !toks
+        emit start (Tid (Buffer.contents b))
     | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' ->
-        let start = !pos in
         while
           !pos < n
           && match src.[!pos] with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> true | _ -> false
         do
           incr pos
         done;
-        toks := Tid (String.sub src start (!pos - start)) :: !toks
+        emit start (Tid (String.sub src start (!pos - start)))
     | '/' ->
         (* // comment *)
         if !pos + 1 < n && src.[!pos + 1] = '/' then
@@ -118,21 +127,24 @@ let tokenize src =
             incr pos
           done
         else fail "unexpected /"
-    | c -> fail (Printf.sprintf "unexpected character %C" c)
+    | c -> fail "unexpected character %C" c
   done;
   List.rev !toks
 
 let of_string src =
   let toks = ref (tokenize src) in
-  let fail msg = raise (Parse_error msg) in
+  (* The offset blamed by a grammar failure: the offending token's
+     start, or one past the input when it ended too early. *)
+  let here () = match !toks with (_, off) :: _ -> off | [] -> String.length src in
+  let fail fmt = parse_fail (here ()) fmt in
   let next () =
     match !toks with
     | [] -> fail "unexpected end of input"
-    | t :: rest ->
+    | (t, _) :: rest ->
         toks := rest;
         t
   in
-  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let peek () = match !toks with [] -> None | (t, _) :: _ -> Some t in
   let expect t = if next () <> t then fail "unexpected token" in
   (match next () with
   | Tid "digraph" -> ()
@@ -165,6 +177,7 @@ let of_string src =
     | _ -> []
   in
   let rec stmts () =
+    let stmt_off = here () in
     match next () with
     | Trbrace -> ()
     | Tid id -> (
@@ -174,7 +187,7 @@ let of_string src =
             let tgt = match next () with Tid t -> t | _ -> fail "expected edge target" in
             let attrs = parse_attrs () in
             (match peek () with Some Tsemi -> ignore (next ()) | _ -> ());
-            edges := { e_src = id; e_tgt = tgt; e_attrs = attrs } :: !edges;
+            edges := (stmt_off, { e_src = id; e_tgt = tgt; e_attrs = attrs }) :: !edges;
             stmts ()
         | _ ->
             let attrs = parse_attrs () in
@@ -185,7 +198,18 @@ let of_string src =
     | _ -> fail "expected statement"
   in
   stmts ();
-  { g_name = name; g_nodes = List.rev !nodes; g_edges = List.rev !edges }
+  (* Dangling edge endpoints are a parse-time reject with the edge
+     statement's offset — a truncated graph whose node declarations were
+     cut off diagnoses here, not deep inside graph construction. *)
+  let declared = List.map (fun n -> n.n_id) !nodes in
+  List.iter
+    (fun (off, e) ->
+      if not (List.mem e.e_src declared) then
+        parse_fail off "edge references undeclared node %s" e.e_src;
+      if not (List.mem e.e_tgt declared) then
+        parse_fail off "edge references undeclared node %s" e.e_tgt)
+    !edges;
+  { g_name = name; g_nodes = List.rev !nodes; g_edges = List.rev (List.map snd !edges) }
 
 (* ------------------------------------------------------------------ *)
 (* Property-graph conversion                                           *)
@@ -193,7 +217,7 @@ let of_string src =
 
 let type_attr = "type"
 
-let to_pgraph g =
+let to_pgraph_unsafe g =
   let open Pgraph in
   let graph =
     List.fold_left
@@ -208,14 +232,23 @@ let to_pgraph g =
       (fun (acc, i) e ->
         let label = Option.value (List.assoc_opt type_attr e.e_attrs) ~default:"Unknown" in
         let props = Props.of_list (List.remove_assoc type_attr e.e_attrs) in
+        (* Offset 0: a hand-built [graph] value has no source text to
+           point into; parsed text was already endpoint-checked with
+           real offsets in [of_string]. *)
         if not (Graph.mem_node acc e.e_src) then
-          raise (Parse_error (Printf.sprintf "edge references undeclared node %s" e.e_src));
+          parse_fail 0 "edge references undeclared node %s" e.e_src;
         if not (Graph.mem_node acc e.e_tgt) then
-          raise (Parse_error (Printf.sprintf "edge references undeclared node %s" e.e_tgt));
+          parse_fail 0 "edge references undeclared node %s" e.e_tgt;
         (Graph.add_edge acc ~id:(Printf.sprintf "e%d" i) ~src:e.e_src ~tgt:e.e_tgt ~label ~props, i + 1))
       (graph, 0) g.g_edges
   in
   graph
+
+let to_pgraph g =
+  (* Duplicate declarations (or a node id clashing with a synthetic
+     edge id) surface from graph construction as [Invalid_argument];
+     rewrap so only Parse_error leaves this module. *)
+  try to_pgraph_unsafe g with Invalid_argument m -> parse_fail 0 "%s" m
 
 let of_pgraph ~name g =
   let open Pgraph in

@@ -9,7 +9,12 @@ type edge = { e_src : string; e_tgt : string; e_attrs : (string * string) list }
 
 type graph = { g_name : string; g_nodes : node list; g_edges : edge list }
 
-exception Parse_error of string
+(** Structured parse reject: the byte offset the failure was detected
+    at plus a reason.  The only exception {!of_string} raises, on any
+    input — truncated, garbled, or otherwise malformed.  {!to_pgraph}
+    reuses it with offset [0] for semantic rejects of hand-built
+    [graph] values (no source text to point into). *)
+exception Parse_error of { offset : int; reason : string }
 
 val to_string : graph -> string
 

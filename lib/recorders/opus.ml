@@ -262,3 +262,11 @@ let record ?(config = default_config) (trace : Trace.t) =
   store
 
 let store_to_pgraph = Store_bridge.of_store
+
+(* The full read side over a serialized dump: parse the rows (any
+   truncated or garbled line rejects with Store.Load_error carrying its
+   line number), pay the database startup cost, export. *)
+let of_dump dump =
+  let store = Graphstore.Store.load dump in
+  Graphstore.Store.open_db store;
+  store_to_pgraph store

@@ -30,3 +30,10 @@ val record : ?config:config -> Oskernel.Trace.t -> Graphstore.Store.t
     stage: exports nodes and relationships through the query layer
     (the store must be opened, paying the startup cost). *)
 val store_to_pgraph : Graphstore.Store.t -> Pgraph.Graph.t
+
+(** [of_dump text] is the full read side over a serialized dump: parse
+    the rows, open the store, export.  Truncated or garbled rows reject
+    with {!Graphstore.Store.Load_error} carrying the 1-based line
+    number and a reason — the transformation stage turns that into a
+    structured [Malformed_output] failure. *)
+val of_dump : string -> Pgraph.Graph.t

@@ -1,8 +1,11 @@
 open Minijson
 
-exception Format_error of string
+exception Format_error of { offset : int option; reason : string }
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+let fail fmt = Printf.ksprintf (fun reason -> raise (Format_error { offset = None; reason })) fmt
+
+let fail_at offset fmt =
+  Printf.ksprintf (fun reason -> raise (Format_error { offset = Some offset; reason })) fmt
 
 let activity_labels = [ "task"; "activity"; "process_memory" ]
 let agent_labels = [ "machine"; "agent" ]
@@ -90,7 +93,7 @@ let props_of_members members ~drop =
         | _ -> fail "property %s has non-scalar value" k)
     members
 
-let to_pgraph json =
+let to_pgraph_unsafe json =
   let open Pgraph in
   let sections = match json with Json.Object s -> s | _ -> fail "document is not an object" in
   let node_sections = [ "entity"; "activity"; "agent" ] in
@@ -157,9 +160,32 @@ let to_pgraph json =
     sections;
   !g
 
+let to_pgraph json =
+  try to_pgraph_unsafe json
+  with Invalid_argument m ->
+    (* Duplicate identifiers across sections surface from graph
+       construction; rewrap so only Format_error leaves this module. *)
+    fail "%s" m
+
 let to_string g = Json.to_string ~pretty:true (of_pgraph g)
+
+(* Minijson renders its position as a "... at offset N" suffix; lift it
+   back out so the structured error carries the byte offset. *)
+let offset_of_json_error m =
+  match String.rindex_opt m ' ' with
+  | None -> None
+  | Some i -> (
+      let num = String.sub m (i + 1) (String.length m - i - 1) in
+      let prefix = " at offset " ^ num in
+      let pl = String.length prefix and ml = String.length m in
+      match int_of_string_opt num with
+      | Some off when pl <= ml && String.sub m (ml - pl) pl = prefix -> Some off
+      | _ -> None)
 
 let of_string s =
   match Json.of_string s with
-  | exception Json.Parse_error m -> fail "invalid JSON: %s" m
+  | exception Json.Parse_error m -> (
+      match offset_of_json_error m with
+      | Some off -> fail_at off "invalid JSON: %s" m
+      | None -> fail "invalid JSON: %s" m)
   | json -> to_pgraph json

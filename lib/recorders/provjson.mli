@@ -5,7 +5,12 @@
     the standard relation sections with their [prov:*] endpoint keys;
     non-standard relation labels use a generic [relation] section. *)
 
-exception Format_error of string
+(** Structured format reject: a reason, plus the byte offset for
+    JSON-level failures ([None] for structural rejects of well-formed
+    JSON, which name the offending section/node/edge in the reason
+    instead).  The only exception {!of_string} and {!to_pgraph}
+    raise on any input, however truncated or garbled. *)
+exception Format_error of { offset : int option; reason : string }
 
 (** Labels serialized into the [activity] section; [agent_labels] into
     [agent]; everything else is an [entity]. *)

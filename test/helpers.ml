@@ -72,6 +72,11 @@ let random_subgraph st g =
 let qcheck ?(count = 100) name arb law =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
 
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
 (* ------------------------------------------------------------------ *)
 (* Random benchmark programs for fuzzing the kernel and the recorders  *)
 (* ------------------------------------------------------------------ *)

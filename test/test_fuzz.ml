@@ -134,6 +134,63 @@ let prop_recorders_shape_stable_across_runs =
       && Gmatch.Vf2.similar (Recorders.Spade_camflow.build t1) (Recorders.Spade_camflow.build t2))
 
 (* ------------------------------------------------------------------ *)
+(* Mutated recorder output                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Each parser's whole failure surface is one structured exception —
+   truncated or byte-flipped input (what the fault injector produces,
+   and what a killed recorder or torn read produces in the field) must
+   either still parse or reject with that exception, never escape with
+   anything else.  The mutations are seeded by the generated int, so a
+   failing corpus entry reproduces from the QCheck seed alone. *)
+let mutations text k =
+  let n = String.length text in
+  let truncated = String.sub text 0 (k mod (n + 1)) in
+  let flipped =
+    if n = 0 then text
+    else begin
+      let b = Bytes.of_string text in
+      let i = k mod n in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 + (k mod 255))));
+      Bytes.to_string b
+    end
+  in
+  [ truncated; flipped ]
+
+let mutated_arb = QCheck.(pair prog_arb (int_bound 1_000_000))
+
+let structured_only parse texts =
+  List.for_all
+    (fun text ->
+      match parse text with
+      | _ -> true
+      | exception Recorders.Dot.Parse_error _ -> true
+      | exception Recorders.Provjson.Format_error _ -> true
+      | exception Graphstore.Store.Load_error _ -> true
+      | exception _ -> false)
+    texts
+
+let prop_dot_mutations_structured =
+  Helpers.qcheck ~count:150 "mutated DOT rejects with Parse_error only" mutated_arb
+    (fun (prog, k) ->
+      let text = Recorders.Spade.record (run prog Program.Foreground) in
+      structured_only
+        (fun s -> ignore (Recorders.Dot.to_pgraph (Recorders.Dot.of_string s)))
+        (mutations text k))
+
+let prop_provjson_mutations_structured =
+  Helpers.qcheck ~count:150 "mutated PROV-JSON rejects with Format_error only" mutated_arb
+    (fun (prog, k) ->
+      let text = Recorders.Camflow.record (run prog Program.Foreground) in
+      structured_only (fun s -> ignore (Recorders.Provjson.of_string s)) (mutations text k))
+
+let prop_store_dump_mutations_structured =
+  Helpers.qcheck ~count:150 "mutated store dump rejects with Load_error only" mutated_arb
+    (fun (prog, k) ->
+      let text = Graphstore.Store.dump (Recorders.Opus.record (run prog Program.Foreground)) in
+      structured_only (fun s -> ignore (Recorders.Opus.of_dump s)) (mutations text k))
+
+(* ------------------------------------------------------------------ *)
 (* Full pipeline                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -187,6 +244,12 @@ let () =
           prop_serialization_roundtrips;
           prop_camflow_prov_wellformed;
           prop_recorders_shape_stable_across_runs;
+        ] );
+      ( "mutations",
+        [
+          prop_dot_mutations_structured;
+          prop_provjson_mutations_structured;
+          prop_store_dump_mutations_structured;
         ] );
       ( "pipeline",
         [ prop_pipeline_never_fails_without_flakiness; prop_pipeline_target_attaches_to_dummies ] );

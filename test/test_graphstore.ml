@@ -79,13 +79,20 @@ let test_dump_escaping () =
   | None -> Alcotest.fail "node missing after roundtrip"
 
 let test_load_rejects_garbage () =
-  let expect_fail text =
+  let expect_fail ~line text =
     match Store.load text with
-    | exception Failure _ -> ()
+    | exception Store.Load_error e ->
+        Alcotest.(check int) (Printf.sprintf "line number for %S" text) line e.line;
+        Alcotest.(check bool) "reason non-empty" true (String.length e.reason > 0)
     | _ -> Alcotest.failf "expected load failure for %S" text
   in
-  List.iter expect_fail
-    [ "X\t1\n"; "R\t0\t1\t2\tTYPE\t\n"; "N\t0\tL\tnot-a-prop\n" ]
+  expect_fail ~line:1 "X\t1\n";
+  expect_fail ~line:1 "R\t0\t1\t2\tTYPE\t\n";
+  expect_fail ~line:1 "N\t0\tL\tnot-a-prop\n";
+  (* The diagnosis points at the offending line (1-based, counting
+     blank lines), not just the document. *)
+  expect_fail ~line:3 "N\t0\tL\n\nN\tnot-an-int\tL\n";
+  expect_fail ~line:3 "N\t0\tL\nN\t1\tL\nR\t0\t0\t7\tT\n"
 
 let test_load_empty () =
   let s = Store.load "" in

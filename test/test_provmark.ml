@@ -358,6 +358,7 @@ let report_result syscall status =
     bg_general = None;
     fg_general = None;
     trials = 2;
+    degraded = [];
   }
 
 let tiny_matrix () =
@@ -452,6 +453,7 @@ let fake_result syscall status =
     bg_general = None;
     fg_general = None;
     trials = 2;
+    degraded = [];
   }
 
 let test_coverage_score () =
