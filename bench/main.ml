@@ -549,6 +549,31 @@ let suite_parallel () =
 (* match-scale: the matching pipeline on synthetic graph pairs          *)
 (* ------------------------------------------------------------------ *)
 
+(* Merge one section into BENCH_match_scale.json, preserving whatever
+   other sections already wrote (match-scale and canon share the file,
+   and CI may run them in either order or alone). *)
+let bench_json_update key value =
+  let file = "BENCH_match_scale.json" in
+  let existing =
+    if Sys.file_exists file then (
+      try
+        let ic = open_in_bin file in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Minijson.Json.of_string s with
+        | Minijson.Json.Object members -> members
+        | _ -> []
+        | exception Minijson.Json.Parse_error _ -> []
+      with Sys_error _ -> [])
+    else []
+  in
+  let members = List.filter (fun (k, _) -> k <> key) existing @ [ (key, value) ] in
+  let oc = open_out file in
+  output_string oc (Minijson.Json.to_string ~pretty:true (Minijson.Json.Object members));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %S into BENCH_match_scale.json\n" key
+
 (* Sweeps Bench_gen.match_pair over node counts and, for each prune
    setting, grounds and solves the similarity and generalization
    instances with per-stage timing, grounded-atom counts and solver
@@ -633,38 +658,145 @@ let match_scale_run ~sizes =
               (float_of_int h /. float_of_int (max 1 h'))
         | None -> ())
     rows;
-  let json =
-    Minijson.Json.Object
-      [
-        ( "rows",
-          Minijson.Json.Array
-            (List.map
-               (fun (nodes, task, pruned, tg, ts, atoms, h, props, decs, status, cost) ->
-                 Minijson.Json.Object
-                   [
-                     ("nodes", Minijson.Json.Number (float_of_int nodes));
-                     ("task", Minijson.Json.String task);
-                     ("pruned", Minijson.Json.Bool pruned);
-                     ("ground_s", Minijson.Json.Number tg);
-                     ("solve_s", Minijson.Json.Number ts);
-                     ("atoms", Minijson.Json.Number (float_of_int atoms));
-                     ("h_atoms", Minijson.Json.Number (float_of_int h));
-                     ("propagations", Minijson.Json.Number (float_of_int props));
-                     ("decisions", Minijson.Json.Number (float_of_int decs));
-                     ("status", Minijson.Json.String status);
-                     ("cost", Minijson.Json.Number (float_of_int cost));
-                   ])
-               rows) );
-      ]
-  in
-  let oc = open_out "BENCH_match_scale.json" in
-  output_string oc (Minijson.Json.to_string ~pretty:true json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "\nwrote BENCH_match_scale.json (%d rows)\n" (List.length rows)
+  bench_json_update "rows"
+    (Minijson.Json.Array
+       (List.map
+          (fun (nodes, task, pruned, tg, ts, atoms, h, props, decs, status, cost) ->
+            Minijson.Json.Object
+              [
+                ("nodes", Minijson.Json.Number (float_of_int nodes));
+                ("task", Minijson.Json.String task);
+                ("pruned", Minijson.Json.Bool pruned);
+                ("ground_s", Minijson.Json.Number tg);
+                ("solve_s", Minijson.Json.Number ts);
+                ("atoms", Minijson.Json.Number (float_of_int atoms));
+                ("h_atoms", Minijson.Json.Number (float_of_int h));
+                ("propagations", Minijson.Json.Number (float_of_int props));
+                ("decisions", Minijson.Json.Number (float_of_int decs));
+                ("status", Minijson.Json.String status);
+                ("cost", Minijson.Json.Number (float_of_int cost));
+              ])
+          rows))
 
 let match_scale () = match_scale_run ~sizes:[ 4; 6; 8; 10; 12 ]
 let match_scale_quick () = match_scale_run ~sizes:[ 4; 6; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* canon: the canonical-form fast path                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Two measurements per node count:
+   - bypass: an isomorphic (purely renamed) pair solved cold through
+     the ASP backend vs decided by canonical digest (including the
+     cost of computing both forms from a cleared cache);
+   - rename-invariant memo: a property-perturbed pair (cost > 0, so the
+     bypass cannot answer it) solved once and then re-solved under
+     fresh names — canonical instance keys hit, raw keys miss. *)
+let canon_run ~sizes =
+  section "canon: canonical-form fast path (solver bypass, rename-invariant memo)";
+  let canon0 = Pgraph.Canon.is_enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Pgraph.Canon.set_enabled canon0;
+      Asp.Memo.set_enabled true;
+      Asp.Memo.clear ();
+      Asp.Memo.reset_stats ())
+    (fun () ->
+      Asp.Memo.set_enabled false;
+      let cost = function
+        | None -> -1
+        | Some (m : Gmatch.Matching.t) -> m.Gmatch.Matching.cost
+      in
+      Printf.printf "%-6s %12s %12s %10s\n" "nodes" "cold(s)" "bypass(s)" "speedup";
+      let bypass_rows =
+        List.map
+          (fun nodes ->
+            let g1, _ = Provmark.Bench_gen.match_pair ~nodes ~seed:(41 + nodes) in
+            let g2 = Pgraph.Graph.map_ids (fun id -> "r:" ^ id) g1 in
+            (* Best of three: sub-millisecond timings at the small sizes
+               are dominated by allocator noise otherwise.  The canon
+               cache is cleared before every bypass run, so its timing
+               always includes computing both canonical forms. *)
+            let best_of f =
+              let vt = List.init 3 (fun _ -> timed f) in
+              (fst (List.hd vt), List.fold_left (fun acc (_, t) -> Float.min acc t) infinity vt)
+            in
+            Pgraph.Canon.set_enabled false;
+            let cold, t_cold =
+              best_of (fun () ->
+                  Gmatch.Engine.generalization_matching ~backend:Gmatch.Engine.Asp g1 g2)
+            in
+            Pgraph.Canon.set_enabled true;
+            let fast, t_fast =
+              best_of (fun () ->
+                  Pgraph.Canon.clear ();
+                  Gmatch.Engine.generalization_matching ~backend:Gmatch.Engine.Asp g1 g2)
+            in
+            if cost cold <> cost fast then
+              failwith "canon bench: bypass disagrees with cold solve";
+            let speedup = t_cold /. Float.max 1e-9 t_fast in
+            Printf.printf "%-6d %12.5f %12.6f %9.1fx\n" nodes t_cold t_fast speedup;
+            (nodes, t_cold, t_fast, speedup))
+          sizes
+      in
+      Printf.printf "\n%-6s %26s %26s\n" "nodes" "renamed hits (canon on)" "renamed hits (canon off)";
+      let memo_rows =
+        List.map
+          (fun nodes ->
+            let g1, g2 = Provmark.Bench_gen.match_pair ~nodes ~seed:(41 + nodes) in
+            let renamed p g = Pgraph.Graph.map_ids (fun id -> p ^ id) g in
+            let hits canon =
+              Pgraph.Canon.set_enabled canon;
+              Asp.Memo.set_enabled true;
+              Asp.Memo.clear ();
+              Asp.Memo.reset_stats ();
+              ignore (Gmatch.Asp_backend.iso_min_cost g1 g2);
+              ignore (Gmatch.Asp_backend.iso_min_cost (renamed "a:" g1) (renamed "b:" g2));
+              let h =
+                match List.assoc_opt "generalization" (Asp.Memo.stats ()) with
+                | Some s -> s.Asp.Memo.hits
+                | None -> 0
+              in
+              Asp.Memo.set_enabled false;
+              h
+            in
+            let h_on = hits true and h_off = hits false in
+            Printf.printf "%-6d %26d %26d\n" nodes h_on h_off;
+            (nodes, h_on, h_off))
+          sizes
+      in
+      let num f = Minijson.Json.Number f in
+      let int_j n = num (float_of_int n) in
+      bench_json_update "canon"
+        (Minijson.Json.Object
+           [
+             ( "bypass",
+               Minijson.Json.Array
+                 (List.map
+                    (fun (nodes, t_cold, t_fast, speedup) ->
+                      Minijson.Json.Object
+                        [
+                          ("nodes", int_j nodes);
+                          ("cold_solve_s", num t_cold);
+                          ("canon_bypass_s", num t_fast);
+                          ("speedup", num speedup);
+                        ])
+                    bypass_rows) );
+             ( "memo",
+               Minijson.Json.Array
+                 (List.map
+                    (fun (nodes, h_on, h_off) ->
+                      Minijson.Json.Object
+                        [
+                          ("nodes", int_j nodes);
+                          ("renamed_hits_canon_on", int_j h_on);
+                          ("renamed_hits_canon_off", int_j h_off);
+                        ])
+                    memo_rows) );
+           ]))
+
+let canon_bench () = canon_run ~sizes:[ 4; 6; 8; 10; 12 ]
+let canon_quick () = canon_run ~sizes:[ 4; 8; 12 ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -686,7 +818,8 @@ let () =
     extension_config_sweep ();
     extension_scalability_backends ();
     extension_nondet ();
-    match_scale ()
+    match_scale ();
+    canon_bench ()
   in
   (* [bench/main.exe <section>...] runs just the named sections. *)
   let sections =
@@ -698,6 +831,8 @@ let () =
       ("nondet", extension_nondet);
       ("match-scale", match_scale);
       ("match-scale-quick", match_scale_quick);
+      ("canon", canon_bench);
+      ("canon-quick", canon_quick);
     ]
   in
   (match List.tl (Array.to_list Sys.argv) with

@@ -56,6 +56,18 @@ let graph_digest g =
     ^ "\x00"
     ^ Datalog.Encode.graph_to_string ~gid:"d" g)
 
+(* Rename-invariant variant used for stage keys downstream of
+   generalization: digesting the canonically relabelled rendering lets
+   a re-run whose recorder handed out fresh ids replay the solve-heavy
+   stages warm.  The "canon" prefix keeps the keyspace disjoint from
+   [graph_digest] (which [Config.backend_fp]'s canon flag separates
+   again at the key level). *)
+let canonical_graph_digest g =
+  match if Pgraph.Canon.is_enabled () then Pgraph.Canon.form g else None with
+  | Some f ->
+      digest ("canon\x00" ^ Datalog.Encode.graph_to_string ~gid:"d" (Pgraph.Canon.relabel g f))
+  | None -> graph_digest g
+
 (* <dir>/<stage>/<key prefix>/<key>.art keeps directories small without
    hashing twice; the key is already a uniform hex digest. *)
 let path_of t ~stage ~key =

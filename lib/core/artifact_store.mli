@@ -43,6 +43,18 @@ val key : stage:string -> fingerprint:string -> inputs:string list -> string
     (the fingerprint alone ignores property values). *)
 val graph_digest : Pgraph.Graph.t -> string
 
+(** Like {!graph_digest}, but computed on the canonically relabelled
+    graph when {!Pgraph.Canon} is enabled (falling back to
+    {!graph_digest} when it is disabled or the graph exceeds the
+    canonicalization budget).  Equal for renamed copies of the same
+    graph, so solve-heavy stage artifacts replay warm across runs that
+    mint fresh identifiers.  The trade-off: properties still
+    distinguish entries, but two runs whose graphs differ only in ids
+    share entries whose stored payload carries the {e first} run's ids
+    — callers must only key artifacts whose payloads are id-insensitive
+    or whose ids they re-derive (see DESIGN.md). *)
+val canonical_graph_digest : Pgraph.Graph.t -> string
+
 (** {2 Artifact IO}
 
     [read]/[write] do not touch the hit/miss counters: the caller

@@ -78,12 +78,16 @@ let recording_fingerprint t =
 (* Pruned and unpruned ASP encodings are pinned to the same verdicts
    and optimal costs, but not to the same optimal *witness*, and the
    generalized graph depends on which witness the solver returns — so
-   the prune toggle is part of the matching fingerprint. *)
+   the prune toggle is part of the matching fingerprint.  The canon
+   toggle is there for the same reason: the canonical fast path (and
+   the canonically relabelled ASP instances behind it) preserves
+   verdicts and costs but may pick a different optimal witness. *)
 let backend_fp t =
-  Printf.sprintf "%s,prune=%b,fallback=%b"
+  Printf.sprintf "%s,prune=%b,fallback=%b,canon=%b"
     (Gmatch.Engine.backend_to_string t.backend)
     (Gmatch.Asp_backend.prune_enabled ())
     (Gmatch.Engine.fallback_enabled ())
+    (Pgraph.Canon.is_enabled ())
 
 let generalization_fingerprint t =
   Printf.sprintf "backend=%s;filter=%b;pair=%s" (backend_fp t) t.filter_graphs

@@ -38,25 +38,54 @@ let filter_incomplete graphs =
   in
   List.filter (fun g -> signature g = best_sig) graphs
 
-(* Partition into similarity classes.  Fingerprints bucket candidates
-   cheaply; the exact solver confirms within buckets. *)
-let similarity_classes ~backend graphs =
-  let classes : (Fingerprint.t * Graph.t list ref) list ref = ref [] in
-  List.iter
-    (fun g ->
-      let fp = Fingerprint.of_graph g in
+(* Partition into similarity classes.  With canonicalization enabled
+   (and every graph in budget) the classes are exactly the canonical
+   digest buckets — similarity is digest equality, no solver confirms
+   anything.  Otherwise fingerprints bucket candidates cheaply and the
+   exact solver confirms within buckets.  Both paths list classes in
+   first-seen order with members in input order, so the choice of path
+   never changes the output. *)
+let digest_classes graphs digests =
+  let classes : (string * Graph.t list ref) list ref = ref [] in
+  List.iter2
+    (fun g d ->
       let rec place = function
-        | [] -> classes := !classes @ [ (fp, ref [ g ]) ]
-        | (fp', members) :: rest ->
-            if
-              Fingerprint.equal fp fp'
-              && (match !members with m :: _ -> Gmatch.Engine.similar ~backend g m | [] -> false)
-            then members := g :: !members
+        | [] -> classes := !classes @ [ (d, ref [ g ]) ]
+        | (d', members) :: rest ->
+            if String.equal d d' then begin
+              (* One avoided pairwise check, as the solver path would
+                 have confirmed against the class representative. *)
+              Gmatch.Engine.canon_skip "similarity";
+              members := g :: !members
+            end
             else place rest
       in
       place !classes)
-    graphs;
+    graphs digests;
   List.map (fun (_, members) -> List.rev !members) !classes
+
+let similarity_classes ~backend graphs =
+  let digests = if Canon.is_enabled () then List.map Canon.digest graphs else [] in
+  if digests <> [] && List.for_all Option.is_some digests then
+    digest_classes graphs (List.map Option.get digests)
+  else begin
+    let classes : (Fingerprint.t * Graph.t list ref) list ref = ref [] in
+    List.iter
+      (fun g ->
+        let fp = Fingerprint.of_graph g in
+        let rec place = function
+          | [] -> classes := !classes @ [ (fp, ref [ g ]) ]
+          | (fp', members) :: rest ->
+              if
+                Fingerprint.equal fp fp'
+                && (match !members with m :: _ -> Gmatch.Engine.similar ~backend g m | [] -> false)
+              then members := g :: !members
+              else place rest
+        in
+        place !classes)
+      graphs;
+    List.map (fun (_, members) -> List.rev !members) !classes
+  end
 
 (* Property intersection over the matching: the generalized graph is the
    first graph of the pair with every property that does not agree in

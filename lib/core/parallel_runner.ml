@@ -27,8 +27,25 @@ let run_all_sequential ?on_result config progs =
       r)
     progs
 
+(* Like [Pool.map], but the batch pool is also installed as the
+   pipeline's pair pool for its lifetime, so idle domains pick up the
+   intra-benchmark bg/fg pairs ({!Pipeline.set_pair_pool}) — useful
+   exactly when the suite has fewer runnable benchmarks than domains.
+   Submit everything first, await in submission order: result order is
+   input order regardless of completion order. *)
+let map_batch ~jobs f xs =
+  let pool = Pool.create ~size:jobs in
+  Pipeline.set_pair_pool (Some pool);
+  Fun.protect
+    ~finally:(fun () ->
+      Pipeline.set_pair_pool None;
+      Pool.shutdown pool)
+    (fun () ->
+      let promises = List.map (fun x -> Pool.async pool (fun () -> f x)) xs in
+      List.map Pool.await promises)
+
 let run_all ?(jobs = 1) ?on_result config progs =
-  Pool.map ~jobs
+  map_batch ~jobs
     (fun prog ->
       let r = Runner.run (config_for config prog) prog in
       Option.iter (fun f -> f r) on_result;
@@ -45,7 +62,7 @@ let run_matrix ?(jobs = 1) ?on_result configs =
     List.concat_map (fun config -> List.map (fun p -> (config, p)) Bench_registry.all) configs
   in
   let results =
-    Pool.map ~jobs
+    map_batch ~jobs
       (fun (config, prog) ->
         let r = Runner.run (config_for config prog) prog in
         Option.iter (fun f -> f r) on_result;

@@ -303,7 +303,34 @@ let comparison_stage config : (Pgraph.Graph.t * Pgraph.Graph.t, compared * strin
 let json_digest to_json v = Artifact_store.digest (J.to_string (to_json v))
 
 let graphs_digest graphs =
-  Artifact_store.digest (String.concat "\x00" (List.map Artifact_store.graph_digest graphs))
+  Artifact_store.digest
+    (String.concat "\x00" (List.map Artifact_store.canonical_graph_digest graphs))
+
+(* ------------------------------------------------------------------ *)
+(* Pair-parallelism                                                    *)
+
+(* The suite runner installs its worker pool here; the two
+   generalization variants (and the canonical-digest prework of the
+   comparison stage) then run as a help-queue pair on it.  Results
+   come back in fixed (a, b) order and the branch spans are grafted
+   a-then-b, so the output is byte-identical to a sequential run at
+   any job count.  Degradation notes stay correct too: each side's
+   [with_notes] drains wholly within its own job on one domain. *)
+let pair_pool : Pool.t option Atomic.t = Atomic.make None
+let set_pair_pool p = Atomic.set pair_pool p
+
+let both ~ctx fa fb =
+  match Atomic.get pair_pool with
+  | None ->
+      let a = fa ctx in
+      let b = fb ctx in
+      (a, b)
+  | Some pool ->
+      let ca = Trace_span.branch () and cb = Trace_span.branch () in
+      let r = Pool.run_pair pool (fun () -> fa ca) (fun () -> fb cb) in
+      Trace_span.graft ca ~into:ctx;
+      Trace_span.graft cb ~into:ctx;
+      r
 
 (* Degradation notes accumulate in stage order, each prefixed with
    where it happened; duplicates (e.g. the same fallback in both
@@ -343,17 +370,19 @@ let run_once ~record ~ctx config prog =
       | Error e -> fail e
       | Ok (bg_graphs, fg_graphs) -> (
           let gen_fp = Config.generalization_fingerprint config in
-          let generalize variant graphs =
-            Stage.execute ?store ?deadline_s ~ctx ~fingerprint:gen_fp
+          let generalize variant graphs gctx =
+            Stage.execute ?store ?deadline_s ~ctx:gctx ~fingerprint:gen_fp
               ~inputs:[ variant; graphs_digest graphs ]
               (generalization_stage config ~variant)
               graphs
           in
           (* Both variants always run (matching the pre-staged pipeline,
              and keeping the foreground artifact warm even when the
-             background fails first). *)
-          let bg_out = generalize "background" bg_graphs in
-          let fg_out = generalize "foreground" fg_graphs in
+             background fails first) — in parallel when a pair pool is
+             installed. *)
+          let bg_out, fg_out =
+            both ~ctx (generalize "background" bg_graphs) (generalize "foreground" fg_graphs)
+          in
           let gen_notes out_opt variant =
             match out_opt with Ok (_, notes) -> [ (variant, notes) ] | Error _ -> []
           in
@@ -373,11 +402,18 @@ let run_once ~record ~ctx config prog =
                     ("comparison", cmp_notes);
                   ]
               in
+              (* Canonicalizing the two generalized graphs is the
+                 expensive prefix of the comparison key (and primes the
+                 form cache for the stage itself), so it pairs too. *)
+              let d_bg, d_fg =
+                both ~ctx
+                  (fun _ -> Artifact_store.canonical_graph_digest bg_g)
+                  (fun _ -> Artifact_store.canonical_graph_digest fg_g)
+              in
               match
                 Stage.execute ?store ?deadline_s ~ctx
                   ~fingerprint:(Config.comparison_fingerprint config)
-                  ~inputs:[ Artifact_store.graph_digest bg_g; Artifact_store.graph_digest fg_g ]
-                  (comparison_stage config) (bg_g, fg_g)
+                  ~inputs:[ d_bg; d_fg ] (comparison_stage config) (bg_g, fg_g)
               with
               | Error e -> fail ~bg:bg_general ~fg:fg_general ~degraded:(degraded_with []) e
               | Ok (Similar, cmp_notes) ->

@@ -44,6 +44,17 @@ type outcome = {
     target bodies.  The root of each benchmark's cache-key chain. *)
 val program_digest : Oskernel.Program.t -> string
 
+(** [set_pair_pool (Some pool)] makes every subsequent {!run_once} run
+    its background/foreground generalization pair (and the comparison
+    stage's canonical-digest prework) as a help-queue pair on [pool]
+    (see {!Pool.run_pair}); [None] (the default) runs them
+    sequentially.  Either way, results are consumed in the fixed
+    bg-then-fg order and the two branches' spans are grafted back in
+    that order, so run output is byte-identical at any [-j].  The
+    parallel suite runner installs its own pool here for the duration
+    of a batch. *)
+val set_pair_pool : Pool.t option -> unit
+
 (** [run_once ~record ~ctx config prog] executes the four stages once
     inside [ctx] (one child span per stage execution, tagged with cache
     disposition), consulting [config.store] when present and enforcing

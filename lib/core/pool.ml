@@ -10,10 +10,16 @@
 
 type job = unit -> unit
 
+(* [help] holds jobs a submitter is willing to run itself while it
+   blocks on their siblings ({!run_pair}): workers prefer them so the
+   small intra-benchmark pieces never starve behind queued benchmarks,
+   and [await_or_help] pops *only* them — helping must never pull a
+   whole nested benchmark onto the waiter's stack. *)
 type t = {
   mutex : Mutex.t;
   work : Condition.t;
   queue : job Queue.t;
+  help : job Queue.t;
   mutable shutting_down : bool;
   mutable domains : unit Domain.t list;
 }
@@ -38,13 +44,15 @@ let create ~size:n =
       mutex = Mutex.create ();
       work = Condition.create ();
       queue = Queue.create ();
+      help = Queue.create ();
       shutting_down = false;
       domains = [];
     }
   in
   let worker () =
     let rec next () =
-      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      if not (Queue.is_empty t.help) then Some (Queue.pop t.help)
+      else if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
       else if t.shutting_down then None
       else begin
         Condition.wait t.work t.mutex;
@@ -66,7 +74,7 @@ let create ~size:n =
   t.domains <- List.init n (fun _ -> Domain.spawn worker);
   t
 
-let async t f =
+let async ?(help = false) t f =
   let p = { p_mutex = Mutex.create (); p_done = Condition.create (); state = Pending } in
   let job () =
     let outcome =
@@ -84,7 +92,7 @@ let async t f =
     Mutex.unlock t.mutex;
     invalid_arg "Pool.async: pool is shut down"
   end;
-  Queue.push job t.queue;
+  Queue.push job (if help then t.help else t.queue);
   Condition.signal t.work;
   Mutex.unlock t.mutex;
   p
@@ -100,6 +108,37 @@ let await p =
   | Resolved v -> v
   | Rejected (e, bt) -> Printexc.raise_with_backtrace e bt
   | Pending -> assert false
+
+let is_pending p =
+  Mutex.lock p.p_mutex;
+  let pending = p.state = Pending in
+  Mutex.unlock p.p_mutex;
+  pending
+
+let try_help t =
+  Mutex.lock t.mutex;
+  let job = if Queue.is_empty t.help then None else Some (Queue.pop t.help) in
+  Mutex.unlock t.mutex;
+  match job with
+  | None -> false
+  | Some job ->
+      job ();
+      true
+
+(* Blocking on a promise while help jobs wait would deadlock a pool of
+   size 1 (the only worker is the one waiting), so drain help jobs
+   first.  Once the help queue is empty, any pending promise's job is
+   already running on some other domain and blocking is safe. *)
+let await_or_help t p =
+  while is_pending p && try_help t do
+    ()
+  done;
+  await p
+
+let run_pair t fa fb =
+  let pb = async ~help:true t fb in
+  let a = fa () in
+  (a, await_or_help t pb)
 
 let shutdown t =
   Mutex.lock t.mutex;

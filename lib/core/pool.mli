@@ -14,13 +14,33 @@ val create : size:int -> t
 (** Number of worker domains (0 after {!shutdown}). *)
 val size : t -> int
 
-(** [async pool f] queues [f] and returns its promise.  Raises
-    [Invalid_argument] after {!shutdown}. *)
-val async : t -> (unit -> 'a) -> 'a promise
+(** [async pool f] queues [f] and returns its promise.  With
+    [~help:true] the job goes to a separate help queue that workers
+    prefer and that {!await_or_help} is allowed to drain — use it for
+    small intra-benchmark pieces whose submitter will wait on them,
+    never for whole benchmarks.  Raises [Invalid_argument] after
+    {!shutdown}. *)
+val async : ?help:bool -> t -> (unit -> 'a) -> 'a promise
 
 (** [await p] blocks until the job finishes.  If the job raised, the
     exception is re-raised here with its original backtrace. *)
 val await : 'a promise -> 'a
+
+(** [await_or_help pool p] is {!await}, except that while [p] is
+    pending it runs queued help jobs on the calling domain.  This makes
+    waiting on a help job deadlock-free at any pool size: either some
+    domain is already running [p]'s job (blocking is safe) or the job
+    is still in the help queue (the caller eventually pops it).  Only
+    help jobs are stolen, so the waiter's stack gains at most the
+    nesting depth of paired work, never a whole queued benchmark. *)
+val await_or_help : t -> 'a promise -> 'a
+
+(** [run_pair pool fa fb] evaluates the two thunks, potentially in
+    parallel: [fb] is submitted as a help job, [fa] runs on the calling
+    domain, and [fb]'s result is collected with {!await_or_help}.
+    Exceptions from either side re-raise in the caller ([fa]'s first —
+    it runs to completion before [fb] is awaited). *)
+val run_pair : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 
 (** Drain the queue, then stop and join every worker.  Idempotent in
     effect; jobs already queued still run. *)

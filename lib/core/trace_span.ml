@@ -57,6 +57,20 @@ let collect ?(tags = []) name f =
   let v = f ctx in
   (v, close ~name ~start_ns ctx)
 
+(* Parallel branches build into detached contexts so two domains never
+   mutate one ctx; grafting merges a finished branch back in.  Both
+   lists are reversed, so prepending the child's list keeps the final
+   (re-reversed) order as "everything already in [into], then the
+   child's contributions" — graft branches in their sequential order
+   and the tree is indistinguishable from a sequential run. *)
+let branch () = new_ctx ()
+
+let graft child ~into =
+  into.rev_children <- child.rev_children @ into.rev_children;
+  into.ctags <- child.ctags @ into.ctags;
+  child.rev_children <- [];
+  child.ctags <- []
+
 let rec fold f acc t = List.fold_left (fold f) (f acc t) t.children
 
 let find_all t name =

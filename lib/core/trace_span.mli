@@ -51,6 +51,17 @@ val with_span : ctx -> ?tags:(string * string) list -> string -> (ctx -> 'a) -> 
 (** Attach a tag to the currently open span. *)
 val add_tag : ctx -> string -> string -> unit
 
+(** [branch ()] is a fresh detached context for one side of a parallel
+    pair: each branch builds spans on its own domain without sharing a
+    ctx, and {!graft} merges them back afterwards. *)
+val branch : unit -> ctx
+
+(** [graft child ~into] appends everything accumulated in [child]
+    (spans and tags) after [into]'s existing contents and empties
+    [child].  Grafting finished branches in their sequential order
+    makes the resulting tree identical to a sequential run's. *)
+val graft : ctx -> into:ctx -> unit
+
 (** {2 Querying} *)
 
 (** Depth-first fold over the tree (root first). *)

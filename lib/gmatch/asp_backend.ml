@@ -21,7 +21,9 @@ let encode g1 g2 =
    programs stay at round 0 (labels only) — their hard constraints
    guarantee no more than label and endpoint agreement, so deeper
    rounds could prune pairs an optimal approximate matching uses. *)
-let cand_rounds = function Similarity -> 3 | Generalization | Comparison -> 0
+let cand_rounds = function
+  | Similarity -> Pgraph.Fingerprint.default_rounds
+  | Generalization | Comparison -> 0
 
 let cand_pairs pred colours1 colours2 =
   let by_colour = Hashtbl.create 64 in
@@ -81,16 +83,56 @@ let solve_site memo g1 g2 =
     (Pgraph.Fingerprint.to_hex (Pgraph.Fingerprint.of_graph g1))
     (Pgraph.Fingerprint.to_hex (Pgraph.Fingerprint.of_graph g2))
 
+(* Canonical-instance solving: when canonicalization is enabled, the
+   instance handed to the solver — and hence every solve-memo key
+   derived from it — is built from canonically relabelled graphs, so
+   renamed copies of the same pair hit the same memo entry.  Only the
+   [h/2] matching atoms mention element ids; they are translated back
+   through the inverse relabellings before decoding. *)
+let translate_atoms f1 f2 atoms =
+  List.map
+    (fun (f : Datalog.Fact.t) ->
+      if String.equal f.Datalog.Fact.pred Asp.Listings.matching_predicate then
+        match f.Datalog.Fact.args with
+        | [ x; y ] ->
+            let back form t =
+              Datalog.Fact.sym_of_string
+                (Pgraph.Canon.of_canonical form (Datalog.Fact.string_of_term t))
+            in
+            Datalog.Fact.make f.Datalog.Fact.pred [ back f1 x; back f2 y ]
+        | _ -> f
+      else f)
+    atoms
+
 (* Each entry point carries the pipeline stage it serves as its memo
    tag, so the solve cache reports hits per stage.  Pruned and unpruned
    instances differ in both program text and cand facts, so they memoize
    under distinct keys automatically. *)
 let run_task ?(max_steps = default_max_steps) ~memo ~find_optimal task g1 g2 =
+  (* The fault tap keys on WL fingerprints, which are invariant under
+     the relabelling below, so faulted sites fire identically with and
+     without canonicalization. *)
   let max_steps =
     if Faults.Injector.solver_exhaust ~site:(solve_site memo g1 g2) then 0 else max_steps
   in
-  let program, facts = instance task g1 g2 in
-  Asp.Engine.run ~max_steps ~find_optimal ~memo ~program ~facts ()
+  let canonical =
+    if Pgraph.Canon.is_enabled () then
+      match (Pgraph.Canon.form g1, Pgraph.Canon.form g2) with
+      | Some f1, Some f2 -> Some (f1, f2)
+      | _ -> None
+    else None
+  in
+  match canonical with
+  | Some (f1, f2) -> (
+      let c1 = Pgraph.Canon.relabel g1 f1 and c2 = Pgraph.Canon.relabel g2 f2 in
+      let program, facts = instance task c1 c2 in
+      match Asp.Engine.run ~max_steps ~find_optimal ~memo ~program ~facts () with
+      | Asp.Engine.Model { cost; atoms; optimal } ->
+          Asp.Engine.Model { cost; atoms = translate_atoms f1 f2 atoms; optimal }
+      | outcome -> outcome)
+  | None ->
+      let program, facts = instance task g1 g2 in
+      Asp.Engine.run ~max_steps ~find_optimal ~memo ~program ~facts ()
 
 (* [Unknown] (step limit before any model) and non-optimal models (step
    limit before the optimality proof) both mean the solver ran out of

@@ -39,44 +39,133 @@ let drain_notes () =
 let degraded op =
   note (Printf.sprintf "asp %s hit its step limit; fell back to vf2" op)
 
+(* ------------------------------------------------------------------ *)
+(* Canonical-form fast path                                            *)
+
+(* Solves avoided through Pgraph.Canon, counted per pipeline stage tag
+   (same tags as the solve memo).  The counts are a pure function of
+   the graphs checked, never of scheduling, so they are safe to print
+   in deterministic output. *)
+let similarity_skips = Atomic.make 0
+let generalization_skips = Atomic.make 0
+let comparison_skips = Atomic.make 0
+
+let counter_of = function
+  | "similarity" -> Some similarity_skips
+  | "generalization" -> Some generalization_skips
+  | "comparison" -> Some comparison_skips
+  | _ -> None
+
+let canon_skip tag = Option.iter (fun c -> Atomic.incr c) (counter_of tag)
+
+let canon_skips () =
+  List.filter
+    (fun (_, n) -> n > 0)
+    [
+      ("comparison", Atomic.get comparison_skips);
+      ("generalization", Atomic.get generalization_skips);
+      ("similarity", Atomic.get similarity_skips);
+    ]
+  |> List.sort compare
+
+let canon_skip_total () = List.fold_left (fun acc (_, n) -> acc + n) 0 (canon_skips ())
+
+let reset_canon_skips () =
+  List.iter (fun c -> Atomic.set c 0) [ similarity_skips; generalization_skips; comparison_skips ]
+
+let canon_pair g1 g2 =
+  if Pgraph.Canon.is_enabled () then
+    match (Pgraph.Canon.form g1, Pgraph.Canon.form g2) with
+    | Some f1, Some f2 -> Some (f1, f2)
+    | _ -> None
+  else None
+
+let same_digest (f1 : Pgraph.Canon.form) (f2 : Pgraph.Canon.form) =
+  String.equal f1.Pgraph.Canon.digest f2.Pgraph.Canon.digest
+
+(* The canonical witness is usable for a cost-minimizing matching only
+   when its property mismatch cost is zero: cost 0 is trivially optimal
+   (costs are non-negative), and a zero-cost matching makes the
+   downstream result witness-independent — generalization intersects
+   away nothing, comparison subtracts the whole (equal-sized) graph.
+   Any positive cost falls through to the solver, whose choice among
+   cost-minimal witnesses is part of the observable answer. *)
+let zero_cost_witness g1 g2 f1 f2 =
+  let m = Matching.of_pairs g1 (Pgraph.Canon.witness f1 f2) 0 in
+  if Matching.cost_of g1 g2 m = 0 then Some m else None
+
 let similar ?(backend = default_backend) g1 g2 =
-  match backend with
-  | Asp -> (
-      match Asp_backend.similar_checked g1 g2 with
-      | Ok b -> b
-      | Error `Step_limit ->
-          if fallback_enabled () then begin
-            degraded "similarity";
-            Vf2.similar g1 g2
-          end
-          else false)
-  | Direct -> Vf2.similar g1 g2
-  | Incremental -> Incremental.similar g1 g2
+  match canon_pair g1 g2 with
+  | Some (f1, f2) ->
+      (* Digest equality is exactly label-isomorphism, which is exactly
+         the Section 3.4 similarity every backend decides. *)
+      canon_skip "similarity";
+      same_digest f1 f2
+  | None -> (
+      match backend with
+      | Asp -> (
+          match Asp_backend.similar_checked g1 g2 with
+          | Ok b -> b
+          | Error `Step_limit ->
+              if fallback_enabled () then begin
+                degraded "similarity";
+                Vf2.similar g1 g2
+              end
+              else false)
+      | Direct -> Vf2.similar g1 g2
+      | Incremental -> Incremental.similar g1 g2)
 
 let generalization_matching ?(backend = default_backend) g1 g2 =
-  match backend with
-  | Asp -> (
-      match Asp_backend.iso_min_cost_checked g1 g2 with
-      | Ok m -> m
-      | Error `Step_limit ->
-          if fallback_enabled () then begin
-            degraded "generalization";
-            Vf2.iso_min_cost g1 g2
-          end
-          else Asp_backend.iso_min_cost g1 g2)
-  | Direct -> Vf2.iso_min_cost g1 g2
-  | Incremental -> Incremental.iso_min_cost g1 g2
+  let solve () =
+    match backend with
+    | Asp -> (
+        match Asp_backend.iso_min_cost_checked g1 g2 with
+        | Ok m -> m
+        | Error `Step_limit ->
+            if fallback_enabled () then begin
+              degraded "generalization";
+              Vf2.iso_min_cost g1 g2
+            end
+            else Asp_backend.iso_min_cost g1 g2)
+    | Direct -> Vf2.iso_min_cost g1 g2
+    | Incremental -> Incremental.iso_min_cost g1 g2
+  in
+  match canon_pair g1 g2 with
+  | Some (f1, f2) when not (same_digest f1 f2) ->
+      (* Not label-isomorphic: no bijective matching exists. *)
+      canon_skip "generalization";
+      None
+  | Some (f1, f2) -> (
+      match zero_cost_witness g1 g2 f1 f2 with
+      | Some m ->
+          canon_skip "generalization";
+          Some m
+      | None -> solve ())
+  | None -> solve ()
 
 let subgraph_matching ?(backend = default_backend) g1 g2 =
-  match backend with
-  | Asp -> (
-      match Asp_backend.sub_iso_min_cost_checked g1 g2 with
-      | Ok m -> m
-      | Error `Step_limit ->
-          if fallback_enabled () then begin
-            degraded "comparison";
-            Vf2.sub_iso_min_cost g1 g2
-          end
-          else Asp_backend.sub_iso_min_cost g1 g2)
-  | Direct -> Vf2.sub_iso_min_cost g1 g2
-  | Incremental -> Incremental.sub_iso_min_cost g1 g2
+  let solve () =
+    match backend with
+    | Asp -> (
+        match Asp_backend.sub_iso_min_cost_checked g1 g2 with
+        | Ok m -> m
+        | Error `Step_limit ->
+            if fallback_enabled () then begin
+              degraded "comparison";
+              Vf2.sub_iso_min_cost g1 g2
+            end
+            else Asp_backend.sub_iso_min_cost g1 g2)
+    | Direct -> Vf2.sub_iso_min_cost g1 g2
+    | Incremental -> Incremental.sub_iso_min_cost g1 g2
+  in
+  (* Unequal digests prove nothing here (a proper subgraph embedding
+     may still exist), so only the equal-digest zero-cost case can
+     bypass the search. *)
+  match canon_pair g1 g2 with
+  | Some (f1, f2) when same_digest f1 f2 -> (
+      match zero_cost_witness g1 g2 f1 f2 with
+      | Some m ->
+          canon_skip "comparison";
+          Some m
+      | None -> solve ())
+  | _ -> solve ()

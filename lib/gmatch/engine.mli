@@ -31,6 +31,32 @@ val backend_to_string : backend -> string
 val set_fallback : bool -> unit
 val fallback_enabled : unit -> bool
 
+(** {2 Canonical-form fast path}
+
+    When {!Pgraph.Canon} is enabled (the default), the entry points
+    below consult canonical digests before grounding anything: digest
+    equality decides {!similar} outright; unequal digests make
+    {!generalization_matching} return [None]; and an equal-digest pair
+    whose canonical witness has zero property-mismatch cost is answered
+    with that witness directly (zero cost is trivially optimal and
+    makes the downstream generalization/comparison result independent
+    of which optimal witness is chosen, so the bypass is byte-identical
+    to solving).  Each avoided solve is counted under its pipeline
+    stage tag. *)
+
+(** [canon_skip tag] records one solver bypass for stage [tag]
+    (["similarity"], ["generalization"] or ["comparison"]; other tags
+    are ignored).  Exposed for {!Core}'s digest-bucketing class
+    builder, which skips whole pairwise checks. *)
+val canon_skip : string -> unit
+
+(** Per-stage bypass counts since the last reset, tag-sorted, zero
+    entries omitted — the same shape as [Asp.Memo.stats]. *)
+val canon_skips : unit -> (string * int) list
+
+val canon_skip_total : unit -> int
+val reset_canon_skips : unit -> unit
+
 (** [drain_notes ()] returns and clears the degradation notes recorded
     on the calling domain since the last drain, in emission order and
     deduplicated.  A benchmark's pipeline runs sequentially on one

@@ -23,7 +23,19 @@ let combine_sorted hashes =
      under renaming of identifiers. *)
   List.fold_left hash_int64 fnv_offset (List.sort Int64.compare hashes)
 
-let refinement_rounds = 3
+module Hash = struct
+  type h = int64
+
+  let seed = fnv_offset
+  let string = hash_string
+  let int64 = hash_int64
+  let combine_sorted = combine_sorted
+end
+
+(* The one refinement-depth knob for bounded consumers: of_graph and
+   the exact-similarity candidate pruning in Gmatch.Asp_backend refine
+   this deep; Canon continues the same refinement to a fixpoint. *)
+let default_rounds = 3
 
 module Smap = Map.Make (String)
 
@@ -72,7 +84,7 @@ let edge_colours ?(rounds = 0) g =
     (Graph.edges g)
 
 let of_graph g =
-  let final = node_colour_map g refinement_rounds in
+  let final = node_colour_map g default_rounds in
   let node_part = combine_sorted (List.map snd (Smap.bindings final)) in
   let edge_part =
     combine_sorted

@@ -9,10 +9,27 @@
 
 type t
 
+(** The shared Weisfeiler–Leman refinement depth used by every refined
+    consumer: {!of_graph}, the exact-similarity candidate pruning in
+    [Gmatch.Asp_backend] and the starting colouring of {!Canon}.
+
+    The soundness ordering to keep in mind when choosing a depth for a
+    new consumer: colours at {e every} round are isomorphism-invariant
+    (any label- and incidence-preserving bijection maps each element
+    to an equally coloured one), so deeper rounds are always safe for
+    {e exact} isomorphism questions and only sharpen the partition.
+    Round 0, by contrast, guarantees exactly label equality — which is
+    all the {e approximate} (cost-minimizing) Listing 3/4 matchings
+    may assume, since their hard constraints enforce nothing beyond
+    label and endpoint agreement.  Exact consumers should refine
+    [default_rounds] deep (or, like [Canon], continue to a fixpoint);
+    approximate consumers must stay at round 0. *)
+val default_rounds : int
+
 (** [of_graph g] computes a fingerprint from label multisets and a
-    bounded Weisfeiler–Leman colour refinement of the underlying
-    directed labelled graph.  Properties are ignored (similarity is
-    shape-only, per Section 3.4). *)
+    [default_rounds]-deep Weisfeiler–Leman colour refinement of the
+    underlying directed labelled graph.  Properties are ignored
+    (similarity is shape-only, per Section 3.4). *)
 val of_graph : Graph.t -> t
 
 (** [node_colours ?rounds g] lists [(node_id, colour)] for every node,
@@ -21,8 +38,8 @@ val of_graph : Graph.t -> t
     round applies one Weisfeiler–Leman refinement step over incoming and
     outgoing labelled edges.  Two nodes matched by any label-respecting
     isomorphism necessarily share colours at every round; at round 0 the
-    guarantee weakens to label equality, which is what the approximate
-    (cost-minimizing) matchings in Listing 3/4 require. *)
+    guarantee weakens to label equality — see {!default_rounds} for the
+    resulting usage rule. *)
 val node_colours : ?rounds:int -> Graph.t -> (string * int64) list
 
 (** [edge_colours ?rounds g] lists [(edge_id, colour)] where an edge's
@@ -34,6 +51,21 @@ val edge_colours : ?rounds:int -> Graph.t -> (string * int64) list
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+(** The FNV-1a hash combinators the colours are built from, exposed so
+    {!Canon} can extend the same refinement (identical hashing keeps
+    its fixpoint colours comparable with the bounded rounds here). *)
+module Hash : sig
+  type h = int64
+
+  val seed : h
+  val string : h -> string -> h
+  val int64 : h -> h -> h
+
+  (** Order-independent combination: inputs are sorted before folding,
+      so the result is invariant under element renaming. *)
+  val combine_sorted : h list -> h
+end
 
 (** Stable hexadecimal rendering, usable as a dictionary key. *)
 val to_hex : t -> string
