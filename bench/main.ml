@@ -799,6 +799,102 @@ let canon_bench () = canon_run ~sizes:[ 4; 6; 8; 10; 12 ]
 let canon_quick () = canon_run ~sizes:[ 4; 8; 12 ]
 
 (* ------------------------------------------------------------------ *)
+(* corpus-scale: pipeline stage costs on ProvGen graphs past the        *)
+(* match-scale sweep's 12 nodes                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Where do the stage costs diverge as the target grows?  match-scale
+   stops at 12 nodes because it *solves*; this sweep only grounds the
+   (pruned) similarity instance and measures the per-graph stage costs
+   around it — fingerprint, canonical form, serialization, the two
+   parse paths and the artifact-store write — on generator pairs up to
+   two orders of magnitude larger. *)
+let corpus_scale_run ~sizes =
+  section "corpus-scale: stage costs on ProvGen graphs (fingerprint/canon/ground/parse/store)";
+  let prune0 = Gmatch.Asp_backend.prune_enabled () in
+  let canon0 = Pgraph.Canon.is_enabled () in
+  let store_dir = Filename.concat (Filename.get_temp_dir_name ()) "provmark-bench-store" in
+  let store = Provmark.Artifact_store.create ~dir:store_dir in
+  let rows =
+    Fun.protect
+      ~finally:(fun () ->
+        Gmatch.Asp_backend.set_prune prune0;
+        Pgraph.Canon.set_enabled canon0)
+      (fun () ->
+        Gmatch.Asp_backend.set_prune true;
+        Pgraph.Canon.set_enabled true;
+        List.map
+          (fun nodes ->
+            let spec = Pgraph.Provgen.default_spec ~nodes in
+            let (g1, g2), t_generate =
+              timed (fun () -> Pgraph.Provgen.match_pair ~seed:(41 + nodes) spec)
+            in
+            let _, t_fingerprint = timed (fun () -> Pgraph.Fingerprint.of_graph g1) in
+            Pgraph.Canon.clear ();
+            let _, t_canon = timed (fun () -> Pgraph.Canon.digest g1) in
+            let (program, facts), t_instance =
+              timed (fun () -> Gmatch.Asp_backend.instance Gmatch.Asp_backend.Similarity g1 g2)
+            in
+            let rules = Asp.Parser.parse_program program in
+            let ground, t_ground = timed (fun () -> Asp.Ground.ground rules facts) in
+            let text, t_serialize = timed (fun () -> Recorders.Provjson.to_string g1) in
+            let _, t_parse = timed (fun () -> Recorders.Provjson.of_string text) in
+            let _, t_stream =
+              timed (fun () ->
+                  Recorders.Provjson.of_stream
+                    ~read:(Recorders.Chunk_reader.of_string ~chunk:65536 text))
+            in
+            let key =
+              Provmark.Artifact_store.generated_input_key ~generator:"bench"
+                ~spec:(Pgraph.Provgen.spec_to_string spec) ~seed:(41 + nodes) ~run:1
+                ~format:"provjson"
+            in
+            let _, t_store = timed (fun () -> Provmark.Artifact_store.write store ~stage:"corpus" ~key text) in
+            ( nodes,
+              Pgraph.Graph.edge_count g1,
+              t_generate,
+              t_fingerprint,
+              t_canon,
+              t_instance +. t_ground,
+              ground.Asp.Ground.atom_count,
+              t_serialize,
+              t_parse,
+              t_stream,
+              t_store ))
+          sizes)
+  in
+  Printf.printf "%-6s %-7s %10s %10s %10s %10s %9s %10s %10s %10s %10s\n" "nodes" "edges"
+    "gen(s)" "fp(s)" "canon(s)" "ground(s)" "atoms" "ser(s)" "parse(s)" "stream(s)" "store(s)";
+  List.iter
+    (fun (nodes, edges, tg, tf, tc, tgr, atoms, tser, tp, tst, tw) ->
+      Printf.printf "%-6d %-7d %10.4f %10.4f %10.4f %10.4f %9d %10.4f %10.4f %10.4f %10.4f\n"
+        nodes edges tg tf tc tgr atoms tser tp tst tw)
+    rows;
+  let num f = Minijson.Json.Number f in
+  bench_json_update "scale"
+    (Minijson.Json.Array
+       (List.map
+          (fun (nodes, edges, tg, tf, tc, tgr, atoms, tser, tp, tst, tw) ->
+            Minijson.Json.Object
+              [
+                ("nodes", num (float_of_int nodes));
+                ("edges", num (float_of_int edges));
+                ("generate_s", num tg);
+                ("fingerprint_s", num tf);
+                ("canon_s", num tc);
+                ("ground_s", num tgr);
+                ("atoms", num (float_of_int atoms));
+                ("serialize_s", num tser);
+                ("parse_s", num tp);
+                ("stream_parse_s", num tst);
+                ("store_write_s", num tw);
+              ])
+          rows))
+
+let corpus_scale () = corpus_scale_run ~sizes:[ 16; 32; 64; 128; 256; 512 ]
+let corpus_scale_quick () = corpus_scale_run ~sizes:[ 16; 32; 64 ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let t0 = Provmark.Trace_span.now_s () in
@@ -819,7 +915,8 @@ let () =
     extension_scalability_backends ();
     extension_nondet ();
     match_scale ();
-    canon_bench ()
+    canon_bench ();
+    corpus_scale ()
   in
   (* [bench/main.exe <section>...] runs just the named sections. *)
   let sections =
@@ -833,6 +930,8 @@ let () =
       ("match-scale-quick", match_scale_quick);
       ("canon", canon_bench);
       ("canon-quick", canon_quick);
+      ("corpus-scale", corpus_scale);
+      ("corpus-scale-quick", corpus_scale_quick);
     ]
   in
   (match List.tl (Array.to_list Sys.argv) with

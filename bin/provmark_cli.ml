@@ -509,6 +509,72 @@ let export_cmd =
     Term.(const run $ dir_arg)
 
 (* ------------------------------------------------------------------ *)
+(* corpus: materialize a synthetic corpus tier                         *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_cmd =
+  let tier_arg =
+    let doc =
+      "Corpus tier to materialize: light (CI-sized, a few hundred nodes), scaled \
+       (thousands), large (tens of thousands) or full (up to 10^5 nodes). Tiers \
+       are cumulative: each includes every lighter tier's entries."
+    in
+    let parse s = Result.map_error (fun e -> `Msg e) (Pgraph.Provgen.tier_of_string s) in
+    let print ppf t = Format.pp_print_string ppf (Pgraph.Provgen.tier_name t) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Pgraph.Provgen.Light
+      & info [ "tier" ] ~docv:"TIER" ~doc)
+  in
+  let dir_arg =
+    let doc = "Output directory; the tier lands in DIR/<tier>/." in
+    Arg.(value & opt string "corpus" & info [ "dir"; "d" ] ~docv:"DIR" ~doc)
+  in
+  let format_arg =
+    let doc = "Serialization(s) to write: dot, provjson or both." in
+    let parse = function
+      | "dot" -> Ok [ Provmark.Corpus.Dot ]
+      | "provjson" -> Ok [ Provmark.Corpus.Provjson ]
+      | "both" -> Ok [ Provmark.Corpus.Dot; Provmark.Corpus.Provjson ]
+      | s -> Error (`Msg (Printf.sprintf "unknown format %s (expected dot, provjson or both)" s))
+    in
+    let print ppf = function
+      | [ Provmark.Corpus.Dot ] -> Format.pp_print_string ppf "dot"
+      | [ Provmark.Corpus.Provjson ] -> Format.pp_print_string ppf "provjson"
+      | _ -> Format.pp_print_string ppf "both"
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) [ Provmark.Corpus.Dot; Provmark.Corpus.Provjson ]
+      & info [ "format" ] ~docv:"F" ~doc)
+  in
+  let run tier dir formats seed jobs store no_store =
+    let store = store_of ~store ~no_store in
+    let m = Provmark.Corpus.materialize ~jobs ?store ~formats ~dir ~seed tier in
+    let files = List.length m.Provmark.Corpus.entries in
+    let nodes =
+      List.fold_left (fun acc e -> acc + e.Provmark.Corpus.entry_nodes) 0 m.Provmark.Corpus.entries
+    in
+    Printf.printf "wrote %d corpus files (%d nodes total) under %s/%s/\n" files nodes dir
+      (Pgraph.Provgen.tier_name tier);
+    match store with
+    | None -> ()
+    | Some st ->
+        let t = Provmark.Artifact_store.totals st in
+        Printf.printf "store: %d replayed, %d generated\n" t.Provmark.Artifact_store.hits
+          t.Provmark.Artifact_store.misses
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Materialize a ProvGen-style synthetic corpus tier: seeded deterministic \
+          provenance graphs serialized to DOT and PROV-JSON with a MANIFEST.json of \
+          spec strings and digests. Output bytes are a pure function of (tier, seed) \
+          — independent of --jobs — and replay from the artifact store when warm.")
+    Term.(
+      const run $ tier_arg $ dir_arg $ format_arg $ seed_arg $ jobs_arg $ store_arg $ no_store_arg)
+
+(* ------------------------------------------------------------------ *)
 (* list: available benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -525,6 +591,6 @@ let list_cmd =
 
 let main_cmd =
   let doc = "provenance expressiveness benchmarking (ProvMark reproduction)" in
-  Cmd.group (Cmd.info "provmark" ~version:"1.0.0" ~doc) [ run_cmd; batch_cmd; report_cmd; failures_cmd; trace_cmd; export_cmd; list_cmd ]
+  Cmd.group (Cmd.info "provmark" ~version:"1.0.0" ~doc) [ run_cmd; batch_cmd; report_cmd; failures_cmd; trace_cmd; export_cmd; corpus_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

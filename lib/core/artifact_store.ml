@@ -50,6 +50,16 @@ let key ~stage ~fingerprint ~inputs =
        (("provmark-artifact-v" ^ format_version)
        :: Faults.Injector.fingerprint () :: stage :: fingerprint :: inputs))
 
+(* Generated inputs are stage artifacts whose "computation" is the
+   generator itself, so the key covers everything the bytes are a pure
+   function of: the generator name/version, the canonical spec string,
+   and the (seed, run, format) coordinates.  The [key] plumbing folds
+   in the store format version and fault-plan fingerprint as for any
+   other stage. *)
+let generated_input_key ~generator ~spec ~seed ~run ~format =
+  key ~stage:"corpus" ~fingerprint:generator
+    ~inputs:[ spec; string_of_int seed; string_of_int run; format ]
+
 let graph_digest g =
   digest
     (Pgraph.Fingerprint.to_hex (Pgraph.Fingerprint.of_graph g)

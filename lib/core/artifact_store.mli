@@ -38,6 +38,17 @@ val digest : string -> string
     fault-injected runs occupy a key space disjoint from clean runs. *)
 val key : stage:string -> fingerprint:string -> inputs:string list -> string
 
+(** [generated_input_key ~generator ~spec ~seed ~run ~format] is the
+    artifact key for a synthetically generated input: a [corpus]-stage
+    key whose fingerprint is the generator name/version and whose
+    inputs are the canonical spec string plus the (seed, run, format)
+    coordinates the bytes are a pure function of.  A warm store
+    replays generated corpus files instead of regenerating them; any
+    spec or generator change invalidates exactly the affected
+    entries. *)
+val generated_input_key :
+  generator:string -> spec:string -> seed:int -> run:int -> format:string -> string
+
 (** Digest of a property graph, combining its Weisfeiler–Leman
     fingerprint colours with the canonical Listing-1 fact rendering
     (the fingerprint alone ignores property values). *)

@@ -1,0 +1,180 @@
+open Pgraph
+
+type format = Dot | Provjson
+
+type entry = {
+  entry_name : string;
+  entry_spec : string;
+  entry_run : int;
+  entry_format : format;
+  entry_file : string;
+  entry_md5 : string;
+  entry_nodes : int;
+  entry_edges : int;
+}
+
+type manifest = { tier : Provgen.tier; seed : int; entries : entry list }
+
+(* Participates in every generated-input artifact key: bump when the
+   generator's output bytes change for the same spec. *)
+let generator = "provgen-1"
+
+let format_name = function Dot -> "dot" | Provjson -> "provjson"
+
+let format_ext = function Dot -> "dot" | Provjson -> "json"
+
+let file_name ~name ~run format = Printf.sprintf "%s-r%d.%s" name run (format_ext format)
+
+let runs = [ 1; 2 ]
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let render format ~name ~run g =
+  match format with
+  | Dot -> Recorders.Dot.to_string (Recorders.Dot.of_pgraph ~name:(Printf.sprintf "%s_r%d" name run) g)
+  | Provjson -> Recorders.Provjson.to_string g
+
+(* One corpus file's bytes: replayed from the store when warm, and a
+   pure function of its coordinates otherwise — which is what makes
+   materialization independent of the jobs level. *)
+let bytes_for ?store ~seed ~name ~spec ~run format =
+  let spec_string = Provgen.spec_to_string spec in
+  let key () =
+    Artifact_store.generated_input_key ~generator ~spec:spec_string ~seed ~run
+      ~format:(format_name format)
+  in
+  match store with
+  | None ->
+      let g = Provgen.generate ~run ~seed spec in
+      (render format ~name ~run g, Graph.node_count g, Graph.edge_count g)
+  | Some st -> (
+      let key = key () in
+      match Artifact_store.read st ~stage:"corpus" ~key with
+      | Some payload -> (
+          (* Stored alongside the bytes so a warm replay still fills the
+             manifest counts: "<nodes> <edges>\n<bytes>". *)
+          match String.index_opt payload '\n' with
+          | Some nl when (match String.split_on_char ' ' (String.sub payload 0 nl) with
+                         | [ a; b ] -> int_of_string_opt a <> None && int_of_string_opt b <> None
+                         | _ -> false) ->
+              Artifact_store.record st ~stage:"corpus" ~hit:true;
+              let header = String.sub payload 0 nl in
+              let nodes, edges =
+                match String.split_on_char ' ' header with
+                | [ a; b ] -> (int_of_string a, int_of_string b)
+                | _ -> assert false
+              in
+              (String.sub payload (nl + 1) (String.length payload - nl - 1), nodes, edges)
+          | _ ->
+              Artifact_store.record st ~stage:"corpus" ~hit:false;
+              let g = Provgen.generate ~run ~seed spec in
+              (render format ~name ~run g, Graph.node_count g, Graph.edge_count g))
+      | None ->
+          Artifact_store.record st ~stage:"corpus" ~hit:false;
+          let g = Provgen.generate ~run ~seed spec in
+          let bytes = render format ~name ~run g in
+          let nodes = Graph.node_count g and edges = Graph.edge_count g in
+          Artifact_store.write st ~stage:"corpus" ~key
+            (Printf.sprintf "%d %d\n%s" nodes edges bytes);
+          (bytes, nodes, edges))
+
+let write_file path contents =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)
+
+let manifest_to_json m =
+  let open Minijson in
+  let entry_json e =
+    Json.Object
+      [
+        ("name", Json.String e.entry_name);
+        ("spec", Json.String e.entry_spec);
+        ("run", Json.Number (float_of_int e.entry_run));
+        ("format", Json.String (format_name e.entry_format));
+        ("file", Json.String e.entry_file);
+        ("md5", Json.String e.entry_md5);
+        ("nodes", Json.Number (float_of_int e.entry_nodes));
+        ("edges", Json.Number (float_of_int e.entry_edges));
+      ]
+  in
+  Json.Object
+    [
+      ("generator", Json.String generator);
+      ("tier", Json.String (Provgen.tier_name m.tier));
+      ("seed", Json.Number (float_of_int m.seed));
+      ("entries", Json.Array (List.map entry_json m.entries));
+    ]
+
+let materialize ?(jobs = 1) ?store ?(formats = [ Dot; Provjson ]) ~dir ~seed tier =
+  let tier_dir = Filename.concat dir (Provgen.tier_name tier) in
+  mkdir_p tier_dir;
+  let work =
+    List.concat_map
+      (fun (name, spec) ->
+        List.concat_map (fun run -> List.map (fun fmt -> (name, spec, run, fmt)) formats) runs)
+      (Provgen.tier_specs tier)
+  in
+  let entries =
+    Pool.map ~jobs
+      (fun (name, spec, run, fmt) ->
+        let bytes, nodes, edges = bytes_for ?store ~seed ~name ~spec ~run fmt in
+        let file = file_name ~name ~run fmt in
+        write_file (Filename.concat tier_dir file) bytes;
+        {
+          entry_name = name;
+          entry_spec = Provgen.spec_to_string spec;
+          entry_run = run;
+          entry_format = fmt;
+          entry_file = file;
+          entry_md5 = Digest.to_hex (Digest.string bytes);
+          entry_nodes = nodes;
+          entry_edges = edges;
+        })
+      work
+  in
+  let m = { tier; seed; entries } in
+  write_file (Filename.concat tier_dir "MANIFEST.json")
+    (Minijson.Json.to_string ~pretty:true (manifest_to_json m) ^ "\n");
+  m
+
+let load_manifest ~dir tier =
+  let open Minijson in
+  let tier_dir = Filename.concat dir (Provgen.tier_name tier) in
+  let path = Filename.concat tier_dir "MANIFEST.json" in
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let json = Json.of_string text in
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let str j = match j with Json.String s -> s | _ -> fail "manifest: expected string" in
+  let int j = match j with Json.Number f when Float.is_integer f -> int_of_float f | _ -> fail "manifest: expected int" in
+  let entry j =
+    let m k = Json.member k j in
+    let fmt =
+      match str (m "format") with
+      | "dot" -> Dot
+      | "provjson" -> Provjson
+      | s -> fail "manifest: unknown format %s" s
+    in
+    {
+      entry_name = str (m "name");
+      entry_spec = str (m "spec");
+      entry_run = int (m "run");
+      entry_format = fmt;
+      entry_file = str (m "file");
+      entry_md5 = str (m "md5");
+      entry_nodes = int (m "nodes");
+      entry_edges = int (m "edges");
+    }
+  in
+  let tier' =
+    match Provgen.tier_of_string (str (Json.member "tier" json)) with
+    | Ok t -> t
+    | Error e -> fail "manifest: %s" e
+  in
+  {
+    tier = tier';
+    seed = int (Json.member "seed" json);
+    entries = List.map entry (Json.to_list (Json.member "entries" json));
+  }

@@ -82,7 +82,11 @@ let to_string ?(pretty = false) j =
 
 type state = { src : string; mutable pos : int }
 
-let error st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+(* Internal located reject; converted to {!Parse_error} (message form)
+   or [Error (offset, reason)] (structured form) at the entry points. *)
+exception Located of int * string
+
+let error st msg = raise (Located (st.pos, msg))
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
@@ -253,12 +257,24 @@ and parse_array st =
       in
       items []
 
-let of_string s =
-  let st = { src = s; pos = 0 } in
+let parse_document st =
   let v = parse_value st in
   skip_ws st;
   (match peek st with None -> () | Some _ -> error st "trailing garbage");
   v
+
+let of_string_located s =
+  let st = { src = s; pos = 0 } in
+  match parse_document st with
+  | v -> Ok v
+  | exception Located (offset, reason) -> Error (offset, reason)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  match parse_document st with
+  | v -> v
+  | exception Located (offset, reason) ->
+      raise (Parse_error (Printf.sprintf "%s at offset %d" reason offset))
 
 (* ------------------------------------------------------------------ *)
 (* Accessors                                                           *)

@@ -23,6 +23,13 @@ val to_string : ?pretty:bool -> t -> string
     message including the offending position on malformed input. *)
 val of_string : string -> t
 
+(** [of_string_located s] parses like {!of_string} but reports malformed
+    input as [Error (offset, reason)]: the absolute byte offset blamed
+    plus the bare reason, with no " at offset N" message suffix to
+    re-parse.  Consumers that need the position — the PROV-JSON
+    reader's {!Recorders.Provjson.Format_error} — use this form. *)
+val of_string_located : string -> (t, int * string) result
+
 (** {2 Accessors}
 
     Accessors raise [Invalid_argument] when the value has the wrong

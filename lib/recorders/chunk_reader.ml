@@ -1,0 +1,58 @@
+type t = {
+  read : unit -> string option;
+  mutable buf : string;  (* the one resident chunk *)
+  mutable off : int;  (* next unconsumed index within [buf] *)
+  mutable base : int;  (* absolute offset of [buf.[0]] *)
+  mutable eof : bool;
+  mutable chunks : int;
+}
+
+let create read = { read; buf = ""; off = 0; base = 0; eof = false; chunks = 0 }
+
+let of_string ?(chunk = 4096) s =
+  let chunk = max 1 chunk in
+  let pos = ref 0 in
+  create (fun () ->
+      if !pos >= String.length s then None
+      else begin
+        let len = min chunk (String.length s - !pos) in
+        let piece = String.sub s !pos len in
+        pos := !pos + len;
+        Some piece
+      end)
+
+let of_channel ?(chunk = 4096) ic =
+  let chunk = max 1 chunk in
+  let buf = Bytes.create chunk in
+  create (fun () ->
+      match input ic buf 0 chunk with
+      | 0 -> None
+      | n -> Some (Bytes.sub_string buf 0 n)
+      | exception End_of_file -> None)
+
+(* Drop the exhausted chunk and pull the next non-empty one. *)
+let rec refill t =
+  if (not t.eof) && t.off >= String.length t.buf then begin
+    t.base <- t.base + String.length t.buf;
+    t.off <- 0;
+    match t.read () with
+    | None ->
+        t.buf <- "";
+        t.eof <- true
+    | Some chunk ->
+        t.buf <- chunk;
+        t.chunks <- t.chunks + 1;
+        if String.length chunk = 0 then refill t
+  end
+
+let peek t =
+  refill t;
+  if t.off < String.length t.buf then Some t.buf.[t.off] else None
+
+let advance t =
+  refill t;
+  if t.off < String.length t.buf then t.off <- t.off + 1
+
+let pos t = t.base + t.off
+
+let chunks_read t = t.chunks

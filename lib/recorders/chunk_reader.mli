@@ -1,0 +1,38 @@
+(** Chunked input cursor shared by the streaming DOT and PROV-JSON
+    readers.
+
+    A cursor pulls text from a [read] thunk one chunk at a time and
+    exposes single-character lookahead over the concatenated stream
+    without ever materializing it: at any moment exactly one chunk is
+    resident, so parsing an arbitrarily large input is O(chunk size)
+    in memory.  Positions are {e absolute} byte offsets into the whole
+    stream — the invariant that lets a streaming parse blame the same
+    byte as an in-memory parse of the concatenated text. *)
+
+type t
+
+(** [create read] wraps a chunk producer.  [read ()] returns the next
+    chunk or [None] at end of stream; empty chunks are skipped. *)
+val create : (unit -> string option) -> t
+
+(** [of_string ?chunk s] streams [s] in [chunk]-byte pieces (default
+    4096) — the test harness's way of forcing chunk boundaries. *)
+val of_string : ?chunk:int -> string -> t
+
+(** [of_channel ?chunk ic] streams a channel without loading it. *)
+val of_channel : ?chunk:int -> in_channel -> t
+
+(** Next character without consuming it; [None] at end of stream. *)
+val peek : t -> char option
+
+(** Consume one character (no-op at end of stream). *)
+val advance : t -> unit
+
+(** Absolute byte offset of the next unconsumed character — equal to
+    the total stream length once the stream is exhausted. *)
+val pos : t -> int
+
+(** Number of chunks pulled so far.  A parser that buffers no input
+    beyond the cursor requests at most [ceil (length / chunk)] chunks;
+    the fuzz suite pins that bound. *)
+val chunks_read : t -> int

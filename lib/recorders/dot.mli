@@ -29,3 +29,34 @@ val to_pgraph : graph -> Pgraph.Graph.t
 (** [of_pgraph ~name g] renders a property graph; edge identifiers are
     dropped (DOT edges are anonymous). *)
 val of_pgraph : name:string -> Pgraph.Graph.t -> graph
+
+(** {2 Streaming ingestion}
+
+    The streaming reader consumes the same DOT subset through a
+    {!Chunk_reader.t}, holding one chunk of input text resident at a
+    time instead of the whole buffer.  It raises the same
+    {!Parse_error} values as [of_string] — offsets are absolute into
+    the concatenated stream, so a malformed byte is blamed identically
+    by either path. *)
+
+(** One parse event, in file order. *)
+type stream_event =
+  | Sname of string  (** the [digraph] name, first event *)
+  | Snode of node
+  | Sedge of int * edge
+      (** edge plus the absolute offset of its statement — the offset
+          an undeclared-endpoint reject blames *)
+
+(** [fold_stream ~read ~init ~f] parses the stream, threading [f]
+    through the events.  The whole input is consumed: trailing garbage
+    after the closing brace rejects exactly as in [of_string]. *)
+val fold_stream : read:Chunk_reader.t -> init:'a -> f:('a -> stream_event -> 'a) -> 'a
+
+(** [of_stream ~read] folds the stream into a property graph with the
+    same semantics as [to_pgraph (of_string text)]: node [type]
+    attributes become labels, edges get synthetic identifiers [e0],
+    [e1], ... in file order, and references to undeclared nodes reject
+    with the edge statement's offset.  Edge records are buffered until
+    end of stream (DOT allows forward references); input text is never
+    buffered beyond the resident chunk. *)
+val of_stream : read:Chunk_reader.t -> Pgraph.Graph.t

@@ -1,0 +1,201 @@
+open Minijson
+
+(* A production-for-production clone of Minijson.Json's batch parser
+   over a chunked cursor.  Any divergence in grammar, reason string or
+   blamed offset breaks the streaming/in-memory parity the
+   differential suite pins — change the two parsers in lockstep. *)
+
+exception Error of int * string
+
+let error cur msg = raise (Error (Chunk_reader.pos cur, msg))
+
+let error_at off msg = raise (Error (off, msg))
+
+let peek = Chunk_reader.peek
+
+let advance = Chunk_reader.advance
+
+let rec skip_ws cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance cur;
+      skip_ws cur
+  | _ -> ()
+
+let expect cur c =
+  match peek cur with
+  | Some c' when Char.equal c c' -> advance cur
+  | _ -> error cur (Printf.sprintf "expected %c" c)
+
+(* The batch parser checks the remaining length up front and blames the
+   literal's first byte; consuming char by char, we blame the same
+   start offset on both truncation and mismatch. *)
+let parse_literal cur word value =
+  let start = Chunk_reader.pos cur in
+  String.iter
+    (fun c ->
+      match peek cur with
+      | Some c' when Char.equal c c' -> advance cur
+      | _ -> error_at start (Printf.sprintf "expected %s" word))
+    word;
+  value
+
+let parse_hex4 cur =
+  let start = Chunk_reader.pos cur in
+  let b = Buffer.create 4 in
+  for _ = 1 to 4 do
+    match peek cur with
+    | None -> error_at start "truncated \\u escape"
+    | Some c ->
+        advance cur;
+        Buffer.add_char b c
+  done;
+  match int_of_string_opt ("0x" ^ Buffer.contents b) with
+  | Some n -> n
+  | None -> error cur "bad \\u escape"
+
+let add_utf8 b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then (
+    Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F))))
+  else if cp < 0x10000 then (
+    Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F))))
+  else (
+    Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F))))
+
+let parse_string cur =
+  expect cur '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> error cur "unterminated string"
+    | Some '"' ->
+        advance cur;
+        Buffer.contents b
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | None -> error cur "unterminated escape"
+        | Some c ->
+            advance cur;
+            (match c with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                let hi = parse_hex4 cur in
+                if hi >= 0xD800 && hi <= 0xDBFF then (
+                  expect cur '\\';
+                  expect cur 'u';
+                  let lo = parse_hex4 cur in
+                  if lo < 0xDC00 || lo > 0xDFFF then error cur "invalid low surrogate";
+                  add_utf8 b (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00)))
+                else add_utf8 b hi
+            | _ -> error cur "bad escape character");
+            loop ())
+    | Some c ->
+        advance cur;
+        Buffer.add_char b c;
+        loop ()
+  in
+  loop ()
+
+let parse_number cur =
+  let b = Buffer.create 16 in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  let rec eat () =
+    match peek cur with
+    | Some c when is_num_char c ->
+        advance cur;
+        Buffer.add_char b c;
+        eat ()
+    | _ -> ()
+  in
+  eat ();
+  let s = Buffer.contents b in
+  match float_of_string_opt s with
+  | Some f -> Json.Number f
+  | None -> error cur (Printf.sprintf "bad number %S" s)
+
+let rec value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> error cur "unexpected end of input"
+  | Some '{' -> parse_object cur
+  | Some '[' -> parse_array cur
+  | Some '"' -> Json.String (parse_string cur)
+  | Some 't' -> parse_literal cur "true" (Json.Bool true)
+  | Some 'f' -> parse_literal cur "false" (Json.Bool false)
+  | Some 'n' -> parse_literal cur "null" Json.Null
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> error cur (Printf.sprintf "unexpected character %C" c)
+
+and parse_object cur =
+  expect cur '{';
+  skip_ws cur;
+  match peek cur with
+  | Some '}' ->
+      advance cur;
+      Json.Object []
+  | _ ->
+      let rec members acc =
+        skip_ws cur;
+        let key = parse_string cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+            advance cur;
+            members ((key, v) :: acc)
+        | Some '}' ->
+            advance cur;
+            Json.Object (List.rev ((key, v) :: acc))
+        | _ -> error cur "expected , or } in object"
+      in
+      members []
+
+and parse_array cur =
+  expect cur '[';
+  skip_ws cur;
+  match peek cur with
+  | Some ']' ->
+      advance cur;
+      Json.Array []
+  | _ ->
+      let rec items acc =
+        let v = value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+            advance cur;
+            items (v :: acc)
+        | Some ']' ->
+            advance cur;
+            Json.Array (List.rev (v :: acc))
+        | _ -> error cur "expected , or ] in array"
+      in
+      items []
+
+let check_eof cur =
+  skip_ws cur;
+  match peek cur with None -> () | Some _ -> error cur "trailing garbage"
+
+let document cur =
+  let v = value cur in
+  check_eof cur;
+  v

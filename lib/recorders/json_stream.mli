@@ -1,0 +1,35 @@
+(** Cursor-based JSON parsing over a {!Chunk_reader.t} — the
+    streaming counterpart of [Minijson.Json]'s batch parser.
+
+    Every production mirrors the batch parser byte for byte: the same
+    grammar, the same reject reasons, and the same blamed offsets
+    (absolute into the stream), so a malformed document is diagnosed
+    identically whether it was parsed in memory or streamed.  The
+    PROV-JSON streaming reader drives the exported productions
+    directly to walk the two-level section/record structure without
+    materializing the document. *)
+
+(** Located reject: absolute byte offset plus the bare reason — the
+    same [(offset, reason)] pair [Minijson.Json.of_string_located]
+    returns for the concatenated text. *)
+exception Error of int * string
+
+val skip_ws : Chunk_reader.t -> unit
+
+(** [expect cur c] consumes [c] or rejects at the current offset. *)
+val expect : Chunk_reader.t -> char -> unit
+
+(** [parse_string cur] parses a double-quoted JSON string with the
+    full escape grammar. *)
+val parse_string : Chunk_reader.t -> string
+
+(** [value cur] parses one JSON value (leading whitespace allowed). *)
+val value : Chunk_reader.t -> Minijson.Json.t
+
+(** [document cur] parses one value and rejects trailing garbage —
+    the streaming equivalent of [Minijson.Json.of_string]. *)
+val document : Chunk_reader.t -> Minijson.Json.t
+
+(** [check_eof cur] rejects with ["trailing garbage"] unless the
+    stream is exhausted (leading whitespace allowed). *)
+val check_eof : Chunk_reader.t -> unit
