@@ -804,25 +804,57 @@ let canon_quick () = canon_run ~sizes:[ 4; 8; 12 ]
 (* ------------------------------------------------------------------ *)
 
 (* Where do the stage costs diverge as the target grows?  match-scale
-   stops at 12 nodes because it *solves*; this sweep only grounds the
-   (pruned) similarity instance and measures the per-graph stage costs
+   stops at 12 nodes because it *solves*; this sweep grounds the
+   (pruned) similarity instance, measures the per-graph stage costs
    around it — fingerprint, canonical form, serialization, the two
    parse paths and the artifact-store write — on generator pairs up to
-   two orders of magnitude larger. *)
+   two orders of magnitude larger, and then actually *matches* each
+   pair through the segmented pruned-ASP path: the whole instance is
+   never solved, only the plan's segments are, so grounded-atom counts
+   per solve are bounded by the largest segment rather than the pair. *)
+type corpus_row = {
+  cr_nodes : int;
+  cr_edges : int;
+  cr_generate_s : float;
+  cr_fingerprint_s : float;
+  cr_canon_s : float;
+  cr_ground_s : float;
+  cr_atoms : int;
+  cr_serialize_s : float;
+  cr_parse_s : float;
+  cr_stream_s : float;
+  cr_store_s : float;
+  cr_match_s : float;
+  cr_match_ok : bool;
+  cr_propagations : int;
+  cr_decisions : int;
+  cr_segments : int;
+  cr_max_segment_nodes : int;
+  cr_segment_atoms : int;  (** largest per-segment grounded instance *)
+}
+
 let corpus_scale_run ~sizes =
-  section "corpus-scale: stage costs on ProvGen graphs (fingerprint/canon/ground/parse/store)";
+  section "corpus-scale: stage costs on ProvGen graphs (fingerprint/canon/ground/parse/store/match)";
   let prune0 = Gmatch.Asp_backend.prune_enabled () in
   let canon0 = Pgraph.Canon.is_enabled () in
+  let min0 = Gmatch.Engine.segment_min_nodes () in
+  let seg0 = Gmatch.Engine.segmentation_enabled () in
   let store_dir = Filename.concat (Filename.get_temp_dir_name ()) "provmark-bench-store" in
   let store = Provmark.Artifact_store.create ~dir:store_dir in
   let rows =
     Fun.protect
       ~finally:(fun () ->
         Gmatch.Asp_backend.set_prune prune0;
-        Pgraph.Canon.set_enabled canon0)
+        Pgraph.Canon.set_enabled canon0;
+        Gmatch.Engine.set_segmentation seg0;
+        Gmatch.Engine.set_segment_min_nodes min0)
       (fun () ->
         Gmatch.Asp_backend.set_prune true;
         Pgraph.Canon.set_enabled true;
+        Gmatch.Engine.set_segmentation true;
+        (* floor at zero so every size decomposes: the point of the
+           match column is that no pair is ever solved whole *)
+        Gmatch.Engine.set_segment_min_nodes 0;
         List.map
           (fun nodes ->
             let spec = Pgraph.Provgen.default_spec ~nodes in
@@ -850,49 +882,251 @@ let corpus_scale_run ~sizes =
                 ~format:"provjson"
             in
             let _, t_store = timed (fun () -> Provmark.Artifact_store.write store ~stage:"corpus" ~key text) in
-            ( nodes,
-              Pgraph.Graph.edge_count g1,
-              t_generate,
-              t_fingerprint,
-              t_canon,
-              t_instance +. t_ground,
-              ground.Asp.Ground.atom_count,
-              t_serialize,
-              t_parse,
-              t_stream,
-              t_store ))
+            (* Plan the pair to size the per-segment grounded instances
+               (the bound the segmented solver actually pays), then run
+               the segmented pruned-ASP similarity match with canon off —
+               the digest bypass would otherwise answer without solving. *)
+            let segments, max_segment_nodes, segment_atoms =
+              match Pgraph.Summarize.plan g1 g2 with
+              | Pgraph.Summarize.Segmented p ->
+                  let seg_atoms =
+                    List.fold_left
+                      (fun acc (s : Pgraph.Summarize.segment) ->
+                        let program, facts =
+                          Gmatch.Asp_backend.instance Gmatch.Asp_backend.Similarity
+                            s.Pgraph.Summarize.left s.Pgraph.Summarize.right
+                        in
+                        let rules = Asp.Parser.parse_program program in
+                        max acc (Asp.Ground.ground rules facts).Asp.Ground.atom_count)
+                      0 p.Pgraph.Summarize.segments
+                  in
+                  ( List.length p.Pgraph.Summarize.segments,
+                    Pgraph.Summarize.max_segment_nodes p,
+                    seg_atoms )
+              | Pgraph.Summarize.Whole | Pgraph.Summarize.Mismatch ->
+                  (0, Pgraph.Graph.node_count g1, ground.Asp.Ground.atom_count)
+            in
+            Pgraph.Canon.set_enabled false;
+            Asp.Solver.reset_stats ();
+            let ok, t_match =
+              timed (fun () -> Gmatch.Engine.similar ~backend:Gmatch.Engine.Asp g1 g2)
+            in
+            let sstats = Asp.Solver.stats () in
+            Pgraph.Canon.set_enabled true;
+            {
+              cr_nodes = nodes;
+              cr_edges = Pgraph.Graph.edge_count g1;
+              cr_generate_s = t_generate;
+              cr_fingerprint_s = t_fingerprint;
+              cr_canon_s = t_canon;
+              cr_ground_s = t_instance +. t_ground;
+              cr_atoms = ground.Asp.Ground.atom_count;
+              cr_serialize_s = t_serialize;
+              cr_parse_s = t_parse;
+              cr_stream_s = t_stream;
+              cr_store_s = t_store;
+              cr_match_s = t_match;
+              cr_match_ok = ok;
+              cr_propagations = sstats.Asp.Solver.propagations;
+              cr_decisions = sstats.Asp.Solver.decisions;
+              cr_segments = segments;
+              cr_max_segment_nodes = max_segment_nodes;
+              cr_segment_atoms = segment_atoms;
+            })
           sizes)
   in
-  Printf.printf "%-6s %-7s %10s %10s %10s %10s %9s %10s %10s %10s %10s\n" "nodes" "edges"
-    "gen(s)" "fp(s)" "canon(s)" "ground(s)" "atoms" "ser(s)" "parse(s)" "stream(s)" "store(s)";
+  Printf.printf "%-6s %-7s %10s %10s %10s %9s %10s %10s %10s %8s %6s %8s %9s %12s %10s\n" "nodes"
+    "edges" "gen(s)" "fp(s)" "ground(s)" "atoms" "parse(s)" "stream(s)" "match(s)" "segs"
+    "maxseg" "segatoms" "ok" "propagations" "decisions";
   List.iter
-    (fun (nodes, edges, tg, tf, tc, tgr, atoms, tser, tp, tst, tw) ->
-      Printf.printf "%-6d %-7d %10.4f %10.4f %10.4f %10.4f %9d %10.4f %10.4f %10.4f %10.4f\n"
-        nodes edges tg tf tc tgr atoms tser tp tst tw)
+    (fun r ->
+      Printf.printf "%-6d %-7d %10.4f %10.4f %10.4f %9d %10.4f %10.4f %10.4f %8d %6d %8d %9b %12d %10d\n"
+        r.cr_nodes r.cr_edges r.cr_generate_s r.cr_fingerprint_s r.cr_ground_s r.cr_atoms
+        r.cr_parse_s r.cr_stream_s r.cr_match_s r.cr_segments r.cr_max_segment_nodes
+        r.cr_segment_atoms r.cr_match_ok r.cr_propagations r.cr_decisions)
     rows;
   let num f = Minijson.Json.Number f in
   bench_json_update "scale"
     (Minijson.Json.Array
        (List.map
-          (fun (nodes, edges, tg, tf, tc, tgr, atoms, tser, tp, tst, tw) ->
+          (fun r ->
             Minijson.Json.Object
               [
-                ("nodes", num (float_of_int nodes));
-                ("edges", num (float_of_int edges));
-                ("generate_s", num tg);
-                ("fingerprint_s", num tf);
-                ("canon_s", num tc);
-                ("ground_s", num tgr);
-                ("atoms", num (float_of_int atoms));
-                ("serialize_s", num tser);
-                ("parse_s", num tp);
-                ("stream_parse_s", num tst);
-                ("store_write_s", num tw);
+                ("nodes", num (float_of_int r.cr_nodes));
+                ("edges", num (float_of_int r.cr_edges));
+                ("generate_s", num r.cr_generate_s);
+                ("fingerprint_s", num r.cr_fingerprint_s);
+                ("canon_s", num r.cr_canon_s);
+                ("ground_s", num r.cr_ground_s);
+                ("atoms", num (float_of_int r.cr_atoms));
+                ("serialize_s", num r.cr_serialize_s);
+                ("parse_s", num r.cr_parse_s);
+                ("stream_parse_s", num r.cr_stream_s);
+                ("store_write_s", num r.cr_store_s);
+                ("match_s", num r.cr_match_s);
+                ("match_ok", Minijson.Json.Bool r.cr_match_ok);
+                ("propagations", num (float_of_int r.cr_propagations));
+                ("decisions", num (float_of_int r.cr_decisions));
+                ("segments", num (float_of_int r.cr_segments));
+                ("max_segment_nodes", num (float_of_int r.cr_max_segment_nodes));
+                ("segment_atoms", num (float_of_int r.cr_segment_atoms));
               ])
           rows))
 
 let corpus_scale () = corpus_scale_run ~sizes:[ 16; 32; 64; 128; 256; 512 ]
 let corpus_scale_quick () = corpus_scale_run ~sizes:[ 16; 32; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* segment: the hierarchical matching prepass in isolation              *)
+(* ------------------------------------------------------------------ *)
+
+(* How far does the quotient prepass carry the exact matcher?  For each
+   size the ProvGen match pair is planned, every segment's
+   generalization instance is ground separately (the whole-pair
+   grounding is the baseline the decomposition is supposed to beat —
+   measured only while it stays tractable), and the full segmented
+   optimal solve — per-segment ASP solves stitched into one verified
+   whole-graph witness — is timed with solver-effort counters. *)
+let segment_run ~sizes =
+  section "segment: hierarchical matching prepass (quotient plan, per-segment grounding, stitched ASP solve)";
+  let prune0 = Gmatch.Asp_backend.prune_enabled () in
+  let canon0 = Pgraph.Canon.is_enabled () in
+  let seg0 = Gmatch.Engine.segmentation_enabled () in
+  let min0 = Gmatch.Engine.segment_min_nodes () in
+  let rows =
+    Fun.protect
+      ~finally:(fun () ->
+        Gmatch.Asp_backend.set_prune prune0;
+        Pgraph.Canon.set_enabled canon0;
+        Gmatch.Engine.set_segmentation seg0;
+        Gmatch.Engine.set_segment_min_nodes min0)
+      (fun () ->
+        Gmatch.Asp_backend.set_prune true;
+        (* canon off: the digest bypass would answer these pairs without
+           ever reaching the solver *)
+        Pgraph.Canon.set_enabled false;
+        Gmatch.Engine.set_segmentation true;
+        Gmatch.Engine.set_segment_min_nodes 0;
+        List.map
+          (fun nodes ->
+            let spec = Pgraph.Provgen.default_spec ~nodes in
+            let g1, g2 = Pgraph.Provgen.match_pair ~seed:(41 + nodes) spec in
+            let outcome, t_plan = timed (fun () -> Pgraph.Summarize.plan g1 g2) in
+            let forced, nsegs, pieces, maxseg, frontier, seg_atoms_sum, seg_atoms_max, t_seg_ground
+                =
+              match outcome with
+              | Pgraph.Summarize.Segmented p ->
+                  let atoms, t =
+                    timed (fun () ->
+                        List.map
+                          (fun (s : Pgraph.Summarize.segment) ->
+                            let program, facts =
+                              Gmatch.Asp_backend.instance Gmatch.Asp_backend.Generalization
+                                s.Pgraph.Summarize.left s.Pgraph.Summarize.right
+                            in
+                            let rules = Asp.Parser.parse_program program in
+                            (Asp.Ground.ground rules facts).Asp.Ground.atom_count)
+                          p.Pgraph.Summarize.segments)
+                  in
+                  ( List.length p.Pgraph.Summarize.forced_nodes,
+                    List.length p.Pgraph.Summarize.segments,
+                    List.fold_left
+                      (fun a (s : Pgraph.Summarize.segment) -> a + s.Pgraph.Summarize.pieces)
+                      0 p.Pgraph.Summarize.segments,
+                    Pgraph.Summarize.max_segment_nodes p,
+                    p.Pgraph.Summarize.frontier_edges,
+                    List.fold_left ( + ) 0 atoms,
+                    List.fold_left max 0 atoms,
+                    t )
+              | Pgraph.Summarize.Whole ->
+                  (0, 0, 0, Pgraph.Graph.node_count g1, 0, 0, 0, 0.)
+              | Pgraph.Summarize.Mismatch -> (0, 0, 0, 0, 0, 0, 0, 0.)
+            in
+            (* the avoided cost: grounding the whole generalization
+               instance, which past 256 nodes stops being bench-friendly *)
+            let whole_atoms, t_whole_ground =
+              if nodes <= 256 then
+                let program, facts =
+                  Gmatch.Asp_backend.instance Gmatch.Asp_backend.Generalization g1 g2
+                in
+                let rules = Asp.Parser.parse_program program in
+                let ground, t = timed (fun () -> Asp.Ground.ground rules facts) in
+                (ground.Asp.Ground.atom_count, t)
+              else (-1, -1.)
+            in
+            Asp.Solver.reset_stats ();
+            Gmatch.Engine.reset_segment_stats ();
+            let m, t_solve =
+              timed (fun () ->
+                  Gmatch.Engine.generalization_matching ~backend:Gmatch.Engine.Asp g1 g2)
+            in
+            let stats = Asp.Solver.stats () in
+            let solves = Gmatch.Engine.segment_solves () in
+            let status, cost =
+              match m with
+              | Some m -> ("model", m.Gmatch.Matching.cost)
+              | None -> ("none", -1)
+            in
+            ( nodes,
+              t_plan,
+              forced,
+              nsegs,
+              pieces,
+              maxseg,
+              frontier,
+              seg_atoms_sum,
+              seg_atoms_max,
+              t_seg_ground,
+              whole_atoms,
+              t_whole_ground,
+              t_solve,
+              solves,
+              stats.Asp.Solver.propagations,
+              stats.Asp.Solver.decisions,
+              status,
+              cost ))
+          sizes)
+  in
+  Printf.printf "%-6s %8s %7s %5s %7s %7s %9s %10s %10s %11s %10s %9s %7s %12s %10s %-6s %s\n"
+    "nodes" "plan(s)" "forced" "segs" "pieces" "maxseg" "segatoms" "maxsegat" "wholeat"
+    "segground(s)" "solve(s)" "segsolve" "frontier" "propagations" "decisions" "status" "cost";
+  List.iter
+    (fun (nodes, tp, forced, nsegs, pieces, maxseg, frontier, sa, sam, tsg, wa, _twg, ts, solves,
+          props, decs, status, cost) ->
+      Printf.printf "%-6d %8.4f %7d %5d %7d %7d %9d %10d %10d %11.4f %10.4f %9d %7d %12d %10d %-6s %d\n"
+        nodes tp forced nsegs pieces maxseg sa sam wa tsg ts solves frontier props decs status cost)
+    rows;
+  let num f = Minijson.Json.Number f in
+  bench_json_update "segment"
+    (Minijson.Json.Array
+       (List.map
+          (fun (nodes, tp, forced, nsegs, pieces, maxseg, frontier, sa, sam, tsg, wa, twg, ts,
+                solves, props, decs, status, cost) ->
+            Minijson.Json.Object
+              [
+                ("nodes", num (float_of_int nodes));
+                ("plan_s", num tp);
+                ("forced_nodes", num (float_of_int forced));
+                ("segments", num (float_of_int nsegs));
+                ("pieces", num (float_of_int pieces));
+                ("max_segment_nodes", num (float_of_int maxseg));
+                ("frontier_edges", num (float_of_int frontier));
+                ("segment_atoms_sum", num (float_of_int sa));
+                ("segment_atoms_max", num (float_of_int sam));
+                ("segment_ground_s", num tsg);
+                ("whole_atoms", num (float_of_int wa));
+                ("whole_ground_s", num twg);
+                ("solve_s", num ts);
+                ("segment_solves", num (float_of_int solves));
+                ("propagations", num (float_of_int props));
+                ("decisions", num (float_of_int decs));
+                ("status", Minijson.Json.String status);
+                ("cost", num (float_of_int cost));
+              ])
+          rows))
+
+let segment_bench () = segment_run ~sizes:[ 128; 256; 512; 1024 ]
+let segment_quick () = segment_run ~sizes:[ 64; 128 ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -916,7 +1150,8 @@ let () =
     extension_nondet ();
     match_scale ();
     canon_bench ();
-    corpus_scale ()
+    corpus_scale ();
+    segment_bench ()
   in
   (* [bench/main.exe <section>...] runs just the named sections. *)
   let sections =
@@ -932,6 +1167,8 @@ let () =
       ("canon-quick", canon_quick);
       ("corpus-scale", corpus_scale);
       ("corpus-scale-quick", corpus_scale_quick);
+      ("segment", segment_bench);
+      ("segment-quick", segment_quick);
     ]
   in
   (match List.tl (Array.to_list Sys.argv) with

@@ -68,6 +68,16 @@ let no_canon_arg =
 
 let apply_canon_flag no_canon = Pgraph.Canon.set_enabled (not no_canon)
 
+let no_segment_arg =
+  let doc =
+    "Disable the hierarchical matching prepass (always solve pairs whole \
+     instead of refuting them by quotient-graph comparison and splitting \
+     large ones into independently solved segments)."
+  in
+  Arg.(value & flag & info [ "no-segment" ] ~doc)
+
+let apply_segment_flag no_segment = Gmatch.Engine.set_segmentation (not no_segment)
+
 let plan_conv =
   let parse s = Result.map_error (fun m -> `Msg m) (Faults.Plan.of_string s) in
   let print ppf p = Format.pp_print_string ppf (Faults.Plan.to_string p) in
@@ -202,7 +212,15 @@ let print_cache_stats () =
         List.map (fun (tag, s) -> (tag, s.Asp.Memo.hits, s.Asp.Memo.misses)) stats
       in
       Printf.printf "\nASP solve cache:\n%s" (Provmark.Report.cache_stats_lines rows);
-      Printf.printf "canon skips: %d\n" (Gmatch.Engine.canon_skip_total ())
+      Printf.printf "canon skips: %d\n" (Gmatch.Engine.canon_skip_total ());
+      let seg_total stats = List.fold_left (fun acc (_, n) -> acc + n) 0 stats in
+      let skips = seg_total (Gmatch.Engine.segment_skips ())
+      and pairs = seg_total (Gmatch.Engine.segment_pairs ()) in
+      if skips > 0 || pairs > 0 then
+        Printf.printf "segment prepass: %d quotient skips, %d pairs -> %d segment solves, %d fallbacks\n"
+          skips pairs
+          (Gmatch.Engine.segment_solves ())
+          (Gmatch.Engine.segment_fallbacks ())
 
 (* Progress lines may come from any worker domain; serialize them. *)
 let progress_mutex = Mutex.create ()
@@ -286,11 +304,12 @@ let run_cmd =
     let doc = "Syscall benchmark to run (e.g. open, rename, vfork)." in
     Arg.(required & pos 1 (some string) None & info [] ~docv:"SYSCALL" ~doc)
   in
-  let run tool syscall trials backend seed no_cache no_prune no_canon result_type store no_store
-      trace faults deadline retries fallback =
+  let run tool syscall trials backend seed no_cache no_prune no_canon no_segment result_type
+      store no_store trace faults deadline retries fallback =
     apply_cache_flag no_cache;
     apply_prune_flag no_prune;
     apply_canon_flag no_canon;
+    apply_segment_flag no_segment;
     apply_fault_flags faults fallback;
     let store = store_of ~store ~no_store in
     let config = config_of ?store ?deadline ?retries tool trials backend seed in
@@ -305,8 +324,8 @@ let run_cmd =
   let term =
     Term.(
       const run $ tool_arg $ syscall_arg $ trials_arg $ backend_arg $ seed_arg $ no_cache_arg
-      $ no_prune_arg $ no_canon_arg $ result_type_arg $ store_arg $ no_store_arg $ trace_arg
-      $ faults_arg $ deadline_arg $ retries_arg $ fallback_arg)
+      $ no_prune_arg $ no_canon_arg $ no_segment_arg $ result_type_arg $ store_arg
+      $ no_store_arg $ trace_arg $ faults_arg $ deadline_arg $ retries_arg $ fallback_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Benchmark a single syscall (like fullAutomation.py).") term
 
@@ -323,11 +342,12 @@ let batch_cmd =
     let doc = "Also write per-stage timing CSV to this file (sampleResult format)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run tools trials backend seed jobs no_cache no_prune no_canon csv store no_store trace
-      faults deadline retries fallback =
+  let run tools trials backend seed jobs no_cache no_prune no_canon no_segment csv store
+      no_store trace faults deadline retries fallback =
     apply_cache_flag no_cache;
     apply_prune_flag no_prune;
     apply_canon_flag no_canon;
+    apply_segment_flag no_segment;
     apply_fault_flags faults fallback;
     let store = store_of ~store ~no_store in
     let configs =
@@ -353,8 +373,8 @@ let batch_cmd =
   let term =
     Term.(
       const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ jobs_arg $ no_cache_arg
-      $ no_prune_arg $ no_canon_arg $ csv_arg $ store_arg $ no_store_arg $ trace_arg
-      $ faults_arg $ deadline_arg $ retries_arg $ fallback_arg)
+      $ no_prune_arg $ no_canon_arg $ no_segment_arg $ csv_arg $ store_arg $ no_store_arg
+      $ trace_arg $ faults_arg $ deadline_arg $ retries_arg $ fallback_arg)
   in
   Cmd.v
     (Cmd.info "batch"
@@ -374,11 +394,12 @@ let report_cmd =
     let doc = "Output HTML file." in
     Arg.(value & opt string "finalResult/index.html" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run tools trials backend seed jobs no_cache no_prune no_canon out store no_store faults
-      deadline retries fallback =
+  let run tools trials backend seed jobs no_cache no_prune no_canon no_segment out store
+      no_store faults deadline retries fallback =
     apply_cache_flag no_cache;
     apply_prune_flag no_prune;
     apply_canon_flag no_canon;
+    apply_segment_flag no_segment;
     apply_fault_flags faults fallback;
     let store = store_of ~store ~no_store in
     let configs =
@@ -394,8 +415,8 @@ let report_cmd =
   let term =
     Term.(
       const run $ tools_arg $ trials_arg $ backend_arg $ seed_arg $ jobs_arg $ no_cache_arg
-      $ no_prune_arg $ no_canon_arg $ out_arg $ store_arg $ no_store_arg $ faults_arg
-      $ deadline_arg $ retries_arg $ fallback_arg)
+      $ no_prune_arg $ no_canon_arg $ no_segment_arg $ out_arg $ store_arg $ no_store_arg
+      $ faults_arg $ deadline_arg $ retries_arg $ fallback_arg)
   in
   Cmd.v
     (Cmd.info "report"

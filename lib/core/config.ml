@@ -81,13 +81,20 @@ let recording_fingerprint t =
    the prune toggle is part of the matching fingerprint.  The canon
    toggle is there for the same reason: the canonical fast path (and
    the canonically relabelled ASP instances behind it) preserves
-   verdicts and costs but may pick a different optimal witness. *)
+   verdicts and costs but may pick a different optimal witness.  The
+   segmentation mode (and its size threshold, which decides *which*
+   pairs decompose) joins them for the same reason again: stitched
+   witnesses are cost-optimal but need not coincide with the
+   whole-graph solver's choice. *)
 let backend_fp t =
-  Printf.sprintf "%s,prune=%b,fallback=%b,canon=%b"
+  Printf.sprintf "%s,prune=%b,fallback=%b,canon=%b,segment=%s"
     (Gmatch.Engine.backend_to_string t.backend)
     (Gmatch.Asp_backend.prune_enabled ())
     (Gmatch.Engine.fallback_enabled ())
     (Pgraph.Canon.is_enabled ())
+    (if Gmatch.Engine.segmentation_enabled () then
+       Printf.sprintf "on@%d" (Gmatch.Engine.segment_min_nodes ())
+     else "off")
 
 let generalization_fingerprint t =
   Printf.sprintf "backend=%s;filter=%b;pair=%s" (backend_fp t) t.filter_graphs

@@ -33,12 +33,26 @@ let run_all_sequential ?on_result config progs =
    exactly when the suite has fewer runnable benchmarks than domains.
    Submit everything first, await in submission order: result order is
    input order regardless of completion order. *)
+(* Segment solves are help-queue jobs for the same reason bg/fg pairs
+   are: small intra-benchmark pieces the submitter waits on.  The first
+   thunk runs on the calling domain while the rest sit in the help
+   queue, so waiting is deadlock-free at any pool size. *)
+let segment_runner pool thunks =
+  match thunks with
+  | [] -> ()
+  | first :: rest ->
+      let promises = List.map (fun t -> Pool.async ~help:true pool t) rest in
+      first ();
+      List.iter (fun p -> Pool.await_or_help pool p) promises
+
 let map_batch ~jobs f xs =
   let pool = Pool.create ~size:jobs in
   Pipeline.set_pair_pool (Some pool);
+  Gmatch.Engine.set_segment_runner (Some (segment_runner pool));
   Fun.protect
     ~finally:(fun () ->
       Pipeline.set_pair_pool None;
+      Gmatch.Engine.set_segment_runner None;
       Pool.shutdown pool)
     (fun () ->
       let promises = List.map (fun x -> Pool.async pool (fun () -> f x)) xs in

@@ -73,6 +73,93 @@ let canon_skip_total () = List.fold_left (fun acc (_, n) -> acc + n) 0 (canon_sk
 let reset_canon_skips () =
   List.iter (fun c -> Atomic.set c 0) [ similarity_skips; generalization_skips; comparison_skips ]
 
+(* ------------------------------------------------------------------ *)
+(* Segmented matching                                                  *)
+
+(* Same process-wide discipline as the prune/canon/fallback flags: the
+   toggle (CLI [--no-segment]) and the size threshold participate in
+   Config.backend_fp, because segmentation preserves verdicts and
+   optimal costs but may pick a different optimal witness than the
+   whole-graph solver. *)
+let segment_flag = Atomic.make true
+let set_segmentation b = Atomic.set segment_flag b
+let segmentation_enabled () = Atomic.get segment_flag
+
+(* Below this size whole-graph solving beats the decomposition's
+   overhead (and the suite's recorder graphs all stay below it, which
+   keeps suite output byte-identical with segmentation on or off). *)
+let default_segment_min_nodes = 64
+let segment_min_nodes_ref = Atomic.make default_segment_min_nodes
+let set_segment_min_nodes n = Atomic.set segment_min_nodes_ref (max 0 n)
+let segment_min_nodes () = Atomic.get segment_min_nodes_ref
+
+let segmentable g1 g2 =
+  segmentation_enabled ()
+  && max (Pgraph.Graph.node_count g1) (Pgraph.Graph.node_count g2) >= segment_min_nodes ()
+
+(* Segment solves are independent, so a pool may run them in parallel.
+   The engine cannot depend on Core's domain pool (the dependency goes
+   the other way), so the runner is injected: it must run every thunk
+   to completion before returning — each thunk writes one slot of a
+   result array, so completion order is irrelevant and results are
+   deterministic at any parallelism.  [None] runs them sequentially. *)
+let segment_runner : ((unit -> unit) list -> unit) option Atomic.t = Atomic.make None
+let set_segment_runner r = Atomic.set segment_runner r
+
+let run_segment_thunks thunks =
+  match Atomic.get segment_runner with
+  | Some run -> run thunks
+  | None -> List.iter (fun f -> f ()) thunks
+
+(* Counters, same shape as the canon skip counters: pure functions of
+   the pairs checked, never of scheduling.  "skips" are pairs refuted
+   outright by the quotient prepass; "pairs" went through segmented
+   solving; "solves" counts the individual segment instances; and
+   "fallbacks" counts stitched witnesses that failed verification and
+   were re-solved whole (a should-not-happen safety net). *)
+let seg_sim_skips = Atomic.make 0
+let seg_gen_skips = Atomic.make 0
+let seg_sim_pairs = Atomic.make 0
+let seg_gen_pairs = Atomic.make 0
+let seg_solve_count = Atomic.make 0
+let seg_fallback_count = Atomic.make 0
+
+let seg_counter_of tbl = function
+  | "similarity" -> Some (fst tbl)
+  | "generalization" -> Some (snd tbl)
+  | _ -> None
+
+let seg_skip tag =
+  Option.iter (fun c -> Atomic.incr c) (seg_counter_of (seg_sim_skips, seg_gen_skips) tag)
+
+let seg_mark_pair tag =
+  Option.iter (fun c -> Atomic.incr c) (seg_counter_of (seg_sim_pairs, seg_gen_pairs) tag)
+
+let nonzero_sorted entries = List.filter (fun (_, n) -> n > 0) entries |> List.sort compare
+
+let segment_skips () =
+  nonzero_sorted
+    [
+      ("generalization", Atomic.get seg_gen_skips); ("similarity", Atomic.get seg_sim_skips);
+    ]
+
+let segment_pairs () =
+  nonzero_sorted
+    [
+      ("generalization", Atomic.get seg_gen_pairs); ("similarity", Atomic.get seg_sim_pairs);
+    ]
+
+let segment_solves () = Atomic.get seg_solve_count
+let segment_fallbacks () = Atomic.get seg_fallback_count
+
+let reset_segment_stats () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [
+      seg_sim_skips; seg_gen_skips; seg_sim_pairs; seg_gen_pairs; seg_solve_count;
+      seg_fallback_count;
+    ]
+
 let canon_pair g1 g2 =
   if Pgraph.Canon.is_enabled () then
     match (Pgraph.Canon.form g1, Pgraph.Canon.form g2) with
@@ -94,29 +181,128 @@ let zero_cost_witness g1 g2 f1 f2 =
   let m = Matching.of_pairs g1 (Pgraph.Canon.witness f1 f2) 0 in
   if Matching.cost_of g1 g2 m = 0 then Some m else None
 
+(* ------------------------------------------------------------------ *)
+(* Segment solving proper.
+
+   Per-segment solves call the backend layers directly (never the
+   noting wrappers below): a degrading segment records a flag in its
+   result slot instead of a note, and the caller emits one degradation
+   note on its own domain after all segments finish.  This keeps the
+   merged result tagged degraded exactly once — and keeps notes off the
+   pool's worker domains, whose per-domain note buffers the submitting
+   benchmark never drains. *)
+
+let segment_similar ~backend (p : Pgraph.Summarize.plan) =
+  let segs = Array.of_list p.Pgraph.Summarize.segments in
+  let n = Array.length segs in
+  let verdicts = Array.make n true in
+  let degraded_segs = Array.make n false in
+  let thunk i () =
+    let s = segs.(i) in
+    Atomic.incr seg_solve_count;
+    let left = s.Pgraph.Summarize.left and right = s.Pgraph.Summarize.right in
+    verdicts.(i) <-
+      (match backend with
+      | Direct -> Vf2.similar left right
+      | Incremental -> Incremental.similar left right
+      | Asp -> (
+          match Asp_backend.similar_checked left right with
+          | Ok b -> b
+          | Error `Step_limit ->
+              if fallback_enabled () then begin
+                degraded_segs.(i) <- true;
+                Vf2.similar left right
+              end
+              else false))
+  in
+  run_segment_thunks (List.init n thunk);
+  if Array.exists Fun.id degraded_segs then degraded "similarity";
+  Array.for_all Fun.id verdicts
+
+exception Stitch_mismatch
+
+let segment_iso ~backend g1 g2 (p : Pgraph.Summarize.plan) =
+  let segs = Array.of_list p.Pgraph.Summarize.segments in
+  let n = Array.length segs in
+  let witnesses = Array.make n None in
+  let degraded_segs = Array.make n false in
+  let thunk i () =
+    let s = segs.(i) in
+    Atomic.incr seg_solve_count;
+    let left = s.Pgraph.Summarize.left and right = s.Pgraph.Summarize.right in
+    witnesses.(i) <-
+      (match backend with
+      | Direct -> Vf2.iso_min_cost left right
+      | Incremental -> Incremental.iso_min_cost left right
+      | Asp -> (
+          match Asp_backend.iso_min_cost_checked left right with
+          | Ok m -> m
+          | Error `Step_limit ->
+              if fallback_enabled () then begin
+                degraded_segs.(i) <- true;
+                Vf2.iso_min_cost left right
+              end
+              else Asp_backend.iso_min_cost left right))
+  in
+  run_segment_thunks (List.init n thunk);
+  if Array.exists Fun.id degraded_segs then degraded "generalization";
+  if Array.exists Option.is_none witnesses then
+    (* A segment with no bijection refutes the whole pair: every global
+       matching restricts to a valid matching of each segment instance. *)
+    None
+  else
+    let seg_pairs =
+      Array.to_list witnesses
+      |> List.map (fun m ->
+             let m = Option.get m in
+             m.Matching.node_map @ m.Matching.edge_map)
+    in
+    let pairs = Pgraph.Summarize.stitch p seg_pairs in
+    let probe = Matching.of_pairs g1 pairs 0 in
+    let m = { probe with Matching.cost = Matching.cost_of g1 g2 probe } in
+    (* Safety net: the decomposition argument says this cannot fail, but
+       a wrong stitched witness must never leave the engine — fall back
+       to the whole-graph solver instead. *)
+    (match Matching.verify ~sub:false g1 g2 m with
+    | Ok () -> ()
+    | Error _ -> raise Stitch_mismatch);
+    Some m
+
 let similar ?(backend = default_backend) g1 g2 =
+  let whole () =
+    match backend with
+    | Asp -> (
+        match Asp_backend.similar_checked g1 g2 with
+        | Ok b -> b
+        | Error `Step_limit ->
+            if fallback_enabled () then begin
+              degraded "similarity";
+              Vf2.similar g1 g2
+            end
+            else false)
+    | Direct -> Vf2.similar g1 g2
+    | Incremental -> Incremental.similar g1 g2
+  in
   match canon_pair g1 g2 with
   | Some (f1, f2) ->
       (* Digest equality is exactly label-isomorphism, which is exactly
          the Section 3.4 similarity every backend decides. *)
       canon_skip "similarity";
       same_digest f1 f2
-  | None -> (
-      match backend with
-      | Asp -> (
-          match Asp_backend.similar_checked g1 g2 with
-          | Ok b -> b
-          | Error `Step_limit ->
-              if fallback_enabled () then begin
-                degraded "similarity";
-                Vf2.similar g1 g2
-              end
-              else false)
-      | Direct -> Vf2.similar g1 g2
-      | Incremental -> Incremental.similar g1 g2)
+  | None ->
+      if segmentable g1 g2 then
+        match Pgraph.Summarize.plan g1 g2 with
+        | Pgraph.Summarize.Mismatch ->
+            seg_skip "similarity";
+            false
+        | Pgraph.Summarize.Whole -> whole ()
+        | Pgraph.Summarize.Segmented p ->
+            seg_mark_pair "similarity";
+            segment_similar ~backend p
+      else whole ()
 
 let generalization_matching ?(backend = default_backend) g1 g2 =
-  let solve () =
+  let whole () =
     match backend with
     | Asp -> (
         match Asp_backend.iso_min_cost_checked g1 g2 with
@@ -129,6 +315,21 @@ let generalization_matching ?(backend = default_backend) g1 g2 =
             else Asp_backend.iso_min_cost g1 g2)
     | Direct -> Vf2.iso_min_cost g1 g2
     | Incremental -> Incremental.iso_min_cost g1 g2
+  in
+  let solve () =
+    if segmentable g1 g2 then
+      match Pgraph.Summarize.plan g1 g2 with
+      | Pgraph.Summarize.Mismatch ->
+          seg_skip "generalization";
+          None
+      | Pgraph.Summarize.Whole -> whole ()
+      | Pgraph.Summarize.Segmented p -> (
+          seg_mark_pair "generalization";
+          try segment_iso ~backend g1 g2 p
+          with Stitch_mismatch ->
+            Atomic.incr seg_fallback_count;
+            whole ())
+    else whole ()
   in
   match canon_pair g1 g2 with
   | Some (f1, f2) when not (same_digest f1 f2) ->

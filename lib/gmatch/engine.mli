@@ -57,6 +57,63 @@ val canon_skips : unit -> (string * int) list
 val canon_skip_total : unit -> int
 val reset_canon_skips : unit -> unit
 
+(** {2 Segmented matching}
+
+    Pairs at or above {!segment_min_nodes} nodes are decomposed through
+    {!Pgraph.Summarize} before any solver sees them: a quotient-graph
+    mismatch refutes the pair outright, and otherwise the forced pairs
+    are taken as-is while each ambiguous segment becomes an independent
+    solve of the selected backend, stitched back into one whole-graph
+    witness that is verified before being reported.  The decomposition
+    is exact for similarity and generalization; comparison (subgraph
+    embedding does not preserve colours in the host graph) always runs
+    whole.  Like the prune and canon toggles, segmentation preserves
+    verdicts and optimal costs but not necessarily the identity of the
+    optimal witness, so the flag and threshold participate in
+    [Config.backend_fp].
+
+    A segment solve that exhausts the ASP step budget falls back to VF2
+    under [--fallback] like a whole-graph solve would, but the merged
+    result carries exactly one degradation note, emitted on the calling
+    domain after all segments finish — never one per segment, and never
+    on a pool worker domain (whose note buffer the submitting benchmark
+    would not drain). *)
+
+val set_segmentation : bool -> unit
+val segmentation_enabled : unit -> bool
+
+(** Pairs strictly below this node count solve whole (default
+    {!default_segment_min_nodes}): the decomposition only pays for
+    itself once grounding dominates. *)
+val default_segment_min_nodes : int
+
+val set_segment_min_nodes : int -> unit
+val segment_min_nodes : unit -> int
+
+(** [set_segment_runner (Some run)] injects a parallel executor for
+    segment solves ([Core]'s pool installs one over its help queue).
+    [run thunks] must run every thunk to completion before returning;
+    each thunk fills one slot of a result array, so completion order
+    never affects the answer. *)
+val set_segment_runner : ((unit -> unit) list -> unit) option -> unit
+
+(** Pairs refuted outright by the quotient prepass, per stage tag —
+    the segmented counterpart of {!canon_skips}. *)
+val segment_skips : unit -> (string * int) list
+
+(** Pairs that went through segmented solving, per stage tag. *)
+val segment_pairs : unit -> (string * int) list
+
+(** Individual segment instances solved since the last reset. *)
+val segment_solves : unit -> int
+
+(** Stitched witnesses that failed verification and were re-solved
+    whole — a should-not-happen safety net, surfaced so it is visible
+    if it ever fires. *)
+val segment_fallbacks : unit -> int
+
+val reset_segment_stats : unit -> unit
+
 (** [drain_notes ()] returns and clears the degradation notes recorded
     on the calling domain since the last drain, in emission order and
     deduplicated.  A benchmark's pipeline runs sequentially on one

@@ -42,35 +42,60 @@ module Smap = Map.Make (String)
 (* Round 0 colours a node by its label alone; each further round folds in
    the sorted multisets of (edge label, neighbour colour) pairs over
    incoming and outgoing edges — standard Weisfeiler–Leman refinement. *)
+let initial_colours g =
+  List.fold_left
+    (fun m (n : Graph.node) ->
+      Smap.add n.Graph.node_id (hash_string fnv_offset n.Graph.node_label) m)
+    Smap.empty (Graph.nodes g)
+
+let refine g colours =
+  Smap.mapi
+    (fun id c ->
+      let outs =
+        List.map
+          (fun (e : Graph.edge) ->
+            hash_int64 (hash_string fnv_offset e.Graph.edge_label)
+              (Smap.find e.Graph.edge_tgt colours))
+          (Graph.out_edges g id)
+      in
+      let ins =
+        List.map
+          (fun (e : Graph.edge) ->
+            hash_int64 (hash_string (hash_string fnv_offset "in") e.Graph.edge_label)
+              (Smap.find e.Graph.edge_src colours))
+          (Graph.in_edges g id)
+      in
+      hash_int64 (hash_int64 c (combine_sorted outs)) (combine_sorted ins))
+    colours
+
 let node_colour_map g rounds =
-  let initial =
-    List.fold_left
-      (fun m (n : Graph.node) ->
-        Smap.add n.Graph.node_id (hash_string fnv_offset n.Graph.node_label) m)
-      Smap.empty (Graph.nodes g)
+  let rec loop i colours = if i = 0 then colours else loop (i - 1) (refine g colours) in
+  loop rounds (initial_colours g)
+
+module Iset = Set.Make (Int64)
+
+let distinct_count colours =
+  Iset.cardinal (Smap.fold (fun _ c acc -> Iset.add c acc) colours Iset.empty)
+
+(* Smallest depth at which one more refinement round no longer splits a
+   colour class, capped at the node count (exact WL partitions are
+   monotone, so the class count strictly grows until the fixpoint; the
+   cap guards against a pathological hash collision shrinking it).
+   Note this returns a depth, not the colours: colour hashes keep
+   changing value past the partition fixpoint, so a pair of graphs must
+   be compared at one common round — callers take the max of the two
+   depths and rerun {!node_colours} at that round on both graphs. *)
+let stable_rounds g =
+  let cap = Graph.node_count g in
+  let rec loop r colours k =
+    if r >= cap then r
+    else
+      let colours' = refine g colours in
+      let k' = distinct_count colours' in
+      if k' <= k then r else loop (r + 1) colours' k'
   in
-  let refine colours =
-    Smap.mapi
-      (fun id c ->
-        let outs =
-          List.map
-            (fun (e : Graph.edge) ->
-              hash_int64 (hash_string fnv_offset e.Graph.edge_label)
-                (Smap.find e.Graph.edge_tgt colours))
-            (Graph.out_edges g id)
-        in
-        let ins =
-          List.map
-            (fun (e : Graph.edge) ->
-              hash_int64 (hash_string (hash_string fnv_offset "in") e.Graph.edge_label)
-                (Smap.find e.Graph.edge_src colours))
-            (Graph.in_edges g id)
-        in
-        hash_int64 (hash_int64 c (combine_sorted outs)) (combine_sorted ins))
-      colours
-  in
-  let rec loop i colours = if i = 0 then colours else loop (i - 1) (refine colours) in
-  loop rounds initial
+  let initial = initial_colours g in
+  loop 0 initial (distinct_count initial)
 
 let node_colours ?(rounds = 0) g = Smap.bindings (node_colour_map g rounds)
 

@@ -42,6 +42,16 @@ val of_graph : Graph.t -> t
     resulting usage rule. *)
 val node_colours : ?rounds:int -> Graph.t -> (string * int64) list
 
+(** [stable_rounds g] is the smallest refinement depth at which one more
+    round no longer splits a colour class (capped at the node count).
+    Colour hash {e values} keep changing past the partition fixpoint, so
+    two graphs are only comparable at one common round: pair consumers
+    such as [Summarize] take [max (stable_rounds g1) (stable_rounds g2)]
+    and evaluate {!node_colours} at that round on both graphs.  Colours
+    at any round are isomorphism-invariant, so any common round is sound
+    — a deeper one merely sharpens the partition. *)
+val stable_rounds : Graph.t -> int
+
 (** [edge_colours ?rounds g] lists [(edge_id, colour)] where an edge's
     colour combines its label with the round-[rounds] colours of its
     endpoints.  At round 0 this is (label, src label, tgt label), which

@@ -1,0 +1,472 @@
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+module Imap = Map.Make (Int64)
+
+(* Keys for edge aggregation: (source class index, target class index,
+   label) for quotients, (g2 source id, g2 target id, label) for
+   forced-edge bundles. *)
+module Iemap = Map.Make (struct
+  type t = int * int * string
+
+  let compare = compare
+end)
+
+module Bmap = Map.Make (struct
+  type t = string * string * string
+
+  let compare = compare
+end)
+
+(* The prefix starts with a control byte no recorder or generator ever
+   emits in a label, so anchor labels cannot collide with real ones.
+   Instances are solver-internal and never serialized. *)
+let anchor_prefix = "\x01anchor:"
+
+let is_anchor_label l =
+  String.length l >= String.length anchor_prefix
+  && String.equal (String.sub l 0 (String.length anchor_prefix)) anchor_prefix
+
+let anchor_label counterpart = anchor_prefix ^ counterpart
+
+let colour_map g rounds =
+  List.fold_left
+    (fun m (id, c) -> Smap.add id c m)
+    Smap.empty
+    (Fingerprint.node_colours ~rounds g)
+
+let colour_classes colours =
+  Smap.fold
+    (fun id c m ->
+      Imap.update c (function None -> Some [ id ] | Some ids -> Some (id :: ids)) m)
+    colours Imap.empty
+  |> Imap.map (List.sort String.compare)
+
+(* ------------------------------------------------------------------ *)
+(* Quotient graphs                                                     *)
+
+type quotient = {
+  qgraph : Graph.t;
+  classes : (int64 * string list) list;
+  rounds : int;
+}
+
+let quotient ?rounds g =
+  let rounds = match rounds with Some r -> r | None -> Fingerprint.stable_rounds g in
+  let classes = Imap.bindings (colour_classes (colour_map g rounds)) in
+  let node_class, _ =
+    List.fold_left
+      (fun (m, i) (_, ids) ->
+        (List.fold_left (fun m id -> Smap.add id i m) m ids, i + 1))
+      (Smap.empty, 0) classes
+  in
+  let qg, _ =
+    List.fold_left
+      (fun (qg, i) (c, ids) ->
+        ( Graph.add_node qg ~id:(Printf.sprintf "q%d" i)
+            ~label:(Printf.sprintf "%016Lx*%d" c (List.length ids))
+            ~props:Props.empty,
+          i + 1 ))
+      (Graph.empty, 0) classes
+  in
+  let bundles =
+    List.fold_left
+      (fun m (e : Graph.edge) ->
+        let k =
+          (Smap.find e.Graph.edge_src node_class, Smap.find e.Graph.edge_tgt node_class,
+           e.Graph.edge_label)
+        in
+        Iemap.update k (function None -> Some 1 | Some n -> Some (n + 1)) m)
+      Iemap.empty (Graph.edges g)
+  in
+  let qg, _ =
+    Iemap.fold
+      (fun (si, ti, lbl) n (qg, j) ->
+        ( Graph.add_edge qg ~id:(Printf.sprintf "qe%d" j) ~src:(Printf.sprintf "q%d" si)
+            ~tgt:(Printf.sprintf "q%d" ti)
+            ~label:(Printf.sprintf "%s*%d" lbl n)
+            ~props:Props.empty,
+          j + 1 ))
+      bundles (qg, 0)
+  in
+  { qgraph = qg; classes; rounds }
+
+let render_graph b g =
+  let render_props p =
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string b k;
+        Buffer.add_char b '=';
+        Buffer.add_string b v;
+        Buffer.add_char b ';')
+      (Props.to_list p)
+  in
+  List.iter
+    (fun (n : Graph.node) ->
+      Buffer.add_string b n.Graph.node_id;
+      Buffer.add_char b '\x00';
+      Buffer.add_string b n.Graph.node_label;
+      Buffer.add_char b '\x00';
+      render_props n.Graph.node_props;
+      Buffer.add_char b '\n')
+    (List.sort
+       (fun (a : Graph.node) b -> String.compare a.Graph.node_id b.Graph.node_id)
+       (Graph.nodes g));
+  List.iter
+    (fun (e : Graph.edge) ->
+      Buffer.add_string b e.Graph.edge_id;
+      Buffer.add_char b '\x00';
+      Buffer.add_string b e.Graph.edge_src;
+      Buffer.add_char b '\x00';
+      Buffer.add_string b e.Graph.edge_tgt;
+      Buffer.add_char b '\x00';
+      Buffer.add_string b e.Graph.edge_label;
+      Buffer.add_char b '\x00';
+      render_props e.Graph.edge_props;
+      Buffer.add_char b '\n')
+    (List.sort
+       (fun (a : Graph.edge) b -> String.compare a.Graph.edge_id b.Graph.edge_id)
+       (Graph.edges g))
+
+let quotient_digest q =
+  let b = Buffer.create 256 in
+  render_graph b q.qgraph;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ------------------------------------------------------------------ *)
+(* Segmentation plans                                                  *)
+
+type segment = {
+  left : Graph.t;
+  right : Graph.t;
+  pieces : int;
+  digest : string;
+}
+
+type plan = {
+  rounds : int;
+  forced_nodes : (string * string) list;
+  forced_edges : (string * string) list;
+  segments : segment list;
+  frontier_edges : int;
+}
+
+type outcome = Mismatch | Whole | Segmented of plan
+
+exception Bail of outcome
+
+let digest_pair l r =
+  let b = Buffer.create 1024 in
+  render_graph b l;
+  Buffer.add_string b "\x00--\x00";
+  render_graph b r;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* Weakly connected components of the subgraph induced by [amb], as
+   sorted member lists in ascending-seed order. *)
+let components g amb =
+  let visited = Hashtbl.create 64 in
+  let comps = ref [] in
+  List.iter
+    (fun seed ->
+      if not (Hashtbl.mem visited seed) then begin
+        let comp = ref [] in
+        let queue = Queue.create () in
+        Queue.add seed queue;
+        Hashtbl.add visited seed ();
+        while not (Queue.is_empty queue) do
+          let u = Queue.pop queue in
+          comp := u :: !comp;
+          List.iter
+            (fun (e : Graph.edge) ->
+              let v =
+                if String.equal e.Graph.edge_src u then e.Graph.edge_tgt else e.Graph.edge_src
+              in
+              if Sset.mem v amb && not (Hashtbl.mem visited v) then begin
+                Hashtbl.add visited v ();
+                Queue.add v queue
+              end)
+            (Graph.incident_edges g u)
+        done;
+        comps := List.sort String.compare !comp :: !comps
+      end)
+    (Sset.elements amb);
+  List.rev !comps
+
+(* Per-component edge partition, computed in one pass over the edges:
+   [intra.(i)] are edges with both endpoints ambiguous (necessarily the
+   same component), [frontier.(i)] edges with exactly one ambiguous
+   endpoint (the other forced).  Forced-forced edges are handled
+   separately and never reach a segment. *)
+let classify_edges g comp_index ncomps =
+  let intra = Array.make (max 1 ncomps) [] in
+  let frontier = Array.make (max 1 ncomps) [] in
+  List.iter
+    (fun (e : Graph.edge) ->
+      match (Smap.find_opt e.Graph.edge_src comp_index, Smap.find_opt e.Graph.edge_tgt comp_index)
+      with
+      | Some i, Some _ -> intra.(i) <- e :: intra.(i)
+      | Some i, None | None, Some i -> frontier.(i) <- e :: frontier.(i)
+      | None, None -> ())
+    (Graph.edges g);
+  let sort_edges =
+    List.sort (fun (a : Graph.edge) b -> String.compare a.Graph.edge_id b.Graph.edge_id)
+  in
+  (Array.map sort_edges intra, Array.map sort_edges frontier)
+
+(* Isomorphism-invariant component signature used to pair left and
+   right components: member colour multiset, intra-edge descriptors
+   (label and endpoint colours) and frontier descriptors (direction,
+   label and the g2 identity of the forced endpoint — forced nodes are
+   translated through the forced map so both sides speak g2 ids).  Any
+   label-isomorphism maps a component onto one with an equal signature,
+   so unequal per-signature counts refute the pair, and equal-signature
+   components are interchangeable only among themselves. *)
+let comp_signature colours counterpart members intra frontier =
+  let mset = Sset.of_list members in
+  let b = Buffer.create 128 in
+  List.map (fun id -> Smap.find id colours) members
+  |> List.sort Int64.compare
+  |> List.iter (fun c -> Buffer.add_string b (Printf.sprintf "%016Lx," c));
+  Buffer.add_char b '|';
+  List.map
+    (fun (e : Graph.edge) ->
+      Printf.sprintf "%s:%016Lx:%016Lx" e.Graph.edge_label
+        (Smap.find e.Graph.edge_src colours)
+        (Smap.find e.Graph.edge_tgt colours))
+    intra
+  |> List.sort String.compare
+  |> List.iter (fun s ->
+         Buffer.add_string b s;
+         Buffer.add_char b ';');
+  Buffer.add_char b '|';
+  List.map
+    (fun (e : Graph.edge) ->
+      if Sset.mem e.Graph.edge_src mset then
+        Printf.sprintf "out:%s:%s" e.Graph.edge_label (counterpart e.Graph.edge_tgt)
+      else Printf.sprintf "in:%s:%s" e.Graph.edge_label (counterpart e.Graph.edge_src))
+    frontier
+  |> List.sort String.compare
+  |> List.iter (fun s ->
+         Buffer.add_string b s;
+         Buffer.add_char b ';');
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* Builds one side of a segment instance from a group of components.
+   Members keep their labels and properties; forced neighbours become
+   anchors — original id, [anchor_label] of their g2 counterpart, empty
+   properties — and only edges with at least one ambiguous endpoint are
+   included.  Insertion happens in sorted order so the instance is a
+   deterministic value. *)
+let build_side g counterpart comp_members comp_edges =
+  let members = List.concat comp_members |> List.sort String.compare in
+  let mset = Sset.of_list members in
+  let edges =
+    List.concat comp_edges
+    |> List.sort (fun (a : Graph.edge) b -> String.compare a.Graph.edge_id b.Graph.edge_id)
+  in
+  let anchors =
+    List.fold_left
+      (fun s (e : Graph.edge) ->
+        let s = if Sset.mem e.Graph.edge_src mset then s else Sset.add e.Graph.edge_src s in
+        if Sset.mem e.Graph.edge_tgt mset then s else Sset.add e.Graph.edge_tgt s)
+      Sset.empty edges
+  in
+  let side =
+    List.fold_left
+      (fun acc id ->
+        match Graph.find_node g id with
+        | Some n -> Graph.add_node acc ~id ~label:n.Graph.node_label ~props:n.Graph.node_props
+        | None -> acc)
+      Graph.empty members
+  in
+  let side =
+    Sset.fold
+      (fun id acc ->
+        Graph.add_node acc ~id ~label:(anchor_label (counterpart id)) ~props:Props.empty)
+      anchors side
+  in
+  List.fold_left
+    (fun acc (e : Graph.edge) ->
+      Graph.add_edge acc ~id:e.Graph.edge_id ~src:e.Graph.edge_src ~tgt:e.Graph.edge_tgt
+        ~label:e.Graph.edge_label ~props:e.Graph.edge_props)
+    side edges
+
+let plan ?rounds g1 g2 =
+  try
+    if Graph.node_count g1 <> Graph.node_count g2 || Graph.edge_count g1 <> Graph.edge_count g2
+    then raise (Bail Mismatch);
+    let rounds =
+      match rounds with
+      | Some r -> r
+      | None -> max (Fingerprint.stable_rounds g1) (Fingerprint.stable_rounds g2)
+    in
+    (* Quotients first: any label-isomorphism preserves colours exactly
+       (the hashes are computed identically on both sides), so a
+       matchable pair has structurally equal quotients — equal class
+       histograms and equal class-to-class edge bundles — even under
+       hash collisions, which merge the same classes on both sides. *)
+    let q1 = quotient ~rounds g1 and q2 = quotient ~rounds g2 in
+    if not (Graph.equal_structure q1.qgraph q2.qgraph) then raise (Bail Mismatch);
+    let col1 = colour_map g1 rounds and col2 = colour_map g2 rounds in
+    let cls1 = colour_classes col1 and cls2 = colour_classes col2 in
+    if not (Imap.equal (fun a b -> List.length a = List.length b) cls1 cls2) then
+      raise (Bail Mismatch);
+    let forced_nodes =
+      Imap.fold
+        (fun c ids acc ->
+          match ids with [ a ] -> (a, List.hd (Imap.find c cls2)) :: acc | _ -> acc)
+        cls1 []
+      |> List.rev
+    in
+    (* Defensive: a hash collision could in principle pair nodes with
+       different labels; the decomposition would be unsound, so give the
+       pair back to the whole-graph solver instead. *)
+    List.iter
+      (fun (a, b) ->
+        match (Graph.find_node g1 a, Graph.find_node g2 b) with
+        | Some n1, Some n2 when String.equal n1.Graph.node_label n2.Graph.node_label -> ()
+        | _ -> raise (Bail Whole))
+      forced_nodes;
+    let forced_map = List.fold_left (fun m (a, b) -> Smap.add a b m) Smap.empty forced_nodes in
+    let forced1 = List.fold_left (fun s (a, _) -> Sset.add a s) Sset.empty forced_nodes in
+    let forced2 = List.fold_left (fun s (_, b) -> Sset.add b s) Sset.empty forced_nodes in
+    (* Forced-forced edge bundles, keyed in g2 coordinates.  An
+       isomorphism maps each bundle bijectively onto its counterpart, so
+       the sizes must agree in both directions. *)
+    let cons id = function None -> Some [ id ] | Some ids -> Some (id :: ids) in
+    let bundle1 =
+      List.fold_left
+        (fun m (e : Graph.edge) ->
+          if Sset.mem e.Graph.edge_src forced1 && Sset.mem e.Graph.edge_tgt forced1 then
+            Bmap.update
+              (Smap.find e.Graph.edge_src forced_map, Smap.find e.Graph.edge_tgt forced_map,
+               e.Graph.edge_label)
+              (cons e.Graph.edge_id) m
+          else m)
+        Bmap.empty (Graph.edges g1)
+      |> Bmap.map (List.sort String.compare)
+    in
+    let bundle2 =
+      List.fold_left
+        (fun m (e : Graph.edge) ->
+          if Sset.mem e.Graph.edge_src forced2 && Sset.mem e.Graph.edge_tgt forced2 then
+            Bmap.update
+              (e.Graph.edge_src, e.Graph.edge_tgt, e.Graph.edge_label)
+              (cons e.Graph.edge_id) m
+          else m)
+        Bmap.empty (Graph.edges g2)
+      |> Bmap.map (List.sort String.compare)
+    in
+    if not (Bmap.equal (fun a b -> List.length a = List.length b) bundle1 bundle2) then
+      raise (Bail Mismatch);
+    let forced_edges, bundle_segments =
+      Bmap.fold
+        (fun key ids1 (fe, segs) ->
+          let ids2 = Bmap.find key bundle2 in
+          match (ids1, ids2) with
+          | [ a ], [ b ] -> ((a, b) :: fe, segs)
+          | _ ->
+              (* A parallel bundle: the edges are interchangeable up to
+                 property cost, so solve them as a mini assignment
+                 instance between the two anchored endpoints. *)
+              let side g ids counterpart =
+                let e0 =
+                  match Graph.find_edge g (List.hd ids) with
+                  | Some e -> e
+                  | None -> raise (Bail Whole)
+                in
+                let side =
+                  Graph.add_node Graph.empty ~id:e0.Graph.edge_src
+                    ~label:(anchor_label (counterpart e0.Graph.edge_src))
+                    ~props:Props.empty
+                in
+                let side =
+                  if String.equal e0.Graph.edge_src e0.Graph.edge_tgt then side
+                  else
+                    Graph.add_node side ~id:e0.Graph.edge_tgt
+                      ~label:(anchor_label (counterpart e0.Graph.edge_tgt))
+                      ~props:Props.empty
+                in
+                List.fold_left
+                  (fun acc id ->
+                    match Graph.find_edge g id with
+                    | Some e ->
+                        Graph.add_edge acc ~id ~src:e.Graph.edge_src ~tgt:e.Graph.edge_tgt
+                          ~label:e.Graph.edge_label ~props:e.Graph.edge_props
+                    | None -> acc)
+                  side ids
+              in
+              let left = side g1 ids1 (fun id -> Smap.find id forced_map) in
+              let right = side g2 ids2 (fun id -> id) in
+              (fe, { left; right; pieces = 1; digest = digest_pair left right } :: segs))
+        bundle1 ([], [])
+    in
+    let forced_edges = List.rev forced_edges in
+    (* Ambiguous components on both sides. *)
+    let amb g forced =
+      List.fold_left
+        (fun s id -> if Sset.mem id forced then s else Sset.add id s)
+        Sset.empty (Graph.node_ids g)
+    in
+    let amb1 = amb g1 forced1 and amb2 = amb g2 forced2 in
+    let comps1 = components g1 amb1 and comps2 = components g2 amb2 in
+    let index comps =
+      List.fold_left
+        (fun (m, i) members ->
+          (List.fold_left (fun m id -> Smap.add id i m) m members, i + 1))
+        (Smap.empty, 0) comps
+      |> fst
+    in
+    let idx1 = index comps1 and idx2 = index comps2 in
+    let intra1, frontier1 = classify_edges g1 idx1 (List.length comps1) in
+    let intra2, frontier2 = classify_edges g2 idx2 (List.length comps2) in
+    let sigs comps colours counterpart intra frontier =
+      List.mapi
+        (fun i members -> comp_signature colours counterpart members intra.(i) frontier.(i))
+        comps
+    in
+    let sig1 = sigs comps1 col1 (fun id -> Smap.find id forced_map) intra1 frontier1 in
+    let sig2 = sigs comps2 col2 (fun id -> id) intra2 frontier2 in
+    let group sigs =
+      List.fold_left
+        (fun (m, i) s -> (Smap.update s (cons i) m, i + 1))
+        (Smap.empty, 0) sigs
+      |> fst
+      |> Smap.map (List.sort compare)
+    in
+    let grp1 = group sig1 and grp2 = group sig2 in
+    if not (Smap.equal (fun a b -> List.length a = List.length b) grp1 grp2) then
+      raise (Bail Mismatch);
+    let comp_segments =
+      Smap.fold
+        (fun key is1 acc ->
+          let is2 = Smap.find key grp2 in
+          let pick comps intra frontier is =
+            ( List.map (fun i -> List.nth comps i) is,
+              List.map (fun i -> intra.(i) @ frontier.(i)) is )
+          in
+          let members1, edges1 = pick comps1 intra1 frontier1 is1 in
+          let members2, edges2 = pick comps2 intra2 frontier2 is2 in
+          let left = build_side g1 (fun id -> Smap.find id forced_map) members1 edges1 in
+          let right = build_side g2 (fun id -> id) members2 edges2 in
+          { left; right; pieces = List.length is1; digest = digest_pair left right } :: acc)
+        grp1 []
+    in
+    let segments =
+      List.sort (fun a b -> String.compare a.digest b.digest) (bundle_segments @ comp_segments)
+    in
+    let frontier_edges = Array.fold_left (fun acc es -> acc + List.length es) 0 frontier1 in
+    let max_seg =
+      List.fold_left (fun acc s -> max acc (Graph.node_count s.left)) 0 segments
+    in
+    if max_seg >= Graph.node_count g1 && Graph.node_count g1 > 0 then Whole
+    else Segmented { rounds; forced_nodes; forced_edges; segments; frontier_edges }
+  with Bail o -> o
+
+let max_segment_nodes p =
+  List.fold_left (fun acc s -> max acc (Graph.node_count s.left)) 0 p.segments
+
+let stitch p witnesses =
+  let forced = List.fold_left (fun s (a, _) -> Sset.add a s) Sset.empty p.forced_nodes in
+  p.forced_nodes @ p.forced_edges
+  @ List.concat_map (List.filter (fun (a, _) -> not (Sset.mem a forced))) witnesses

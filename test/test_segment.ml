@@ -1,0 +1,545 @@
+(* The hierarchical matching prepass: quotient graphs, segmentation
+   plans and the segmented solve path.
+
+   Four layers are pinned here:
+   - Pgraph.Summarize: quotients are invariant under relabelling and
+     refute non-similar pairs soundly; plans are deterministic and
+     decompose the expected shapes (fully forced chains, merged
+     symmetric fans, histogram mismatches);
+   - the engine: segmented and whole-graph matching agree on every
+     verdict and optimal cost — over random pairs, ProvGen corpus pairs
+     of every motif mix, and transient-only variants — and stitched
+     witnesses always verify;
+   - graceful degradation: a segment solve that exhausts the ASP budget
+     under --fallback tags the merged result degraded exactly once, on
+     the calling domain, sequentially and under the pool runner alike;
+   - the pipeline: suite output is byte-identical across --no-segment
+     and the default, and across job counts with segmentation forced on
+     for every pair. *)
+
+open Pgraph
+module Engine = Gmatch.Engine
+module Matching = Gmatch.Matching
+module Recorder = Recorders.Recorder
+module Result_ = Provmark.Result
+module Config = Provmark.Config
+module Parallel_runner = Provmark.Parallel_runner
+module Pool = Provmark.Pool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Every test leaves the process-wide toggles the way it found them. *)
+let with_canon enabled f =
+  Canon.set_enabled enabled;
+  Fun.protect ~finally:(fun () -> Canon.set_enabled true) f
+
+let with_segment ~enabled ~min_nodes f =
+  let seg0 = Engine.segmentation_enabled () in
+  let min0 = Engine.segment_min_nodes () in
+  Engine.set_segmentation enabled;
+  Engine.set_segment_min_nodes min_nodes;
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.set_segmentation seg0;
+      Engine.set_segment_min_nodes min0)
+    f
+
+let with_plan plan f =
+  Faults.Injector.set_plan (Some plan);
+  Faults.Injector.reset_counters ();
+  Fun.protect ~finally:(fun () -> Faults.Injector.set_plan None) f
+
+let plan_of_string_exn spec =
+  match Faults.Plan.of_string spec with
+  | Ok p -> p
+  | Error m -> Alcotest.failf "plan %S rejected: %s" spec m
+
+let common_rounds g h = max (Fingerprint.stable_rounds g) (Fingerprint.stable_rounds h)
+
+(* ------------------------------------------------------------------ *)
+(* Quotient graphs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_quotient_invariant =
+  Helpers.qcheck "quotient digest invariant under relabelling"
+    (Helpers.graph_arbitrary ())
+    (fun g ->
+      let d = Summarize.quotient_digest (Summarize.quotient g) in
+      d = Summarize.quotient_digest (Summarize.quotient (Helpers.permute_ids g))
+      && d = Summarize.quotient_digest (Summarize.quotient (Helpers.rename_with_prefix "z:" g)))
+
+let prop_similar_pairs_have_equal_quotients =
+  (* The soundness direction the refutation rests on: any label-
+     isomorphism preserves colours, so similar pairs aggregate to
+     structurally equal quotients at a common refinement depth.  (The
+     converse is false — equal quotients never *prove* similarity.) *)
+  Helpers.qcheck "similar pairs have structurally equal quotients"
+    (QCheck.pair (Helpers.graph_arbitrary ()) (Helpers.graph_arbitrary ()))
+    (fun (g, h) ->
+      let rounds = common_rounds g h in
+      let qg = Summarize.quotient ~rounds g and qh = Summarize.quotient ~rounds h in
+      (not (Gmatch.Vf2.similar g h)) || Graph.equal_structure qg.Summarize.qgraph qh.Summarize.qgraph)
+
+let prop_quotient_classes_partition =
+  Helpers.qcheck "quotient classes partition the nodes"
+    (Helpers.graph_arbitrary ())
+    (fun g ->
+      let q = Summarize.quotient g in
+      let members = List.concat_map snd q.Summarize.classes in
+      List.length members = Graph.node_count g
+      && List.sort_uniq compare members = List.sort compare members)
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A directed chain of identically labelled nodes: refinement separates
+   every position by its distance from the ends, so the plan is fully
+   forced — no segment ever reaches a solver. *)
+let chain n =
+  let g = ref Graph.empty in
+  for i = 0 to n - 1 do
+    g := Graph.add_node !g ~id:(Printf.sprintf "n%d" i) ~label:"activity" ~props:Props.empty
+  done;
+  for i = 0 to n - 2 do
+    g :=
+      Graph.add_edge !g
+        ~id:(Printf.sprintf "e%d" i)
+        ~src:(Printf.sprintf "n%d" i)
+        ~tgt:(Printf.sprintf "n%d" (i + 1))
+        ~label:"used" ~props:Props.empty
+  done;
+  !g
+
+(* A short chain feeding a root with [k] indistinguishable leaves: the
+   chain and root individualize (forced) while the leaves stay one
+   colour class and must become one merged segment instance.  The chain
+   matters — without it the leaves-plus-anchor instance would be as
+   large as the whole graph and the planner would rightly refuse to
+   decompose. *)
+let fan k =
+  let g = ref (Graph.add_node Graph.empty ~id:"root" ~label:"agent" ~props:Props.empty) in
+  List.iter
+    (fun (id, label) -> g := Graph.add_node !g ~id ~label ~props:Props.empty)
+    [ ("c0", "activity"); ("c1", "document") ];
+  g := Graph.add_edge !g ~id:"ce0" ~src:"c0" ~tgt:"c1" ~label:"wasInformedBy" ~props:Props.empty;
+  g := Graph.add_edge !g ~id:"ce1" ~src:"c1" ~tgt:"root" ~label:"wasInformedBy" ~props:Props.empty;
+  for i = 0 to k - 1 do
+    g := Graph.add_node !g ~id:(Printf.sprintf "l%d" i) ~label:"entity" ~props:Props.empty;
+    g :=
+      Graph.add_edge !g
+        ~id:(Printf.sprintf "e%d" i)
+        ~src:"root"
+        ~tgt:(Printf.sprintf "l%d" i)
+        ~label:"used" ~props:Props.empty
+  done;
+  !g
+
+let segments_of = function
+  | Summarize.Segmented p -> p.Summarize.segments
+  | Summarize.Whole -> Alcotest.fail "expected a segmented plan, got Whole"
+  | Summarize.Mismatch -> Alcotest.fail "expected a segmented plan, got Mismatch"
+
+let test_chain_is_fully_forced () =
+  let g = chain 10 in
+  let h = Helpers.permute_ids g in
+  match Summarize.plan g h with
+  | Summarize.Segmented p ->
+      check_int "all nodes forced" 10 (List.length p.Summarize.forced_nodes);
+      check_int "all edges forced" 9 (List.length p.Summarize.forced_edges);
+      check_int "no segments" 0 (List.length p.Summarize.segments);
+      check_int "max segment is empty" 0 (Summarize.max_segment_nodes p)
+  | Summarize.Whole -> Alcotest.fail "chain plan fell back to whole"
+  | Summarize.Mismatch -> Alcotest.fail "isomorphic chains refuted"
+
+let test_fan_merges_symmetric_leaves () =
+  let g = fan 5 in
+  let h = Helpers.permute_ids g in
+  let segs = segments_of (Summarize.plan g h) in
+  check_int "one merged segment" 1 (List.length segs);
+  let s = List.hd segs in
+  check_int "all leaves are one instance" 5 s.Summarize.pieces;
+  (* The instance carries the five leaves plus the root's anchor copy,
+     whose reserved label no real graph can collide with. *)
+  let anchors =
+    List.filter
+      (fun (n : Graph.node) -> Summarize.is_anchor_label n.Graph.node_label)
+      (Graph.nodes s.Summarize.left)
+  in
+  check_int "exactly one anchor" 1 (List.length anchors);
+  check_int "leaves + anchor" 6 (Graph.node_count s.Summarize.left)
+
+let test_histogram_mismatch_refutes () =
+  let g = chain 8 in
+  (check_bool "extra node refutes" true
+     (match Summarize.plan g (Graph.add_node g ~id:"zzz" ~label:"extra" ~props:Props.empty) with
+     | Summarize.Mismatch -> true
+     | _ -> false));
+  let relabelled =
+    Graph.empty
+    |> fun e ->
+    List.fold_left
+      (fun acc (n : Graph.node) ->
+        Graph.add_node acc ~id:n.Graph.node_id
+          ~label:(if n.Graph.node_id = "n0" then "entity" else n.Graph.node_label)
+          ~props:n.Graph.node_props)
+      e (Graph.nodes g)
+  in
+  check_bool "label histogram mismatch refutes" true
+    (match Summarize.plan g relabelled with Summarize.Mismatch -> true | _ -> false)
+
+let prop_plan_mismatch_is_sound =
+  Helpers.qcheck "a Mismatch plan implies VF2 disagreement"
+    (QCheck.pair (Helpers.graph_arbitrary ()) (Helpers.graph_arbitrary ()))
+    (fun (g, h) ->
+      match Summarize.plan g h with
+      | Summarize.Mismatch -> not (Gmatch.Vf2.similar g h)
+      | Summarize.Whole | Summarize.Segmented _ -> true)
+
+let prop_plan_deterministic =
+  Helpers.qcheck "plans are a pure function of the pair"
+    (Helpers.graph_arbitrary ())
+    (fun g ->
+      let h = Helpers.permute_ids g in
+      let view = function
+        | Summarize.Mismatch -> "mismatch"
+        | Summarize.Whole -> "whole"
+        | Summarize.Segmented p ->
+            String.concat "|"
+              (List.map
+                 (fun (a, b) -> a ^ ">" ^ b)
+                 (p.Summarize.forced_nodes @ p.Summarize.forced_edges)
+              @ List.map
+                  (fun (s : Summarize.segment) ->
+                    Printf.sprintf "%s*%d" s.Summarize.digest s.Summarize.pieces)
+                  p.Summarize.segments)
+      in
+      view (Summarize.plan g h) = view (Summarize.plan g h))
+
+(* ------------------------------------------------------------------ *)
+(* Differential: segmented equals whole-graph                          *)
+(* ------------------------------------------------------------------ *)
+
+let cost_view = function None -> None | Some (m : Matching.t) -> Some m.Matching.cost
+
+(* Canon stays off throughout: the digest bypass would answer most
+   pairs before either path under test is reached.  The segment floor
+   is zero on the segmented side so even tiny pairs decompose. *)
+let seg_agree ~backend g h =
+  with_canon false (fun () ->
+      let seg f = with_segment ~enabled:true ~min_nodes:0 f in
+      let whole f = with_segment ~enabled:false ~min_nodes:0 f in
+      let sim_seg = seg (fun () -> Engine.similar ~backend g h) in
+      let sim_whole = whole (fun () -> Engine.similar ~backend g h) in
+      check_bool "similar agrees" sim_whole sim_seg;
+      let gen_seg = seg (fun () -> Engine.generalization_matching ~backend g h) in
+      let gen_whole = whole (fun () -> Engine.generalization_matching ~backend g h) in
+      Alcotest.(check (option int))
+        "generalization cost agrees" (cost_view gen_whole) (cost_view gen_seg);
+      match gen_seg with
+      | Some m ->
+          check_bool "stitched witness verifies" true (Matching.verify ~sub:false g h m = Ok ());
+          check_int "stitched cost is the witness cost" m.Matching.cost (Matching.cost_of g h m)
+      | None -> ())
+
+let perturb_prop g =
+  match Graph.nodes g with
+  | n :: _ ->
+      Graph.set_node_props g n.Graph.node_id (Props.add "perturbed" "yes" n.Graph.node_props)
+  | [] -> g
+
+let perturb_shape g = Graph.add_node g ~id:"zzz-extra" ~label:"extra" ~props:Props.empty
+
+let test_differential_direct () =
+  let st = Random.State.make [| 17 |] in
+  for _ = 1 to 40 do
+    let g = Helpers.random_graph st in
+    let iso = Helpers.permute_ids g in
+    seg_agree ~backend:Engine.Direct g iso;
+    seg_agree ~backend:Engine.Direct g (perturb_prop iso);
+    seg_agree ~backend:Engine.Direct g (perturb_shape iso);
+    (* Unrelated pairs: whatever the verdict, both paths must share it. *)
+    seg_agree ~backend:Engine.Direct g (Helpers.random_graph st)
+  done
+
+let test_differential_asp () =
+  (* The ASP backend is the reference semantics; smaller graphs keep the
+     grounding tractable. *)
+  let st = Random.State.make [| 18 |] in
+  for _ = 1 to 6 do
+    let g = Helpers.random_graph ~max_nodes:4 ~max_edges:4 st in
+    let iso = Helpers.rename_with_prefix "r:" g in
+    seg_agree ~backend:Engine.Asp g iso;
+    seg_agree ~backend:Engine.Asp g (perturb_prop iso)
+  done
+
+let mixes =
+  [
+    ("chain", [ (Provgen.Chain, 1) ]);
+    ("fan", [ (Provgen.Fan, 1) ]);
+    ("diamond", [ (Provgen.Diamond, 1) ]);
+    ("even", [ (Provgen.Chain, 1); (Provgen.Fan, 1); (Provgen.Diamond, 1) ]);
+  ]
+
+let test_differential_provgen () =
+  List.iter
+    (fun (_name, motif_weights) ->
+      List.iter
+        (fun nodes ->
+          let spec = { (Provgen.default_spec ~nodes) with Provgen.motif_weights } in
+          (* A permuted cross-run pair (similar, small nonzero cost)… *)
+          let g, h = Provgen.match_pair ~seed:(100 + nodes) spec in
+          seg_agree ~backend:Engine.Direct g h;
+          (* …a transient-only variant pair (same identifiers, noise in
+             the property values)… *)
+          let v1, v2 = Provgen.pair ~seed:(200 + nodes) spec in
+          seg_agree ~backend:Engine.Direct v1 v2;
+          (* …and a cross-seed pair, which has no reason to align. *)
+          let other = Provgen.generate ~seed:(300 + nodes) spec in
+          seg_agree ~backend:Engine.Direct g other)
+        [ 24; 48 ])
+    (List.map (fun (n, w) -> (n, w)) mixes)
+
+let matching_view = function
+  | None -> "none"
+  | Some (m : Matching.t) ->
+      String.concat "|"
+        (List.map (fun (a, b) -> a ^ ">" ^ b) (m.Matching.node_map @ m.Matching.edge_map)
+        @ [ string_of_int m.Matching.cost ])
+
+(* The pool help-queue runner must return the same stitched witness as
+   the sequential default: thunks fill disjoint array slots, so the
+   only thing scheduling could change is nothing.  Size 1 is the
+   adversarial pool — the submitting domain must help instead of
+   deadlocking on its own queue. *)
+let test_pool_runner_deterministic () =
+  let spec = Provgen.default_spec ~nodes:48 in
+  let g, h = Provgen.match_pair ~seed:148 spec in
+  let solve () =
+    with_canon false (fun () ->
+        with_segment ~enabled:true ~min_nodes:0 (fun () ->
+            Engine.generalization_matching ~backend:Engine.Direct g h))
+  in
+  let reference = matching_view (solve ()) in
+  List.iter
+    (fun size ->
+      let pool = Pool.create ~size in
+      Engine.set_segment_runner
+        (Some
+           (fun thunks ->
+             match thunks with
+             | [] -> ()
+             | first :: rest ->
+                 let promises = List.map (fun t -> Pool.async ~help:true pool t) rest in
+                 first ();
+                 List.iter (fun p -> Pool.await_or_help pool p) promises));
+      Fun.protect
+        ~finally:(fun () ->
+          Engine.set_segment_runner None;
+          Pool.shutdown pool)
+        (fun () ->
+          Alcotest.(check string)
+            (Printf.sprintf "pool size %d equals sequential" size)
+            reference
+            (matching_view (solve ()))))
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Exactly-once degradation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Two fans under differently labelled roots: two colour classes of
+   interchangeable leaves, hence two independent segment instances —
+   both of which exhaust under a total solver.exhaust fault, and the
+   merged result must still carry exactly one degradation note. *)
+let double_fan () =
+  let g = ref Graph.empty in
+  List.iter
+    (fun (root, label, leaf_label) ->
+      g := Graph.add_node !g ~id:root ~label ~props:Props.empty;
+      for i = 0 to 2 do
+        let leaf = Printf.sprintf "%s-l%d" root i in
+        g := Graph.add_node !g ~id:leaf ~label:leaf_label ~props:Props.empty;
+        g :=
+          Graph.add_edge !g
+            ~id:(Printf.sprintf "%s-e%d" root i)
+            ~src:root ~tgt:leaf ~label:"used" ~props:Props.empty
+      done)
+    [ ("ra", "agent", "entity"); ("rb", "activity", "document") ];
+  !g
+
+let exhaust = "seed=7,solver.exhaust=1"
+
+let degraded_notes_of f =
+  ignore (Engine.drain_notes ());
+  let result = f () in
+  (result, Engine.drain_notes ())
+
+let test_fallback_degrades_exactly_once () =
+  let g = double_fan () in
+  let h = Helpers.permute_ids g in
+  check_bool "double fan yields two segments" true
+    (List.length (segments_of (Summarize.plan g h)) = 2);
+  with_canon false (fun () ->
+      with_segment ~enabled:true ~min_nodes:0 (fun () ->
+          with_plan (plan_of_string_exn exhaust) (fun () ->
+              let verdict, notes =
+                degraded_notes_of (fun () -> Engine.similar ~backend:Engine.Asp g h)
+              in
+              check_bool "degraded verdict still correct" true verdict;
+              Alcotest.(check (list string))
+                "one similarity note for two degrading segments"
+                [ "asp similarity hit its step limit; fell back to vf2" ]
+                notes;
+              let m, notes =
+                degraded_notes_of (fun () ->
+                    Engine.generalization_matching ~backend:Engine.Asp g h)
+              in
+              Alcotest.(check (list string))
+                "one generalization note for two degrading segments"
+                [ "asp generalization hit its step limit; fell back to vf2" ]
+                notes;
+              match m with
+              | Some m ->
+                  check_bool "degraded witness verifies" true
+                    (Matching.verify ~sub:false g h m = Ok ())
+              | None -> Alcotest.fail "degraded pair must still align")))
+
+let test_fallback_note_lands_on_calling_domain () =
+  (* Under the pool runner the degrading segments run on worker domains;
+     the single note must still reach the submitting domain's buffer —
+     per-segment notes would be stranded in per-domain buffers nobody
+     drains. *)
+  let g = double_fan () in
+  let h = Helpers.permute_ids g in
+  let pool = Pool.create ~size:4 in
+  Engine.set_segment_runner
+    (Some
+       (fun thunks ->
+         match thunks with
+         | [] -> ()
+         | first :: rest ->
+             let promises = List.map (fun t -> Pool.async ~help:true pool t) rest in
+             first ();
+             List.iter (fun p -> Pool.await_or_help pool p) promises));
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.set_segment_runner None;
+      Pool.shutdown pool)
+    (fun () ->
+      with_canon false (fun () ->
+          with_segment ~enabled:true ~min_nodes:0 (fun () ->
+              with_plan (plan_of_string_exn exhaust) (fun () ->
+                  let m, notes =
+                    degraded_notes_of (fun () ->
+                        Engine.generalization_matching ~backend:Engine.Asp g h)
+                  in
+                  check_bool "pooled degraded pair aligns" true (m <> None);
+                  Alcotest.(check (list string))
+                    "exactly one note on the calling domain"
+                    [ "asp generalization hit its step limit; fell back to vf2" ]
+                    notes))))
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_segment_counters () =
+  Engine.reset_segment_stats ();
+  Fun.protect ~finally:Engine.reset_segment_stats (fun () ->
+      with_canon false (fun () ->
+          with_segment ~enabled:true ~min_nodes:0 (fun () ->
+              let g = fan 4 in
+              let h = Helpers.permute_ids g in
+              check_bool "fan pair is similar" true (Engine.similar ~backend:Engine.Direct g h);
+              ignore (Engine.generalization_matching ~backend:Engine.Direct g h);
+              check_bool "quotient refutes the shape-perturbed pair" false
+                (Engine.similar ~backend:Engine.Direct g (perturb_shape h));
+              check_bool "similarity pair counted" true
+                (List.mem_assoc "similarity" (Engine.segment_pairs ()));
+              check_bool "generalization pair counted" true
+                (List.mem_assoc "generalization" (Engine.segment_pairs ()));
+              check_bool "refutation counted as a skip" true
+                (List.mem_assoc "similarity" (Engine.segment_skips ()));
+              check_bool "segment instances counted" true (Engine.segment_solves () >= 2);
+              check_int "no stitch fallbacks" 0 (Engine.segment_fallbacks ()))))
+
+(* ------------------------------------------------------------------ *)
+(* Suite-level byte identity                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exact_view (r : Result_.t) =
+  let body =
+    match r.Result_.status with
+    | Result_.Target g -> "target:" ^ Datalog.Encode.graph_to_string ~gid:"d" g
+    | Result_.Empty -> "empty"
+    | Result_.Failed e -> "failed:" ^ Result_.stage_error_to_string e
+  in
+  String.concat "|"
+    ((r.Result_.benchmark :: body :: r.Result_.degraded) @ [ string_of_int r.Result_.trials ])
+
+let suite_views ~jobs config progs =
+  List.map exact_view (Parallel_runner.run_all ~jobs config progs)
+
+let test_suite_identical_across_segment_and_jobs () =
+  let config = Config.default Recorder.Spade in
+  let progs = Provmark.Bench_registry.all in
+  let reference = suite_views ~jobs:1 config progs in
+  Alcotest.(check (list string))
+    "-j4 equals -j1" reference
+    (suite_views ~jobs:4 config progs);
+  Alcotest.(check (list string))
+    "--no-segment equals default" reference
+    (with_segment ~enabled:false ~min_nodes:Engine.default_segment_min_nodes (fun () ->
+         suite_views ~jobs:1 config progs));
+  (* With the floor at zero every pair the canon gate does not answer
+     goes through the segmented path; the stitched witness may differ
+     from the whole-graph solver's (that is why the threshold is in the
+     backend fingerprint), but the output must not depend on -j. *)
+  let forced j =
+    with_segment ~enabled:true ~min_nodes:0 (fun () -> suite_views ~jobs:j config progs)
+  in
+  Alcotest.(check (list string)) "floor 0: -j4 equals -j1" (forced 1) (forced 4)
+
+let () =
+  Alcotest.run "segment"
+    [
+      ( "quotient",
+        [
+          prop_quotient_invariant;
+          prop_similar_pairs_have_equal_quotients;
+          prop_quotient_classes_partition;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "identical-label chain is fully forced" `Quick
+            test_chain_is_fully_forced;
+          Alcotest.test_case "symmetric fan leaves merge into one instance" `Quick
+            test_fan_merges_symmetric_leaves;
+          Alcotest.test_case "histogram mismatches refute" `Quick test_histogram_mismatch_refutes;
+          prop_plan_mismatch_is_sound;
+          prop_plan_deterministic;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "segmented equals whole (direct)" `Quick test_differential_direct;
+          Alcotest.test_case "segmented equals whole (asp)" `Slow test_differential_asp;
+          Alcotest.test_case "segmented equals whole (provgen mixes)" `Slow
+            test_differential_provgen;
+          Alcotest.test_case "pool runner equals sequential" `Quick test_pool_runner_deterministic;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "two degrading segments, one note" `Quick
+            test_fallback_degrades_exactly_once;
+          Alcotest.test_case "note lands on the calling domain" `Quick
+            test_fallback_note_lands_on_calling_domain;
+        ] );
+      ( "counters", [ Alcotest.test_case "skips, pairs and solves" `Quick test_segment_counters ] );
+      ( "suite",
+        [
+          Alcotest.test_case "byte-identical across segment and -j" `Slow
+            test_suite_identical_across_segment_and_jobs;
+        ] );
+    ]
