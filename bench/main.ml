@@ -552,8 +552,7 @@ let suite_parallel () =
 (* Merge one section into BENCH_match_scale.json, preserving whatever
    other sections already wrote (match-scale and canon share the file,
    and CI may run them in either order or alone). *)
-let bench_json_update key value =
-  let file = "BENCH_match_scale.json" in
+let bench_json_update_in file key value =
   let existing =
     if Sys.file_exists file then (
       try
@@ -572,7 +571,9 @@ let bench_json_update key value =
   output_string oc (Minijson.Json.to_string ~pretty:true (Minijson.Json.Object members));
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nwrote %S into BENCH_match_scale.json\n" key
+  Printf.printf "\nwrote %S into %s\n" key file
+
+let bench_json_update key value = bench_json_update_in "BENCH_match_scale.json" key value
 
 (* Sweeps Bench_gen.match_pair over node counts and, for each prune
    setting, grounds and solves the similarity and generalization
@@ -1129,6 +1130,125 @@ let segment_bench () = segment_run ~sizes:[ 128; 256; 512; 1024 ]
 let segment_quick () = segment_run ~sizes:[ 64; 128 ]
 
 (* ------------------------------------------------------------------ *)
+(* serve-load: concurrent clients against a warm serve daemon          *)
+(* ------------------------------------------------------------------ *)
+
+(* Drives an in-process daemon over a temp Unix socket with N client
+   domains issuing benchmark requests back to back, and measures
+   per-request wall latency plus aggregate throughput.  Two passes over
+   the same request set separate the cold cost (first solves populate
+   the memo/canon caches) from the warm steady state the daemon exists
+   for.  Results merge into BENCH_serve.json. *)
+let serve_load_run ~clients ~per_client () =
+  section
+    (Printf.sprintf "serve-load: %d concurrent clients x %d requests against provmark serve"
+       clients per_client);
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "provmark_bench_serve_%d.sock" (Unix.getpid ()))
+  in
+  let endpoint = Serve.Protocol.Unix_socket sock in
+  let jobs = 4 in
+  let ready = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.Daemon.run
+          ~on_ready:(fun () -> Atomic.set ready true)
+          {
+            Serve.Daemon.endpoint;
+            jobs;
+            queue_bound = 4 * clients * per_client;
+            store = None;
+            trace = None;
+          })
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  let names = Array.of_list (Provmark.Bench_registry.names ()) in
+  let request c i =
+    {
+      Serve.Protocol.id = None;
+      op =
+        Serve.Protocol.Benchmark
+          {
+            tool = Recorder.Spade;
+            syscall = names.(((c * per_client) + i) mod Array.length names);
+            trials = None;
+            seed = 1;
+            backend = Gmatch.Engine.default_backend;
+            result_type = "rb";
+          };
+    }
+  in
+  let phase label =
+    let t0 = Provmark.Trace_span.now_s () in
+    let worker c () =
+      Serve.Client.with_connection endpoint (fun conn ->
+          List.init per_client (fun i ->
+              let s = Provmark.Trace_span.now_s () in
+              (match Serve.Client.call conn (request c i) with
+              | Ok r when String.equal (Serve.Client.response_status r) "ok" -> ()
+              | Ok r -> failwith ("error response: " ^ Minijson.Json.to_string r)
+              | Error msg -> failwith msg);
+              Provmark.Trace_span.now_s () -. s))
+    in
+    let domains = List.init clients (fun c -> Domain.spawn (worker c)) in
+    let latencies = List.concat_map Domain.join domains in
+    let wall = Provmark.Trace_span.now_s () -. t0 in
+    let n = List.length latencies in
+    let sorted = Array.of_list (List.sort compare latencies) in
+    let pct p = sorted.(min (n - 1) (n * p / 100)) in
+    let rps = float_of_int n /. wall in
+    Printf.printf "%-5s %8.1f req/s   p50 %7.2f ms   p99 %7.2f ms   (%d requests, %.2fs)\n"
+      label rps
+      (1000. *. pct 50)
+      (1000. *. pct 99)
+      n wall;
+    (label, n, wall, rps, pct 50, pct 99)
+  in
+  let cold = phase "cold" in
+  let warm = phase "warm" in
+  let stats =
+    Serve.Client.with_connection endpoint (fun c ->
+        match Serve.Client.call c { Serve.Protocol.id = None; op = Serve.Protocol.Stats } with
+        | Ok json -> json
+        | Error msg -> failwith msg)
+  in
+  (try
+     Serve.Client.with_connection endpoint (fun c ->
+         ignore (Serve.Client.call c { Serve.Protocol.id = None; op = Serve.Protocol.Shutdown }))
+   with Unix.Unix_error _ -> ());
+  ignore (Domain.join daemon);
+  let num f = Minijson.Json.Number f in
+  let phase_json (label, n, wall, rps, p50, p99) =
+    Minijson.Json.Object
+      [
+        ("phase", Minijson.Json.String label);
+        ("requests", num (float_of_int n));
+        ("wall_s", num wall);
+        ("req_per_s", num rps);
+        ("p50_ms", num (1000. *. p50));
+        ("p99_ms", num (1000. *. p99));
+      ]
+  in
+  bench_json_update_in "BENCH_serve.json" "serve-load"
+    (Minijson.Json.Object
+       [
+         ("clients", num (float_of_int clients));
+         ("requests_per_client", num (float_of_int per_client));
+         ("jobs", num (float_of_int jobs));
+         ("phases", Minijson.Json.Array [ phase_json cold; phase_json warm ]);
+         ("memo", Minijson.Json.member "memo" stats);
+         ("canon_skips", Minijson.Json.member "canon_skips" stats);
+         ("served", Minijson.Json.member "served" stats);
+       ])
+
+let serve_load () = serve_load_run ~clients:8 ~per_client:12 ()
+let serve_load_quick () = serve_load_run ~clients:4 ~per_client:4 ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let t0 = Provmark.Trace_span.now_s () in
@@ -1151,7 +1271,8 @@ let () =
     match_scale ();
     canon_bench ();
     corpus_scale ();
-    segment_bench ()
+    segment_bench ();
+    serve_load ()
   in
   (* [bench/main.exe <section>...] runs just the named sections. *)
   let sections =
@@ -1169,6 +1290,8 @@ let () =
       ("corpus-scale-quick", corpus_scale_quick);
       ("segment", segment_bench);
       ("segment-quick", segment_quick);
+      ("serve-load", serve_load);
+      ("serve-load-quick", serve_load_quick);
     ]
   in
   (match List.tl (Array.to_list Sys.argv) with

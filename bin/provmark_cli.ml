@@ -129,24 +129,26 @@ let apply_fault_flags faults fallback =
    go to stderr with the other operator-facing statistics.  Exit code 3
    reports quarantined benchmarks without having aborted the suite. *)
 let finish_run (results : Provmark.Result.t list) =
-  if Faults.Injector.active () then
-    Printf.printf "\n%s\n" (Provmark.Report.fault_outcome_line results);
-  (match Provmark.Report.quarantine_lines results with
-  | "" -> ()
-  | lines ->
-      print_newline ();
-      print_string lines);
+  print_string (Provmark.Report.suite_epilogue results);
   (match Faults.Injector.injected () with
   | [] -> ()
   | counts ->
       Printf.eprintf "Faults injected: %s\n%!"
         (String.concat ", " (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) counts)));
-  if List.exists Provmark.Result.quarantined results then exit 3
+  match Provmark.Exit_code.of_results results with
+  | Provmark.Exit_code.Ok -> ()
+  | code -> Provmark.Exit_code.exit code
 
 let unknown_benchmark syscall known =
   Printf.eprintf "unknown syscall benchmark %S\nknown benchmarks: %s\n" syscall
     (String.concat " " known);
-  exit 2
+  Provmark.Exit_code.exit Provmark.Exit_code.Unknown_benchmark
+
+(* Invalid-configuration errors share one reporting path (and one exit
+   code) across subcommands. *)
+let invalid_config msg =
+  Printf.eprintf "%s\n" msg;
+  Provmark.Exit_code.exit Provmark.Exit_code.Invalid_config
 
 let store_arg =
   let doc =
@@ -168,9 +170,7 @@ let store_of ~store ~no_store =
   else
     match Provmark.Artifact_store.create ~dir:store with
     | s -> Some s
-    | exception Sys_error msg ->
-        Printf.eprintf "%s\n" msg;
-        exit 2
+    | exception Sys_error msg -> invalid_config msg
 
 let trace_arg =
   let doc =
@@ -205,22 +205,11 @@ let write_trace trace (results : Provmark.Result.t list) =
       Printf.eprintf "Trace written to %s\n%!" file
 
 let print_cache_stats () =
-  match Asp.Memo.stats () with
-  | [] -> ()
-  | stats ->
-      let rows =
-        List.map (fun (tag, s) -> (tag, s.Asp.Memo.hits, s.Asp.Memo.misses)) stats
-      in
-      Printf.printf "\nASP solve cache:\n%s" (Provmark.Report.cache_stats_lines rows);
-      Printf.printf "canon skips: %d\n" (Gmatch.Engine.canon_skip_total ());
-      let seg_total stats = List.fold_left (fun acc (_, n) -> acc + n) 0 stats in
-      let skips = seg_total (Gmatch.Engine.segment_skips ())
-      and pairs = seg_total (Gmatch.Engine.segment_pairs ()) in
-      if skips > 0 || pairs > 0 then
-        Printf.printf "segment prepass: %d quotient skips, %d pairs -> %d segment solves, %d fallbacks\n"
-          skips pairs
-          (Gmatch.Engine.segment_solves ())
-          (Gmatch.Engine.segment_fallbacks ())
+  match Provmark.Report.stats_lines () with
+  | "" -> ()
+  | lines ->
+      print_newline ();
+      print_string lines
 
 (* Progress lines may come from any worker domain; serialize them. *)
 let progress_mutex = Mutex.create ()
@@ -265,27 +254,12 @@ let append_time_log (r : Provmark.Result.t) =
     close_out oc
   with Sys_error _ -> ()
 
+(* The textual result goes through the same renderer the serve daemon
+   embeds in its responses ({!Provmark.Report.run_output}); only the
+   time-log append and the rh HTML side effects stay CLI-local. *)
 let print_result ~result_type (r : Provmark.Result.t) =
   append_time_log r;
-  Printf.printf "%-12s %-10s %s\n" r.Provmark.Result.syscall
-    (Recorders.Recorder.tool_name r.Provmark.Result.tool)
-    (Provmark.Result.summary r);
-  (match r.Provmark.Result.status with
-  | Provmark.Result.Target g ->
-      print_newline ();
-      print_string (Provmark.Transform.to_datalog ~gid:"t" g)
-  | Provmark.Result.Empty | Provmark.Result.Failed _ -> ());
-  if String.equal result_type "rg" then (
-    (match r.Provmark.Result.bg_general with
-    | Some g ->
-        Printf.printf "\n%% generalized background graph\n";
-        print_string (Provmark.Transform.to_datalog ~gid:"bg" g)
-    | None -> ());
-    match r.Provmark.Result.fg_general with
-    | Some g ->
-        Printf.printf "\n%% generalized foreground graph\n";
-        print_string (Provmark.Transform.to_datalog ~gid:"fg" g)
-    | None -> ());
+  print_string (Provmark.Report.run_output ~result_type r);
   if String.equal result_type "rh" then (
     let path =
       Printf.sprintf "finalResult/%s_%s.html"
@@ -569,8 +543,28 @@ let corpus_cmd =
       & opt (conv (parse, print)) [ Provmark.Corpus.Dot; Provmark.Corpus.Provjson ]
       & info [ "format" ] ~docv:"F" ~doc)
   in
+  (* Like --store, the output directory is validated before generation
+     starts: a bad --dir is one clear error up front (exit 2), not a
+     crash minutes into a large tier. *)
+  let validate_dir dir =
+    if Sys.file_exists dir then begin
+      if not (Sys.is_directory dir) then
+        invalid_config (Printf.sprintf "%s: not a directory" dir)
+    end
+    else begin
+      try Unix.mkdir dir 0o755
+      with Unix.Unix_error (e, _, _) ->
+        invalid_config
+          (Printf.sprintf "%s: cannot create directory (%s)" dir (Unix.error_message e))
+    end;
+    let probe = Filename.concat dir ".provmark-write-probe" in
+    match Out_channel.with_open_bin probe (fun _ -> ()) with
+    | () -> ( try Sys.remove probe with Sys_error _ -> ())
+    | exception Sys_error msg -> invalid_config (Printf.sprintf "%s: not writable (%s)" dir msg)
+  in
   let run tier dir formats seed jobs store no_store =
     let store = store_of ~store ~no_store in
+    validate_dir dir;
     let m = Provmark.Corpus.materialize ~jobs ?store ~formats ~dir ~seed tier in
     let files = List.length m.Provmark.Corpus.entries in
     let nodes =
@@ -596,6 +590,242 @@ let corpus_cmd =
       const run $ tier_arg $ dir_arg $ format_arg $ seed_arg $ jobs_arg $ store_arg $ no_store_arg)
 
 (* ------------------------------------------------------------------ *)
+(* match: stand-alone graph matching over serialized graphs            *)
+(* ------------------------------------------------------------------ *)
+
+let format_arg =
+  let doc = "Graph serialization: dot or provjson (default: from the first file's suffix)." in
+  Arg.(value & opt (some string) None & info [ "format" ] ~docv:"F" ~doc)
+
+let read_file file =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | s -> s
+  | exception Sys_error msg -> invalid_config msg
+
+let match_cmd =
+  let kind_arg =
+    let doc = "Operation: similar, generalize or compare." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KIND" ~doc)
+  in
+  let file_a_arg =
+    let doc = "First graph file." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE_A" ~doc)
+  in
+  let file_b_arg =
+    let doc = "Second graph file." in
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"FILE_B" ~doc)
+  in
+  let run kind file_a file_b format backend no_cache no_prune no_canon no_segment =
+    apply_cache_flag no_cache;
+    apply_prune_flag no_prune;
+    apply_canon_flag no_canon;
+    apply_segment_flag no_segment;
+    let kind =
+      match Provmark.Match_op.kind_of_string kind with
+      | Ok k -> k
+      | Error msg -> invalid_config msg
+    in
+    let format =
+      match format with
+      | None -> Provmark.Match_op.format_for_file file_a
+      | Some s -> (
+          match Provmark.Match_op.format_of_string s with
+          | Ok f -> f
+          | Error msg -> invalid_config msg)
+    in
+    let parse file =
+      match Provmark.Match_op.parse_graph format (read_file file) with
+      | Ok g -> g
+      | Error msg -> invalid_config (Printf.sprintf "%s: %s" file msg)
+    in
+    let ga = parse file_a in
+    let gb = parse file_b in
+    print_string (Provmark.Match_op.run ~backend kind ga gb)
+  in
+  let term =
+    Term.(
+      const run $ kind_arg $ file_a_arg $ file_b_arg $ format_arg $ backend_arg $ no_cache_arg
+      $ no_prune_arg $ no_canon_arg $ no_segment_arg)
+  in
+  Cmd.v
+    (Cmd.info "match"
+       ~doc:
+         "Match two serialized provenance graphs: decide similarity, compute the \
+          optimal generalization matching, or embed the first graph into the second. \
+          Prints the same text a serve daemon returns for the equivalent request.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* serve: warm concurrent benchmark daemon                             *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc =
+    "Endpoint to listen on / connect to: a Unix socket path, or HOST:PORT for TCP."
+  in
+  Arg.(value & opt string ".provmark/serve.sock" & info [ "socket"; "s" ] ~docv:"ENDPOINT" ~doc)
+
+let endpoint_of socket =
+  match Serve.Protocol.endpoint_of_string socket with
+  | Ok e -> e
+  | Error msg -> invalid_config (Printf.sprintf "--socket %s: %s" socket msg)
+
+let serve_cmd =
+  let queue_bound_arg =
+    let doc =
+      "Admission-control bound: maximum benchmark/match requests in flight at once. \
+       Requests over the bound are rejected immediately with a structured queue-full \
+       (429) error instead of queueing without limit."
+    in
+    Arg.(
+      value
+      & opt int Serve.Daemon.default_queue_bound
+      & info [ "queue-bound" ] ~docv:"N" ~doc)
+  in
+  let run socket jobs queue_bound no_cache no_prune no_canon no_segment store no_store trace
+      fallback =
+    apply_cache_flag no_cache;
+    apply_prune_flag no_prune;
+    apply_canon_flag no_canon;
+    apply_segment_flag no_segment;
+    Gmatch.Engine.set_fallback fallback;
+    let store = store_of ~store ~no_store in
+    let endpoint = endpoint_of socket in
+    let cfg =
+      { Serve.Daemon.endpoint; jobs; queue_bound; store; trace }
+    in
+    let on_ready () =
+      Printf.eprintf "provmark serve: listening on %s (%d worker%s)\n%!"
+        (Serve.Protocol.endpoint_to_string endpoint)
+        (max 1 jobs)
+        (if max 1 jobs = 1 then "" else "s")
+    in
+    let served = Serve.Daemon.run ~on_ready cfg in
+    Printf.eprintf "provmark serve: shut down after %d compute request%s\n%!" served
+      (if served = 1 then "" else "s");
+    print_store_stats store
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ jobs_arg $ queue_bound_arg $ no_cache_arg $ no_prune_arg
+      $ no_canon_arg $ no_segment_arg $ store_arg $ no_store_arg $ trace_arg $ fallback_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the warm benchmark daemon: accept benchmark/match/stats requests from \
+          many concurrent clients over a line-delimited JSON protocol, sharing the \
+          solve memo, canonical-form cache, artifact store and worker-domain pool \
+          across all of them. Responses are byte-identical to the batch CLI's output \
+          for the same inputs. Stop it with a shutdown request.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* request: one client request against a running daemon                *)
+(* ------------------------------------------------------------------ *)
+
+let request_cmd =
+  let op_arg =
+    let doc = "Request: benchmark SYSCALL, match KIND FILE_A FILE_B, stats, ping or shutdown." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let rest_arg = Arg.(value & pos_right 0 string [] & info [] ~docv:"ARG") in
+  let tool_opt_arg =
+    let doc = "Capture tool for benchmark requests (default spg)." in
+    Arg.(value & opt tool_conv Recorders.Recorder.Spade & info [ "tool" ] ~docv:"TOOL" ~doc)
+  in
+  let raw_arg =
+    let doc = "Print the raw JSON response line instead of the embedded output text." in
+    Arg.(value & flag & info [ "raw" ] ~doc)
+  in
+  let run socket op rest tool trials backend seed result_type format raw =
+    let endpoint = endpoint_of socket in
+    let req =
+      match (op, rest) with
+      | "ping", [] -> { Serve.Protocol.id = None; op = Serve.Protocol.Ping }
+      | "stats", [] -> { Serve.Protocol.id = None; op = Serve.Protocol.Stats }
+      | "shutdown", [] -> { Serve.Protocol.id = None; op = Serve.Protocol.Shutdown }
+      | "benchmark", [ syscall ] ->
+          {
+            Serve.Protocol.id = None;
+            op =
+              Serve.Protocol.Benchmark
+                { tool; syscall; trials; seed; backend; result_type };
+          }
+      | "match", [ kind; file_a; file_b ] ->
+          let kind =
+            match Provmark.Match_op.kind_of_string kind with
+            | Ok k -> k
+            | Error msg -> invalid_config msg
+          in
+          let format =
+            match format with
+            | None -> Provmark.Match_op.format_for_file file_a
+            | Some s -> (
+                match Provmark.Match_op.format_of_string s with
+                | Ok f -> f
+                | Error msg -> invalid_config msg)
+          in
+          {
+            Serve.Protocol.id = None;
+            op =
+              Serve.Protocol.Match
+                {
+                  kind;
+                  format;
+                  a = read_file file_a;
+                  b = read_file file_b;
+                  m_backend = Some backend;
+                };
+          }
+      | op, rest ->
+          invalid_config
+            (Printf.sprintf "bad request %S with %d argument%s (expected: benchmark \
+                             SYSCALL | match KIND FILE_A FILE_B | stats | ping | shutdown)"
+               op (List.length rest)
+               (if List.length rest = 1 then "" else "s"))
+    in
+    let response =
+      match Serve.Client.with_connection endpoint (fun c -> Serve.Client.call c req) with
+      | Ok response -> response
+      | Error msg ->
+          Printf.eprintf "provmark request: %s\n" msg;
+          exit 1
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "provmark request: cannot connect to %s (%s)\n"
+            (Serve.Protocol.endpoint_to_string endpoint)
+            (Unix.error_message e);
+          exit 1
+    in
+    if raw then print_endline (Minijson.Json.to_string response)
+    else begin
+      (match Serve.Client.response_status response with
+      | "ok" -> print_string (Serve.Client.response_output response)
+      | _ ->
+          let str name =
+            match Minijson.Json.member name response with
+            | Minijson.Json.String s -> s
+            | _ -> "?"
+          in
+          Printf.eprintf "provmark request: %s: %s\n" (str "error") (str "message"));
+      exit (Serve.Client.response_exit response)
+    end
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ op_arg $ rest_arg $ tool_opt_arg $ trials_arg $ backend_arg
+      $ seed_arg $ result_type_arg $ format_arg $ raw_arg)
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one request to a running provmark serve daemon and print the response: \
+          the embedded output text (byte-identical to the equivalent run/match \
+          subcommand), or the raw JSON line with --raw. Exits with the code the batch \
+          CLI would have used.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* list: available benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -612,6 +842,6 @@ let list_cmd =
 
 let main_cmd =
   let doc = "provenance expressiveness benchmarking (ProvMark reproduction)" in
-  Cmd.group (Cmd.info "provmark" ~version:"1.0.0" ~doc) [ run_cmd; batch_cmd; report_cmd; failures_cmd; trace_cmd; export_cmd; corpus_cmd; list_cmd ]
+  Cmd.group (Cmd.info "provmark" ~version:"1.0.0" ~doc) [ run_cmd; batch_cmd; report_cmd; failures_cmd; trace_cmd; export_cmd; corpus_cmd; match_cmd; serve_cmd; request_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

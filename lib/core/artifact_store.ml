@@ -4,11 +4,22 @@ let format_version = "3"
 
 type stats = { hits : int; misses : int; stored : int; errors : int }
 
-type t = {
-  dir : string;
+(* The store's mutable state (stat counters, and the lock concurrent
+   writers of one key range serialize their bookkeeping under) is split
+   into shards addressed by key prefix: writers whose keys land in
+   different shards never contend on a lock, which matters once the
+   serve daemon has many domains writing through one store.  The
+   on-disk layout was already prefix-sharded (<stage>/<prefix>/<key>);
+   the lock layout now matches it.  Keys are uniform hex digests, so
+   the first nibble spreads load evenly. *)
+let shard_count = 16
+
+type shard = {
   mutex : Mutex.t;
   counters : (string, int ref * int ref * int ref * int ref) Hashtbl.t;
 }
+
+type t = { dir : string; shards : shard array }
 
 let rec mkdir_p path =
   if not (Sys.file_exists path) then begin
@@ -33,7 +44,12 @@ let create ~dir =
   (match Filename.temp_file ~temp_dir:dir ".probe" ".tmp" with
   | probe -> ( try Sys.remove probe with Sys_error _ -> ())
   | exception Sys_error m -> invalid_store "artifact store %s is not writable (%s)" dir m);
-  { dir; mutex = Mutex.create (); counters = Hashtbl.create 8 }
+  {
+    dir;
+    shards =
+      Array.init shard_count (fun _ ->
+          { mutex = Mutex.create (); counters = Hashtbl.create 8 });
+  }
 
 let dir t = t.dir
 
@@ -84,21 +100,36 @@ let path_of t ~stage ~key =
   let prefix = if String.length key >= 2 then String.sub key 0 2 else key in
   Filename.concat (Filename.concat (Filename.concat t.dir stage) prefix) (key ^ ".art")
 
-let with_lock t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+(* Hex digit → shard index; non-hex (impossible for real keys, which
+   are hex digests) degrades to shard 0. *)
+let shard_for t key =
+  let i =
+    if String.length key = 0 then 0
+    else
+      match key.[0] with
+      | '0' .. '9' as c -> Char.code c - Char.code '0'
+      | 'a' .. 'f' as c -> 10 + Char.code c - Char.code 'a'
+      | 'A' .. 'F' as c -> 10 + Char.code c - Char.code 'A'
+      | _ -> 0
+  in
+  t.shards.(i mod Array.length t.shards)
 
-let counter_of t stage =
-  match Hashtbl.find_opt t.counters stage with
+let with_shard_lock shard f =
+  Mutex.lock shard.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock shard.mutex) f
+
+let counter_of shard stage =
+  match Hashtbl.find_opt shard.counters stage with
   | Some c -> c
   | None ->
       let c = (ref 0, ref 0, ref 0, ref 0) in
-      Hashtbl.replace t.counters stage c;
+      Hashtbl.replace shard.counters stage c;
       c
 
-let record_error t stage =
-  with_lock t (fun () ->
-      let _, _, _, errors = counter_of t stage in
+let record_error t ~key stage =
+  let shard = shard_for t key in
+  with_shard_lock shard (fun () ->
+      let _, _, _, errors = counter_of shard stage in
       incr errors)
 
 (* Entries are sealed with a leading checksum line (MD5 of the payload).
@@ -120,7 +151,7 @@ let read t ~stage ~key =
   match Faults.Injector.store_fault ~site:(Printf.sprintf "store:read:%s:%s" stage key) with
   | Some Faults.Plan.Eio ->
       (* Transient read error: degrade to a miss and recompute. *)
-      record_error t stage;
+      record_error t ~key stage;
       None
   | fault -> (
       let path = path_of t ~stage ~key in
@@ -138,7 +169,7 @@ let read t ~stage ~key =
           match unseal contents with
           | Some payload -> Some payload
           | None ->
-              record_error t stage;
+              record_error t ~key stage;
               None))
 
 let write t ~stage ~key contents =
@@ -147,7 +178,7 @@ let write t ~stage ~key contents =
   | Some Faults.Plan.Eio ->
       (* Write dropped on the floor: the entry stays cold, later runs
          miss and recompute.  Caching is best-effort by contract. *)
-      record_error t stage
+      record_error t ~key stage
   | fault -> (
       let contents =
         let sealed = seal contents in
@@ -171,27 +202,42 @@ let write t ~stage ~key contents =
            raise e)
       with
       | () ->
-          with_lock t (fun () ->
-              let _, _, stored, _ = counter_of t stage in
+          let shard = shard_for t key in
+          with_shard_lock shard (fun () ->
+              let _, _, stored, _ = counter_of shard stage in
               incr stored)
       | exception (Sys_error _ | Unix.Unix_error _) ->
           (* A store that stops accepting writes must not take the
              pipeline down with it: count the error and move on
              uncached. *)
-          record_error t stage)
+          record_error t ~key stage)
 
-let record t ~stage ~hit =
-  with_lock t (fun () ->
-      let hits, misses, _, _ = counter_of t stage in
+let record t ~stage ~key ~hit =
+  let shard = shard_for t key in
+  with_shard_lock shard (fun () ->
+      let hits, misses, _, _ = counter_of shard stage in
       incr (if hit then hits else misses))
 
+(* Counters merge across shards at read time: per-stage totals are what
+   reports want, the sharding is purely a contention measure. *)
 let stats t =
-  with_lock t (fun () ->
-      List.sort compare
-        (Hashtbl.fold
-           (fun stage (h, m, s, e) acc ->
-             (stage, { hits = !h; misses = !m; stored = !s; errors = !e }) :: acc)
-           t.counters []))
+  let merged : (string, int * int * int * int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun shard ->
+      with_shard_lock shard (fun () ->
+          Hashtbl.iter
+            (fun stage (h, m, s, e) ->
+              let h0, m0, s0, e0 =
+                Option.value ~default:(0, 0, 0, 0) (Hashtbl.find_opt merged stage)
+              in
+              Hashtbl.replace merged stage (h0 + !h, m0 + !m, s0 + !s, e0 + !e))
+            shard.counters))
+    t.shards;
+  List.sort compare
+    (Hashtbl.fold
+       (fun stage (h, m, s, e) acc ->
+         (stage, { hits = h; misses = m; stored = s; errors = e }) :: acc)
+       merged [])
 
 let totals t =
   List.fold_left
@@ -209,4 +255,7 @@ let hit_rate s =
   let total = s.hits + s.misses in
   if total = 0 then None else Some (float_of_int s.hits /. float_of_int total)
 
-let reset_stats t = with_lock t (fun () -> Hashtbl.reset t.counters)
+let reset_stats t =
+  Array.iter
+    (fun shard -> with_shard_lock shard (fun () -> Hashtbl.reset shard.counters))
+    t.shards

@@ -9,11 +9,15 @@
     suite re-run is byte-identical to the cold run and an edited
     benchmark program invalidates exactly its own downstream artifacts.
 
-    The store is shared by all worker domains of the parallel runner:
-    reads are plain file reads, writes go through a unique temp file
-    plus atomic [rename], and the stat counters take a mutex.  Losing a
-    race (two domains computing the same artifact) is harmless — both
-    values are identical and one write wins. *)
+    The store is shared by all worker domains of the process — the
+    parallel suite runner's and the serve daemon's alike: reads are
+    plain file reads, writes go through a unique temp file plus atomic
+    [rename], and the mutable bookkeeping is sharded by key prefix
+    (first hex digit, 16 shards), each shard behind its own mutex, so
+    concurrent writers whose keys land in different shards never
+    contend on a lock.  Losing a race (two domains computing the same
+    artifact) is harmless — both values are identical and one write
+    wins. *)
 
 type t
 
@@ -89,9 +93,11 @@ val canonical_graph_digest : Pgraph.Graph.t -> string
 val read : t -> stage:string -> key:string -> string option
 val write : t -> stage:string -> key:string -> string -> unit
 
-(** [record t ~stage ~hit] counts one stage execution as replayed
-    ([hit:true]) or computed ([hit:false]). *)
-val record : t -> stage:string -> hit:bool -> unit
+(** [record t ~stage ~key ~hit] counts one stage execution as replayed
+    ([hit:true]) or computed ([hit:false]).  [key] selects the counter
+    shard, so recording contends only with other executions in the
+    same key range. *)
+val record : t -> stage:string -> key:string -> hit:bool -> unit
 
 (** {2 Statistics} *)
 
@@ -102,7 +108,8 @@ type stats = {
   errors : int;  (** I/O failures (real or injected) degraded to uncached computes *)
 }
 
-(** Per-stage counters, sorted by stage name. *)
+(** Per-stage counters, sorted by stage name (merged across the key
+    shards at read time). *)
 val stats : t -> (string * stats) list
 
 (** Counters summed across stages. *)

@@ -61,7 +61,7 @@ let bytes_for ?store ~seed ~name ~spec ~run format =
           | Some nl when (match String.split_on_char ' ' (String.sub payload 0 nl) with
                          | [ a; b ] -> int_of_string_opt a <> None && int_of_string_opt b <> None
                          | _ -> false) ->
-              Artifact_store.record st ~stage:"corpus" ~hit:true;
+              Artifact_store.record st ~stage:"corpus" ~key ~hit:true;
               let header = String.sub payload 0 nl in
               let nodes, edges =
                 match String.split_on_char ' ' header with
@@ -70,11 +70,11 @@ let bytes_for ?store ~seed ~name ~spec ~run format =
               in
               (String.sub payload (nl + 1) (String.length payload - nl - 1), nodes, edges)
           | _ ->
-              Artifact_store.record st ~stage:"corpus" ~hit:false;
+              Artifact_store.record st ~stage:"corpus" ~key ~hit:false;
               let g = Provgen.generate ~run ~seed spec in
               (render format ~name ~run g, Graph.node_count g, Graph.edge_count g))
       | None ->
-          Artifact_store.record st ~stage:"corpus" ~hit:false;
+          Artifact_store.record st ~stage:"corpus" ~key ~hit:false;
           let g = Provgen.generate ~run ~seed spec in
           let bytes = render format ~name ~run g in
           let nodes = Graph.node_count g and edges = Graph.edge_count g in

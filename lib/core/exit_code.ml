@@ -1,0 +1,17 @@
+type t = Ok | Unknown_benchmark | Invalid_config | Quarantined
+
+let to_int = function
+  | Ok -> 0
+  | Unknown_benchmark -> 2
+  | Invalid_config -> 2
+  | Quarantined -> 3
+
+let label = function
+  | Ok -> "ok"
+  | Unknown_benchmark -> "unknown-benchmark"
+  | Invalid_config -> "invalid-config"
+  | Quarantined -> "quarantined"
+
+let of_results results = if List.exists Result.quarantined results then Quarantined else Ok
+
+let exit code = Stdlib.exit (to_int code)

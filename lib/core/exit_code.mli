@@ -1,0 +1,34 @@
+(** Process exit codes as a closed vocabulary.
+
+    The CLI historically scattered bare [exit 2] / [exit 3] literals;
+    the serve daemon needs the same vocabulary as structured error
+    codes on the wire.  Centralizing the variant means the two can
+    never drift: the CLI exits with {!to_int}, the server embeds
+    {!label} (and {!to_int}, so a scripted client can [exit] with the
+    code the batch CLI would have used). *)
+
+type t =
+  | Ok  (** the run completed (degraded results included) *)
+  | Unknown_benchmark  (** syscall name not in {!Bench_registry} *)
+  | Invalid_config
+      (** rejected before any work started: bad [--store], bad output
+          directory, malformed request *)
+  | Quarantined
+      (** the suite completed but at least one benchmark exhausted its
+          retry budget (see {!Result.quarantined}) *)
+
+(** [Ok] → 0, [Unknown_benchmark] → 2, [Invalid_config] → 2,
+    [Quarantined] → 3 — the historical CLI codes. *)
+val to_int : t -> int
+
+(** Stable kebab-case rendering for wire protocols and logs:
+    ["ok"], ["unknown-benchmark"], ["invalid-config"],
+    ["quarantined"]. *)
+val label : t -> string
+
+(** [Quarantined] when any result is quarantined, [Ok] otherwise —
+    the suite-epilogue classification. *)
+val of_results : Result.t list -> t
+
+(** [exit code] is [Stdlib.exit (to_int code)]. *)
+val exit : t -> 'a

@@ -345,7 +345,8 @@ let merge_notes chunks =
         acc notes)
     [] chunks
 
-let run_once ~record ~ctx config prog =
+let run_once ~record ~ctx session prog =
+  let config = Session.config session in
   let store = config.Config.store in
   let deadline_s = config.Config.deadline_s in
   (* Recordings from an injected recorder must not poison the shared

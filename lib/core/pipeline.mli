@@ -55,9 +55,12 @@ val program_digest : Oskernel.Program.t -> string
     of a batch. *)
 val set_pair_pool : Pool.t option -> unit
 
-(** [run_once ~record ~ctx config prog] executes the four stages once
+(** [run_once ~record ~ctx session prog] executes the four stages once
     inside [ctx] (one child span per stage execution, tagged with cache
-    disposition), consulting [config.store] when present and enforcing
-    [config.deadline_s] per stage when set. *)
+    disposition), under the session's config: consulting its [store]
+    when present and enforcing its [deadline_s] per stage when set.
+    The session is the per-run value — everything shared between
+    concurrent runs (ASP memo, canon cache, the store itself) lives
+    behind its own lock, never here. *)
 val run_once :
-  record:recorder -> ctx:Trace_span.ctx -> Config.t -> Oskernel.Program.t -> outcome
+  record:recorder -> ctx:Trace_span.ctx -> Session.t -> Oskernel.Program.t -> outcome

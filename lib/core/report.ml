@@ -185,3 +185,69 @@ let timing_csv results =
            t.Result.generalization_s t.Result.comparison_s))
     results;
   Buffer.contents buf
+
+(* One renderer for the cache/solver statistics block, consumed by the
+   batch CLI's epilogue and the serve daemon's [stats] response alike.
+   Whole block gated on the solve cache having been consulted at all,
+   matching the CLI's historical behaviour. *)
+let stats_lines () =
+  match Asp.Memo.stats () with
+  | [] -> ""
+  | stats ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "ASP solve cache:\n";
+      Buffer.add_string buf
+        (cache_stats_lines
+           (List.map (fun (tag, s) -> (tag, s.Asp.Memo.hits, s.Asp.Memo.misses)) stats));
+      (match Asp.Memo.coalesced () with
+      | 0 -> ()
+      | n -> Buffer.add_string buf (Printf.sprintf "coalesced solves: %d\n" n));
+      Buffer.add_string buf
+        (Printf.sprintf "canon skips: %d\n" (Gmatch.Engine.canon_skip_total ()));
+      let seg_total counts = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+      let skips = seg_total (Gmatch.Engine.segment_skips ())
+      and pairs = seg_total (Gmatch.Engine.segment_pairs ()) in
+      if skips > 0 || pairs > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "segment prepass: %d quotient skips, %d pairs -> %d segment solves, %d fallbacks\n"
+             skips pairs
+             (Gmatch.Engine.segment_solves ())
+             (Gmatch.Engine.segment_fallbacks ()));
+      Buffer.contents buf
+
+let run_output ~result_type (r : Result.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %-10s %s\n" r.Result.syscall
+       (Recorder.tool_name r.Result.tool)
+       (Result.summary r));
+  (match r.Result.status with
+  | Result.Target g ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Transform.to_datalog ~gid:"t" g)
+  | Result.Empty | Result.Failed _ -> ());
+  if String.equal result_type "rg" then begin
+    (match r.Result.bg_general with
+    | Some g ->
+        Buffer.add_string buf "\n% generalized background graph\n";
+        Buffer.add_string buf (Transform.to_datalog ~gid:"bg" g)
+    | None -> ());
+    match r.Result.fg_general with
+    | Some g ->
+        Buffer.add_string buf "\n% generalized foreground graph\n";
+        Buffer.add_string buf (Transform.to_datalog ~gid:"fg" g)
+    | None -> ()
+  end;
+  Buffer.contents buf
+
+let suite_epilogue results =
+  let buf = Buffer.create 256 in
+  if Faults.Injector.active () then
+    Buffer.add_string buf (Printf.sprintf "\n%s\n" (fault_outcome_line results));
+  (match quarantine_lines results with
+  | "" -> ()
+  | lines ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf lines);
+  Buffer.contents buf

@@ -28,6 +28,30 @@ val timing_csv : Result.t list -> string
     [(stage, hits, misses)] — the shape of [Asp.Memo.stats], flattened. *)
 val cache_stats_lines : (string * int * int) list -> string
 
+(** The full cache/solver statistics block — ASP solve-cache table,
+    coalesced-solve count, canon skips, segment-prepass counters —
+    rendered from the live process-wide counters.  Empty when the solve
+    cache was never consulted.  This is the one renderer behind both
+    the batch CLI's suite epilogue and the serve daemon's [stats]
+    response, so the two can never drift. *)
+val stats_lines : unit -> string
+
+(** Exactly what the batch CLI prints to stdout for one finished
+    benchmark run (the [run] subcommand body): the summary line, the
+    target-graph Datalog when a target was found, and — for result type
+    ["rg"] — the generalized background/foreground graph blocks.
+    (Result type ["rh"]'s HTML side effects stay in the CLI.)  The
+    serve daemon answers benchmark requests with this same string,
+    which is what makes daemon responses byte-identical to the batch
+    CLI's output for the same inputs. *)
+val run_output : result_type:string -> Result.t -> string
+
+(** The suite-epilogue stdout block shared by the CLI's exit path and
+    the serve daemon: the fault-outcome line when a fault plan is
+    active, then the quarantine report when anything was quarantined.
+    Empty for a clean run without faults. *)
+val suite_epilogue : Result.t list -> string
+
 (** One line per quarantined benchmark (all attempts failed): syscall,
     stage diagnosis, attempt count.  Empty string when nothing was
     quarantined.  The suite completes despite quarantines; these lines

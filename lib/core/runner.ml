@@ -7,25 +7,32 @@ let timed f =
 
 type recorder = Pipeline.recorder
 
-let root_tags config (prog : Program.t) =
+let root_tags session (prog : Program.t) =
+  let config = Session.config session in
   [
     ("benchmark", prog.Program.name);
     ("syscall", prog.Program.syscall);
     ("tool", Config.tool_name config);
   ]
+  @ Session.span_tags session
 
-let finish config (prog : Program.t) ~trials (outcome : Pipeline.outcome) span =
-  {
-    Result.benchmark = prog.Program.name;
-    syscall = prog.Program.syscall;
-    tool = config.Config.tool;
-    status = outcome.Pipeline.status;
-    span;
-    bg_general = outcome.Pipeline.bg_general;
-    fg_general = outcome.Pipeline.fg_general;
-    trials;
-    degraded = outcome.Pipeline.degraded;
-  }
+let finish session (prog : Program.t) ~trials (outcome : Pipeline.outcome) span =
+  let config = Session.config session in
+  let r =
+    {
+      Result.benchmark = prog.Program.name;
+      syscall = prog.Program.syscall;
+      tool = config.Config.tool;
+      status = outcome.Pipeline.status;
+      span;
+      bg_general = outcome.Pipeline.bg_general;
+      fg_general = outcome.Pipeline.fg_general;
+      trials;
+      degraded = outcome.Pipeline.degraded;
+    }
+  in
+  Session.emit session r;
+  r
 
 (* Flaky recorder runs occasionally leave no usable pair of trials (or a
    truncated pair wins the class selection).  ProvMark's answer is to
@@ -42,7 +49,8 @@ let attempt_config config i =
     seed = config.Config.seed + (r.Config.seed_stride * i);
   }
 
-let one_attempt ~record ~ctx config prog i =
+let one_attempt ~record ~ctx session prog i =
+  let config = Session.config session in
   let config' = attempt_config config i in
   let backoff = config.Config.retry.Config.backoff_s in
   let tags =
@@ -51,7 +59,7 @@ let one_attempt ~record ~ctx config prog i =
   in
   let outcome =
     Trace_span.with_span ctx "attempt" ~tags (fun ctx ->
-        let o = Pipeline.run_once ~record ~ctx config' prog in
+        let o = Pipeline.run_once ~record ~ctx { session with Session.config = config' } prog in
         (match o.Pipeline.status with
         | Result.Failed e -> Trace_span.add_tag ctx "failed" (Result.stage_error_to_string e)
         | Result.Target _ | Result.Empty -> ());
@@ -62,20 +70,20 @@ let one_attempt ~record ~ctx config prog i =
   in
   (outcome, config'.Config.trials)
 
-let run_once_with ~(record : recorder) config (prog : Program.t) =
+let run_once_session ~(record : recorder) session (prog : Program.t) =
   let (outcome, trials), span =
-    Trace_span.collect "run" ~tags:(root_tags config prog) (fun ctx ->
-        one_attempt ~record ~ctx config prog 0)
+    Trace_span.collect "run" ~tags:(root_tags session prog) (fun ctx ->
+        one_attempt ~record ~ctx session prog 0)
   in
-  finish config prog ~trials outcome span
+  finish session prog ~trials outcome span
 
-let run_with ~record config prog =
-  let retry = config.Config.retry in
+let run_session_with ~record session prog =
+  let retry = (Session.config session).Config.retry in
   let max_attempts = max 1 retry.Config.attempts in
   let (outcome, trials), span =
-    Trace_span.collect "run" ~tags:(root_tags config prog) (fun ctx ->
+    Trace_span.collect "run" ~tags:(root_tags session prog) (fun ctx ->
         let rec attempt i =
-          let outcome, trials = one_attempt ~record ~ctx config prog i in
+          let outcome, trials = one_attempt ~record ~ctx session prog i in
           match outcome.Pipeline.status with
           | Result.Failed _ when i + 1 < max_attempts ->
               if retry.Config.backoff_s > 0. then Unix.sleepf retry.Config.backoff_s;
@@ -84,12 +92,18 @@ let run_with ~record config prog =
         in
         attempt 0)
   in
-  finish config prog ~trials outcome span
+  finish session prog ~trials outcome span
 
+let run_session session prog = run_session_with ~record:Recording.record_all session prog
+
+let run_once_with ~record config prog = run_once_session ~record (Session.of_config config) prog
+let run_with ~record config prog = run_session_with ~record (Session.of_config config) prog
 let run_once config prog = run_once_with ~record:Recording.record_all config prog
 let run config prog = run_with ~record:Recording.record_all config prog
 
-let run_syscall config name =
+let run_syscall_session session name =
   match Bench_registry.find name with
-  | Some prog -> Ok (run config prog)
+  | Some prog -> Ok (run_session session prog)
   | None -> Error (Bench_registry.names ())
+
+let run_syscall config name = run_syscall_session (Session.of_config config) name

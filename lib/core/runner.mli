@@ -20,6 +20,31 @@ val timed : (unit -> 'a) -> 'a * float
     {!Pipeline.recorder}.) *)
 type recorder = Pipeline.recorder
 
+(** {2 Session entry points}
+
+    The primitive runners: a {!Session.t} carries the config, the
+    client identity (tagged onto the run's root span) and the result
+    sink.  The [Config.t] entry points below are these over
+    {!Session.of_config}. *)
+
+(** [run_session session program] is {!run} under [session]: the root
+    span carries the session's client tag and the completed result is
+    pushed through the session's sink before being returned. *)
+val run_session : Session.t -> Oskernel.Program.t -> Result.t
+
+(** {!run_session} with the recording stage replaced. *)
+val run_session_with : record:recorder -> Session.t -> Oskernel.Program.t -> Result.t
+
+(** One attempt, no retries, under a session. *)
+val run_once_session : record:recorder -> Session.t -> Oskernel.Program.t -> Result.t
+
+(** {!run_syscall} under a session. *)
+val run_syscall_session : Session.t -> string -> (Result.t, string list) result
+
+(** {2 Config entry points}
+
+    Single-session wrappers, kept for the batch CLI and tests. *)
+
 (** [run_once config program] executes the four stages exactly once. *)
 val run_once : Config.t -> Oskernel.Program.t -> Result.t
 

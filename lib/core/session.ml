@@ -1,0 +1,13 @@
+type sink = Result.t -> unit
+
+type t = { config : Config.t; client : string option; sink : sink option }
+
+let create ?client ?sink config = { config; client; sink }
+
+let of_config config = { config; client = None; sink = None }
+
+let config t = t.config
+
+let span_tags t = match t.client with None -> [] | Some c -> [ ("client", c) ]
+
+let emit t r = match t.sink with None -> () | Some f -> f r

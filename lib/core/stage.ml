@@ -88,7 +88,7 @@ let execute ?store ?deadline_s ~ctx ~fingerprint ~inputs stage input =
                 | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
                 | exception _ -> None)
           in
-          Artifact_store.record s ~stage:stage.name
+          Artifact_store.record s ~stage:stage.name ~key
             ~hit:(match cached with Some _ -> true | None -> false);
           match cached with
           | Some r ->

@@ -1,0 +1,65 @@
+module Json = Minijson.Json
+
+type t = { fd : Unix.file_descr; mutable rbuf : string }
+
+let connect endpoint =
+  let domain =
+    match endpoint with Protocol.Unix_socket _ -> Unix.PF_UNIX | Protocol.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Protocol.sockaddr endpoint)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; rbuf = "" }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection endpoint f =
+  let t = connect endpoint in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let write_all fd s =
+  let data = Bytes.of_string s in
+  let len = Bytes.length data in
+  let rec go off = if off < len then go (off + Unix.write fd data off (len - off)) in
+  go 0
+
+(* Responses arrive one per line; requests may be pipelined, so bytes
+   past the first newline are kept for the next [read_line]. *)
+let read_line t =
+  let rec go () =
+    match String.index_opt t.rbuf '\n' with
+    | Some nl ->
+        let line = String.sub t.rbuf 0 nl in
+        t.rbuf <- String.sub t.rbuf (nl + 1) (String.length t.rbuf - nl - 1);
+        Ok line
+    | None -> (
+        let buf = Bytes.create 65536 in
+        match Unix.read t.fd buf 0 (Bytes.length buf) with
+        | 0 -> Error "connection closed before a response arrived"
+        | n ->
+            t.rbuf <- t.rbuf ^ Bytes.sub_string buf 0 n;
+            go ())
+  in
+  go ()
+
+let call t request =
+  write_all t.fd (Protocol.response_line (Protocol.request_to_json request));
+  match read_line t with
+  | Error _ as e -> e
+  | Ok line -> (
+      match Json.of_string line with
+      | json -> Ok json
+      | exception Json.Parse_error msg -> Error (Printf.sprintf "malformed response: %s" msg))
+
+let response_status json =
+  match Json.member "status" json with Json.String s -> s | _ -> "?"
+
+let response_output json =
+  match Json.member "output" json with Json.String s -> s | _ -> ""
+
+let response_exit json =
+  match Json.member "exit" json with
+  | Json.Number f when Float.is_integer f -> int_of_float f
+  | _ -> 1

@@ -1,0 +1,27 @@
+(** Minimal blocking client for the serve daemon's wire protocol —
+    the engine behind [provmark request], the serve-load bench driver
+    and the service tests. *)
+
+type t
+
+(** Connect to a running daemon.  Raises [Unix.Unix_error] when nothing
+    listens on the endpoint. *)
+val connect : Protocol.endpoint -> t
+
+(** [call t request] sends one request line and blocks for its response
+    line.  [Error] carries a transport-level failure (connection closed
+    before a response, or a response that is not valid JSON) — protocol
+    errors come back as [Ok] objects with ["status": "error"]. *)
+val call : t -> Protocol.request -> (Minijson.Json.t, string) result
+
+val close : t -> unit
+
+(** [with_connection endpoint f] connects, runs [f], and closes even
+    when [f] raises. *)
+val with_connection : Protocol.endpoint -> (t -> 'a) -> 'a
+
+(** {2 Response accessors} *)
+
+val response_status : Minijson.Json.t -> string
+val response_output : Minijson.Json.t -> string
+val response_exit : Minijson.Json.t -> int

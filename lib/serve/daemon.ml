@@ -1,0 +1,383 @@
+module Json = Minijson.Json
+module Exit_code = Provmark.Exit_code
+module Session = Provmark.Session
+module Pool = Provmark.Pool
+
+type config = {
+  endpoint : Protocol.endpoint;
+  jobs : int;
+  queue_bound : int;
+  store : Provmark.Artifact_store.t option;
+  trace : string option;
+}
+
+let default_queue_bound = 64
+
+(* Per-connection state, owned by the event-loop domain.  [wbuf] holds
+   response bytes not yet accepted by the socket; [alive] lets a worker
+   completion for a since-closed connection be dropped instead of
+   written to a stale fd. *)
+type conn = {
+  fd : Unix.file_descr;
+  client : string;
+  rbuf : Buffer.t;
+  mutable wbuf : string;
+  mutable alive : bool;
+}
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  listen_fd : Unix.file_descr;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  (* Completion queue: workers post under [done_mutex] and write one
+     byte to [pipe_w]; the loop drains both.  Everything else below is
+     touched only by the loop domain and needs no lock. *)
+  done_mutex : Mutex.t;
+  done_q : (conn * string) Queue.t;
+  mutable conns : conn list;
+  mutable in_flight : int;
+  mutable served : int;
+  mutable rejected : int;
+  mutable shutting_down : bool;
+  (* Completed results, appended by workers, for the shutdown trace. *)
+  results_mutex : Mutex.t;
+  mutable results : Provmark.Result.t list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (worker domains)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let benchmark_config t (b : Protocol.benchmark) =
+  let base = Provmark.Config.default b.tool in
+  {
+    base with
+    Provmark.Config.trials = Option.value b.trials ~default:base.Provmark.Config.trials;
+    backend = b.backend;
+    seed = b.seed;
+    store = t.cfg.store;
+  }
+
+let exec_benchmark t ~client (b : Protocol.benchmark) =
+  let sink r =
+    Mutex.lock t.results_mutex;
+    t.results <- r :: t.results;
+    Mutex.unlock t.results_mutex
+  in
+  let session = Session.create ~client ~sink (benchmark_config t b) in
+  match Provmark.Runner.run_syscall_session session b.syscall with
+  | Error known ->
+      Error
+        ( Protocol.Unknown_benchmark,
+          Printf.sprintf "unknown syscall benchmark %S (known benchmarks: %s)" b.syscall
+            (String.concat " " known) )
+  | Ok r ->
+      let output =
+        Provmark.Report.run_output ~result_type:b.result_type r
+        ^ Provmark.Report.suite_epilogue [ r ]
+      in
+      Ok (output, Exit_code.to_int (Exit_code.of_results [ r ]))
+
+let exec_match (m : Protocol.match_req) =
+  match Provmark.Match_op.parse_graph m.format m.a with
+  | Error e -> Error (Protocol.Bad_request, "graph a: " ^ e)
+  | Ok ga -> (
+      match Provmark.Match_op.parse_graph m.format m.b with
+      | Error e -> Error (Protocol.Bad_request, "graph b: " ^ e)
+      | Ok gb ->
+          Ok (Provmark.Match_op.run ?backend:m.m_backend m.kind ga gb, Exit_code.to_int Exit_code.Ok))
+
+(* Runs on a worker domain: compute, render, post the finished line to
+   the loop.  Every exception becomes an [internal] error response —
+   a bad request must never take a worker (or the daemon) down. *)
+let exec_compute t conn id op =
+  let response =
+    match
+      match op with
+      | Protocol.Benchmark b -> exec_benchmark t ~client:conn.client b
+      | Protocol.Match m -> exec_match m
+      | Protocol.Stats | Protocol.Ping | Protocol.Shutdown -> assert false
+    with
+    | Ok (output, exit) -> Protocol.ok_response ~id ~exit ~output ()
+    | Error (kind, message) -> Protocol.error_response ~id kind ~message
+    | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+    | exception e ->
+        Protocol.error_response ~id Protocol.Internal ~message:(Printexc.to_string e)
+  in
+  Mutex.lock t.done_mutex;
+  Queue.add (conn, Protocol.response_line response) t.done_q;
+  Mutex.unlock t.done_mutex;
+  (* Wake the loop; the queue is drained in full per wakeup, so a short
+     write when the pipe is momentarily full would still be safe. *)
+  ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
+
+(* ------------------------------------------------------------------ *)
+(* Inline requests (event-loop domain)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let memo_totals () =
+  List.fold_left
+    (fun (h, m) (_, s) -> (h + s.Asp.Memo.hits, m + s.Asp.Memo.misses))
+    (0, 0) (Asp.Memo.stats ())
+
+let stats_response t ~id =
+  let num n = Json.Number (float_of_int n) in
+  let memo_hits, memo_misses = memo_totals () in
+  let seg_total counts = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+  let store_fields =
+    match t.cfg.store with
+    | None -> []
+    | Some store ->
+        let s = Provmark.Artifact_store.totals store in
+        [ ( "store",
+            Json.Object
+              [ ("hits", num s.Provmark.Artifact_store.hits);
+                ("misses", num s.Provmark.Artifact_store.misses) ] ) ]
+  in
+  let extra =
+    [ ("queue_depth", num t.in_flight);
+      ("queue_bound", num t.cfg.queue_bound);
+      ("served", num t.served);
+      ("rejected", num t.rejected);
+      ("jobs", num (Pool.size t.pool));
+      ( "memo",
+        Json.Object
+          [ ("hits", num memo_hits);
+            ("misses", num memo_misses);
+            ("coalesced", num (Asp.Memo.coalesced ())) ] );
+      ("canon_skips", num (Gmatch.Engine.canon_skip_total ()));
+      ( "segment",
+        Json.Object
+          [ ("quotient_skips", num (seg_total (Gmatch.Engine.segment_skips ())));
+            ("pairs", num (seg_total (Gmatch.Engine.segment_pairs ())));
+            ("solves", num (Gmatch.Engine.segment_solves ()));
+            ("fallbacks", num (Gmatch.Engine.segment_fallbacks ())) ] ) ]
+    @ store_fields
+  in
+  (* [output] is the human-readable block the batch CLI prints, from
+     the same renderer, so `provmark request stats` can show it as-is. *)
+  Protocol.ok_response ~extra ~id ~exit:0 ~output:(Provmark.Report.stats_lines ()) ()
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let send conn line = if conn.alive then conn.wbuf <- conn.wbuf ^ line
+
+let respond conn json = send conn (Protocol.response_line json)
+
+let handle_request t conn line =
+  match Protocol.request_of_line line with
+  | Error message -> respond conn (Protocol.error_response ~id:None Protocol.Bad_request ~message)
+  | Ok { id; op } -> (
+      match op with
+      | Protocol.Ping -> respond conn (Protocol.ok_response ~id ~exit:0 ~output:"pong" ())
+      | Protocol.Stats -> respond conn (stats_response t ~id)
+      | Protocol.Shutdown ->
+          t.shutting_down <- true;
+          respond conn (Protocol.ok_response ~id ~exit:0 ~output:"shutting down" ())
+      | Protocol.Benchmark _ | Protocol.Match _ ->
+          if t.shutting_down then
+            respond conn
+              (Protocol.error_response ~id Protocol.Shutting_down
+                 ~message:"daemon is shutting down")
+          else if t.in_flight >= t.cfg.queue_bound then begin
+            t.rejected <- t.rejected + 1;
+            respond conn
+              (Protocol.error_response ~id Protocol.Queue_full
+                 ~message:
+                   (Printf.sprintf "request queue is full (%d in flight)" t.in_flight))
+          end
+          else begin
+            t.in_flight <- t.in_flight + 1;
+            t.served <- t.served + 1;
+            ignore (Pool.async t.pool (fun () -> exec_compute t conn id op))
+          end)
+
+(* Split complete lines off the connection's read buffer and handle
+   each; a trailing partial line stays buffered. *)
+let consume_lines t conn =
+  let data = Buffer.contents conn.rbuf in
+  let rec go start =
+    match String.index_from_opt data start '\n' with
+    | None ->
+        Buffer.clear conn.rbuf;
+        Buffer.add_substring conn.rbuf data start (String.length data - start)
+    | Some nl ->
+        let line = String.sub data start (nl - start) in
+        if String.trim line <> "" then handle_request t conn line;
+        go (nl + 1)
+  in
+  go 0
+
+let close_conn t conn =
+  conn.alive <- false;
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let read_chunk t conn =
+  let buf = Bytes.create 65536 in
+  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  | 0 -> close_conn t conn
+  | n ->
+      Buffer.add_subbytes conn.rbuf buf 0 n;
+      consume_lines t conn
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn t conn
+  | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
+
+let write_chunk t conn =
+  let data = Bytes.of_string conn.wbuf in
+  match Unix.write conn.fd data 0 (Bytes.length data) with
+  | n -> conn.wbuf <- String.sub conn.wbuf n (String.length conn.wbuf - n)
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn t conn
+  | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
+
+let drain_completions t =
+  (* Clear the wakeup byte(s) first, then the queue: a worker that
+     posts between the two steps leaves its byte for the next select. *)
+  let buf = Bytes.create 256 in
+  (try ignore (Unix.read t.pipe_r buf 0 (Bytes.length buf))
+   with Unix.Unix_error (Unix.EAGAIN, _, _) -> ());
+  let pending = ref [] in
+  Mutex.lock t.done_mutex;
+  Queue.iter (fun entry -> pending := entry :: !pending) t.done_q;
+  Queue.clear t.done_q;
+  Mutex.unlock t.done_mutex;
+  List.iter
+    (fun (conn, line) ->
+      t.in_flight <- t.in_flight - 1;
+      send conn line)
+    (List.rev !pending)
+
+let accept_conn t counter =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      incr counter;
+      t.conns <-
+        { fd; client = Printf.sprintf "c%d" !counter; rbuf = Buffer.create 256; wbuf = "";
+          alive = true }
+        :: t.conns
+  | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
+
+let select_retry reads writes =
+  match Unix.select reads writes [] (-1.0) with
+  | r -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+
+let loop t =
+  let counter = ref 0 in
+  let finished () =
+    t.shutting_down && t.in_flight = 0
+    && List.for_all (fun c -> c.wbuf = "") t.conns
+  in
+  while not (finished ()) do
+    let reads =
+      (if t.shutting_down then [] else [ t.listen_fd ])
+      @ [ t.pipe_r ]
+      @ List.map (fun c -> c.fd) t.conns
+    in
+    let writes = List.filter_map (fun c -> if c.wbuf = "" then None else Some c.fd) t.conns in
+    let readable, writable, _ = select_retry reads writes in
+    if List.mem t.pipe_r readable then drain_completions t;
+    if (not t.shutting_down) && List.mem t.listen_fd readable then accept_conn t counter;
+    List.iter
+      (fun conn -> if conn.alive && List.mem conn.fd readable then read_chunk t conn)
+      t.conns;
+    List.iter
+      (fun conn -> if conn.alive && conn.wbuf <> "" && List.mem conn.fd writable then write_chunk t conn)
+      t.conns
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let write_trace t =
+  match t.cfg.trace with
+  | None -> ()
+  | Some file ->
+      Mutex.lock t.results_mutex;
+      let results = List.rev t.results in
+      Mutex.unlock t.results_mutex;
+      let json =
+        Json.Array (List.map (fun r -> Provmark.Trace_span.to_json r.Provmark.Result.span) results)
+      in
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc (Json.to_string ~pretty:true json);
+          Out_channel.output_char oc '\n')
+
+(* Help-queue executor for segment solves, same shape as the batch
+   runner's: the submitter runs the first piece and steals the rest. *)
+let segment_runner pool thunks =
+  match thunks with
+  | [] -> ()
+  | first :: rest ->
+      let promises = List.map (fun th -> Pool.async ~help:true pool th) rest in
+      first ();
+      List.iter (fun p -> Pool.await_or_help pool p) promises
+
+let run ?(on_ready = fun () -> ()) cfg =
+  let previous_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
+  in
+  let listen_fd =
+    match cfg.endpoint with
+    | Protocol.Unix_socket path ->
+        (if Sys.file_exists path then try Unix.unlink path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Protocol.sockaddr cfg.endpoint);
+        fd
+    | Protocol.Tcp _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Protocol.sockaddr cfg.endpoint);
+        fd
+  in
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  let pool = Pool.create ~size:(max 1 cfg.jobs) in
+  Provmark.Pipeline.set_pair_pool (Some pool);
+  Gmatch.Engine.set_segment_runner (Some (segment_runner pool));
+  let t =
+    {
+      cfg;
+      pool;
+      listen_fd;
+      pipe_r;
+      pipe_w;
+      done_mutex = Mutex.create ();
+      done_q = Queue.create ();
+      conns = [];
+      in_flight = 0;
+      served = 0;
+      rejected = 0;
+      shutting_down = false;
+      results_mutex = Mutex.create ();
+      results = [];
+    }
+  in
+  on_ready ();
+  Fun.protect
+    ~finally:(fun () ->
+      Provmark.Pipeline.set_pair_pool None;
+      Gmatch.Engine.set_segment_runner None;
+      Pool.shutdown pool;
+      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ listen_fd; pipe_r; pipe_w ];
+      (match cfg.endpoint with
+      | Protocol.Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Protocol.Tcp _ -> ());
+      (match previous_sigpipe with
+      | Some behavior -> ignore (Sys.signal Sys.sigpipe behavior)
+      | None -> ()))
+    (fun () ->
+      loop t;
+      write_trace t;
+      t.served)

@@ -1,0 +1,58 @@
+(** The [provmark serve] daemon: a warm, concurrent benchmark service.
+
+    One daemon process holds the expensive state the batch CLI rebuilds
+    on every invocation — the ASP solve memo, the canonical-form cache,
+    the artifact store and a pool of worker domains — and answers
+    benchmark/match requests from many concurrent clients over the
+    line-delimited JSON protocol of {!Protocol}.
+
+    {b Concurrency model.}  A single event-loop domain owns every
+    socket: it accepts connections, reads request lines, performs
+    admission control and writes response lines.  Compute requests are
+    dispatched to the worker pool; a finished job posts its rendered
+    response to a completion queue and wakes the loop through a
+    self-pipe, so responses are written only by the loop domain and
+    per-connection output never interleaves.  [stats], [ping] and
+    [shutdown] are answered inline.
+
+    {b Admission control.}  At most [queue_bound] compute requests are
+    in flight at once; a request over the bound is rejected immediately
+    with a structured [queue-full] (429) error rather than queued
+    without limit.  [queue_bound = 0] rejects every compute request —
+    useful for testing the rejection path deterministically.
+
+    {b Warm-state guarantees.}  Workers share the process-wide solve
+    memo (with single-flight coalescing: concurrent requests reducing
+    to the same rename-invariant key collapse to one solve), the canon
+    cache and the sharded artifact store, so a repeated — or renamed —
+    request is answered from cache without re-solving.  Responses stay
+    byte-identical to the batch CLI's stdout for the same inputs at any
+    pool size and any client interleaving, because both front ends
+    render through the same {!Provmark.Report} / {!Provmark.Match_op}
+    functions and every benchmark's transient values derive only from
+    its request seed.
+
+    Each connection gets a client id ([c1], [c2], …) carried into the
+    per-run {!Provmark.Session}, so every run's root trace span is
+    tagged with the client that asked for it. *)
+
+type config = {
+  endpoint : Protocol.endpoint;
+  jobs : int;  (** worker-pool size (at least 1) *)
+  queue_bound : int;  (** max in-flight compute requests *)
+  store : Provmark.Artifact_store.t option;
+      (** shared artifact store handed to every benchmark config *)
+  trace : string option;
+      (** write the span tree of every completed run here on shutdown *)
+}
+
+val default_queue_bound : int
+
+(** [run config] listens on [config.endpoint] and serves until a
+    [shutdown] request arrives, then drains in-flight work, flushes
+    responses, closes every socket (unlinking a Unix socket path) and
+    returns the number of compute requests served.  [on_ready] fires
+    once the listening socket is bound — tests use it to know when to
+    connect.  SIGPIPE is ignored for the duration (a client hanging up
+    mid-response must not kill the daemon). *)
+val run : ?on_ready:(unit -> unit) -> config -> int

@@ -1,0 +1,305 @@
+(* The serve daemon and its warm-state guarantees.
+
+   The load-bearing properties: many concurrent clients get responses
+   byte-identical to the batch CLI's output for the same inputs; a warm
+   daemon answers repeated or renamed match requests from the solve
+   memo / canon cache without re-solving; concurrent same-key solves
+   coalesce into a single in-flight compute; and admission control
+   rejects over-bound requests with a structured queue-full error
+   instead of queueing without limit. *)
+
+open Pgraph
+module Protocol = Serve.Protocol
+module Daemon = Serve.Daemon
+module Client = Serve.Client
+module Json = Minijson.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "provmark_serve_%d_%d.sock" (Unix.getpid ()) !sock_counter)
+
+let shutdown_req = { Protocol.id = None; op = Protocol.Shutdown }
+
+(* Start a daemon on a fresh Unix socket, wait until it listens, run
+   [f], then shut it down (if [f] did not already) and join the loop
+   domain so global engine state is restored before the next test. *)
+let with_daemon ?(jobs = 4) ?(queue_bound = Daemon.default_queue_bound) f =
+  let endpoint = Protocol.Unix_socket (fresh_sock ()) in
+  let ready_mutex = Mutex.create () in
+  let ready_cond = Condition.create () in
+  let ready = ref false in
+  let on_ready () =
+    Mutex.lock ready_mutex;
+    ready := true;
+    Condition.signal ready_cond;
+    Mutex.unlock ready_mutex
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Daemon.run ~on_ready
+          { Daemon.endpoint; jobs; queue_bound; store = None; trace = None })
+  in
+  Mutex.lock ready_mutex;
+  while not !ready do
+    Condition.wait ready_cond ready_mutex
+  done;
+  Mutex.unlock ready_mutex;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Client.with_connection endpoint (fun c -> ignore (Client.call c shutdown_req))
+       with Unix.Unix_error _ -> ());
+      ignore (Domain.join daemon))
+    (fun () -> f endpoint)
+
+let call_ok endpoint req =
+  Client.with_connection endpoint (fun c ->
+      match Client.call c req with
+      | Ok response -> response
+      | Error msg -> Alcotest.failf "transport error: %s" msg)
+
+let int_member path json =
+  let v = List.fold_left (fun j name -> Json.member name j) json path in
+  match v with
+  | Json.Number f -> int_of_float f
+  | _ -> Alcotest.failf "missing numeric member %s" (String.concat "." path)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent clients, byte-identical responses                        *)
+(* ------------------------------------------------------------------ *)
+
+let bench_request ?id syscall =
+  {
+    Protocol.id;
+    op =
+      Protocol.Benchmark
+        {
+          tool = Recorders.Recorder.Spade;
+          syscall;
+          trials = None;
+          seed = 1;
+          backend = Gmatch.Engine.default_backend;
+          result_type = "rb";
+        };
+  }
+
+(* What the batch CLI prints for `run spg <syscall> --seed 1 --no-store`:
+   the daemon embeds its responses through the same renderers, so this
+   is the byte-exact expectation. *)
+let expected_bench syscall =
+  let config =
+    {
+      (Provmark.Config.default Recorders.Recorder.Spade) with
+      Provmark.Config.seed = 1;
+      backend = Gmatch.Engine.default_backend;
+    }
+  in
+  match Provmark.Runner.run_syscall config syscall with
+  | Error _ -> Alcotest.failf "unknown benchmark %s" syscall
+  | Ok r ->
+      Provmark.Report.run_output ~result_type:"rb" r ^ Provmark.Report.suite_epilogue [ r ]
+
+let test_concurrent_clients_byte_identical () =
+  let syscalls =
+    match Provmark.Bench_registry.names () with
+    | a :: b :: c :: d :: e :: f :: g :: h :: _ -> [ a; b; c; d; e; f; g; h ]
+    | names -> names
+  in
+  check_int "eight concurrent clients" 8 (List.length syscalls);
+  let responses =
+    with_daemon ~jobs:4 (fun endpoint ->
+        (* One client domain per request, all in flight at once. *)
+        let clients =
+          List.map
+            (fun syscall ->
+              Domain.spawn (fun () -> call_ok endpoint (bench_request ~id:syscall syscall)))
+            syscalls
+        in
+        List.map Domain.join clients)
+  in
+  (* Expected outputs computed after the daemon shut down, on the plain
+     sequential path. *)
+  List.iter2
+    (fun syscall response ->
+      check_string "status" "ok" (Client.response_status response);
+      (match Json.member "id" response with
+      | Json.String id -> check_string "id echo" syscall id
+      | _ -> Alcotest.fail "missing id");
+      check_string
+        (Printf.sprintf "output for %s" syscall)
+        (expected_bench syscall)
+        (Client.response_output response))
+    syscalls responses
+
+(* ------------------------------------------------------------------ *)
+(* Warm daemon: repeated and renamed match requests don't re-solve     *)
+(* ------------------------------------------------------------------ *)
+
+let props = Props.of_list
+
+let base_graph () =
+  let g =
+    Graph.add_node Graph.empty ~id:"p1" ~label:"Process" ~props:(props [ ("pid", "100") ])
+  in
+  let g = Graph.add_node g ~id:"f1" ~label:"Artifact" ~props:(props [ ("path", "/tmp/x") ]) in
+  let g = Graph.add_node g ~id:"f2" ~label:"Artifact" ~props:(props [ ("path", "/tmp/y") ]) in
+  let g = Graph.add_edge g ~id:"u1" ~src:"p1" ~tgt:"f1" ~label:"Used" ~props:(props [ ("t", "1") ]) in
+  Graph.add_edge g ~id:"u2" ~src:"p1" ~tgt:"f2" ~label:"Used" ~props:(props [ ("t", "2") ])
+
+let dot_of g = Recorders.Dot.to_string (Recorders.Dot.of_pgraph ~name:"g" g)
+
+(* A pair that must actually be solved: same shape, one transient
+   property differs, so the canonical-digest bypass cannot answer it
+   and the ASP backend grounds a task and consults the memo. *)
+let solve_pair prefix =
+  let a = Helpers.rename_with_prefix prefix (base_graph ()) in
+  let b =
+    Graph.set_edge_props
+      (Helpers.rename_with_prefix (prefix ^ "r") (base_graph ()))
+      (prefix ^ "ru1")
+      (props [ ("t", "9") ])
+  in
+  (dot_of a, dot_of b)
+
+let match_request (a, b) =
+  {
+    Protocol.id = None;
+    op =
+      Protocol.Match
+        {
+          kind = Provmark.Match_op.Generalize;
+          format = Provmark.Match_op.Dot;
+          a;
+          b;
+          m_backend = Some Gmatch.Engine.Asp;
+        };
+  }
+
+let test_warm_renamed_match_no_resolve () =
+  Asp.Memo.clear ();
+  Asp.Memo.reset_stats ();
+  with_daemon ~jobs:4 (fun endpoint ->
+      let stats () = call_ok endpoint { Protocol.id = None; op = Protocol.Stats } in
+      let first = call_ok endpoint (match_request (solve_pair "a")) in
+      check_string "first status" "ok" (Client.response_status first);
+      let cold = stats () in
+      let cold_misses = int_member [ "memo"; "misses" ] cold in
+      check_bool "first request solved" true (cold_misses > 0);
+      (* Repeated request: same pair, answered from the memo. *)
+      let repeat = call_ok endpoint (match_request (solve_pair "a")) in
+      check_string "repeat output" (Client.response_output first)
+        (Client.response_output repeat);
+      (* Renamed variant: fresh identifiers, same rename-invariant
+         keys — still no new solve. *)
+      let renamed = call_ok endpoint (match_request (solve_pair "zz")) in
+      check_string "renamed status" "ok" (Client.response_status renamed);
+      let warm = stats () in
+      check_int "no re-solve" cold_misses (int_member [ "memo"; "misses" ] warm);
+      check_bool "served from cache" true
+        (int_member [ "memo"; "hits" ] warm + int_member [ "memo"; "coalesced" ] warm > 0);
+      (* K concurrent renamed variants: worst case they coalesce on the
+         in-flight solve, best case they hit the table — either way the
+         miss count must not move. *)
+      let k = 6 in
+      let clients =
+        List.init k (fun i ->
+            Domain.spawn (fun () ->
+                call_ok endpoint (match_request (solve_pair (Printf.sprintf "c%d_" i)))))
+      in
+      let responses = List.map Domain.join clients in
+      List.iter
+        (fun r -> check_string "concurrent status" "ok" (Client.response_status r))
+        responses;
+      let final = stats () in
+      check_int "concurrent renamed requests never re-solve" cold_misses
+        (int_member [ "memo"; "misses" ] final))
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_full_rejection () =
+  (* queue_bound = 0 rejects every compute request deterministically. *)
+  with_daemon ~jobs:1 ~queue_bound:0 (fun endpoint ->
+      let response = call_ok endpoint (bench_request "open") in
+      check_string "status" "error" (Client.response_status response);
+      check_string "label" "queue-full"
+        (match Json.member "error" response with Json.String s -> s | _ -> "?");
+      check_int "code" 429 (int_member [ "code" ] response);
+      (* Control-plane requests are not subject to admission control. *)
+      let ping = call_ok endpoint { Protocol.id = None; op = Protocol.Ping } in
+      check_string "ping still ok" "ok" (Client.response_status ping);
+      let rejected = int_member [ "rejected" ] (call_ok endpoint { Protocol.id = None; op = Protocol.Stats }) in
+      check_int "rejection counted" 1 rejected)
+
+let test_malformed_request () =
+  with_daemon ~jobs:1 (fun endpoint ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Protocol.sockaddr endpoint);
+          let line = "this is not json\n" in
+          ignore (Unix.write_substring fd line 0 (String.length line));
+          let buf = Bytes.create 4096 in
+          let n = Unix.read fd buf 0 (Bytes.length buf) in
+          let response = Json.of_string (Bytes.sub_string buf 0 n) in
+          check_string "status" "error" (Client.response_status response);
+          check_int "code" 400 (int_member [ "code" ] response)))
+
+(* ------------------------------------------------------------------ *)
+(* Solve coalescing (single-flight memo)                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_memo_coalescing () =
+  Asp.Memo.clear ();
+  Asp.Memo.reset_stats ();
+  let k = 6 in
+  let computes = Atomic.make 0 in
+  (* The leader's compute blocks until every other caller has joined
+     the in-flight solve, so the test is deterministic: either all
+     K - 1 join (and the assertion below holds) or the test hangs —
+     there is no lucky-timing pass. *)
+  let compute () =
+    Atomic.incr computes;
+    while Asp.Memo.coalesced () < k - 1 do
+      Domain.cpu_relax ()
+    done;
+    Asp.Solver.Unsat
+  in
+  let callers =
+    List.init k (fun _ ->
+        Domain.spawn (fun () ->
+            Asp.Memo.find_or_compute ~tag:"coalesce-test" ~key:"one-shared-key" compute))
+  in
+  let outcomes = List.map Domain.join callers in
+  check_int "exactly one compute" 1 (Atomic.get computes);
+  check_int "everyone else coalesced" (k - 1) (Asp.Memo.coalesced ());
+  List.iter
+    (fun outcome -> check_bool "same outcome" true (outcome = Asp.Solver.Unsat))
+    outcomes;
+  Asp.Memo.clear ();
+  Asp.Memo.reset_stats ()
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "daemon",
+        [
+          Alcotest.test_case "concurrent clients byte-identical" `Slow
+            test_concurrent_clients_byte_identical;
+          Alcotest.test_case "warm renamed match no re-solve" `Slow
+            test_warm_renamed_match_no_resolve;
+          Alcotest.test_case "queue-full rejection" `Quick test_queue_full_rejection;
+          Alcotest.test_case "malformed request" `Quick test_malformed_request;
+        ] );
+      ( "coalescing",
+        [ Alcotest.test_case "K concurrent solves, one compute" `Quick test_memo_coalescing ] );
+    ]

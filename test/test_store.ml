@@ -90,10 +90,12 @@ let test_store_keys () =
 
 let test_store_stats () =
   with_store (fun store ->
-      Store.record store ~stage:"a" ~hit:true;
-      Store.record store ~stage:"a" ~hit:false;
-      Store.record store ~stage:"a" ~hit:true;
-      Store.record store ~stage:"b" ~hit:false;
+      (* Keys spread over distinct shards; the stats must still merge
+         into one per-stage view. *)
+      Store.record store ~stage:"a" ~key:"0aaa" ~hit:true;
+      Store.record store ~stage:"a" ~key:"fbbb" ~hit:false;
+      Store.record store ~stage:"a" ~key:"7ccc" ~hit:true;
+      Store.record store ~stage:"b" ~key:"0ddd" ~hit:false;
       Store.write store ~stage:"b" ~key:"k" "v";
       let totals = Store.totals store in
       check_int "hits" 2 totals.Store.hits;
@@ -104,6 +106,43 @@ let test_store_stats () =
       | Some rate -> check_bool "rate is 1/2" true (abs_float (rate -. 0.5) < 1e-9));
       Store.reset_stats store;
       check_bool "reset clears counters" true (Store.hit_rate (Store.totals store) = None))
+
+(* Shard-lock stress: N domains write, record and read back entries
+   whose keys deliberately overlap in shard prefix (the first hex digit
+   selects the counter shard), so every shard's mutex and counter table
+   sees genuinely concurrent use.  Every read-back must come out
+   checksum-clean with its own payload — the atomic-rename write
+   discipline means a reader never observes a torn entry — and the
+   merged counters must equal the exact totals recorded. *)
+let test_concurrent_shard_writers () =
+  with_store (fun store ->
+      let writers = 8 and per_writer = 48 in
+      (* Same i → same first hex digit for every writer: all 8 domains
+         hammer the same shard at roughly the same time, cycling
+         through all 16 shards. *)
+      let key w i = Printf.sprintf "%x%03d_w%d" (i mod 16) i w in
+      let payload w i = Printf.sprintf "payload-%d-%d-%s" w i (String.make (i mod 61) 'x') in
+      let worker w () =
+        for i = 0 to per_writer - 1 do
+          let k = key w i in
+          Store.write store ~stage:"stress" ~key:k (payload w i);
+          Store.record store ~stage:"stress" ~key:k ~hit:(i mod 2 = 0)
+        done
+      in
+      let domains = List.init writers (fun w -> Domain.spawn (worker w)) in
+      List.iter Domain.join domains;
+      for w = 0 to writers - 1 do
+        for i = 0 to per_writer - 1 do
+          match Store.read store ~stage:"stress" ~key:(key w i) with
+          | Some v -> check_string "clean read-back" (payload w i) v
+          | None -> Alcotest.failf "lost or corrupt entry %s" (key w i)
+        done
+      done;
+      let totals = Store.totals store in
+      check_int "hits merged exactly" (writers * per_writer / 2) totals.Store.hits;
+      check_int "misses merged exactly" (writers * per_writer / 2) totals.Store.misses;
+      check_int "stores merged exactly" (writers * per_writer) totals.Store.stored;
+      check_int "no write errors" 0 totals.Store.errors)
 
 (* A toy stage exercises Stage.execute's cache protocol without the
    weight of the real pipeline. *)
@@ -361,6 +400,7 @@ let () =
           Alcotest.test_case "stats counters" `Quick test_store_stats;
           Alcotest.test_case "stage execute hit/miss" `Quick test_stage_execute_hit_miss;
           Alcotest.test_case "corrupt artifact recomputes" `Quick test_corrupt_artifact_recomputes;
+          Alcotest.test_case "concurrent shard writers" `Quick test_concurrent_shard_writers;
         ] );
       ( "clock",
         [
