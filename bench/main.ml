@@ -1138,7 +1138,22 @@ let segment_quick () = segment_run ~sizes:[ 64; 128 ]
    per-request wall latency plus aggregate throughput.  Two passes over
    the same request set separate the cold cost (first solves populate
    the memo/canon caches) from the warm steady state the daemon exists
-   for.  Results merge into BENCH_serve.json. *)
+   for; a third pass replays the warm set through the wire-level chaos
+   driver under a fixed-seed socket fault plan, so BENCH_serve.json
+   also records how much throughput survives sick clients.  Results
+   merge into BENCH_serve.json. *)
+
+(* The fixed-seed socket plan shared by the faulted serve-load phase
+   and the serve-chaos section: deterministic per site, moderate rates
+   so most requests still complete. *)
+let serve_socket_plan =
+  match
+    Faults.Plan.of_string
+      "seed=11,socket.stall=0.1,socket.torn=0.2,socket.disconnect=0.1,socket.shortwrite=0.2"
+  with
+  | Ok p -> p
+  | Error msg -> failwith msg
+
 let serve_load_run ~clients ~per_client () =
   section
     (Printf.sprintf "serve-load: %d concurrent clients x %d requests against provmark serve"
@@ -1161,6 +1176,10 @@ let serve_load_run ~clients ~per_client () =
             queue_bound = 4 * clients * per_client;
             store = None;
             trace = None;
+            (* A short idle timeout keeps the stalled-read faults of the
+               faulted phase from dominating its wall clock. *)
+            limits =
+              { Serve.Daemon.default_limits with idle_timeout_s = Some 1.0 };
           })
   in
   while not (Atomic.get ready) do
@@ -1182,18 +1201,8 @@ let serve_load_run ~clients ~per_client () =
           };
     }
   in
-  let phase label =
+  let measure label worker =
     let t0 = Provmark.Trace_span.now_s () in
-    let worker c () =
-      Serve.Client.with_connection endpoint (fun conn ->
-          List.init per_client (fun i ->
-              let s = Provmark.Trace_span.now_s () in
-              (match Serve.Client.call conn (request c i) with
-              | Ok r when String.equal (Serve.Client.response_status r) "ok" -> ()
-              | Ok r -> failwith ("error response: " ^ Minijson.Json.to_string r)
-              | Error msg -> failwith msg);
-              Provmark.Trace_span.now_s () -. s))
-    in
     let domains = List.init clients (fun c -> Domain.spawn (worker c)) in
     let latencies = List.concat_map Domain.join domains in
     let wall = Provmark.Trace_span.now_s () -. t0 in
@@ -1201,15 +1210,55 @@ let serve_load_run ~clients ~per_client () =
     let sorted = Array.of_list (List.sort compare latencies) in
     let pct p = sorted.(min (n - 1) (n * p / 100)) in
     let rps = float_of_int n /. wall in
-    Printf.printf "%-5s %8.1f req/s   p50 %7.2f ms   p99 %7.2f ms   (%d requests, %.2fs)\n"
+    Printf.printf "%-7s %8.1f req/s   p50 %7.2f ms   p99 %7.2f ms   (%d requests, %.2fs)\n"
       label rps
       (1000. *. pct 50)
       (1000. *. pct 99)
       n wall;
     (label, n, wall, rps, pct 50, pct 99)
   in
+  let phase label =
+    measure label (fun c () ->
+        Serve.Client.with_connection endpoint (fun conn ->
+            List.init per_client (fun i ->
+                let s = Provmark.Trace_span.now_s () in
+                (match Serve.Client.call conn (request c i) with
+                | Ok r when String.equal (Serve.Client.response_status r) "ok" -> ()
+                | Ok r -> failwith ("error response: " ^ Minijson.Json.to_string r)
+                | Error msg -> failwith msg);
+                Provmark.Trace_span.now_s () -. s)))
+  in
   let cold = phase "cold" in
   let warm = phase "warm" in
+  (* Faulted pass: the warm request set replayed through the wire-level
+     chaos driver, one fresh connection per request, under the fixed
+     socket plan.  Stalled sends resolve as the daemon's structured 408,
+     deliberate disconnects yield no response by design; every other
+     request must still answer ok. *)
+  Faults.Injector.set_plan (Some serve_socket_plan);
+  let ok = Atomic.make 0 and timed_out = Atomic.make 0 and dropped = Atomic.make 0 in
+  let faulted =
+    measure "faulted" (fun c () ->
+        List.init per_client (fun i ->
+            let s = Provmark.Trace_span.now_s () in
+            (match
+               Serve.Client.chaos_call
+                 ~site:(Printf.sprintf "bench/c%d/r%d" c i)
+                 endpoint (request c i)
+             with
+            | Serve.Client.Response r
+              when String.equal (Serve.Client.response_status r) "ok" ->
+                Atomic.incr ok
+            | Serve.Client.Response r when Serve.Client.response_error r = Some "timeout" ->
+                Atomic.incr timed_out
+            | Serve.Client.Response r ->
+                failwith ("error response: " ^ Minijson.Json.to_string r)
+            | Serve.Client.No_response _ -> Atomic.incr dropped);
+            Provmark.Trace_span.now_s () -. s))
+  in
+  Faults.Injector.set_plan None;
+  Printf.printf "        faulted outcomes: %d ok, %d timed out, %d dropped\n"
+    (Atomic.get ok) (Atomic.get timed_out) (Atomic.get dropped);
   let stats =
     Serve.Client.with_connection endpoint (fun c ->
         match Serve.Client.call c { Serve.Protocol.id = None; op = Serve.Protocol.Stats } with
@@ -1222,16 +1271,25 @@ let serve_load_run ~clients ~per_client () =
    with Unix.Unix_error _ -> ());
   ignore (Domain.join daemon);
   let num f = Minijson.Json.Number f in
-  let phase_json (label, n, wall, rps, p50, p99) =
+  let phase_json ?(extra = []) (label, n, wall, rps, p50, p99) =
     Minijson.Json.Object
-      [
-        ("phase", Minijson.Json.String label);
-        ("requests", num (float_of_int n));
-        ("wall_s", num wall);
-        ("req_per_s", num rps);
-        ("p50_ms", num (1000. *. p50));
-        ("p99_ms", num (1000. *. p99));
-      ]
+      ([
+         ("phase", Minijson.Json.String label);
+         ("requests", num (float_of_int n));
+         ("wall_s", num wall);
+         ("req_per_s", num rps);
+         ("p50_ms", num (1000. *. p50));
+         ("p99_ms", num (1000. *. p99));
+       ]
+      @ extra)
+  in
+  let faulted_extra =
+    [
+      ("plan", Minijson.Json.String (Faults.Plan.to_string serve_socket_plan));
+      ("ok", num (float_of_int (Atomic.get ok)));
+      ("timed_out", num (float_of_int (Atomic.get timed_out)));
+      ("dropped", num (float_of_int (Atomic.get dropped)));
+    ]
   in
   bench_json_update_in "BENCH_serve.json" "serve-load"
     (Minijson.Json.Object
@@ -1239,7 +1297,9 @@ let serve_load_run ~clients ~per_client () =
          ("clients", num (float_of_int clients));
          ("requests_per_client", num (float_of_int per_client));
          ("jobs", num (float_of_int jobs));
-         ("phases", Minijson.Json.Array [ phase_json cold; phase_json warm ]);
+         ( "phases",
+           Minijson.Json.Array
+             [ phase_json cold; phase_json warm; phase_json ~extra:faulted_extra faulted ] );
          ("memo", Minijson.Json.member "memo" stats);
          ("canon_skips", Minijson.Json.member "canon_skips" stats);
          ("served", Minijson.Json.member "served" stats);
@@ -1247,6 +1307,161 @@ let serve_load_run ~clients ~per_client () =
 
 let serve_load () = serve_load_run ~clients:8 ~per_client:12 ()
 let serve_load_quick () = serve_load_run ~clients:4 ~per_client:4 ()
+
+(* ------------------------------------------------------------------ *)
+(* serve-chaos: fixed-seed socket faults against a live daemon         *)
+(* ------------------------------------------------------------------ *)
+
+(* The chaos gauntlet the CI job runs: 8 concurrent clients abuse an
+   in-process daemon under the fixed-seed socket plan, and the section
+   asserts the robustness contract rather than just measuring it —
+   every unfaulted/torn/short-write response byte-identical to a clean
+   call, no crash, and a mid-load SIGTERM that drains and returns
+   within its budget. *)
+let serve_chaos () =
+  section "serve-chaos: fixed-seed socket faults against a live daemon";
+  let clients = 8 and per_client = 6 in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "provmark_bench_chaos_%d.sock" (Unix.getpid ()))
+  in
+  let endpoint = Serve.Protocol.Unix_socket sock in
+  let ready = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.Daemon.run
+          ~on_ready:(fun () -> Atomic.set ready true)
+          {
+            Serve.Daemon.endpoint;
+            jobs = 4;
+            queue_bound = 4 * clients * per_client;
+            store = None;
+            trace = None;
+            limits =
+              {
+                Serve.Daemon.default_limits with
+                idle_timeout_s = Some 1.0;
+                drain_s = 10.0;
+              };
+          })
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  let names = Array.of_list (Provmark.Bench_registry.names ()) in
+  let syscall c i = names.(((c * per_client) + i) mod Array.length names) in
+  let request c i =
+    {
+      Serve.Protocol.id = None;
+      op =
+        Serve.Protocol.Benchmark
+          {
+            tool = Recorder.Spade;
+            syscall = syscall c i;
+            trials = None;
+            seed = 1;
+            backend = Gmatch.Engine.default_backend;
+            result_type = "rb";
+          };
+    }
+  in
+  (* The plan goes up before the reference pass: sharing one process
+     with the daemon means its workers also see the plan and append the
+     (all-zero, deterministic) fault-outcomes epilogue to every report,
+     so the reference must be rendered under the same plan to stay
+     byte-comparable.  An out-of-process daemon never sees a client's
+     plan — the CI job checks that byte-identity against provmark run.
+     Socket faults themselves are wire-only: the reference pass uses
+     plain calls and is untouched. *)
+  Faults.Injector.set_plan (Some serve_socket_plan);
+  (* Clean reference outputs, one per distinct request (also warms the
+     memo, so the chaos pass exercises the warm path CI measures). *)
+  let reference = Hashtbl.create 64 in
+  Serve.Client.with_connection endpoint (fun conn ->
+      for c = 0 to clients - 1 do
+        for i = 0 to per_client - 1 do
+          if not (Hashtbl.mem reference (syscall c i)) then
+            match Serve.Client.call conn (request c i) with
+            | Ok r when String.equal (Serve.Client.response_status r) "ok" ->
+                Hashtbl.add reference (syscall c i) (Serve.Client.response_output r)
+            | Ok r -> failwith ("reference request failed: " ^ Minijson.Json.to_string r)
+            | Error msg -> failwith msg
+        done
+      done);
+  (* The gauntlet: every request through the chaos driver.  A response
+     that claims ok must be byte-identical to the clean reference. *)
+  let ok = Atomic.make 0
+  and timed_out = Atomic.make 0
+  and dropped = Atomic.make 0
+  and mismatched = Atomic.make 0 in
+  let worker c () =
+    for i = 0 to per_client - 1 do
+      match
+        Serve.Client.chaos_call ~site:(Printf.sprintf "c%d/r%d" c i) endpoint (request c i)
+      with
+      | Serve.Client.Response r when String.equal (Serve.Client.response_status r) "ok" ->
+          let expected = Hashtbl.find reference (syscall c i) in
+          if String.equal (Serve.Client.response_output r) expected then Atomic.incr ok
+          else Atomic.incr mismatched
+      | Serve.Client.Response r when Serve.Client.response_error r = Some "timeout" ->
+          Atomic.incr timed_out
+      | Serve.Client.Response r ->
+          failwith ("unexpected error response: " ^ Minijson.Json.to_string r)
+      | Serve.Client.No_response _ -> Atomic.incr dropped
+    done
+  in
+  let domains = List.init clients (fun c -> Domain.spawn (worker c)) in
+  List.iter Domain.join domains;
+  Faults.Injector.set_plan None;
+  Printf.printf "gauntlet: %d ok, %d timed out, %d dropped, %d mismatched\n" (Atomic.get ok)
+    (Atomic.get timed_out) (Atomic.get dropped) (Atomic.get mismatched);
+  if Atomic.get mismatched > 0 then failwith "chaos gauntlet: faulted responses diverged";
+  if Atomic.get ok = 0 then failwith "chaos gauntlet: no request survived";
+  (* Daemon still healthy after the abuse? *)
+  let stats =
+    Serve.Client.with_connection endpoint (fun c ->
+        match Serve.Client.call c { Serve.Protocol.id = None; op = Serve.Protocol.Stats } with
+        | Ok json -> json
+        | Error msg -> failwith msg)
+  in
+  (* Mid-load SIGTERM: re-load the daemon, then signal our own process
+     (the daemon's handler owns SIGTERM for now).  The daemon must
+     drain what it accepted and return within its budget. *)
+  let stragglers =
+    List.init 4 (fun c ->
+        Domain.spawn (fun () ->
+            try
+              Serve.Client.with_connection endpoint (fun conn ->
+                  for i = 0 to 2 do
+                    ignore (Serve.Client.call conn (request c i))
+                  done)
+            with Unix.Unix_error _ | Failure _ -> ()))
+  in
+  Unix.sleepf 0.05;
+  let t0 = Provmark.Trace_span.now_s () in
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  let served = Domain.join daemon in
+  let drain_wall = Provmark.Trace_span.now_s () -. t0 in
+  List.iter Domain.join stragglers;
+  Printf.printf "SIGTERM drain: %.2fs (%d compute requests served)\n" drain_wall served;
+  if drain_wall > 10.0 +. 2.0 then failwith "chaos gauntlet: drain overran its budget";
+  let num f = Minijson.Json.Number f in
+  bench_json_update_in "BENCH_serve.json" "serve-chaos"
+    (Minijson.Json.Object
+       [
+         ("clients", num (float_of_int clients));
+         ("requests_per_client", num (float_of_int per_client));
+         ("plan", Minijson.Json.String (Faults.Plan.to_string serve_socket_plan));
+         ("ok", num (float_of_int (Atomic.get ok)));
+         ("timed_out", num (float_of_int (Atomic.get timed_out)));
+         ("dropped", num (float_of_int (Atomic.get dropped)));
+         ("mismatched", num (float_of_int (Atomic.get mismatched)));
+         ("sigterm_drain_s", num drain_wall);
+         ("served", num (float_of_int served));
+         ("daemon_timed_out", Minijson.Json.member "timed_out" stats);
+         ("daemon_conn_rejected", Minijson.Json.member "conn_rejected" stats);
+       ])
 
 (* ------------------------------------------------------------------ *)
 
@@ -1292,6 +1507,7 @@ let () =
       ("segment-quick", segment_quick);
       ("serve-load", serve_load);
       ("serve-load-quick", serve_load_quick);
+      ("serve-chaos", serve_chaos);
     ]
   in
   (match List.tl (Array.to_list Sys.argv) with

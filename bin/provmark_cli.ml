@@ -87,7 +87,8 @@ let faults_arg =
   let doc =
     "Deterministic fault plan, as comma-separated key=value pairs: seed=N plus \
      per-tap-point rates recorder.{drop,dup,truncate,garble}, \
-     store.{corrupt,partial,eio} and solver.exhaust (e.g. \
+     store.{corrupt,partial,eio}, solver.exhaust and \
+     socket.{stall,torn,disconnect,shortwrite} (e.g. \
      'seed=7,recorder.truncate=0.2,store.eio=0.1,solver.exhaust=0.3'). Every \
      injection decision is a pure function of the plan seed and the site it \
      perturbs, so a plan reproduces exactly at any $(b,--jobs) level."
@@ -682,8 +683,69 @@ let serve_cmd =
       & opt int Serve.Daemon.default_queue_bound
       & info [ "queue-bound" ] ~docv:"N" ~doc)
   in
+  let idle_timeout_arg =
+    let doc =
+      "Idle/read timeout in seconds (monotonic clock): a connection with no \
+       compute in flight that stalls this long is answered with a structured \
+       timeout (408) error and closed. 0 disables."
+    in
+    Arg.(
+      value
+      & opt float (Option.value Serve.Daemon.default_limits.idle_timeout_s ~default:0.)
+      & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_line_bytes_arg =
+    let doc =
+      "Reject request lines over this many bytes with a structured bad-request \
+       (400) error and close the connection."
+    in
+    Arg.(
+      value
+      & opt int Serve.Daemon.default_limits.max_line_bytes
+      & info [ "max-line-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let max_conns_arg =
+    let doc =
+      "Connection cap: an accept over the cap is sent one overloaded (503) line \
+       with a retry hint and closed, and accepting pauses briefly."
+    in
+    Arg.(
+      value
+      & opt int Serve.Daemon.default_limits.max_conns
+      & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let drain_arg =
+    let doc =
+      "Shutdown drain budget in seconds: on a shutdown request, SIGTERM or \
+       SIGINT, in-flight work gets this long to finish and flush before \
+       stragglers are force-closed."
+    in
+    Arg.(
+      value
+      & opt float Serve.Daemon.default_limits.drain_s
+      & info [ "drain" ] ~docv:"SECONDS" ~doc)
+  in
+  let breaker_threshold_arg =
+    let doc =
+      "Circuit breaker: this many ASP step-limit degradations within one \
+       cooldown window shunt subsequent ASP requests to the direct (VF2) \
+       backend for the cooldown. 0 disables."
+    in
+    Arg.(
+      value
+      & opt int Serve.Daemon.default_limits.breaker_threshold
+      & info [ "breaker-threshold" ] ~docv:"N" ~doc)
+  in
+  let breaker_cooldown_arg =
+    let doc = "Circuit-breaker cooldown (and failure-counting window) in seconds." in
+    Arg.(
+      value
+      & opt float Serve.Daemon.default_limits.breaker_cooldown_s
+      & info [ "breaker-cooldown" ] ~docv:"SECONDS" ~doc)
+  in
   let run socket jobs queue_bound no_cache no_prune no_canon no_segment store no_store trace
-      fallback =
+      fallback deadline idle_timeout max_line_bytes max_conns drain breaker_threshold
+      breaker_cooldown =
     apply_cache_flag no_cache;
     apply_prune_flag no_prune;
     apply_canon_flag no_canon;
@@ -691,8 +753,22 @@ let serve_cmd =
     Gmatch.Engine.set_fallback fallback;
     let store = store_of ~store ~no_store in
     let endpoint = endpoint_of socket in
+    if max_line_bytes <= 0 then invalid_config "--max-line-bytes must be positive";
+    if max_conns <= 0 then invalid_config "--max-conns must be positive";
+    if drain < 0. then invalid_config "--drain must be non-negative";
+    let limits =
+      {
+        Serve.Daemon.idle_timeout_s = (if idle_timeout <= 0. then None else Some idle_timeout);
+        max_line_bytes;
+        max_conns;
+        drain_s = drain;
+        deadline_s = deadline;
+        breaker_threshold;
+        breaker_cooldown_s = breaker_cooldown;
+      }
+    in
     let cfg =
-      { Serve.Daemon.endpoint; jobs; queue_bound; store; trace }
+      { Serve.Daemon.endpoint; jobs; queue_bound; store; trace; limits }
     in
     let on_ready () =
       Printf.eprintf "provmark serve: listening on %s (%d worker%s)\n%!"
@@ -708,7 +784,9 @@ let serve_cmd =
   let term =
     Term.(
       const run $ socket_arg $ jobs_arg $ queue_bound_arg $ no_cache_arg $ no_prune_arg
-      $ no_canon_arg $ no_segment_arg $ store_arg $ no_store_arg $ trace_arg $ fallback_arg)
+      $ no_canon_arg $ no_segment_arg $ store_arg $ no_store_arg $ trace_arg $ fallback_arg
+      $ deadline_arg $ idle_timeout_arg $ max_line_bytes_arg $ max_conns_arg $ drain_arg
+      $ breaker_threshold_arg $ breaker_cooldown_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -717,7 +795,8 @@ let serve_cmd =
           many concurrent clients over a line-delimited JSON protocol, sharing the \
           solve memo, canonical-form cache, artifact store and worker-domain pool \
           across all of them. Responses are byte-identical to the batch CLI's output \
-          for the same inputs. Stop it with a shutdown request.")
+          for the same inputs. Stop it with a shutdown request, SIGTERM or SIGINT \
+          (both drain gracefully within $(b,--drain) seconds).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -738,7 +817,15 @@ let request_cmd =
     let doc = "Print the raw JSON response line instead of the embedded output text." in
     Arg.(value & flag & info [ "raw" ] ~doc)
   in
-  let run socket op rest tool trials backend seed result_type format raw =
+  let site_arg =
+    let doc =
+      "Fault-injection site name for $(b,--faults): the socket-tap decision for \
+       this request is a pure function of (plan seed, site), so distinct sites \
+       sample distinct faults and the same site replays the same fault."
+    in
+    Arg.(value & opt string "request" & info [ "site" ] ~docv:"SITE" ~doc)
+  in
+  let run socket op rest tool trials backend seed result_type format raw faults site =
     let endpoint = endpoint_of socket in
     let req =
       match (op, rest) with
@@ -785,8 +872,25 @@ let request_cmd =
                op (List.length rest)
                (if List.length rest = 1 then "" else "s"))
     in
+    Faults.Injector.set_plan faults;
     let response =
-      match Serve.Client.with_connection endpoint (fun c -> Serve.Client.call c req) with
+      let plain () =
+        match Serve.Client.with_connection endpoint (fun c -> Serve.Client.call c req) with
+        | Ok response -> Ok response
+        | Error msg -> Error msg
+      in
+      let chaos () =
+        (* Wire-level chaos mode: abuse the socket the way the plan
+           prescribes for this site.  A deliberate mid-request hangup
+           forecloses a response by design — that is a successful
+           injection, not a failure. *)
+        match Serve.Client.chaos_call ~site endpoint req with
+        | Serve.Client.Response response -> Ok response
+        | Serve.Client.No_response msg ->
+            Printf.eprintf "provmark request: no response (%s)\n" msg;
+            exit 0
+      in
+      match (if faults = None then plain () else chaos ()) with
       | Ok response -> response
       | Error msg ->
           Printf.eprintf "provmark request: %s\n" msg;
@@ -814,7 +918,7 @@ let request_cmd =
   let term =
     Term.(
       const run $ socket_arg $ op_arg $ rest_arg $ tool_opt_arg $ trials_arg $ backend_arg
-      $ seed_arg $ result_type_arg $ format_arg $ raw_arg)
+      $ seed_arg $ result_type_arg $ format_arg $ raw_arg $ faults_arg $ site_arg)
   in
   Cmd.v
     (Cmd.info "request"
@@ -822,7 +926,9 @@ let request_cmd =
          "Send one request to a running provmark serve daemon and print the response: \
           the embedded output text (byte-identical to the equivalent run/match \
           subcommand), or the raw JSON line with --raw. Exits with the code the batch \
-          CLI would have used.")
+          CLI would have used. With --faults, the request is sent through the \
+          wire-level chaos driver: the plan's socket tap decides (per --site) whether \
+          to stall, tear, dribble or abandon the request on the wire.")
     term
 
 (* ------------------------------------------------------------------ *)

@@ -1,16 +1,18 @@
-type t = Ok | Unknown_benchmark | Invalid_config | Quarantined
+type t = Ok | Unknown_benchmark | Invalid_config | Quarantined | Unavailable
 
 let to_int = function
   | Ok -> 0
   | Unknown_benchmark -> 2
   | Invalid_config -> 2
   | Quarantined -> 3
+  | Unavailable -> 4
 
 let label = function
   | Ok -> "ok"
   | Unknown_benchmark -> "unknown-benchmark"
   | Invalid_config -> "invalid-config"
   | Quarantined -> "quarantined"
+  | Unavailable -> "unavailable"
 
 let of_results results = if List.exists Result.quarantined results then Quarantined else Ok
 

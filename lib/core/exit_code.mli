@@ -16,14 +16,21 @@ type t =
   | Quarantined
       (** the suite completed but at least one benchmark exhausted its
           retry budget (see {!Result.quarantined}) *)
+  | Unavailable
+      (** a serve request was refused or cut short for transient
+          service reasons — queue full, connection cap, idle timeout,
+          drain in progress — and is worth retrying; relayed by
+          [provmark request] so scripts can tell retryable service
+          pressure from hard failures *)
 
 (** [Ok] → 0, [Unknown_benchmark] → 2, [Invalid_config] → 2,
-    [Quarantined] → 3 — the historical CLI codes. *)
+    [Quarantined] → 3, [Unavailable] → 4 — the historical CLI codes
+    plus the serve-only retryable class. *)
 val to_int : t -> int
 
 (** Stable kebab-case rendering for wire protocols and logs:
     ["ok"], ["unknown-benchmark"], ["invalid-config"],
-    ["quarantined"]. *)
+    ["quarantined"], ["unavailable"]. *)
 val label : t -> string
 
 (** [Quarantined] when any result is quarantined, [Ok] otherwise —

@@ -22,13 +22,18 @@ type t = {
   client : string option;
       (** client identity ("c1", "c2", …) for trace spans; [None] for
           the batch CLI, whose single session needs no tag *)
+  tags : (string * string) list;
+      (** extra root-span tags the front end wants on every run of
+          this session — the serve daemon marks breaker-shunted
+          requests with [("breaker", "shunt")] *)
   sink : sink option;
       (** called with each completed result, on the domain that
           finished it (like {!Parallel_runner}'s [on_result], it must
           be thread-safe when runs are concurrent) *)
 }
 
-val create : ?client:string -> ?sink:sink -> Config.t -> t
+val create :
+  ?client:string -> ?tags:(string * string) list -> ?sink:sink -> Config.t -> t
 
 (** A session with no client tag and no sink — how the [Config.t]-based
     entry points wrap themselves. *)
@@ -37,7 +42,7 @@ val of_config : Config.t -> t
 val config : t -> Config.t
 
 (** The span tags this session contributes to a run's root span:
-    [("client", c)] when a client is set, [[]] otherwise. *)
+    [("client", c)] when a client is set, followed by [tags]. *)
 val span_tags : t -> (string * string) list
 
 (** Push a result through the sink, if any. *)

@@ -38,7 +38,9 @@ let decide p ~site ~kind rate =
 (* ------------------------------------------------------------------ *)
 (* Accounting                                                          *)
 
-let counters = [ ("recorder", Atomic.make 0); ("store", Atomic.make 0); ("solver", Atomic.make 0) ]
+let counters =
+  [ ("recorder", Atomic.make 0); ("store", Atomic.make 0); ("solver", Atomic.make 0);
+    ("socket", Atomic.make 0) ]
 
 let count tap =
   match List.assoc_opt tap counters with
@@ -81,6 +83,20 @@ let solver_exhaust ~site =
       let hit = decide p ~site ~kind:"exhaust" p.Plan.solver_exhaust in
       if hit then count "solver";
       hit
+
+let socket_fault ~site =
+  match plan () with
+  | None -> None
+  | Some p -> first_firing p ~site ~tap:"socket" Plan.socket_kind_name p.Plan.socket
+
+(* Seeded split point for a torn request line: always strictly inside
+   the line, so both halves are non-empty and reassembly is exercised. *)
+let torn_offset p ~site len =
+  if len <= 1 then len else 1 + draw_int p.Plan.seed (site ^ "\x00torn-offset") 0 (len - 1)
+
+(* Seeded chunk size for dribbled short writes, in [1, 7]. *)
+let short_write_chunk p ~site i =
+  1 + draw_int p.Plan.seed (site ^ "\x00shortwrite-chunk") i 7
 
 (* ------------------------------------------------------------------ *)
 (* Text perturbations                                                  *)

@@ -42,6 +42,20 @@ val store_fault : site:string -> Plan.store_kind option
     site (["solver"] counter). *)
 val solver_exhaust : site:string -> bool
 
+(** First socket fault that fires for this site (["socket"] counter).
+    A socket site names one request on one chaos connection (e.g.
+    ["c3/r7"]), so the same plan abuses the same requests in every
+    run. *)
+val socket_fault : site:string -> Plan.socket_kind option
+
+(** Seeded split point for a torn request line of [len] bytes: strictly
+    inside the line when [len > 1], so both pieces are non-empty. *)
+val torn_offset : Plan.t -> site:string -> int -> int
+
+(** Seeded chunk size (in [[1, 7]]) for the [i]-th piece of a dribbled
+    short write. *)
+val short_write_chunk : Plan.t -> site:string -> int -> int
+
 (** {2 Deterministic text perturbations}
 
     All offsets derive from [(plan seed, site)], never from randomness

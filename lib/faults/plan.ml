@@ -1,11 +1,13 @@
 type recorder_kind = Drop_event | Duplicate_event | Truncate | Garble
 type store_kind = Corrupt | Partial_write | Eio
+type socket_kind = Stall_read | Torn_line | Disconnect | Short_write
 
 type t = {
   seed : int;
   recorder : (recorder_kind * float) list;
   store : (store_kind * float) list;
   solver_exhaust : float;
+  socket : (socket_kind * float) list;
 }
 
 let recorder_kind_name = function
@@ -19,10 +21,17 @@ let store_kind_name = function
   | Partial_write -> "partial"
   | Eio -> "eio"
 
+let socket_kind_name = function
+  | Stall_read -> "stall"
+  | Torn_line -> "torn"
+  | Disconnect -> "disconnect"
+  | Short_write -> "shortwrite"
+
 let recorder_kinds = [ Drop_event; Duplicate_event; Truncate; Garble ]
 let store_kinds = [ Corrupt; Partial_write; Eio ]
+let socket_kinds = [ Stall_read; Torn_line; Disconnect; Short_write ]
 
-let empty = { seed = 1; recorder = []; store = []; solver_exhaust = 0. }
+let empty = { seed = 1; recorder = []; store = []; solver_exhaust = 0.; socket = [] }
 
 (* Canonical key order: seed first, then tap points in pipeline order.
    The rendering is part of the artifact-store key contract (a faulted
@@ -40,7 +49,8 @@ let to_string t =
             (fun k -> entry "recorder" (recorder_kind_name k) (rate_of t.recorder k))
             recorder_kinds
        @ List.map (fun k -> entry "store" (store_kind_name k) (rate_of t.store k)) store_kinds
-       @ [ entry "solver" "exhaust" t.solver_exhaust ]))
+       @ [ entry "solver" "exhaust" t.solver_exhaust ]
+       @ List.map (fun k -> entry "socket" (socket_kind_name k) (rate_of t.socket k)) socket_kinds))
 
 let of_string spec =
   let ( let* ) = Result.bind in
@@ -83,11 +93,22 @@ let of_string spec =
         | "solver.exhaust" ->
             let* r = rate key v in
             Ok { plan with solver_exhaust = r }
+        | "socket.stall" | "socket.torn" | "socket.disconnect" | "socket.shortwrite" ->
+            let* r = rate key v in
+            let kind =
+              match key with
+              | "socket.stall" -> Stall_read
+              | "socket.torn" -> Torn_line
+              | "socket.disconnect" -> Disconnect
+              | _ -> Short_write
+            in
+            Ok { plan with socket = plan.socket @ [ (kind, r) ] }
         | _ ->
             Error
               (Printf.sprintf
                  "fault plan: unknown key %S (expected seed, recorder.{drop,dup,truncate,garble}, \
-                  store.{corrupt,partial,eio} or solver.exhaust)"
+                  store.{corrupt,partial,eio}, solver.exhaust or \
+                  socket.{stall,torn,disconnect,shortwrite})"
                  key))
   in
   let items =

@@ -21,6 +21,15 @@ type store_kind =
   | Partial_write  (** entry persisted truncated, as a torn write *)
   | Eio  (** transient I/O error: reads miss, writes are dropped *)
 
+(** Wire-level misbehaviour of a serve client, applied by the chaos
+    client driver ({!Serve.Client.chaos_call}) — the daemon under test
+    receives real socket abuse, not simulated flags. *)
+type socket_kind =
+  | Stall_read  (** send a partial request line, then go silent (slow loris) *)
+  | Torn_line  (** split the request line across writes with a pause between *)
+  | Disconnect  (** hang up right after sending, before reading the response *)
+  | Short_write  (** dribble the request out in tiny seeded chunks *)
+
 type t = {
   seed : int;
   recorder : (recorder_kind * float) list;  (** kind, per-site probability *)
@@ -28,15 +37,21 @@ type t = {
   solver_exhaust : float;
       (** probability a solve runs with its step budget exhausted,
           forcing the ASP backend's [Unknown] path *)
+  socket : (socket_kind * float) list;
 }
 
 val recorder_kind_name : recorder_kind -> string
 val store_kind_name : store_kind -> string
+val socket_kind_name : socket_kind -> string
+
+(** No faults at all (seed 1): the identity plan. *)
+val empty : t
 
 (** [of_string spec] parses a comma-separated [key=value] plan spec,
     e.g. ["seed=7,recorder.truncate=0.2,store.eio=0.1,solver.exhaust=0.3"].
     Keys: [seed], [recorder.{drop,dup,truncate,garble}],
-    [store.{corrupt,partial,eio}], [solver.exhaust].  Probabilities
+    [store.{corrupt,partial,eio}], [solver.exhaust],
+    [socket.{stall,torn,disconnect,shortwrite}].  Probabilities
     must lie in [[0, 1]].  Unknown keys and malformed values are
     reported, not ignored. *)
 val of_string : string -> (t, string) result

@@ -36,7 +36,15 @@ let drain_notes () =
   r := [];
   List.fold_left (fun acc n -> if List.mem n acc then acc else acc @ [ n ]) [] notes
 
+(* Monotonic count of every step-limit degradation, across all domains
+   and operations: the serve daemon's circuit breaker watches this to
+   decide when repeated ASP exhaustion should trip requests straight to
+   VF2 for a cooldown window. *)
+let degraded_counter = Atomic.make 0
+let degraded_total () = Atomic.get degraded_counter
+
 let degraded op =
+  Atomic.incr degraded_counter;
   note (Printf.sprintf "asp %s hit its step limit; fell back to vf2" op)
 
 (* ------------------------------------------------------------------ *)

@@ -31,6 +31,12 @@ val backend_to_string : backend -> string
 val set_fallback : bool -> unit
 val fallback_enabled : unit -> bool
 
+(** Process-lifetime count of step-limit degradations: one per
+    degradation note (a whole-graph fallback, or a segmented solve with
+    at least one degraded segment).  Monotonic; the serve daemon's
+    circuit breaker trips on its rate. *)
+val degraded_total : unit -> int
+
 (** {2 Canonical-form fast path}
 
     When {!Pgraph.Canon} is enabled (the default), the entry points

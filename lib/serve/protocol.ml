@@ -49,26 +49,45 @@ type op = Benchmark of benchmark | Match of match_req | Stats | Ping | Shutdown
 
 type request = { id : string option; op : op }
 
-type error_kind = Bad_request | Unknown_benchmark | Queue_full | Shutting_down | Internal
+type error_kind =
+  | Bad_request
+  | Unknown_benchmark
+  | Queue_full
+  | Overloaded
+  | Timeout
+  | Deadline
+  | Shutting_down
+  | Internal
 
 let error_label = function
   | Bad_request -> "bad-request"
   | Unknown_benchmark -> Provmark.Exit_code.label Provmark.Exit_code.Unknown_benchmark
   | Queue_full -> "queue-full"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Deadline -> "deadline-exceeded"
   | Shutting_down -> "shutting-down"
   | Internal -> "internal"
 
 let error_code = function
   | Bad_request -> 400
   | Unknown_benchmark -> 404
+  | Timeout -> 408
   | Queue_full -> 429
-  | Shutting_down -> 503
   | Internal -> 500
+  | Overloaded | Shutting_down -> 503
+  | Deadline -> 504
 
 let error_exit = function
   | Bad_request -> Provmark.Exit_code.to_int Provmark.Exit_code.Invalid_config
   | Unknown_benchmark -> Provmark.Exit_code.to_int Provmark.Exit_code.Unknown_benchmark
-  | Queue_full | Shutting_down | Internal -> 1
+  (* A request cut short by a deadline lands where the batch CLI lands
+     when a stage overruns its budget: quarantined. *)
+  | Deadline -> Provmark.Exit_code.to_int Provmark.Exit_code.Quarantined
+  (* Transient service pressure: retry later. *)
+  | Queue_full | Overloaded | Timeout | Shutting_down ->
+      Provmark.Exit_code.to_int Provmark.Exit_code.Unavailable
+  | Internal -> 1
 
 (* Field readers that turn shape mistakes into parse errors instead of
    exceptions: the daemon must answer a malformed line with a
@@ -204,13 +223,20 @@ let ok_response ?(extra = []) ~id ~exit ~output () =
         ("output", Json.String output) ]
     @ extra)
 
-let error_response ~id kind ~message =
+let error_response ?(extra = []) ~id kind ~message =
   Json.Object
     (id_field id
     @ [ ("status", Json.String "error");
         ("error", Json.String (error_label kind));
         ("code", Json.Number (float_of_int (error_code kind)));
         ("exit", Json.Number (float_of_int (error_exit kind)));
-        ("message", Json.String message) ])
+        ("message", Json.String message) ]
+    @ extra)
+
+let retry_hint ?queue_depth retry_after_s =
+  ("retry_after_s", Json.Number retry_after_s)
+  :: (match queue_depth with
+     | None -> []
+     | Some d -> [ ("queue_depth", Json.Number (float_of_int d)) ])
 
 let response_line json = Json.to_string json ^ "\n"

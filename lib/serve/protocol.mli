@@ -60,15 +60,26 @@ type op = Benchmark of benchmark | Match of match_req | Stats | Ping | Shutdown
 type request = { id : string option; op : op }
 
 (** Structured error vocabulary.  [code] is the HTTP-flavoured status
-    embedded in the response (400/404/429/500/503); [exit] reuses
-    {!Provmark.Exit_code} where the batch CLI has an equivalent. *)
-type error_kind = Bad_request | Unknown_benchmark | Queue_full | Shutting_down | Internal
+    embedded in the response (400/404/408/429/500/503/504); [exit]
+    reuses {!Provmark.Exit_code} where the batch CLI has an
+    equivalent. *)
+type error_kind =
+  | Bad_request  (** malformed line, or a request line over the byte cap (400) *)
+  | Unknown_benchmark  (** syscall not in the registry (404) *)
+  | Queue_full  (** admission control: too many requests in flight (429) *)
+  | Overloaded  (** connection cap reached; sent once, then the socket closes (503) *)
+  | Timeout  (** idle/read timeout: the connection stalled mid-line (408) *)
+  | Deadline  (** the request overran the daemon's per-request deadline (504) *)
+  | Shutting_down  (** drain in progress; no new compute accepted (503) *)
+  | Internal  (** a compute raised; the daemon survives and reports (500) *)
 
 val error_label : error_kind -> string
 val error_code : error_kind -> int
 
 (** The exit code a scripted client should relay: {!Provmark.Exit_code}
-    for the CLI-equivalent errors, 1 for the service-only ones. *)
+    for the CLI-equivalent errors ([Deadline] maps to the quarantine
+    code, the transient-pressure kinds to [Unavailable]), 1 for
+    [Internal]. *)
 val error_exit : error_kind -> int
 
 (** Parse one request line.  Errors render as a message for a
@@ -88,7 +99,21 @@ val ok_response :
   unit ->
   Minijson.Json.t
 
-val error_response : id:string option -> error_kind -> message:string -> Minijson.Json.t
+(** Error response.  [extra] appends machine-readable fields — the
+    429/503 responses carry a retry hint built with {!retry_hint}. *)
+val error_response :
+  ?extra:(string * Minijson.Json.t) list ->
+  id:string option ->
+  error_kind ->
+  message:string ->
+  Minijson.Json.t
+
+(** [retry_hint ?queue_depth retry_after_s] renders the machine-readable
+    backoff hint carried by [queue-full] and [overloaded] responses:
+    [retry_after_s] (seconds before a retry is worth attempting) plus
+    the current [queue_depth] when admission control is the cause. *)
+val retry_hint :
+  ?queue_depth:int -> float -> (string * Minijson.Json.t) list
 
 (** One response line, newline-terminated. *)
 val response_line : Minijson.Json.t -> string

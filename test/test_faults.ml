@@ -79,6 +79,14 @@ let test_plan_rejects_garbage () =
   rejected "solver.exhaust";
   rejected "bogus=1"
 
+let test_socket_plan_roundtrip () =
+  let spec = "seed=11,socket.stall=0.1,socket.torn=0.2,socket.disconnect=0.1,socket.shortwrite=0.2" in
+  let p = plan_of_string_exn spec in
+  check_int "socket kinds" 4 (List.length p.Plan.socket);
+  check_bool "roundtrip" true (Plan.of_string (Plan.to_string p) = Ok p);
+  check_bool "unknown socket kind rejected" true
+    (match Plan.of_string "socket.nope=0.5" with Error _ -> true | Ok _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Injector decisions                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -107,6 +115,42 @@ let test_decisions_vary_by_site () =
      all-or-nothing would mean the site is not in the hash. *)
   check_bool "some fire" true (hits > 0);
   check_bool "some do not" true (hits < 64)
+
+let test_socket_decisions_deterministic () =
+  let plan =
+    plan_of_string_exn
+      "seed=11,socket.stall=0.2,socket.torn=0.3,socket.disconnect=0.1,socket.shortwrite=0.2"
+  in
+  with_plan plan (fun () ->
+      let sites = List.init 64 (fun i -> Printf.sprintf "c%d/r%d" (i mod 8) (i / 8)) in
+      (* Same plan, same site, same answer — and across 64 sites the
+         moderate rates must both fire and not fire. *)
+      let decisions = List.map (fun s -> Injector.socket_fault ~site:s) sites in
+      List.iter2
+        (fun s d ->
+          check_bool (Printf.sprintf "stable at %s" s) true (Injector.socket_fault ~site:s = d))
+        sites decisions;
+      let firing = List.filter Option.is_some decisions in
+      check_bool "some sites faulted" true (firing <> []);
+      check_bool "some sites clean" true (List.length firing < List.length sites);
+      (* Each decision was counted against the socket tap (the stability
+         re-queries above count too, so: at least one per firing site). *)
+      check_bool "socket tap counted" true
+        (match List.assoc_opt "socket" (Injector.injected ()) with
+        | Some n -> n >= List.length firing
+        | None -> false);
+      (* The auxiliary draws are seeded too: a torn line splits at a
+         stable interior offset, short-write chunks are stable and in
+         bounds. *)
+      let off = Injector.torn_offset plan ~site:"c0/r0" 40 in
+      check_int "torn offset stable" off (Injector.torn_offset plan ~site:"c0/r0" 40);
+      check_bool "torn offset interior" true (off >= 1 && off < 40);
+      List.iter
+        (fun i ->
+          let n = Injector.short_write_chunk plan ~site:"c0/r0" i in
+          check_int "chunk stable" n (Injector.short_write_chunk plan ~site:"c0/r0" i);
+          check_bool "chunk in bounds" true (n >= 1 && n <= 7))
+        [ 0; 1; 2; 3 ])
 
 let test_perturbations_deterministic () =
   let p = plan_of_string_exn "seed=9,recorder.truncate=1" in
@@ -312,11 +356,14 @@ let () =
         [
           Alcotest.test_case "spec roundtrips" `Quick test_plan_roundtrip;
           Alcotest.test_case "garbage rejected" `Quick test_plan_rejects_garbage;
+          Alcotest.test_case "socket tap roundtrips" `Quick test_socket_plan_roundtrip;
         ] );
       ( "injector",
         [
           Alcotest.test_case "decisions deterministic" `Quick test_decisions_deterministic;
           Alcotest.test_case "decisions vary by site" `Quick test_decisions_vary_by_site;
+          Alcotest.test_case "socket decisions deterministic" `Quick
+            test_socket_decisions_deterministic;
           Alcotest.test_case "perturbations deterministic" `Quick test_perturbations_deterministic;
         ] );
       ( "deadline",

@@ -29,9 +29,12 @@ let fresh_sock () =
 let shutdown_req = { Protocol.id = None; op = Protocol.Shutdown }
 
 (* Start a daemon on a fresh Unix socket, wait until it listens, run
-   [f], then shut it down (if [f] did not already) and join the loop
-   domain so global engine state is restored before the next test. *)
-let with_daemon ?(jobs = 4) ?(queue_bound = Daemon.default_queue_bound) f =
+   [f endpoint] (also passing the daemon's domain so signal tests can
+   join it), then shut it down (if [f] did not already) and join the
+   loop domain so global engine state is restored before the next
+   test. *)
+let with_daemon_full ?(jobs = 4) ?(queue_bound = Daemon.default_queue_bound)
+    ?(limits = Daemon.default_limits) f =
   let endpoint = Protocol.Unix_socket (fresh_sock ()) in
   let ready_mutex = Mutex.create () in
   let ready_cond = Condition.create () in
@@ -45,7 +48,7 @@ let with_daemon ?(jobs = 4) ?(queue_bound = Daemon.default_queue_bound) f =
   let daemon =
     Domain.spawn (fun () ->
         Daemon.run ~on_ready
-          { Daemon.endpoint; jobs; queue_bound; store = None; trace = None })
+          { Daemon.endpoint; jobs; queue_bound; store = None; trace = None; limits })
   in
   Mutex.lock ready_mutex;
   while not !ready do
@@ -57,7 +60,10 @@ let with_daemon ?(jobs = 4) ?(queue_bound = Daemon.default_queue_bound) f =
       (try Client.with_connection endpoint (fun c -> ignore (Client.call c shutdown_req))
        with Unix.Unix_error _ -> ());
       ignore (Domain.join daemon))
-    (fun () -> f endpoint)
+    (fun () -> f endpoint daemon)
+
+let with_daemon ?jobs ?queue_bound ?limits f =
+  with_daemon_full ?jobs ?queue_bound ?limits (fun endpoint _daemon -> f endpoint)
 
 let call_ok endpoint req =
   Client.with_connection endpoint (fun c ->
@@ -233,6 +239,11 @@ let test_queue_full_rejection () =
       check_string "label" "queue-full"
         (match Json.member "error" response with Json.String s -> s | _ -> "?");
       check_int "code" 429 (int_member [ "code" ] response);
+      (* The 429 carries a machine-readable retry hint the client
+         round-trips: seconds to back off, plus the queue depth that
+         caused the rejection. *)
+      check_bool "retry hint present" true (Client.response_retry_after response <> None);
+      check_bool "queue depth present" true (Client.response_queue_depth response = Some 0);
       (* Control-plane requests are not subject to admission control. *)
       let ping = call_ok endpoint { Protocol.id = None; op = Protocol.Ping } in
       check_string "ping still ok" "ok" (Client.response_status ping);
@@ -253,6 +264,220 @@ let test_malformed_request () =
           let response = Json.of_string (Bytes.sub_string buf 0 n) in
           check_string "status" "error" (Client.response_status response);
           check_int "code" 400 (int_member [ "code" ] response)))
+
+(* ------------------------------------------------------------------ *)
+(* Connection lifecycle: timeouts, caps, disconnects, drain            *)
+(* ------------------------------------------------------------------ *)
+
+let with_raw_conn endpoint f =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Protocol.sockaddr endpoint);
+      f fd)
+
+(* Everything the daemon says before closing the socket. *)
+let read_until_eof fd =
+  let buf = Bytes.create 65536 in
+  let out = Buffer.create 256 in
+  let rec go () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> Buffer.contents out
+    | n ->
+        Buffer.add_subbytes out buf 0 n;
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let first_line s = match String.index_opt s '\n' with Some i -> String.sub s 0 i | None -> s
+
+let stats_req = { Protocol.id = None; op = Protocol.Stats }
+
+let test_slow_loris_timeout () =
+  let limits = { Daemon.default_limits with Daemon.idle_timeout_s = Some 0.2 } in
+  with_daemon ~jobs:1 ~limits (fun endpoint ->
+      with_raw_conn endpoint (fun fd ->
+          (* Half a request line, then silence: the daemon must answer
+             with a structured 408 and close — not hold the socket
+             forever, not cut it without a word. *)
+          ignore (Unix.write_substring fd "{\"op\":\"pi" 0 9);
+          let said = read_until_eof fd in
+          check_bool "daemon said something before closing" true (said <> "");
+          let response = Json.of_string (first_line said) in
+          check_string "status" "error" (Client.response_status response);
+          check_string "label" "timeout"
+            (match Json.member "error" response with Json.String s -> s | _ -> "?");
+          check_int "code" 408 (int_member [ "code" ] response));
+      let stats = call_ok endpoint stats_req in
+      check_bool "timeout counted" true (int_member [ "timed_out" ] stats >= 1))
+
+let test_oversized_line_rejected () =
+  let limits = { Daemon.default_limits with Daemon.max_line_bytes = 1024 } in
+  with_daemon ~jobs:1 ~limits (fun endpoint ->
+      with_raw_conn endpoint (fun fd ->
+          (* 4 KiB with no newline in sight: the buffer cap must cut
+             this off with a 400 rather than buffer without limit. *)
+          let blob = String.make 4096 'x' in
+          ignore (Unix.write_substring fd blob 0 (String.length blob));
+          let said = read_until_eof fd in
+          let response = Json.of_string (first_line said) in
+          check_string "status" "error" (Client.response_status response);
+          check_int "code" 400 (int_member [ "code" ] response);
+          let message =
+            match Json.member "message" response with Json.String s -> s | _ -> ""
+          in
+          check_bool "message names the cap" true
+            (String.length message > 0
+            && String.lowercase_ascii message |> fun m ->
+               String.length m >= 7 && String.sub m 0 7 = "request"));
+      let stats = call_ok endpoint stats_req in
+      check_bool "oversize counted" true (int_member [ "oversized" ] stats >= 1))
+
+let test_max_conns_overload () =
+  let limits = { Daemon.default_limits with Daemon.max_conns = 1 } in
+  with_daemon ~jobs:1 ~limits (fun endpoint ->
+      (* Hold the one allowed connection open... *)
+      Client.with_connection endpoint (fun held ->
+          (* ...then the next accept draws one 503 line and a close. *)
+          with_raw_conn endpoint (fun fd ->
+              let said = read_until_eof fd in
+              let response = Json.of_string (first_line said) in
+              check_string "status" "error" (Client.response_status response);
+              check_string "label" "overloaded"
+                (match Json.member "error" response with Json.String s -> s | _ -> "?");
+              check_int "code" 503 (int_member [ "code" ] response);
+              check_bool "retry hint present" true
+                (Client.response_retry_after response <> None));
+          (* The held connection is unharmed and the rejection counted. *)
+          let stats =
+            match Client.call held stats_req with
+            | Ok r -> r
+            | Error msg -> Alcotest.failf "held connection broken: %s" msg
+          in
+          check_bool "rejection counted" true (int_member [ "conn_rejected" ] stats >= 1)))
+
+let test_mid_request_disconnect () =
+  with_daemon ~jobs:2 (fun endpoint ->
+      (* A full request, then an immediate hangup: the daemon computes
+         into a dead socket.  It must neither crash nor leak the
+         in-flight slot. *)
+      with_raw_conn endpoint (fun fd ->
+          let line = Protocol.response_line (Protocol.request_to_json (bench_request "open")) in
+          ignore (Unix.write_substring fd line 0 (String.length line)));
+      (* The orphaned compute drains: queue depth returns to 0. *)
+      let rec wait_drained n =
+        let stats = call_ok endpoint stats_req in
+        if int_member [ "queue_depth" ] stats = 0 then ()
+        else if n = 0 then Alcotest.fail "orphaned request never drained"
+        else begin
+          Unix.sleepf 0.05;
+          wait_drained (n - 1)
+        end
+      in
+      wait_drained 100;
+      (* Concurrent clients are untouched by the corpse: responses are
+         still byte-identical to the batch CLI. *)
+      let syscalls = [ "open"; "read" ] in
+      let clients =
+        List.map
+          (fun syscall -> Domain.spawn (fun () -> call_ok endpoint (bench_request syscall)))
+          syscalls
+      in
+      let responses = List.map Domain.join clients in
+      List.iter2
+        (fun syscall response ->
+          check_string "status" "ok" (Client.response_status response);
+          check_string
+            (Printf.sprintf "output for %s" syscall)
+            (expected_bench syscall)
+            (Client.response_output response))
+        syscalls responses)
+
+let test_match_deadline () =
+  (* A zero budget makes every match request overrun deterministically:
+     the daemon must answer with the structured 504 and the batch CLI's
+     quarantine exit code, not hang or 500. *)
+  let limits = { Daemon.default_limits with Daemon.deadline_s = Some 0. } in
+  with_daemon ~jobs:1 ~limits (fun endpoint ->
+      let response = call_ok endpoint (match_request (solve_pair "dl")) in
+      check_string "status" "error" (Client.response_status response);
+      check_string "label" "deadline-exceeded"
+        (match Json.member "error" response with Json.String s -> s | _ -> "?");
+      check_int "code" 504 (int_member [ "code" ] response);
+      check_int "exit" (Provmark.Exit_code.to_int Provmark.Exit_code.Quarantined)
+        (Client.response_exit response);
+      let stats = call_ok endpoint stats_req in
+      check_bool "deadline counted" true (int_member [ "deadline_errors" ] stats >= 1))
+
+let test_sigterm_drains () =
+  with_daemon_full ~jobs:2
+    ~limits:{ Daemon.default_limits with Daemon.drain_s = 5.0 }
+    (fun endpoint daemon ->
+      (* Put a request in flight, then deliver SIGTERM to our own
+         process (the daemon's handler owns the signal for now). *)
+      let client = Domain.spawn (fun () -> call_ok endpoint (bench_request "open")) in
+      let rec wait_busy n =
+        let stats = call_ok endpoint stats_req in
+        if int_member [ "queue_depth" ] stats + int_member [ "served" ] stats > 0 then ()
+        else if n = 0 then Alcotest.fail "request never started"
+        else begin
+          Unix.sleepf 0.02;
+          wait_busy (n - 1)
+        end
+      in
+      wait_busy 250;
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      (* The in-flight request still completes and flushes... *)
+      let response = Domain.join client in
+      check_string "in-flight request completed" "ok" (Client.response_status response);
+      (* ...and the daemon itself drains and returns: [run] counts the
+         request it served on the way out. *)
+      let served = Domain.join daemon in
+      check_bool "drained and returned" true (served >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker: repeated ASP degradation shunts to VF2             *)
+(* ------------------------------------------------------------------ *)
+
+let test_breaker_trips_and_shunts () =
+  Asp.Memo.clear ();
+  Asp.Memo.reset_stats ();
+  (* Exhaust every solve's step budget: each ASP match degrades to the
+     VF2 fallback and counts against the breaker. *)
+  Faults.Injector.set_plan
+    (Some { Faults.Plan.empty with Faults.Plan.seed = 3; solver_exhaust = 1.0 });
+  Fun.protect
+    ~finally:(fun () ->
+      Faults.Injector.set_plan None;
+      Asp.Memo.clear ();
+      Asp.Memo.reset_stats ())
+    (fun () ->
+      let limits =
+        {
+          Daemon.default_limits with
+          Daemon.breaker_threshold = 1;
+          breaker_cooldown_s = 60.0;
+        }
+      in
+      with_daemon ~jobs:1 ~limits (fun endpoint ->
+          (* First ASP request degrades; the breaker observes it when
+             the completion drains — before the response line is even
+             flushed, so the next request is deterministically
+             shunted. *)
+          let first = call_ok endpoint (match_request (solve_pair "bk1")) in
+          check_string "degraded request still answers" "ok" (Client.response_status first);
+          let second = call_ok endpoint (match_request (solve_pair "bk2")) in
+          check_string "shunted request answers" "ok" (Client.response_status second);
+          let stats = call_ok endpoint stats_req in
+          check_bool "breaker tripped" true (int_member [ "breaker"; "trips" ] stats >= 1);
+          check_string "breaker open" "open"
+            (match Json.member "breaker" stats |> Json.member "state" with
+            | Json.String s -> s
+            | _ -> "?");
+          check_bool "requests shunted" true
+            (int_member [ "breaker"; "shunted" ] stats >= 1)))
 
 (* ------------------------------------------------------------------ *)
 (* Solve coalescing (single-flight memo)                               *)
@@ -299,6 +524,16 @@ let () =
             test_warm_renamed_match_no_resolve;
           Alcotest.test_case "queue-full rejection" `Quick test_queue_full_rejection;
           Alcotest.test_case "malformed request" `Quick test_malformed_request;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "slow-loris idle timeout" `Quick test_slow_loris_timeout;
+          Alcotest.test_case "oversized line rejected" `Quick test_oversized_line_rejected;
+          Alcotest.test_case "connection cap overload" `Quick test_max_conns_overload;
+          Alcotest.test_case "mid-request disconnect" `Slow test_mid_request_disconnect;
+          Alcotest.test_case "match deadline" `Quick test_match_deadline;
+          Alcotest.test_case "SIGTERM drains" `Slow test_sigterm_drains;
+          Alcotest.test_case "breaker trips and shunts" `Slow test_breaker_trips_and_shunts;
         ] );
       ( "coalescing",
         [ Alcotest.test_case "K concurrent solves, one compute" `Quick test_memo_coalescing ] );
