@@ -549,29 +549,10 @@ let suite_parallel () =
 (* match-scale: the matching pipeline on synthetic graph pairs          *)
 (* ------------------------------------------------------------------ *)
 
-(* Merge one section into BENCH_match_scale.json, preserving whatever
-   other sections already wrote (match-scale and canon share the file,
-   and CI may run them in either order or alone). *)
+(* Section merging lives in Bench_gen.json_update_file so the tests can
+   reuse the same discipline; these are just the bench-local spellings. *)
 let bench_json_update_in file key value =
-  let existing =
-    if Sys.file_exists file then (
-      try
-        let ic = open_in_bin file in
-        let s = really_input_string ic (in_channel_length ic) in
-        close_in ic;
-        match Minijson.Json.of_string s with
-        | Minijson.Json.Object members -> members
-        | _ -> []
-        | exception Minijson.Json.Parse_error _ -> []
-      with Sys_error _ -> [])
-    else []
-  in
-  let members = List.filter (fun (k, _) -> k <> key) existing @ [ (key, value) ] in
-  let oc = open_out file in
-  output_string oc (Minijson.Json.to_string ~pretty:true (Minijson.Json.Object members));
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "\nwrote %S into %s\n" key file
+  Provmark.Bench_gen.json_update_file ~file ~key value
 
 let bench_json_update key value = bench_json_update_in "BENCH_match_scale.json" key value
 
@@ -1130,6 +1111,193 @@ let segment_bench () = segment_run ~sizes:[ 128; 256; 512; 1024 ]
 let segment_quick () = segment_run ~sizes:[ 64; 128 ]
 
 (* ------------------------------------------------------------------ *)
+(* planner: cost-based dispatch and the delta re-solve fast path        *)
+(* ------------------------------------------------------------------ *)
+
+(* Two legs.  The generalization leg keeps canon on and replays
+   transient-only trials of one structure — the serve daemon's
+   steady-state shape — comparing every fixed backend's cold solve
+   against Auto's delta path (trial 1 pays the rigidity refinement,
+   trials 2..N ride the cached verdict).  The similarity leg turns
+   canon off so every verdict genuinely reaches a solver, warms the
+   calibration table, and then races Auto's calibrated argmin against
+   each fixed backend.  Both legs merge one [planner] object into
+   BENCH_match_scale.json: per-size rows plus the global misprediction
+   and delta hit rates. *)
+let planner_run ~sizes =
+  section "planner: cost-based dispatch (calibrated argmin, delta re-solve vs fixed backends)";
+  let canon0 = Pgraph.Canon.is_enabled () in
+  let prune0 = Gmatch.Asp_backend.prune_enabled () in
+  let num f = Minijson.Json.Number f in
+  Gmatch.Planner.reset ();
+  Gmatch.Incremental.reset_delta ();
+  let gen_rows =
+    Fun.protect
+      ~finally:(fun () -> Pgraph.Canon.set_enabled canon0)
+      (fun () ->
+        Pgraph.Canon.set_enabled true;
+        List.map
+          (fun nodes ->
+            let g = Provmark.Bench_gen.rigid_trace ~nodes ~seed:(41 + nodes) in
+            let trial k = Provmark.Bench_gen.transient_variant ~seed:(1000 + (nodes * 17) + k) g in
+            let trials = 5 in
+            let cold backend =
+              let total = ref 0. in
+              for k = 1 to trials do
+                let v = trial k in
+                let m, t = timed (fun () -> Gmatch.Engine.generalization_matching ~backend g v) in
+                ignore m;
+                total := !total +. t
+              done;
+              !total /. float_of_int trials
+            in
+            let t_direct = cold Gmatch.Engine.Direct in
+            let t_incr = cold Gmatch.Engine.Incremental in
+            Gmatch.Incremental.reset_delta ();
+            let auto k =
+              snd
+                (timed (fun () ->
+                     Gmatch.Engine.generalization_matching ~backend:Gmatch.Engine.Auto g (trial k)))
+            in
+            let t_auto_first = auto 1 in
+            let t_auto_warm =
+              let total = ref 0. in
+              for k = 2 to trials do
+                total := !total +. auto k
+              done;
+              !total /. float_of_int (trials - 1)
+            in
+            let certified, fallbacks, cache_hits = Gmatch.Incremental.delta_stats () in
+            let best_fixed = Float.min t_direct t_incr in
+            let speedup = if t_auto_warm > 0. then best_fixed /. t_auto_warm else 0. in
+            (* the acceptance ratio: warm delta trials vs a cold solve
+               of the same pair (trial 1 pays the rigidity refinement,
+               trials 2..N ride the cached verdict) *)
+            let cold_over_warm = if t_auto_warm > 0. then t_auto_first /. t_auto_warm else 0. in
+            (nodes, t_direct, t_incr, t_auto_first, t_auto_warm, speedup, cold_over_warm, certified,
+             fallbacks, cache_hits))
+          sizes)
+  in
+  Printf.printf "generalization: transient-only trials (canon on, delta path live)\n";
+  Printf.printf "%-6s %12s %12s %12s %12s %9s %9s %9s %9s %9s\n" "nodes" "direct(s)" "incr(s)"
+    "auto1(s)" "autoN(s)" "speedup" "cold/warm" "certified" "fallback" "cachehit";
+  List.iter
+    (fun (nodes, td, ti, ta1, tan, sp, cw, cert, fall, hits) ->
+      Printf.printf "%-6d %12.6f %12.6f %12.6f %12.6f %9.1f %9.1f %9d %9d %9d\n" nodes td ti ta1
+        tan sp cw cert fall hits)
+    gen_rows;
+  let sim_rows =
+    Fun.protect
+      ~finally:(fun () ->
+        Pgraph.Canon.set_enabled canon0;
+        Gmatch.Asp_backend.set_prune prune0)
+      (fun () ->
+        (* canon off: the digest gate would answer every pair before the
+           calibrated path ever ran *)
+        Pgraph.Canon.set_enabled false;
+        Gmatch.Asp_backend.set_prune true;
+        List.map
+          (fun nodes ->
+            let g1, g2 = Provmark.Bench_gen.match_pair ~nodes ~seed:(61 + nodes) in
+            (* Warm the table on this very shape before measuring the
+               calibrated choice. *)
+            for _ = 1 to 10 do
+              ignore (Gmatch.Engine.similar ~backend:Gmatch.Engine.Auto g1 g2)
+            done;
+            (* Sub-millisecond solves drift more than the margins being
+               measured, so interleave the candidates round-robin (one
+               call each per rep) instead of timing sequential blocks —
+               GC and cache drift then hits everyone equally. *)
+            let reps = 20 in
+            let t_direct = ref 0. and t_incr = ref 0. and t_asp = ref 0. and t_auto = ref 0. in
+            (* whole-instance ASP grounding past 32 nodes is not
+               bench-friendly with canon off *)
+            let asp_ok = nodes <= 32 in
+            let measure cell backend =
+              let _, t = timed (fun () -> Gmatch.Engine.similar ~backend g1 g2) in
+              cell := !cell +. t
+            in
+            for _ = 1 to reps do
+              measure t_direct Gmatch.Engine.Direct;
+              measure t_incr Gmatch.Engine.Incremental;
+              if asp_ok then measure t_asp Gmatch.Engine.Asp;
+              measure t_auto Gmatch.Engine.Auto
+            done;
+            let avg cell = !cell /. float_of_int reps in
+            let t_direct = avg t_direct and t_incr = avg t_incr and t_auto = avg t_auto in
+            let t_asp = if asp_ok then avg t_asp else -1. in
+            let best_fixed =
+              List.fold_left
+                (fun acc t -> if t >= 0. && t < acc then t else acc)
+                infinity [ t_direct; t_incr; t_asp ]
+            in
+            (nodes, t_asp, t_direct, t_incr, t_auto, t_auto /. best_fixed))
+          sizes)
+  in
+  Printf.printf "\nsimilarity: calibrated dispatch (canon off, verdict-only)\n";
+  Printf.printf "%-6s %12s %12s %12s %12s %10s\n" "nodes" "asp(s)" "direct(s)" "incr(s)" "auto(s)"
+    "auto/best";
+  List.iter
+    (fun (nodes, ta, td, ti, tu, ratio) ->
+      Printf.printf "%-6d %12.6f %12.6f %12.6f %12.6f %10.2f\n" nodes ta td ti tu ratio)
+    sim_rows;
+  let decisions = Gmatch.Planner.decisions_total () in
+  let mispredictions = Gmatch.Planner.mispredictions () in
+  let mis_rate = if decisions > 0 then float_of_int mispredictions /. float_of_int decisions else 0. in
+  let d_cert = List.fold_left (fun a (_, _, _, _, _, _, _, c, _, _) -> a + c) 0 gen_rows in
+  let d_fall = List.fold_left (fun a (_, _, _, _, _, _, _, _, f, _) -> a + f) 0 gen_rows in
+  let hit_rate =
+    if d_cert + d_fall > 0 then float_of_int d_cert /. float_of_int (d_cert + d_fall) else 0.
+  in
+  Printf.printf "\ndecisions %d, mispredictions %d (rate %.3f); delta certified %d, fallbacks %d (hit rate %.3f)\n"
+    decisions mispredictions mis_rate d_cert d_fall hit_rate;
+  bench_json_update "planner"
+    (Minijson.Json.Object
+       [
+         ( "generalization",
+           Minijson.Json.Array
+             (List.map
+                (fun (nodes, td, ti, ta1, tan, sp, cw, cert, fall, hits) ->
+                  Minijson.Json.Object
+                    [
+                      ("nodes", num (float_of_int nodes));
+                      ("direct_s", num td);
+                      ("incremental_s", num ti);
+                      ("auto_first_s", num ta1);
+                      ("auto_warm_s", num tan);
+                      ("delta_speedup", num sp);
+                      ("delta_cold_over_warm", num cw);
+                      ("delta_certified", num (float_of_int cert));
+                      ("delta_fallbacks", num (float_of_int fall));
+                      ("delta_cache_hits", num (float_of_int hits));
+                    ])
+                gen_rows) );
+         ( "similarity",
+           Minijson.Json.Array
+             (List.map
+                (fun (nodes, ta, td, ti, tu, ratio) ->
+                  Minijson.Json.Object
+                    [
+                      ("nodes", num (float_of_int nodes));
+                      ("asp_s", num ta);
+                      ("direct_s", num td);
+                      ("incremental_s", num ti);
+                      ("auto_s", num tu);
+                      ("auto_vs_best_fixed", num ratio);
+                    ])
+                sim_rows) );
+         ("decisions", num (float_of_int decisions));
+         ("mispredictions", num (float_of_int mispredictions));
+         ("misprediction_rate", num mis_rate);
+         ("delta_certified", num (float_of_int d_cert));
+         ("delta_fallbacks", num (float_of_int d_fall));
+         ("delta_hit_rate", num hit_rate);
+       ])
+
+let planner_bench () = planner_run ~sizes:[ 64; 128; 256 ]
+let planner_quick () = planner_run ~sizes:[ 16; 32; 64 ]
+
+(* ------------------------------------------------------------------ *)
 (* serve-load: concurrent clients against a warm serve daemon          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1487,6 +1655,7 @@ let () =
     canon_bench ();
     corpus_scale ();
     segment_bench ();
+    planner_bench ();
     serve_load ()
   in
   (* [bench/main.exe <section>...] runs just the named sections. *)
@@ -1505,6 +1674,8 @@ let () =
       ("corpus-scale-quick", corpus_scale_quick);
       ("segment", segment_bench);
       ("segment-quick", segment_quick);
+      ("planner", planner_bench);
+      ("planner-quick", planner_quick);
       ("serve-load", serve_load);
       ("serve-load-quick", serve_load_quick);
       ("serve-chaos", serve_chaos);

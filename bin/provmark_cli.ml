@@ -21,11 +21,42 @@ let trials_arg =
   let doc = "Number of trials per variant (default: per-tool)." in
   Arg.(value & opt (some int) None & info [ "trials"; "t" ] ~docv:"N" ~doc)
 
-let backend_arg =
+(* The backend is optional so planner mode can tell "the user chose a
+   backend" from "use the default": with no explicit --backend and
+   planner mode auto (the default), matches dispatch through the
+   per-instance cost planner; --planner fixed or --no-planner restores
+   the historical fixed default. *)
+let backend_opt_arg =
   let doc = "Graph matching backend: asp (the paper's Listing 3/4 specifications \
-             through the mini answer-set solver), direct (native matcher) or \
-             incremental (creation-order fast path with exact fallback)." in
-  Arg.(value & opt backend_conv Gmatch.Engine.default_backend & info [ "backend" ] ~docv:"B" ~doc)
+             through the mini answer-set solver), direct (native matcher), \
+             incremental (creation-order fast path with exact fallback) or auto \
+             (per-instance cost-based planner). Defaults to auto unless \
+             $(b,--planner fixed) / $(b,--no-planner) is given." in
+  Arg.(value & opt (some backend_conv) None & info [ "backend" ] ~docv:"B" ~doc)
+
+let planner_arg =
+  let doc = "Backend planning mode: auto (default — when no explicit $(b,--backend) \
+             is given, every match instance dispatches through the cost-based \
+             planner: sound bypasses first, calibrated argmin where the answer \
+             cannot depend on the choice) or fixed (keep the flag-selected \
+             backend for every instance, today's behaviour)." in
+  Arg.(value & opt (Arg.enum [ ("auto", `Auto); ("fixed", `Fixed) ]) `Auto
+       & info [ "planner" ] ~docv:"MODE" ~doc)
+
+let no_planner_arg =
+  let doc = "Escape hatch: synonym for $(b,--planner fixed)." in
+  Arg.(value & flag & info [ "no-planner" ] ~doc)
+
+(* One composed term so every subcommand that used to take a backend
+   now resolves (backend, planner flags) the same way. *)
+let backend_arg =
+  let resolve backend planner no_planner =
+    match backend with
+    | Some b -> b
+    | None ->
+        if no_planner || planner = `Fixed then Gmatch.Engine.default_backend else Gmatch.Engine.Auto
+  in
+  Term.(const resolve $ backend_opt_arg $ planner_arg $ no_planner_arg)
 
 let seed_arg =
   let doc = "Base seed for transient-value derivation." in
@@ -170,7 +201,11 @@ let store_of ~store ~no_store =
   if no_store then None
   else
     match Provmark.Artifact_store.create ~dir:store with
-    | s -> Some s
+    | s ->
+        (* A store also carries the planner's calibration table, so a
+           fresh process starts with learned costs, not priors. *)
+        Provmark.Session.warm_planner (Some s);
+        Some s
     | exception Sys_error msg -> invalid_config msg
 
 let trace_arg =
@@ -294,6 +329,7 @@ let run_cmd =
         print_result ~result_type r;
         write_trace trace [ r ];
         print_store_stats store;
+        Provmark.Session.persist_planner store;
         finish_run [ r ]
   in
   let term =
@@ -343,6 +379,7 @@ let batch_cmd =
         List.iter (fun (_, results) -> output_string oc (Provmark.Report.timing_csv results)) matrix;
         close_out oc;
         Printf.printf "Timing CSV written to %s\n" file);
+    Provmark.Session.persist_planner store;
     finish_run (List.concat_map snd matrix)
   in
   let term =
@@ -385,6 +422,7 @@ let report_cmd =
     Provmark.Html_report.write_file out (Provmark.Html_report.render matrix);
     Printf.printf "HTML report written to %s\n" out;
     print_store_stats store;
+    Provmark.Session.persist_planner store;
     finish_run (List.concat_map snd matrix)
   in
   let term =

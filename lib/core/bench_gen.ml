@@ -214,3 +214,90 @@ let match_pair ~nodes ~seed =
     | None -> ()
   done;
   (g1, !perturbed)
+
+(* A provenance trace with a rigid structure: a single lineage chain
+   (node [i] consumes node [i-1], with occasional shortcut edges two
+   steps back) — the shape of a real recorded syscall trace, where one
+   process's actions follow each other in order.  Refinement separates
+   every position by its distance from the ends, so the automorphism
+   group is trivial and the delta re-solve fast path can certify
+   transient-only re-runs of the same trace.  Labels and transient
+   values are still seed-randomized. *)
+let rigid_trace ~nodes ~seed =
+  let rng = Prng.create ~seed:(Int64.of_int seed) in
+  let g = ref Graph.empty in
+  for i = 0 to nodes - 1 do
+    let label = node_label_pool.(Prng.int rng (Array.length node_label_pool)) in
+    g :=
+      Graph.add_node !g ~id:(Printf.sprintf "n%d" i) ~label
+        ~props:(Props.of_list [ ("seq", string_of_int i); ("token", Prng.hex_token rng) ])
+  done;
+  let edge = ref 0 in
+  let link i j =
+    let label = edge_label_pool.(Prng.int rng (Array.length edge_label_pool)) in
+    g :=
+      Graph.add_edge !g
+        ~id:(Printf.sprintf "e%d" !edge)
+        ~src:(Printf.sprintf "n%d" i)
+        ~tgt:(Printf.sprintf "n%d" j)
+        ~label ~props:(Props.of_list [ ("op", Prng.hex_token rng) ]);
+    incr edge
+  in
+  for i = 1 to nodes - 1 do
+    link i (i - 1);
+    if i >= 2 && Prng.int rng 4 = 0 then link i (i - 2)
+  done;
+  !g
+
+(* A transient-only rewrite of [g]: identical identifiers, labels,
+   topology and structural properties, but every transient value
+   ("token" on nodes, "op" on edges — the per-run noise [random_graph]
+   plants) re-randomized from [seed].  The result has the same
+   canonical structure digest as [g], which is exactly the shape the
+   delta re-solve fast path certifies. *)
+let transient_variant ~seed g =
+  let rng = Prng.create ~seed:(Int64.of_int seed) in
+  let refresh key props =
+    if Props.mem key props then Props.add key (Prng.hex_token rng) props else props
+  in
+  let g =
+    List.fold_left
+      (fun acc (n : Graph.node) ->
+        Graph.set_node_props acc n.Graph.node_id (refresh "token" n.Graph.node_props))
+      g (Graph.nodes g)
+  in
+  List.fold_left
+    (fun acc (e : Graph.edge) ->
+      Graph.set_edge_props acc e.Graph.edge_id (refresh "op" e.Graph.edge_props))
+    g (Graph.edges g)
+
+(* ------------------------------------------------------------------ *)
+(* Bench-output plumbing                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Merge one section into a shared bench JSON file, preserving whatever
+   other sections already wrote (match-scale, canon, segment and
+   planner share BENCH_match_scale.json, and CI may run them in any
+   order or alone).  A missing or unparsable file degrades to a fresh
+   object rather than an error: bench output must never gate on stale
+   artifacts. *)
+let json_update_file ~file ~key value =
+  let existing =
+    if Sys.file_exists file then (
+      try
+        let ic = open_in_bin file in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Minijson.Json.of_string s with
+        | Minijson.Json.Object members -> members
+        | _ -> []
+        | exception Minijson.Json.Parse_error _ -> []
+      with Sys_error _ -> [])
+    else []
+  in
+  let members = List.filter (fun (k, _) -> k <> key) existing @ [ (key, value) ] in
+  let oc = open_out file in
+  output_string oc (Minijson.Json.to_string ~pretty:true (Minijson.Json.Object members));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %S into %s\n" key file

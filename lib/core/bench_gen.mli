@@ -33,3 +33,29 @@ val pair_sequences : string list -> Oskernel.Program.t list
     alignment cost — the worst case for the matching pipeline, used by
     the [match-scale] benchmark section. *)
 val match_pair : nodes:int -> seed:int -> Pgraph.Graph.t * Pgraph.Graph.t
+
+(** [rigid_trace ~nodes ~seed] generates a deterministic synthetic
+    trace whose structure is {e rigid} (trivial automorphism group): a
+    single lineage chain with occasional two-step shortcut edges, the
+    shape of a real recorded syscall trace.  Combined with
+    {!transient_variant} this is the steady-state workload of the delta
+    re-solve fast path: consecutive trials of one benchmark differing
+    only in transient values. *)
+val rigid_trace : nodes:int -> seed:int -> Pgraph.Graph.t
+
+(** [transient_variant ~seed g] rewrites only the transient property
+    values of [g] ("token" on nodes, "op" on edges), re-randomized from
+    [seed]; identifiers, labels, topology and structural properties are
+    untouched, so the result shares [g]'s canonical structure digest.
+    This is the consecutive-trial shape the delta re-solve fast path
+    certifies, used by the planner differential tests and the [planner]
+    benchmark section. *)
+val transient_variant : seed:int -> Pgraph.Graph.t -> Pgraph.Graph.t
+
+(** [json_update_file ~file ~key value] merges [(key, value)] into the
+    JSON object stored at [file], replacing any previous binding for
+    [key] and preserving the rest — the shared output discipline of the
+    benchmark sections that accumulate into one file
+    (BENCH_match_scale.json, BENCH_serve.json).  A missing or
+    unparsable file is treated as an empty object. *)
+val json_update_file : file:string -> key:string -> Minijson.Json.t -> unit

@@ -85,7 +85,12 @@ let recording_fingerprint t =
    segmentation mode (and its size threshold, which decides *which*
    pairs decompose) joins them for the same reason again: stitched
    witnesses are cost-optimal but need not coincide with the
-   whole-graph solver's choice. *)
+   whole-graph solver's choice.  The planner needs no field of its
+   own: Auto is a backend, so "auto" lands in the fingerprint through
+   backend_to_string like any fixed choice — and the calibration state
+   behind it deliberately never influences a cached artifact (the
+   planner's timing-sensitive choices are confined to instances where
+   every candidate returns identical bytes). *)
 let backend_fp t =
   Printf.sprintf "%s,prune=%b,fallback=%b,canon=%b,segment=%s"
     (Gmatch.Engine.backend_to_string t.backend)

@@ -1,4 +1,13 @@
-type backend = Asp | Direct | Incremental
+(* [Auto] is the planner: instead of one fixed solver it consults
+   [Planner] per instance — sound bypasses first (canonical digests,
+   delta witness reuse), then calibrated argmin dispatch where the
+   output cannot depend on the choice (similarity verdicts), and the
+   default fixed solver where it could (witness-producing solves).
+   It is a distinct variant rather than a process-wide flag so that
+   explicitly configured backends keep today's behaviour bit for bit,
+   and so "auto" flows into Config.backend_fp like any other backend
+   name — cached artifacts never mix planner and fixed-mode runs. *)
+type backend = Asp | Direct | Incremental | Auto
 
 let default_backend = Direct
 
@@ -6,12 +15,15 @@ let backend_of_string = function
   | "asp" -> Ok Asp
   | "direct" | "vf2" -> Ok Direct
   | "incremental" | "inc" -> Ok Incremental
-  | s -> Error (Printf.sprintf "unknown matching backend %S (expected asp, direct or incremental)" s)
+  | "auto" -> Ok Auto
+  | s ->
+      Error (Printf.sprintf "unknown matching backend %S (expected asp, direct, incremental or auto)" s)
 
 let backend_to_string = function
   | Asp -> "asp"
   | Direct -> "direct"
   | Incremental -> "incremental"
+  | Auto -> "auto"
 
 (* Process-wide toggle, same discipline as Asp_backend.prune_flag: it
    changes answers only when the ASP solver exhausts its budget, and it
@@ -168,6 +180,34 @@ let reset_segment_stats () =
       seg_fallback_count;
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Planner dispatch helpers                                            *)
+
+(* Time a dispatched solve, feed the measured duration back into the
+   planner's calibration table and log the decision (per-candidate
+   counter + per-domain span-tag line with predicted vs actual). *)
+let planner_dispatch ~task c feats f =
+  let predicted = Planner.predict c feats in
+  let t0 = Planner.now_s () in
+  let r = f () in
+  let dur = Planner.now_s () -. t0 in
+  Planner.observe c ~nodes:feats.Planner.f_nodes dur;
+  Planner.note ~task c ~predicted ~actual:dur;
+  r
+
+(* The delta path under Auto: only a hit is a decision (a miss costs a
+   cached rigidity lookup and falls through to the normal dispatch). *)
+let auto_delta ~task ~sub f1 f2 g1 g2 =
+  let t0 = Planner.now_s () in
+  match Incremental.delta ~sub f1 f2 g1 g2 with
+  | Some m ->
+      let dur = Planner.now_s () -. t0 in
+      let feats = Planner.features ~forms:true g1 g2 in
+      Planner.observe Planner.Delta ~nodes:feats.Planner.f_nodes dur;
+      Planner.note ~task Planner.Delta ~predicted:(Planner.predict Planner.Delta feats) ~actual:dur;
+      Some m
+  | None -> None
+
 let canon_pair g1 g2 =
   if Pgraph.Canon.is_enabled () then
     match (Pgraph.Canon.form g1, Pgraph.Canon.form g2) with
@@ -211,7 +251,12 @@ let segment_similar ~backend (p : Pgraph.Summarize.plan) =
     let left = s.Pgraph.Summarize.left and right = s.Pgraph.Summarize.right in
     verdicts.(i) <-
       (match backend with
-      | Direct -> Vf2.similar left right
+      (* Auto's segment instances stay on VF2: they are small by
+         construction (bounded by the largest ambiguous component) and
+         a per-segment calibrated choice could flip memo counters with
+         scheduling.  The planner's segmented-vs-whole accounting
+         happens at the plan level, on the calling domain. *)
+      | Direct | Auto -> Vf2.similar left right
       | Incremental -> Incremental.similar left right
       | Asp -> (
           match Asp_backend.similar_checked left right with
@@ -240,7 +285,7 @@ let segment_iso ~backend g1 g2 (p : Pgraph.Summarize.plan) =
     let left = s.Pgraph.Summarize.left and right = s.Pgraph.Summarize.right in
     witnesses.(i) <-
       (match backend with
-      | Direct -> Vf2.iso_min_cost left right
+      | Direct | Auto -> Vf2.iso_min_cost left right
       | Incremental -> Incremental.iso_min_cost left right
       | Asp -> (
           match Asp_backend.iso_min_cost_checked left right with
@@ -277,19 +322,40 @@ let segment_iso ~backend g1 g2 (p : Pgraph.Summarize.plan) =
     Some m
 
 let similar ?(backend = default_backend) g1 g2 =
+  let asp_similar () =
+    match Asp_backend.similar_checked g1 g2 with
+    | Ok b -> b
+    | Error `Step_limit ->
+        if fallback_enabled () then begin
+          degraded "similarity";
+          Vf2.similar g1 g2
+        end
+        else false
+  in
   let whole () =
     match backend with
-    | Asp -> (
-        match Asp_backend.similar_checked g1 g2 with
-        | Ok b -> b
-        | Error `Step_limit ->
-            if fallback_enabled () then begin
-              degraded "similarity";
-              Vf2.similar g1 g2
-            end
-            else false)
+    | Asp -> asp_similar ()
     | Direct -> Vf2.similar g1 g2
     | Incremental -> Incremental.similar g1 g2
+    | Auto ->
+        (* A verdict is backend-independent, so the calibrated argmin
+           is free to follow the cost model wherever it points — but
+           nothing observable may depend on where it pointed.  The
+           incremental and ASP dispatches run with their counters muted
+           (those counters feed the batch CLI's deterministic stats
+           epilogue), and a step-limited ASP bet falls back to the
+           exact VF2 verdict with no degradation marker: the planner
+           merely lost its wager, the answer is one exact solve away. *)
+        let feats = Planner.features g1 g2 in
+        let c = Planner.choose_similar feats in
+        planner_dispatch ~task:"similarity" c feats (fun () ->
+            match c with
+            | Planner.Incr -> Incremental.similar ~counted:false g1 g2
+            | Planner.Asp -> (
+                match Asp.Memo.quietly (fun () -> Asp_backend.similar_checked g1 g2) with
+                | Ok b -> b
+                | Error `Step_limit -> Vf2.similar g1 g2)
+            | _ -> Vf2.similar g1 g2)
   in
   match canon_pair g1 g2 with
   | Some (f1, f2) ->
@@ -306,7 +372,10 @@ let similar ?(backend = default_backend) g1 g2 =
         | Pgraph.Summarize.Whole -> whole ()
         | Pgraph.Summarize.Segmented p ->
             seg_mark_pair "similarity";
-            segment_similar ~backend p
+            if backend = Auto then
+              planner_dispatch ~task:"similarity" Planner.Seg (Planner.features g1 g2) (fun () ->
+                  segment_similar ~backend p)
+            else segment_similar ~backend p
       else whole ()
 
 let generalization_matching ?(backend = default_backend) g1 g2 =
@@ -323,6 +392,15 @@ let generalization_matching ?(backend = default_backend) g1 g2 =
             else Asp_backend.iso_min_cost g1 g2)
     | Direct -> Vf2.iso_min_cost g1 g2
     | Incremental -> Incremental.iso_min_cost g1 g2
+    | Auto ->
+        (* Witness-producing: the optimal witness is part of the
+           observable answer, so the choice may not float with the
+           calibration.  When no sound bypass applied (digest, delta)
+           Auto runs the default backend; the dispatch still feeds the
+           cost model and the decision log, keeping predictions
+           auditable on exactly the instances a bypass missed. *)
+        let feats = Planner.features ~forms:false g1 g2 in
+        planner_dispatch ~task:"generalization" Planner.Vf2 feats (fun () -> Vf2.iso_min_cost g1 g2)
   in
   let solve () =
     if segmentable g1 g2 then
@@ -333,10 +411,15 @@ let generalization_matching ?(backend = default_backend) g1 g2 =
       | Pgraph.Summarize.Whole -> whole ()
       | Pgraph.Summarize.Segmented p -> (
           seg_mark_pair "generalization";
-          try segment_iso ~backend g1 g2 p
-          with Stitch_mismatch ->
-            Atomic.incr seg_fallback_count;
-            whole ())
+          let segmented () =
+            try segment_iso ~backend g1 g2 p
+            with Stitch_mismatch ->
+              Atomic.incr seg_fallback_count;
+              whole ()
+          in
+          if backend = Auto then
+            planner_dispatch ~task:"generalization" Planner.Seg (Planner.features g1 g2) segmented
+          else segmented ())
     else whole ()
   in
   match canon_pair g1 g2 with
@@ -349,6 +432,12 @@ let generalization_matching ?(backend = default_backend) g1 g2 =
       | Some m ->
           canon_skip "generalization";
           Some m
+      | None when backend = Auto -> (
+          (* Same structure, transient property deltas: reuse the
+             provably unique witness instead of solving cold. *)
+          match auto_delta ~task:"generalization" ~sub:false f1 f2 g1 g2 with
+          | Some m -> Some m
+          | None -> solve ())
       | None -> solve ())
   | None -> solve ()
 
@@ -366,15 +455,25 @@ let subgraph_matching ?(backend = default_backend) g1 g2 =
             else Asp_backend.sub_iso_min_cost g1 g2)
     | Direct -> Vf2.sub_iso_min_cost g1 g2
     | Incremental -> Incremental.sub_iso_min_cost g1 g2
+    | Auto ->
+        (* Witness-producing, like generalization: fixed dispatch with
+           the cost model auditing the prediction. *)
+        let feats = Planner.features ~forms:false g1 g2 in
+        planner_dispatch ~task:"comparison" Planner.Vf2 feats (fun () -> Vf2.sub_iso_min_cost g1 g2)
   in
   (* Unequal digests prove nothing here (a proper subgraph embedding
      may still exist), so only the equal-digest zero-cost case can
-     bypass the search. *)
+     bypass the search.  Equal digests pin equal sizes, which is what
+     extends the delta path's uniqueness argument to embeddings. *)
   match canon_pair g1 g2 with
   | Some (f1, f2) when same_digest f1 f2 -> (
       match zero_cost_witness g1 g2 f1 f2 with
       | Some m ->
           canon_skip "comparison";
           Some m
+      | None when backend = Auto -> (
+          match auto_delta ~task:"comparison" ~sub:true f1 f2 g1 g2 with
+          | Some m -> Some m
+          | None -> solve ())
       | None -> solve ())
   | _ -> solve ()

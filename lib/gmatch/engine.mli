@@ -12,6 +12,15 @@ type backend =
       (** creation-order greedy alignment with certified optimality and
           exact fallback (the paper's Section 5.4 suggestion); always
           returns the same answers as [Direct] *)
+  | Auto
+      (** per-instance cost-based dispatch through {!Planner}: sound
+          bypasses first (canonical digests; {!Incremental.delta}
+          witness reuse on rigid transient-only pairs), calibrated
+          argmin among the solvers for similarity verdicts, and the
+          default backend for witness-producing solves — so output is
+          byte-identical to the fixed default while the hot path takes
+          whichever sound strategy is cheapest.  Participates in
+          [Config.backend_fp] as ["auto"] like any fixed backend. *)
 
 val default_backend : backend
 

@@ -119,14 +119,18 @@ let attempt ~sub g1 g2 =
       None
 
 (* Similarity ignores properties, so any verified bijection certifies it
-   — no cost bound needed. *)
-let similar g1 g2 =
+   — no cost bound needed.  [~counted:false] is the planner's calibrated
+   dispatch: whether an instance lands here depends on measured timings,
+   and the certified/fallback counters feed the batch CLI's
+   deterministic cache-stats epilogue, so those dispatches must not
+   move them. *)
+let similar ?(counted = true) g1 g2 =
   match greedy ~sub:false g1 g2 with
   | Some _ ->
-      Atomic.incr certified;
+      if counted then Atomic.incr certified;
       true
   | None ->
-      Atomic.incr fallbacks;
+      if counted then Atomic.incr fallbacks;
       Vf2.similar g1 g2
 
 let iso_min_cost g1 g2 =
@@ -134,3 +138,111 @@ let iso_min_cost g1 g2 =
 
 let sub_iso_min_cost g1 g2 =
   match attempt ~sub:true g1 g2 with Some m -> Some m | None -> Vf2.sub_iso_min_cost g1 g2
+
+(* ------------------------------------------------------------------ *)
+(* Delta re-solve: witness reuse across transient-only variations.     *)
+
+(* ProvMark's workload is dominated by consecutive trials of one
+   benchmark whose graphs differ only in transient properties — same
+   canonical structure digest, different pids/timestamps/tokens.  For
+   such pairs a cold solve is pure waste when the structure admits
+   exactly one matching.
+
+   The certificate is *rigidity*: if Weisfeiler-Leman refinement at
+   the pair's common stable depth separates every node (all colour
+   classes singletons) and every edge (label + endpoint colours all
+   distinct), the graph has a trivial automorphism group.  Two
+   digest-equal graphs then admit exactly ONE label-isomorphism: any
+   two would differ by a nontrivial automorphism.  That unique
+   bijection is what [Canon.witness] returns (the positional pairing
+   of the canonical orders is a label-isomorphism whenever digests are
+   equal, hence *the* one), it is trivially cost-optimal for any
+   property values (no alternative exists), and it is byte-identical
+   to what every backend returns — which is what lets the Auto planner
+   take this path without perturbing fixed-backend output.  When the
+   counts are equal — canonical digests pin node and edge counts — the
+   same argument covers sub-iso embeddings: an injective embedding
+   between equal-sized graphs is a bijection, hence the unique iso.
+
+   Rigidity is a pure function of the structure (colours are
+   isomorphism-invariant), so the verdict is cached per canonical
+   digest: trial 1 of a benchmark pays the refinement and populates
+   the entry, trials 2..N reuse it and rebuild the witness from the
+   (already cached) canonical forms in linear time.  The cache is a
+   performance memo only — a miss recomputes the same verdict — so
+   certified/fallback counts are deterministic functions of the pairs
+   attempted, while hit counts may depend on scheduling and are only
+   surfaced where that is acceptable (serve stats, benches). *)
+
+let delta_certified = Atomic.make 0
+let delta_fallbacks = Atomic.make 0
+let delta_cache_hits = Atomic.make 0
+
+let delta_stats () = (Atomic.get delta_certified, Atomic.get delta_fallbacks, Atomic.get delta_cache_hits)
+
+let rigidity_mutex = Mutex.create ()
+let rigidity_cache : (string, bool) Hashtbl.t = Hashtbl.create 64
+let max_rigidity_entries = 16_384
+
+let reset_delta () =
+  Atomic.set delta_certified 0;
+  Atomic.set delta_fallbacks 0;
+  Atomic.set delta_cache_hits 0;
+  Mutex.lock rigidity_mutex;
+  Hashtbl.reset rigidity_cache;
+  Mutex.unlock rigidity_mutex
+
+let all_distinct colours =
+  let module S = Set.Make (Int64) in
+  let rec go s = function
+    | [] -> true
+    | (_, c) :: rest -> if S.mem c s then false else go (S.add c s) rest
+  in
+  go S.empty colours
+
+(* Discrete node and edge partitions at the pair's common stable
+   depth.  Checking both graphs is redundant given digest equality
+   (class sizes are iso-invariant) but cheap and defensive. *)
+let rigid_pair g1 g2 =
+  let rounds = max (Fingerprint.stable_rounds g1) (Fingerprint.stable_rounds g2) in
+  all_distinct (Fingerprint.node_colours ~rounds g1)
+  && all_distinct (Fingerprint.edge_colours ~rounds g1)
+  && all_distinct (Fingerprint.node_colours ~rounds g2)
+  && all_distinct (Fingerprint.edge_colours ~rounds g2)
+
+let delta ~sub f1 f2 g1 g2 =
+  if not (String.equal f1.Canon.digest f2.Canon.digest) then None
+  else
+    let rigid =
+      let key = f1.Canon.digest in
+      Mutex.lock rigidity_mutex;
+      let cached = Hashtbl.find_opt rigidity_cache key in
+      Mutex.unlock rigidity_mutex;
+      match cached with
+      | Some r ->
+          Atomic.incr delta_cache_hits;
+          r
+      | None ->
+          let r = rigid_pair g1 g2 in
+          Mutex.lock rigidity_mutex;
+          if Hashtbl.length rigidity_cache >= max_rigidity_entries then Hashtbl.reset rigidity_cache;
+          Hashtbl.replace rigidity_cache key r;
+          Mutex.unlock rigidity_mutex;
+          r
+    in
+    if not rigid then (
+      Atomic.incr delta_fallbacks;
+      None)
+    else
+      let m = Matching.of_pairs g1 (Canon.witness f1 f2) 0 in
+      let m = { m with Matching.cost = Matching.cost_of g1 g2 m } in
+      (* Safety net, same posture as stitched witnesses: the theorem
+         says this cannot fail, the verifier makes sure a bug here can
+         only cost performance, never correctness. *)
+      match Matching.verify ~sub g1 g2 m with
+      | Ok () ->
+          Atomic.incr delta_certified;
+          Some m
+      | Error _ ->
+          Atomic.incr delta_fallbacks;
+          None

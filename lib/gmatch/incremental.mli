@@ -18,8 +18,51 @@ val stats : unit -> int * int
 
 val reset_stats : unit -> unit
 
-val similar : Pgraph.Graph.t -> Pgraph.Graph.t -> bool
+(** [?counted:false] leaves the certified/fallback counters untouched —
+    used by the planner's calibrated dispatch, whose routing depends on
+    measured timings while the counters feed deterministic stdout. *)
+val similar : ?counted:bool -> Pgraph.Graph.t -> Pgraph.Graph.t -> bool
 
 val iso_min_cost : Pgraph.Graph.t -> Pgraph.Graph.t -> Matching.t option
 
 val sub_iso_min_cost : Pgraph.Graph.t -> Pgraph.Graph.t -> Matching.t option
+
+(** {2 Delta re-solve}
+
+    Witness reuse across transient-only variation — consecutive trials
+    of one benchmark share a canonical structure digest and differ only
+    in property values.  [delta ~sub f1 f2 g1 g2] answers such a pair
+    without search when the structure is {e rigid}: Weisfeiler–Leman
+    refinement at the pair's common stable depth separates every node
+    and every edge, so the automorphism group is trivial and exactly
+    one label-isomorphism exists between the digest-equal graphs.
+    That unique bijection is [Canon.witness f1 f2]; it is optimal for
+    any property values and byte-identical to every backend's answer,
+    which is why the Auto planner may take this path without changing
+    output.  Equal digests pin the element counts, so with [~sub:true]
+    the same argument covers embeddings (injective + equal sizes =
+    bijective).
+
+    Returns [None] — never an unsound witness — when the digests
+    differ, the structure is not rigid, or the rebuilt witness fails
+    verification (theorem says impossible; the verifier turns a bug
+    into a performance loss instead of a wrong answer).  Rigidity
+    verdicts are cached per digest, so trials 2..N skip the refinement
+    too; the cache is a pure performance memo and never changes an
+    answer. *)
+val delta :
+  sub:bool ->
+  Pgraph.Canon.form ->
+  Pgraph.Canon.form ->
+  Pgraph.Graph.t ->
+  Pgraph.Graph.t ->
+  Matching.t option
+
+(** [(certified, fallbacks, cache_hits)] for the delta path.  Certified
+    and fallback counts are pure functions of the pairs attempted;
+    cache hits can depend on domain scheduling and are only surfaced
+    where that is acceptable (serve stats, benches). *)
+val delta_stats : unit -> int * int * int
+
+(** Clear delta counters and the rigidity cache (tests, benches). *)
+val reset_delta : unit -> unit

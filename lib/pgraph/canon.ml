@@ -203,6 +203,22 @@ let cache_mutex = Mutex.create ()
 let cache : (string, form option) Hashtbl.t = Hashtbl.create 256
 let max_cache_entries = 16_384
 
+(* Hot-path accounting: [forms_computed] counts actual
+   individualization-refinement searches, [cache_hits] counts calls
+   answered from the cache.  Every consumer of canonical forms — the
+   engine's digest bypass, the memo's rename-invariant keys, the
+   artifact store's graph digests, the planner's delta certificates —
+   goes through [form], so [forms_computed] staying at one per
+   distinct graph is the proof that none of them re-canonicalizes. *)
+let forms_computed = Atomic.make 0
+let cache_hits = Atomic.make 0
+
+let stats () = (Atomic.get forms_computed, Atomic.get cache_hits)
+
+let reset_stats () =
+  Atomic.set forms_computed 0;
+  Atomic.set cache_hits 0
+
 let cache_key g =
   let buf = Buffer.create 256 in
   List.iter
@@ -238,8 +254,11 @@ let form g =
   let key = cache_key g in
   let cached = with_lock (fun () -> Hashtbl.find_opt cache key) in
   match cached with
-  | Some f -> f
+  | Some f ->
+      Atomic.incr cache_hits;
+      f
   | None ->
+      Atomic.incr forms_computed;
       let f = compute_form g in
       with_lock (fun () ->
           if Hashtbl.length cache >= max_cache_entries then Hashtbl.reset cache;

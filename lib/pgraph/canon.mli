@@ -76,3 +76,13 @@ val witness : form -> form -> (string * string) list
 (** Drop every cached form (for benchmarks timing cold
     canonicalization). *)
 val clear : unit -> unit
+
+(** [(computed, cache_hits)] — individualization-refinement searches
+    actually run vs. calls answered from the form cache, process-wide.
+    Every consumer of canonical forms (digest bypass, memo rekeying,
+    store digests, the planner's delta certificates) shares the one
+    cache, so [computed] staying at one per distinct graph proves the
+    hot path never canonicalizes twice. *)
+val stats : unit -> int * int
+
+val reset_stats : unit -> unit

@@ -1,0 +1,378 @@
+(* The cost-based backend planner and the delta re-solve fast path.
+
+   Four layers are pinned here:
+   - Planner mechanics: calibration steers choose_similar, the
+     export/import roundtrip restores a warm table (tolerantly), and
+     decision notes drain into the span-tag log exactly once;
+   - the differential contract: the Auto backend agrees with every
+     fixed backend on verdict and optimal cost — over random pairs,
+     ProvGen corpus pairs, perturbed and transient-only variants — and
+     every witness it returns verifies;
+   - delta soundness: consecutive transient-only trials of a rigid
+     structure reuse the certified canonical witness (trial 2 hits the
+     rigidity cache), non-rigid structures fall back to a real solve,
+     and no graph is canonicalized twice along the way;
+   - the pipeline: suite output is byte-identical with the planner on
+     (Auto) and off (the fixed default), and across job counts. *)
+
+open Pgraph
+module Engine = Gmatch.Engine
+module Matching = Gmatch.Matching
+module Planner = Gmatch.Planner
+module Incremental = Gmatch.Incremental
+module Recorder = Recorders.Recorder
+module Result_ = Provmark.Result
+module Config = Provmark.Config
+module Parallel_runner = Provmark.Parallel_runner
+module Bench_gen = Provmark.Bench_gen
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_canon enabled f =
+  Canon.set_enabled enabled;
+  Fun.protect ~finally:(fun () -> Canon.set_enabled true) f
+
+(* ------------------------------------------------------------------ *)
+(* Planner mechanics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Sparse and rigid (every node its own colour class): the shape whose
+   priors rank VF2 cheapest. *)
+let small_features = { Planner.f_nodes = 6; f_edges = 2; f_width = lazy 6; f_forms = false }
+
+let test_calibration_steers_choice () =
+  Planner.reset ();
+  Fun.protect ~finally:Planner.reset (fun () ->
+      (* Cold table: the static priors rank VF2 cheapest on a sparse,
+         zero-ambiguity instance. *)
+      check_bool "cold choice is vf2" true (Planner.choose_similar small_features = Planner.Vf2);
+      (* Teach it otherwise: vf2 measured catastrophically slow in this
+         bucket, incremental essentially free. *)
+      for _ = 1 to 20 do
+        Planner.observe Planner.Vf2 ~nodes:small_features.Planner.f_nodes 1.0;
+        Planner.observe Planner.Incr ~nodes:small_features.Planner.f_nodes 1e-6
+      done;
+      check_bool "calibrated choice moves to incremental" true
+        (Planner.choose_similar small_features = Planner.Incr);
+      check_bool "observations counted" true (Planner.observations () >= 40);
+      check_bool "cells warmed" true (Planner.calibrated_cells () >= 2))
+
+let test_export_import_roundtrip () =
+  Planner.reset ();
+  Fun.protect ~finally:Planner.reset (fun () ->
+      for _ = 1 to 10 do
+        Planner.observe Planner.Asp ~nodes:100 0.25;
+        Planner.observe Planner.Vf2 ~nodes:100 0.001
+      done;
+      let prediction = Planner.predict Planner.Asp { small_features with Planner.f_nodes = 100 } in
+      let dump = Planner.export () in
+      Planner.reset ();
+      Planner.import dump;
+      check_bool "imported cells are warm" true (Planner.calibrated_cells () >= 2);
+      check_int "imported cells do not count as observations" 0 (Planner.observations ());
+      Alcotest.(check (float 1e-9))
+        "imported prediction matches" prediction
+        (Planner.predict Planner.Asp { small_features with Planner.f_nodes = 100 });
+      (* Tolerant import: garbage degrades to a cold start, never raises. *)
+      Planner.reset ();
+      Planner.import "not a calibration table";
+      check_int "garbage import leaves the table cold" 0 (Planner.calibrated_cells ()))
+
+let test_decision_log_drains () =
+  Planner.reset ();
+  Fun.protect ~finally:Planner.reset (fun () ->
+      Planner.note ~task:"similarity" Planner.Vf2 ~predicted:1e-5 ~actual:2e-5;
+      Planner.note ~task:"generalization" Planner.Delta ~predicted:1e-5 ~actual:1e-3;
+      let lines = Planner.drain_decisions () in
+      check_int "two decisions drained" 2 (List.length lines);
+      check_bool "first decision first" true
+        (Helpers.contains_substring (List.nth lines 0) "similarity");
+      check_int "drain clears the log" 0 (List.length (Planner.drain_decisions ()));
+      check_int "decisions counted" 2 (Planner.decisions_total ());
+      check_bool "slow actual flagged as misprediction" true (Planner.mispredictions () >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* Differential: Auto equals every fixed backend                        *)
+(* ------------------------------------------------------------------ *)
+
+let cost_view = function None -> None | Some (m : Matching.t) -> Some m.Matching.cost
+
+(* One pair, one fixed backend: Auto must agree on the similarity
+   verdict and both optimal costs, and its witnesses must verify. *)
+let auto_agrees ~fixed g h =
+  let sim_auto = Engine.similar ~backend:Engine.Auto g h in
+  check_bool "similar agrees" (Engine.similar ~backend:fixed g h) sim_auto;
+  let gen_auto = Engine.generalization_matching ~backend:Engine.Auto g h in
+  Alcotest.(check (option int))
+    "generalization cost agrees"
+    (cost_view (Engine.generalization_matching ~backend:fixed g h))
+    (cost_view gen_auto);
+  (match gen_auto with
+  | Some m ->
+      check_bool "generalization witness verifies" true (Matching.verify ~sub:false g h m = Ok ());
+      check_int "reported cost is the witness cost" m.Matching.cost (Matching.cost_of g h m)
+  | None -> ());
+  let sub_auto = Engine.subgraph_matching ~backend:Engine.Auto g h in
+  Alcotest.(check (option int))
+    "comparison cost agrees"
+    (cost_view (Engine.subgraph_matching ~backend:fixed g h))
+    (cost_view sub_auto);
+  match sub_auto with
+  | Some m ->
+      check_bool "comparison witness verifies" true (Matching.verify ~sub:true g h m = Ok ())
+  | None -> ()
+
+let perturb_prop g =
+  match Graph.nodes g with
+  | n :: _ ->
+      Graph.set_node_props g n.Graph.node_id (Props.add "perturbed" "yes" n.Graph.node_props)
+  | [] -> g
+
+let perturb_shape g = Graph.add_node g ~id:"zzz-extra" ~label:"extra" ~props:Props.empty
+
+(* Canon on and off are different dispatch regimes (the bypasses
+   answer digest-equal pairs before the planner sees them; with canon
+   off every instance reaches the calibrated path), so both run. *)
+let both_regimes f =
+  f ();
+  with_canon false f
+
+let test_differential_direct_incremental () =
+  Planner.reset ();
+  let st = Random.State.make [| 23 |] in
+  for _ = 1 to 25 do
+    let g = Helpers.random_graph st in
+    let iso = Helpers.permute_ids g in
+    let other = Helpers.random_graph st in
+    List.iter
+      (fun fixed ->
+        both_regimes (fun () ->
+            auto_agrees ~fixed g iso;
+            auto_agrees ~fixed g (perturb_prop iso);
+            auto_agrees ~fixed g (perturb_shape iso);
+            auto_agrees ~fixed g other))
+      [ Engine.Direct; Engine.Incremental ]
+  done
+
+let test_differential_asp () =
+  (* The ASP backend is the reference semantics; smaller graphs keep
+     the grounding tractable. *)
+  Planner.reset ();
+  let st = Random.State.make [| 24 |] in
+  for _ = 1 to 5 do
+    let g = Helpers.random_graph ~max_nodes:4 ~max_edges:4 st in
+    let iso = Helpers.rename_with_prefix "r:" g in
+    both_regimes (fun () ->
+        auto_agrees ~fixed:Engine.Asp g iso;
+        auto_agrees ~fixed:Engine.Asp g (perturb_prop iso))
+  done
+
+let test_differential_provgen_and_transient () =
+  Planner.reset ();
+  List.iter
+    (fun nodes ->
+      let spec = Provgen.default_spec ~nodes in
+      (* A permuted cross-run pair, a transient-only variant pair, and a
+         cross-seed pair with no reason to align. *)
+      let g, h = Provgen.match_pair ~seed:(400 + nodes) spec in
+      auto_agrees ~fixed:Engine.Direct g h;
+      let v1, v2 = Provgen.pair ~seed:(500 + nodes) spec in
+      auto_agrees ~fixed:Engine.Direct v1 v2;
+      auto_agrees ~fixed:Engine.Direct g (Provgen.generate ~seed:(600 + nodes) spec);
+      (* The bench generator's transient-only rewrite: identical ids and
+         structure, fresh transient values — the delta fast path's home
+         turf, which must stay invisible in the answers. *)
+      let b, _ = Bench_gen.match_pair ~nodes ~seed:(700 + nodes) in
+      auto_agrees ~fixed:Engine.Direct b (Bench_gen.transient_variant ~seed:(800 + nodes) b);
+      auto_agrees ~fixed:Engine.Incremental b (Bench_gen.transient_variant ~seed:(900 + nodes) b))
+    [ 24; 48 ]
+
+(* ------------------------------------------------------------------ *)
+(* Delta re-solve                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A directed chain with transient values everywhere: WL refinement
+   separates every position by its distance from the ends, so the
+   structure is rigid and the delta path's uniqueness theorem applies. *)
+let chain n =
+  let g = ref Graph.empty in
+  for i = 0 to n - 1 do
+    g :=
+      Graph.add_node !g
+        ~id:(Printf.sprintf "n%d" i)
+        ~label:"activity"
+        ~props:(Props.of_list [ ("token", Printf.sprintf "t%d" i) ])
+  done;
+  for i = 0 to n - 2 do
+    g :=
+      Graph.add_edge !g
+        ~id:(Printf.sprintf "e%d" i)
+        ~src:(Printf.sprintf "n%d" i)
+        ~tgt:(Printf.sprintf "n%d" (i + 1))
+        ~label:"used"
+        ~props:(Props.of_list [ ("op", Printf.sprintf "o%d" i) ])
+  done;
+  !g
+
+let witness_view (m : Matching.t) =
+  String.concat "|" (List.map (fun (a, b) -> a ^ ">" ^ b) (m.Matching.node_map @ m.Matching.edge_map))
+
+let test_delta_reuses_trial_witness () =
+  Incremental.reset_delta ();
+  Fun.protect ~finally:Incremental.reset_delta (fun () ->
+      let g = chain 12 in
+      let trial k = Bench_gen.transient_variant ~seed:(1000 + k) g in
+      let solve h =
+        match Engine.generalization_matching ~backend:Engine.Auto g h with
+        | Some m -> m
+        | None -> Alcotest.fail "transient-only pair must match"
+      in
+      let m1 = solve (trial 1) in
+      let certified1, fallbacks1, _ = Incremental.delta_stats () in
+      check_int "trial 1 certified" 1 certified1;
+      check_int "no fallbacks on a rigid pair" 0 fallbacks1;
+      (* Trials 2..N: same structure digest, so the rigidity verdict is
+         cached and the trial-1 witness is reused byte-for-byte. *)
+      let m2 = solve (trial 2) in
+      let m3 = solve (trial 3) in
+      let certified, fallbacks, cache_hits = Incremental.delta_stats () in
+      check_int "every trial certified" 3 certified;
+      check_int "still no fallbacks" 0 fallbacks;
+      check_bool "trials 2..N hit the rigidity cache" true (cache_hits >= 2);
+      Alcotest.(check string) "trial 2 reuses the witness" (witness_view m1) (witness_view m2);
+      Alcotest.(check string) "trial 3 reuses the witness" (witness_view m1) (witness_view m3);
+      (* The certified witness is the true optimum: the fixed default
+         agrees on cost for every trial. *)
+      Alcotest.(check (option int))
+        "delta cost equals the fixed default" (Some m2.Matching.cost)
+        (cost_view (Engine.generalization_matching ~backend:Engine.Direct g (trial 2)));
+      (* Comparison rides the same theorem (equal digests pin sizes). *)
+      (match Engine.subgraph_matching ~backend:Engine.Auto g (trial 4) with
+      | Some m -> check_bool "embedding verifies" true (Matching.verify ~sub:true g (trial 4) m = Ok ())
+      | None -> Alcotest.fail "transient-only pair must embed");
+      let certified', _, _ = Incremental.delta_stats () in
+      check_int "comparison certified too" 4 certified')
+
+let test_non_rigid_falls_back () =
+  Incremental.reset_delta ();
+  Fun.protect ~finally:Incremental.reset_delta (fun () ->
+      (* Two disconnected same-label nodes: WL cannot separate them, the
+         automorphism group is nontrivial, and delta must decline —
+         distinct transient values keep the zero-cost bypass out of the
+         way, so the pair genuinely reaches the fast path. *)
+      let twins a b =
+        let g = Graph.add_node Graph.empty ~id:"p" ~label:"process"
+            ~props:(Props.of_list [ ("token", a) ]) in
+        Graph.add_node g ~id:"q" ~label:"process" ~props:(Props.of_list [ ("token", b) ])
+      in
+      let g = twins "a" "b" and h = twins "c" "d" in
+      let auto = Engine.generalization_matching ~backend:Engine.Auto g h in
+      Alcotest.(check (option int))
+        "non-rigid pair still optimally matched"
+        (cost_view (Engine.generalization_matching ~backend:Engine.Direct g h))
+        (cost_view auto);
+      let certified, fallbacks, _ = Incremental.delta_stats () in
+      check_int "nothing certified" 0 certified;
+      check_bool "fallback counted" true (fallbacks >= 1))
+
+let test_delta_direct_api () =
+  Incremental.reset_delta ();
+  Fun.protect ~finally:Incremental.reset_delta (fun () ->
+      let g = chain 8 in
+      let h = Bench_gen.transient_variant ~seed:42 g in
+      match (Canon.form g, Canon.form h) with
+      | Some f1, Some f2 -> (
+          match Incremental.delta ~sub:false f1 f2 g h with
+          | Some m ->
+              check_bool "delta witness verifies" true (Matching.verify ~sub:false g h m = Ok ());
+              check_int "delta cost is the witness cost" m.Matching.cost (Matching.cost_of g h m)
+          | None -> Alcotest.fail "rigid digest-equal pair must certify")
+      | _ -> Alcotest.fail "canonical forms must be available")
+
+let test_no_duplicate_canonicalization () =
+  Canon.reset_stats ();
+  Incremental.reset_delta ();
+  Fun.protect
+    ~finally:(fun () ->
+      Canon.reset_stats ();
+      Incremental.reset_delta ())
+    (fun () ->
+      let g = chain 10 in
+      let v2 = Bench_gen.transient_variant ~seed:2000 g in
+      let v3 = Bench_gen.transient_variant ~seed:2001 g in
+      ignore (Engine.generalization_matching ~backend:Engine.Auto g v2);
+      ignore (Engine.generalization_matching ~backend:Engine.Auto g v3);
+      let computed, hits = Canon.stats () in
+      (* The form cache is keyed on identifiers and structure, not
+         property values, so every transient variant shares g's entry:
+         one canonicalization serves both trials of both sides, and the
+         delta path reuses the engine's forms instead of recomputing. *)
+      check_int "one canonical form per structure" 1 computed;
+      check_bool "every other lookup hits the shared cache" true (hits >= 3))
+
+(* ------------------------------------------------------------------ *)
+(* Suite-level byte identity                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exact_view (r : Result_.t) =
+  let body =
+    match r.Result_.status with
+    | Result_.Target g -> "target:" ^ Datalog.Encode.graph_to_string ~gid:"d" g
+    | Result_.Empty -> "empty"
+    | Result_.Failed e -> "failed:" ^ Result_.stage_error_to_string e
+  in
+  String.concat "|"
+    ((r.Result_.benchmark :: body :: r.Result_.degraded) @ [ string_of_int r.Result_.trials ])
+
+let suite_views ~jobs config progs =
+  List.map exact_view (Parallel_runner.run_all ~jobs config progs)
+
+let test_suite_identical_across_planner_and_jobs () =
+  let progs = Provmark.Bench_registry.all in
+  let fixed = Config.default Recorder.Spade in
+  let auto = { fixed with Config.backend = Engine.Auto } in
+  Planner.reset ();
+  let reference = suite_views ~jobs:1 fixed progs in
+  Alcotest.(check (list string))
+    "planner on equals planner off" reference
+    (suite_views ~jobs:1 auto progs);
+  (* Now the table is warm and every domain races to calibrate it —
+     output still must not depend on -j or on what was learned. *)
+  Alcotest.(check (list string))
+    "auto at -j4 equals the fixed reference" reference
+    (suite_views ~jobs:4 auto progs)
+
+let () =
+  Alcotest.run "planner"
+    [
+      ( "mechanics",
+        [
+          Alcotest.test_case "calibration steers choose_similar" `Quick
+            test_calibration_steers_choice;
+          Alcotest.test_case "export/import roundtrip" `Quick test_export_import_roundtrip;
+          Alcotest.test_case "decision log drains once" `Quick test_decision_log_drains;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "auto equals direct and incremental" `Quick
+            test_differential_direct_incremental;
+          Alcotest.test_case "auto equals asp" `Slow test_differential_asp;
+          Alcotest.test_case "auto equals fixed on provgen and transient pairs" `Slow
+            test_differential_provgen_and_transient;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "transient trials reuse the certified witness" `Quick
+            test_delta_reuses_trial_witness;
+          Alcotest.test_case "non-rigid pairs fall back soundly" `Quick test_non_rigid_falls_back;
+          Alcotest.test_case "delta API certifies rigid pairs" `Quick test_delta_direct_api;
+          Alcotest.test_case "no duplicate canonicalization" `Quick
+            test_no_duplicate_canonicalization;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "byte-identical across planner and -j" `Slow
+            test_suite_identical_across_planner_and_jobs;
+        ] );
+    ]
